@@ -1,0 +1,98 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments [ids...] [--reps N] [--seed S] [--out DIR] [--quick]
+//!
+//!   ids      experiment ids (fig1 table2 fig6 ... fig15), or `all`
+//!   --reps   repetitions to average over (default 10, as in the paper)
+//!   --seed   base seed (default 1)
+//!   --out    directory for CSV artifacts (default EXPERIMENTS-results)
+//!   --quick  smaller sweeps for smoke testing
+//! ```
+
+use snapshot_bench::{experiments, RunContext};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut ctx = RunContext {
+        out_dir: Some(PathBuf::from("EXPERIMENTS-results")),
+        ..RunContext::default()
+    };
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reps" => {
+                i += 1;
+                ctx.reps = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r| r > 0)
+                    .unwrap_or_else(|| die("--reps needs a positive integer"));
+            }
+            "--seed" => {
+                i += 1;
+                ctx.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                i += 1;
+                ctx.out_dir = Some(PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--out needs a directory")),
+                ));
+            }
+            "--quick" => ctx.quick = true,
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            id => ids.push(id.to_owned()),
+        }
+        i += 1;
+    }
+
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = experiments::ALL.iter().map(|s| (*s).to_owned()).collect();
+    }
+
+    let overall = Instant::now();
+    for id in &ids {
+        let started = Instant::now();
+        match experiments::run(id, &ctx) {
+            Some(out) => {
+                println!("{}", out.report());
+                println!("   [{id} took {:.1?}]\n", started.elapsed());
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment `{id}`; known: {}",
+                    experiments::ALL.join(" ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(dir) = &ctx.out_dir {
+        println!("CSV artifacts in {}", dir.display());
+    }
+    println!("total: {:.1?}", overall.elapsed());
+}
+
+fn print_usage() {
+    println!(
+        "usage: experiments [ids...] [--reps N] [--seed S] [--out DIR] [--quick]\n\
+         known ids: {} (or `all`)",
+        experiments::ALL.join(" ")
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,570 @@
+//! Ablation experiments for the design choices DESIGN.md calls out —
+//! extensions the paper sketches but does not evaluate.
+
+use crate::setup::RandomWalkSetup;
+use crate::stats::{mean, rng, run_reps};
+use crate::table::{fmt, Table};
+use crate::{ExperimentOutput, RunContext};
+use rand::RngExt;
+use snapshot_core::{
+    Aggregate, ErrorMetric, Mode, QueryMode, SnapshotAction, SnapshotQuery, SpatialPredicate,
+    ThresholdLadder,
+};
+use snapshot_core::{SensorNetwork, SnapshotConfig};
+use snapshot_datagen::{correlated_field, periodic, CorrelatedFieldConfig, PeriodicConfig, Trace};
+use snapshot_netsim::{EnergyModel, LinkModel, NodeId, RandomWaypoint, Topology};
+
+/// `abl_routing`: the paper's post-Table-3 remark — favoring
+/// representatives as routers should further reduce the number of
+/// participating nodes. Compares snapshot-query participants with
+/// plain BFS routing vs representative-preferring BFS.
+pub fn run_routing(ctx: &RunContext) -> ExperimentOutput {
+    let queries = if ctx.quick { 20 } else { 200 };
+    let w2s: Vec<f64> = if ctx.quick {
+        vec![0.1]
+    } else {
+        vec![0.01, 0.1, 0.5]
+    };
+
+    let mut table = Table::new([
+        "query area W^2",
+        "plain routing",
+        "rep-favoring",
+        "extra saving",
+    ]);
+    for &w2 in &w2s {
+        let w = w2.sqrt();
+        let pairs = run_reps(ctx.reps, ctx.seed, |seed| {
+            let mut sn = RandomWalkSetup {
+                k: 1,
+                range: 0.4,
+                ..RandomWalkSetup::default()
+            }
+            .build(seed);
+            let _ = sn.elect();
+            let n = sn.len() as u32;
+            let mut r = rng(seed ^ 0xAB1);
+            let (mut plain_sum, mut pref_sum) = (0usize, 0usize);
+            for _ in 0..queries {
+                let x: f64 = r.random::<f64>();
+                let y: f64 = r.random::<f64>();
+                let sink = NodeId(r.random_range(0..n));
+                let pred = SpatialPredicate::window(x, y, w);
+                let base = SnapshotQuery::aggregate(pred, Aggregate::Sum, QueryMode::Snapshot);
+                plain_sum += sn.query(&base, sink).participants;
+                pref_sum += sn
+                    .query(&base.clone().with_representative_routing(), sink)
+                    .participants;
+            }
+            (
+                plain_sum as f64 / queries as f64,
+                pref_sum as f64 / queries as f64,
+            )
+        });
+        let plain = mean(&pairs.iter().map(|p| p.0).collect::<Vec<_>>());
+        let pref = mean(&pairs.iter().map(|p| p.1).collect::<Vec<_>>());
+        let saving = if plain > 0.0 {
+            (plain - pref) / plain * 100.0
+        } else {
+            0.0
+        };
+        table.push([
+            fmt(w2, 2),
+            fmt(plain, 2),
+            fmt(pref, 2),
+            format!("{}%", fmt(saving, 1)),
+        ]);
+    }
+    ctx.write_csv("abl_routing.csv", &table.to_csv());
+
+    ExperimentOutput {
+        id: "abl_routing",
+        title: "Ablation: representative-favoring routing (post-Table-3 remark)",
+        rendered: table.render(),
+        notes: "The paper predicts 'further reduction in the number of sensor nodes used during \
+                snapshot queries' when routing favors representatives; the third column measures \
+                how much, at transmission range 0.4 (multi-hop routing matters only below full \
+                connectivity)."
+            .into(),
+    }
+}
+
+/// `abl_multiq`: Section 3.1's multi-query optimization — serving a
+/// stream of continuous queries with one snapshot elected at the
+/// tightest threshold, vs re-electing per query.
+pub fn run_multiq(ctx: &RunContext) -> ExperimentOutput {
+    let n_queries = if ctx.quick { 10 } else { 50 };
+    let thresholds = [0.5, 1.0, 2.0, 5.0, 10.0];
+
+    let stats = run_reps(ctx.reps, ctx.seed, |seed| {
+        let mut sn = RandomWalkSetup {
+            k: 10,
+            ..RandomWalkSetup::default()
+        }
+        .build(seed);
+        let mut ladder = ThresholdLadder::new();
+        let mut r = rng(seed ^ 0x3017);
+        let mut elections_shared = 0usize;
+        let mut msgs_shared = 0u64;
+        for _ in 0..n_queries {
+            let t = thresholds[r.random_range(0..thresholds.len())];
+            sn.net_mut().stats_mut().reset();
+            if let SnapshotAction::ElectAt(elect_t) = ladder.register(t) {
+                sn.set_threshold(elect_t);
+                let _ = sn.elect();
+                ladder.mark_elected(elect_t);
+                elections_shared += 1;
+            }
+            msgs_shared += sn.stats().total_sent();
+        }
+        // Per-query strategy pays one election per query.
+        (
+            elections_shared as f64,
+            n_queries as f64,
+            msgs_shared as f64,
+        )
+    });
+
+    let shared: Vec<f64> = stats.iter().map(|s| s.0).collect();
+    let naive: Vec<f64> = stats.iter().map(|s| s.1).collect();
+    let msgs: Vec<f64> = stats.iter().map(|s| s.2).collect();
+
+    let mut table = Table::new(["strategy", "elections per workload", "election messages"]);
+    table.push([
+        "shared (tightest T)".to_owned(),
+        fmt(mean(&shared), 1),
+        fmt(mean(&msgs), 0),
+    ]);
+    table.push([
+        "per-query re-election".to_owned(),
+        fmt(mean(&naive), 1),
+        format!(
+            "~{}x the shared cost",
+            fmt(mean(&naive) / mean(&shared).max(1.0), 1)
+        ),
+    ]);
+    ctx.write_csv("abl_multiq.csv", &table.to_csv());
+
+    ExperimentOutput {
+        id: "abl_multiq",
+        title: "Ablation: shared snapshot across query thresholds (Section 3.1)",
+        rendered: table.render(),
+        notes: format!(
+            "{} random-threshold continuous queries are served with only {:.1} elections when \
+             the snapshot is shared at the tightest registered threshold — the optimization the \
+             paper defers to its full version. Each avoided election saves up to ~5 messages per \
+             node.",
+            n_queries,
+            mean(&shared)
+        ),
+    }
+}
+
+/// `abl_metric`: snapshot size under the three error metrics the paper
+/// defines (Section 3), at thresholds chosen to be roughly comparable
+/// in strictness on the random-walk data.
+pub fn run_metric(ctx: &RunContext) -> ExperimentOutput {
+    let cases: &[(&str, ErrorMetric, f64)] = &[
+        ("sse, T=1", ErrorMetric::Sse, 1.0),
+        ("absolute, T=1", ErrorMetric::Absolute, 1.0),
+        ("relative, T=0.002", ErrorMetric::relative(), 0.002),
+    ];
+    let mut table = Table::new(["metric", "snapshot size", "mean |err| at election"]);
+    for &(name, metric, t) in cases {
+        let pairs = run_reps(ctx.reps, ctx.seed, |seed| {
+            let mut sn = RandomWalkSetup {
+                k: 10,
+                ..RandomWalkSetup::default()
+            }
+            .build(seed);
+            sn.set_metric(metric, t);
+            let out = sn.elect();
+            let err = sn.mean_estimate_sse().map_or(0.0, f64::sqrt);
+            (out.snapshot_size as f64, err)
+        });
+        let sizes: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let errs: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        table.push([name.to_owned(), fmt(mean(&sizes), 1), fmt(mean(&errs), 3)]);
+    }
+    ctx.write_csv("abl_metric.csv", &table.to_csv());
+
+    ExperimentOutput {
+        id: "abl_metric",
+        title: "Ablation: error metrics (Section 3's d() choices)",
+        rendered: table.render(),
+        notes: "The framework is metric-agnostic; sse (the paper's default) and absolute error \
+                coincide at T=1 on the representation *decision* only when errors are <= 1, \
+                while relative error adapts to the measurement magnitude (values here are \
+                O(500), so T=0.002 is comparable)."
+            .into(),
+    }
+}
+
+/// `abl_mobility`: self-healing under node movement. The paper's
+/// framework targets "changes in connectivity among nodes due to
+/// mobility"; this ablation moves nodes under a random-waypoint model
+/// and measures how the snapshot holds up as members drift out of
+/// their representatives' radio range.
+pub fn run_mobility(ctx: &RunContext) -> ExperimentOutput {
+    let updates = if ctx.quick { 5 } else { 20 };
+    let speeds: Vec<f64> = if ctx.quick {
+        vec![0.0, 0.05]
+    } else {
+        vec![0.0, 0.01, 0.03, 0.05]
+    };
+    let ticks_per_update = 10;
+
+    let mut table = Table::new([
+        "speed/tick",
+        "mean snapshot size",
+        "re-elections/update",
+        "stale links/update (pre-heal)",
+    ]);
+    for &speed in &speeds {
+        let stats = run_reps(ctx.reps, ctx.seed, |seed| {
+            let mut sn = RandomWalkSetup {
+                k: 1,
+                range: 0.35,
+                steps: 1000,
+                ..RandomWalkSetup::default()
+            }
+            .build(seed);
+            let _ = sn.elect();
+            let mut mob = RandomWaypoint::new(sn.len(), speed, seed ^ 0xB0B);
+            let mut sizes = Vec::new();
+            let mut reelections = Vec::new();
+            let mut stale = Vec::new();
+            for _ in 0..updates {
+                for _ in 0..ticks_per_update {
+                    mob.step(sn.net_mut());
+                    sn.advance(1);
+                }
+                // Members whose representative drifted out of radio
+                // range: the failure maintenance must detect (their
+                // heartbeats cannot be delivered).
+                let out_of_range = sn
+                    .nodes()
+                    .iter()
+                    .filter(|n| {
+                        n.mode() == Mode::Passive
+                            && n.representative()
+                                .is_some_and(|r| !sn.net().topology().in_range(n.id(), r))
+                    })
+                    .count();
+                stale.push(out_of_range as f64);
+                let report = sn.maintain();
+                reelections.push(report.reelections() as f64);
+                sizes.push(sn.snapshot_size() as f64);
+            }
+            (mean(&sizes), mean(&reelections), mean(&stale))
+        });
+        table.push([
+            fmt(speed, 2),
+            fmt(mean(&stats.iter().map(|s| s.0).collect::<Vec<_>>()), 1),
+            fmt(mean(&stats.iter().map(|s| s.1).collect::<Vec<_>>()), 1),
+            fmt(mean(&stats.iter().map(|s| s.2).collect::<Vec<_>>()), 1),
+        ]);
+    }
+    ctx.write_csv("abl_mobility.csv", &table.to_csv());
+
+    ExperimentOutput {
+        id: "abl_mobility",
+        title: "Ablation: snapshot self-healing under node mobility",
+        rendered: table.render(),
+        notes: "Random-waypoint movement at range 0.35: faster movement strands more members                 out of their representative's radio range between maintenance cycles (column 4);                 maintenance heals them by re-election (column 3) at the cost of a larger                 steady-state snapshot (column 2). At speed 0 the network is static and quiet."
+            .into(),
+    }
+}
+
+/// `abl_periodic`: the Section 3 claim that correlation models
+/// "capture trends (like periodicity), with very few samples".
+///
+/// Nodes track a shared diurnal cycle with per-node gain and offset;
+/// models train on the first 10 of 96 samples (one tenth of a day) and
+/// must predict a member's value at the discovery instant, 90 samples
+/// later — a completely different phase of the cycle. Compared
+/// against the two natural history baselines a node could use without
+/// cross-node models: "last trained value" and "training mean".
+pub fn run_periodic(ctx: &RunContext) -> ExperimentOutput {
+    let train_until = 10usize;
+    // Half a period past the training window: the cycle is at the
+    // opposite phase, so any predictor that merely memorizes training
+    // values is maximally wrong.
+    let elect_at = 148usize;
+
+    let stats = run_reps(ctx.reps, ctx.seed, |seed| {
+        let data = periodic(&PeriodicConfig {
+            noise_sigma: 0.02,
+            shifted_fraction: 0.3,
+            steps: 200,
+            ..PeriodicConfig {
+                seed,
+                ..PeriodicConfig::default()
+            }
+        })
+        .expect("valid periodic config");
+        let shifted = data.shifted.clone();
+        let trace = data.trace.clone();
+        let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, seed);
+        let mut sn = SensorNetwork::new(
+            topo,
+            LinkModel::Perfect,
+            EnergyModel::default(),
+            SnapshotConfig::paper(0.5, 2048, seed),
+            data.trace,
+        );
+        sn.train(0, train_until);
+        sn.set_time(elect_at);
+        let out = sn.elect();
+
+        // Per-member prediction error at discovery: correlation model
+        // vs history baselines.
+        let mut model_err = Vec::new();
+        let mut last_err = Vec::new();
+        let mut mean_err = Vec::new();
+        let mut cross_phase = 0usize;
+        for node in sn.nodes() {
+            let j = node.id();
+            let Some(rep) = node.representative() else {
+                continue;
+            };
+            if shifted[j.index()] != shifted[rep.index()] {
+                cross_phase += 1;
+            }
+            let truth = trace.value(j, elect_at);
+            if let Some(est) = sn.node(rep).cache.estimate(j, sn.value(rep)) {
+                model_err.push((est - truth).abs());
+            }
+            last_err.push((trace.value(j, train_until - 1) - truth).abs());
+            let train_mean =
+                (0..train_until).map(|t| trace.value(j, t)).sum::<f64>() / train_until as f64;
+            mean_err.push((train_mean - truth).abs());
+        }
+        (
+            out.snapshot_size as f64,
+            mean(&model_err),
+            mean(&last_err),
+            mean(&mean_err),
+            cross_phase as f64,
+        )
+    });
+
+    let col =
+        |f: fn(&(f64, f64, f64, f64, f64)) -> f64| mean(&stats.iter().map(f).collect::<Vec<_>>());
+    let mut table = Table::new(["predictor", "mean |error| at discovery"]);
+    table.push(["correlation model (paper)".to_owned(), fmt(col(|s| s.1), 3)]);
+    table.push(["last trained value".to_owned(), fmt(col(|s| s.2), 3)]);
+    table.push(["training mean".to_owned(), fmt(col(|s| s.3), 3)]);
+    ctx.write_csv("abl_periodic.csv", &table.to_csv());
+
+    ExperimentOutput {
+        id: "abl_periodic",
+        title: "Ablation: periodicity captured from very few samples (Section 3 claim)",
+        rendered: table.render(),
+        notes: format!(
+            "Diurnal field (period 96), 30% of nodes on a quarter-phase micro-climate, trained              on the first 10 samples only; discovery happens 90 samples later at a different              phase. The correlation models predict members within {:.3} on average while the              history baselines are off by {:.1}-{:.1} (the signal moved); the election also              respects phase structure ({:.1} cross-phase representations on average out of a              snapshot of {:.1}).",
+            col(|s| s.1),
+            col(|s| s.2),
+            col(|s| s.3),
+            col(|s| s.4),
+            col(|s| s.0),
+        ),
+    }
+}
+
+/// `abl_proximity`: data-driven vs proximity-based replacement — the
+/// paper's core positioning claim against adaptive fidelity (ref. \[7\]):
+/// "unlike \[7\] that assumes that any node in the vicinity can replace
+/// the failed node, we promote a data-driven approach in which a node
+/// can 'represent' another node ... when their collected measurements
+/// are similar".
+///
+/// For every represented node we compare the error of (a) its elected
+/// representative's model estimate against (b) simply substituting the
+/// nearest alive neighbor's raw reading. On class-correlated data
+/// (correlation has nothing to do with distance) proximity fails
+/// badly; on a spatially-correlated field it is respectable but the
+/// model remains better.
+pub fn run_proximity(ctx: &RunContext) -> ExperimentOutput {
+    // Two workloads: class-correlated random walks, spatial field.
+    let run_workload = |ctx: &RunContext, spatial: bool| {
+        run_reps(ctx.reps, ctx.seed, move |seed| {
+            let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, seed);
+            let (trace, threshold): (Trace, f64) = if spatial {
+                let positions: Vec<_> = topo.node_ids().map(|id| topo.position(id)).collect();
+                (
+                    correlated_field(
+                        &positions,
+                        &CorrelatedFieldConfig {
+                            steps: 100,
+                            seed,
+                            ..CorrelatedFieldConfig::default()
+                        },
+                    )
+                    .expect("valid field"),
+                    0.5,
+                )
+            } else {
+                let data = snapshot_datagen::random_walk(
+                    &snapshot_datagen::RandomWalkConfig::paper_defaults(5, seed),
+                )
+                .expect("valid walk");
+                (data.trace, 1.0)
+            };
+            let trace_copy = trace.clone();
+            let mut sn = SensorNetwork::new(
+                topo,
+                LinkModel::Perfect,
+                EnergyModel::default(),
+                SnapshotConfig::paper(threshold, 2048, seed),
+                trace,
+            );
+            sn.train(0, 10);
+            sn.set_time(99);
+            let _ = sn.elect();
+
+            let mut model_err = Vec::new();
+            let mut proximity_err = Vec::new();
+            for node in sn.nodes() {
+                let j = node.id();
+                let Some(rep) = node.representative() else {
+                    continue;
+                };
+                let truth = trace_copy.value(j, 99);
+                if let Some(est) = sn.node(rep).cache.estimate(j, sn.value(rep)) {
+                    model_err.push((est - truth).abs());
+                }
+                // Proximity replacement: the nearest alive neighbor's
+                // own reading stands in for j's.
+                let nearest = sn
+                    .net()
+                    .topology()
+                    .neighbors(j)
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        sn.net()
+                            .topology()
+                            .distance(j, a)
+                            .total_cmp(&sn.net().topology().distance(j, b))
+                    });
+                if let Some(nb) = nearest {
+                    proximity_err.push((trace_copy.value(nb, 99) - truth).abs());
+                }
+            }
+            (mean(&model_err), mean(&proximity_err))
+        })
+    };
+
+    let mut table = Table::new(["workload", "model estimate |err|", "nearest-neighbor |err|"]);
+    for (name, spatial) in [("class-correlated walks", false), ("spatial field", true)] {
+        let stats = run_workload(ctx, spatial);
+        table.push([
+            name.to_owned(),
+            fmt(mean(&stats.iter().map(|s| s.0).collect::<Vec<_>>()), 3),
+            fmt(mean(&stats.iter().map(|s| s.1).collect::<Vec<_>>()), 3),
+        ]);
+    }
+    ctx.write_csv("abl_proximity.csv", &table.to_csv());
+
+    ExperimentOutput {
+        id: "abl_proximity",
+        title: "Ablation: data-driven vs proximity-based replacement (vs adaptive fidelity [7])",
+        rendered: table.render(),
+        notes: "On class-correlated data, substituting the nearest neighbor's reading for a                 failed node is wildly wrong (correlation is unrelated to distance); the elected                 representative's model estimate stays within the threshold on both workloads —                 the paper's core argument for quantitative, data-driven representation."
+            .into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proximity_ablation_shows_models_winning_on_class_data() {
+        let out = run_proximity(&RunContext::quick(17));
+        let row = out.rendered.lines().nth(2).unwrap(); // class-correlated walks
+        let cells: Vec<f64> = row
+            .split_whitespace()
+            .rev()
+            .take(2)
+            .map(|c| c.parse().unwrap())
+            .collect();
+        let (proximity, model) = (cells[0], cells[1]);
+        assert!(
+            model * 5.0 < proximity,
+            "model {model} should dominate proximity {proximity} on class data"
+        );
+    }
+
+    #[test]
+    fn periodic_ablation_shows_models_beating_history_baselines() {
+        let out = run_periodic(&RunContext::quick(13));
+        let rows: Vec<&str> = out.rendered.lines().skip(2).collect();
+        let err = |row: &str| -> f64 { row.split_whitespace().last().unwrap().parse().unwrap() };
+        let model = err(rows[0]);
+        let last = err(rows[1]);
+        let mean_b = err(rows[2]);
+        assert!(
+            model < last / 5.0,
+            "model {model} should crush last-value {last}"
+        );
+        assert!(
+            model < mean_b / 5.0,
+            "model {model} should crush training-mean {mean_b}"
+        );
+    }
+
+    #[test]
+    fn mobility_ablation_static_case_is_quiet() {
+        let out = run_mobility(&RunContext::quick(11));
+        let static_row = out.rendered.lines().nth(2).unwrap();
+        let stale: f64 = static_row
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(stale, 0.0, "static nodes cannot drift out of range");
+    }
+
+    #[test]
+    fn routing_ablation_reports_non_negative_savings() {
+        let out = run_routing(&RunContext::quick(3));
+        let row = out.rendered.lines().nth(2).unwrap();
+        let saving: f64 = row
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(
+            saving >= -5.0,
+            "rep-favoring routing should not cost participants: {saving}%"
+        );
+    }
+
+    #[test]
+    fn multiq_ablation_shows_big_election_savings() {
+        let out = run_multiq(&RunContext::quick(5));
+        assert!(out.rendered.contains("shared"));
+        let shared_row = out.rendered.lines().nth(2).unwrap();
+        let elections: f64 = shared_row
+            .split_whitespace()
+            .nth(3)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(
+            elections <= 5.0,
+            "shared strategy used {elections} elections for 5 thresholds"
+        );
+    }
+
+    #[test]
+    fn metric_ablation_runs_all_three_metrics() {
+        let out = run_metric(&RunContext::quick(7));
+        assert_eq!(out.rendered.lines().count(), 5);
+    }
+}

@@ -1,0 +1,171 @@
+//! Figure 10: network coverage over time, regular vs snapshot queries.
+//!
+//! Setup per the paper: K = T = 1, transmission range 0.7, each node's
+//! battery equal to 500 transmissions, cache maintenance charged at
+//! 0.1 transmissions per update. Random spatial queries of area 0.1
+//! are executed until the network is exhausted; *coverage* is the
+//! fraction of in-region measurements available relative to an
+//! infinite-battery network.
+//!
+//! In the regular run nodes spend energy only when answering/routing
+//! queries; in the snapshot run the network additionally pays for
+//! training, the election and periodic maintenance, yet lives far
+//! longer because most nodes idle through each query.
+
+use crate::setup::RandomWalkSetup;
+use crate::stats::{mean, rng};
+use crate::table::{fmt, Table};
+use crate::{ExperimentOutput, RunContext};
+use rand::RngExt;
+use snapshot_core::{
+    Aggregate, CoverageTracker, QueryMode, SensorNetwork, SnapshotQuery, SpatialPredicate,
+};
+use snapshot_netsim::NodeId;
+
+const BATTERY: f64 = 500.0;
+const QUERY_AREA: f64 = 0.1;
+/// Full maintenance (heartbeats) cadence, in queries. The paper's
+/// Figure 10 run used only "a simple maintenance protocol that
+/// replaced representative nodes as they died out"; heartbeats cost
+/// each member one transmission, so here they serve only as a rare
+/// safety net for members orphaned by an unexpected death.
+const MAINTENANCE_EVERY: usize = 1000;
+/// Energy-handoff check cadence, in queries. The check is free unless
+/// a handoff actually triggers, so it runs often enough that a
+/// representative (spending ~1 tx per query) rotates out before dying.
+const HANDOFF_EVERY: usize = 25;
+
+fn setup() -> RandomWalkSetup {
+    RandomWalkSetup {
+        k: 1,
+        range: 0.7,
+        threshold: 1.0,
+        steps: 200,
+        ..RandomWalkSetup::default()
+    }
+}
+
+fn run_workload(
+    sn: &mut SensorNetwork,
+    mode: QueryMode,
+    n_queries: usize,
+    maintain: bool,
+    seed: u64,
+) -> CoverageTracker {
+    let w = QUERY_AREA.sqrt();
+    let n = sn.len() as u32;
+    let mut r = rng(seed ^ 0x000F_1610);
+    let mut tracker = CoverageTracker::new();
+    for q in 0..n_queries {
+        let x: f64 = r.random::<f64>();
+        let y: f64 = r.random::<f64>();
+        let sink = NodeId(r.random_range(0..n));
+        let pred = SpatialPredicate::window(x, y, w);
+        let res = sn.query(&SnapshotQuery::aggregate(pred, Aggregate::Avg, mode), sink);
+        tracker.record(res.rows.len(), res.targets);
+        if maintain {
+            if q % HANDOFF_EVERY == HANDOFF_EVERY - 1 {
+                let _ = sn.check_handoffs();
+            }
+            if q % MAINTENANCE_EVERY == MAINTENANCE_EVERY - 1 {
+                let _ = sn.maintain();
+            }
+        }
+        sn.advance(1);
+    }
+    tracker
+}
+
+/// Run the experiment.
+pub fn run(ctx: &RunContext) -> ExperimentOutput {
+    let n_queries = if ctx.quick { 300 } else { 8000 };
+    let bucket = if ctx.quick { 50 } else { 500 };
+
+    // Regular run: no models, no election, no maintenance.
+    let mut regular_net = setup().build_with_batteries(ctx.seed, BATTERY);
+    let regular = run_workload(
+        &mut regular_net,
+        QueryMode::Regular,
+        n_queries,
+        false,
+        ctx.seed,
+    );
+
+    // Snapshot run: pay for training + election + maintenance. The
+    // energy-aware handoff of Section 5.1 is enabled: representatives
+    // step down before dying, so the role rotates instead of
+    // collapsing (the paper's "simple maintenance protocol that
+    // replaced representative nodes as they died out").
+    let mut snap_setup = setup();
+    let _ = &mut snap_setup;
+    let mut snap_net = {
+        let mut sn = snap_setup.build_with_batteries(ctx.seed, BATTERY);
+        // A representative spends roughly one transmission per query;
+        // the margin must cover one handoff-check interval plus some
+        // routing duty.
+        sn.set_energy_handoff_fraction(0.12);
+        // Every node already models every other from training (K = 1);
+        // re-learning from each handoff invitation would only burn
+        // cache-update energy across the whole neighborhood.
+        sn.set_invite_learn_prob(0.0);
+        sn
+    };
+    snap_net.train(0, 10);
+    snap_net.set_time(99);
+    let _ = snap_net.elect();
+    let snapshot = run_workload(
+        &mut snap_net,
+        QueryMode::Snapshot,
+        n_queries,
+        true,
+        ctx.seed,
+    );
+
+    let mut table = Table::new(["queries", "regular coverage", "snapshot coverage"]);
+    let mut b = 0;
+    while b < n_queries {
+        let to = (b + bucket).min(n_queries);
+        table.push([
+            format!("{}-{}", b, to),
+            fmt(regular.window_mean(b, to) * 100.0, 1),
+            fmt(snapshot.window_mean(b, to) * 100.0, 1),
+        ]);
+        b = to;
+    }
+    ctx.write_csv("fig10.csv", &table.to_csv());
+
+    let reg_area = mean(regular.series());
+    let snap_area = mean(snapshot.series());
+    let collapse = regular
+        .first_below(0.5)
+        .map(|q| q.to_string())
+        .unwrap_or_else(|| "never".into());
+
+    ExperimentOutput {
+        id: "fig10",
+        title: "Network coverage over time, regular vs snapshot (Figure 10)",
+        rendered: table.render(),
+        notes: format!(
+            "Area under the coverage curve: regular {:.3}, snapshot {:.3} \
+             (regular coverage first dropped below 50% at query {}; alive at end: regular {}, \
+             snapshot {}).\nPaper shape: regular stays at 100% for the first half then collapses \
+             below 20%; snapshot degrades gradually and its curve area is significantly larger.",
+            reg_area,
+            snap_area,
+            collapse,
+            regular_net.net().alive_count(),
+            snap_net.net().alive_count(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_run_preserves_more_coverage_area() {
+        let out = run(&RunContext::quick(29));
+        assert!(out.notes.contains("Area under the coverage curve"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure 9: snapshot size vs transmission range, for several K.
+//!
+//! Shorter range means fewer audible candidates and therefore more
+//! representatives. Paper result: all curves flatten once the range
+//! exceeds ~0.7 (≈ √0.5, enough for a central node to hear the whole
+//! unit square).
+
+use crate::setup::RandomWalkSetup;
+use crate::stats::{mean, run_reps};
+use crate::table::{fmt, Table};
+use crate::{ExperimentOutput, RunContext};
+
+/// Run the experiment.
+pub fn run(ctx: &RunContext) -> ExperimentOutput {
+    let ranges: Vec<f64> = if ctx.quick {
+        vec![0.3, 1.0]
+    } else {
+        vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 1.0, 1.2, 1.4]
+    };
+    let ks: Vec<usize> = if ctx.quick { vec![1] } else { vec![1, 10, 100] };
+
+    let mut headers = vec!["range".to_owned()];
+    headers.extend(ks.iter().map(|k| format!("K={k}")));
+    let mut table = Table::new(headers);
+    for &range in &ranges {
+        let mut row = vec![fmt(range, 2)];
+        for &k in &ks {
+            let sizes = run_reps(ctx.reps, ctx.seed, |seed| {
+                let mut sn = RandomWalkSetup {
+                    k,
+                    range,
+                    ..RandomWalkSetup::default()
+                }
+                .build(seed);
+                sn.elect().snapshot_size as f64
+            });
+            row.push(fmt(mean(&sizes), 1));
+        }
+        table.push(row);
+    }
+    ctx.write_csv("fig9.csv", &table.to_csv());
+
+    ExperimentOutput {
+        id: "fig9",
+        title: "Snapshot size vs transmission range (Figure 9)",
+        rendered: table.render(),
+        notes: "Paper shape: snapshot shrinks with range and flattens beyond ~0.7 \
+                (a central node then hears the entire field)."
+            .into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_range_means_smaller_snapshot() {
+        let out = run(&RunContext::quick(17));
+        let rows: Vec<&str> = out.rendered.lines().skip(2).collect();
+        let size = |row: &str| -> f64 { row.split_whitespace().nth(1).unwrap().parse().unwrap() };
+        assert!(
+            size(rows[1]) <= size(rows[0]),
+            "range 1.0 snapshot ({}) should be <= range 0.3 snapshot ({})",
+            size(rows[1]),
+            size(rows[0])
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! | id       | artifact  | what it reproduces                                   |
+//! |----------|-----------|------------------------------------------------------|
+//! | `fig1`   | Figure 1  | example network snapshot (DOT + edge list)           |
+//! | `table2` | Table 2   | messages per node per election/maintenance phase     |
+//! | `fig6`   | Figure 6  | snapshot size vs number of classes K                 |
+//! | `fig7`   | Figure 7  | snapshot size vs message loss (K = 1)                |
+//! | `fig8`   | Figure 8  | model-aware vs round-robin cache vs cache size       |
+//! | `fig9`   | Figure 9  | snapshot size vs transmission range                  |
+//! | `table3` | Table 3   | participant reduction in spatial snapshot queries    |
+//! | `fig10`  | Figure 10 | network coverage over time, regular vs snapshot      |
+//! | `fig11`  | Figure 11 | snapshot size vs threshold T (weather data)          |
+//! | `fig12`  | Figure 12 | mean estimate sse vs threshold T (weather data)      |
+//! | `fig13`  | Figure 13 | spurious representatives vs message loss             |
+//! | `fig14`  | Figure 14 | snapshot size over time under periodic maintenance   |
+//! | `fig15`  | Figure 15 | messages per node per maintenance update             |
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod maintenance_over_time;
+pub mod table2;
+pub mod table3;
+
+use crate::{ExperimentOutput, RunContext};
+
+/// All experiment ids, in paper order, followed by the ablations of
+/// the extensions the paper sketches but does not evaluate.
+pub const ALL: &[&str] = &[
+    "fig1",
+    "table2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table3",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "abl_routing",
+    "abl_multiq",
+    "abl_metric",
+    "abl_mobility",
+    "abl_periodic",
+    "abl_proximity",
+];
+
+/// Run one experiment by id.
+pub fn run(id: &str, ctx: &RunContext) -> Option<ExperimentOutput> {
+    Some(match id {
+        "fig1" => fig1::run(ctx),
+        "table2" => table2::run(ctx),
+        "fig6" => fig6::run(ctx),
+        "fig7" => fig7::run(ctx),
+        "fig8" => fig8::run(ctx),
+        "fig9" => fig9::run(ctx),
+        "table3" => table3::run(ctx),
+        "fig10" => fig10::run(ctx),
+        "fig11" => fig11::run(ctx),
+        "fig12" => fig12::run(ctx),
+        "fig13" => fig13::run(ctx),
+        "fig14" => maintenance_over_time::run_fig14(ctx),
+        "fig15" => maintenance_over_time::run_fig15(ctx),
+        "abl_routing" => ablations::run_routing(ctx),
+        "abl_multiq" => ablations::run_multiq(ctx),
+        "abl_metric" => ablations::run_metric(ctx),
+        "abl_mobility" => ablations::run_mobility(ctx),
+        "abl_periodic" => ablations::run_periodic(ctx),
+        "abl_proximity" => ablations::run_proximity(ctx),
+        _ => return None,
+    })
+}

@@ -1,0 +1,93 @@
+//! # snapshot-bench
+//!
+//! The experiment harness that regenerates every table and figure of
+//! the paper's evaluation (Section 6), plus shared setup code for the
+//! Criterion micro-benchmarks.
+//!
+//! Run `cargo run --release -p snapshot-bench --bin experiments -- all`
+//! to reproduce everything; each experiment prints the paper-shaped
+//! table and writes a CSV next to it. Every run is deterministic in
+//! the `--seed` argument; repetitions use seeds `seed`, `seed+1`, ....
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod setup;
+pub mod stats;
+pub mod table;
+
+pub use setup::{RandomWalkSetup, WeatherSetup};
+pub use table::Table;
+
+use std::path::PathBuf;
+
+/// Shared context for experiment runs.
+#[derive(Debug, Clone)]
+pub struct RunContext {
+    /// Repetitions to average over (the paper uses 10).
+    pub reps: u64,
+    /// Base seed; repetition `r` uses `seed + r`.
+    pub seed: u64,
+    /// Output directory for CSV artifacts (`None` = don't write).
+    pub out_dir: Option<PathBuf>,
+    /// Trade fidelity for speed (smaller sweeps, fewer queries);
+    /// used by the integration tests that smoke-run every experiment.
+    pub quick: bool,
+}
+
+impl Default for RunContext {
+    fn default() -> Self {
+        RunContext {
+            reps: 10,
+            seed: 1,
+            out_dir: None,
+            quick: false,
+        }
+    }
+}
+
+impl RunContext {
+    /// A quick context for tests.
+    pub fn quick(seed: u64) -> Self {
+        RunContext {
+            reps: 2,
+            seed,
+            out_dir: None,
+            quick: true,
+        }
+    }
+
+    /// Write a CSV artifact if an output directory is configured.
+    /// Returns the path written, if any.
+    pub fn write_csv(&self, name: &str, contents: &str) -> Option<PathBuf> {
+        let dir = self.out_dir.as_ref()?;
+        std::fs::create_dir_all(dir).ok()?;
+        let path = dir.join(name);
+        std::fs::write(&path, contents).ok()?;
+        Some(path)
+    }
+}
+
+/// The rendered outcome of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Short id (`fig6`, `table3`, ...).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// The rendered table(s).
+    pub rendered: String,
+    /// Free-form notes comparing against the paper.
+    pub notes: String,
+}
+
+impl ExperimentOutput {
+    /// Render the full report block.
+    pub fn report(&self) -> String {
+        format!(
+            "== {} — {} ==\n{}\n{}\n",
+            self.id, self.title, self.rendered, self.notes
+        )
+    }
+}

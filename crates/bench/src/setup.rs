@@ -1,0 +1,221 @@
+//! Shared experiment setup: the paper's canonical network
+//! configurations, built and trained, ready for election.
+
+use snapshot_core::{CachePolicy, SensorNetwork, SnapshotConfig};
+use snapshot_datagen::{random_walk, weather, RandomWalkConfig, WeatherConfig};
+use snapshot_netsim::{EnergyModel, LinkModel, Topology};
+
+/// The Section 6.1 configuration: N nodes on the unit square, K-class
+/// random-walk data, train on the first tenth, elect at the end.
+#[derive(Debug, Clone)]
+pub struct RandomWalkSetup {
+    /// Number of nodes (paper: 100).
+    pub n_nodes: usize,
+    /// Number of behavior classes.
+    pub k: usize,
+    /// Radio range (paper default √2: everyone hears everyone).
+    pub range: f64,
+    /// Message-loss probability.
+    pub p_loss: f64,
+    /// Cache budget, bytes (paper default 2048).
+    pub cache_bytes: usize,
+    /// Cache replacement policy.
+    pub policy: CachePolicy,
+    /// Error threshold `T` (paper default 1).
+    pub threshold: f64,
+    /// Trace length (paper: 100 time units).
+    pub steps: usize,
+    /// Training window `[0, train_until)` (paper: first 10 units).
+    pub train_until: usize,
+    /// Time of the discovery phase (paper: after the last unit).
+    pub elect_at: usize,
+}
+
+impl Default for RandomWalkSetup {
+    fn default() -> Self {
+        RandomWalkSetup {
+            n_nodes: 100,
+            k: 1,
+            range: std::f64::consts::SQRT_2,
+            p_loss: 0.0,
+            cache_bytes: 2048,
+            policy: CachePolicy::ModelAware,
+            threshold: 1.0,
+            steps: 100,
+            train_until: 10,
+            elect_at: 99,
+        }
+    }
+}
+
+impl RandomWalkSetup {
+    /// Build the network, run the training window, and position time
+    /// at the discovery instant. (The caller runs `elect()`.)
+    pub fn build(&self, seed: u64) -> SensorNetwork {
+        let data = random_walk(&RandomWalkConfig {
+            n_nodes: self.n_nodes,
+            steps: self.steps,
+            ..RandomWalkConfig::paper_defaults(self.k, seed)
+        })
+        .expect("valid random-walk configuration");
+        let topo = Topology::random_uniform(self.n_nodes, self.range, seed);
+        let mut cfg = SnapshotConfig::paper(self.threshold, self.cache_bytes, seed);
+        cfg.cache.policy = self.policy;
+        let mut sn = SensorNetwork::new(
+            topo,
+            LinkModel::iid_loss(self.p_loss),
+            EnergyModel::default(),
+            cfg,
+            data.trace,
+        );
+        sn.train(0, self.train_until);
+        sn.set_time(self.elect_at);
+        sn
+    }
+
+    /// Build with finite batteries of `capacity` tx-equivalents
+    /// (Figure 10), *without* running training — the lifetime
+    /// experiment charges training explicitly where it applies.
+    pub fn build_with_batteries(&self, seed: u64, capacity: f64) -> SensorNetwork {
+        let data = random_walk(&RandomWalkConfig {
+            n_nodes: self.n_nodes,
+            steps: self.steps,
+            ..RandomWalkConfig::paper_defaults(self.k, seed)
+        })
+        .expect("valid random-walk configuration");
+        let topo = Topology::random_uniform(self.n_nodes, self.range, seed);
+        let mut cfg = SnapshotConfig::paper(self.threshold, self.cache_bytes, seed);
+        cfg.cache.policy = self.policy;
+        SensorNetwork::with_battery_capacity(
+            topo,
+            LinkModel::iid_loss(self.p_loss),
+            EnergyModel::default(),
+            capacity,
+            cfg,
+            data.trace,
+        )
+    }
+}
+
+/// The Section 6.3 configuration: weather-like wind-speed windows.
+#[derive(Debug, Clone)]
+pub struct WeatherSetup {
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// Series length per node (100 for discovery, 5000 for
+    /// maintenance experiments).
+    pub window: usize,
+    /// Radio range (paper: √2 for discovery, {0.2, 0.7} for
+    /// maintenance).
+    pub range: f64,
+    /// Message-loss probability.
+    pub p_loss: f64,
+    /// Cache budget, bytes.
+    pub cache_bytes: usize,
+    /// Error threshold `T`.
+    pub threshold: f64,
+    /// Training window `[0, train_until)` (paper: first 10 values).
+    pub train_until: usize,
+    /// Discovery instant (paper: after the 100th value).
+    pub elect_at: usize,
+}
+
+impl Default for WeatherSetup {
+    fn default() -> Self {
+        WeatherSetup {
+            n_nodes: 100,
+            window: 100,
+            range: std::f64::consts::SQRT_2,
+            p_loss: 0.0,
+            cache_bytes: 2048,
+            threshold: 0.1,
+            train_until: 10,
+            elect_at: 99,
+        }
+    }
+}
+
+impl WeatherSetup {
+    /// Build, train and position time at the discovery instant.
+    pub fn build(&self, seed: u64) -> SensorNetwork {
+        let trace = weather(&WeatherConfig {
+            n_nodes: self.n_nodes,
+            window: self.window,
+            ..WeatherConfig::paper_defaults(seed)
+        })
+        .expect("valid weather configuration");
+        let topo = Topology::random_uniform(self.n_nodes, self.range, seed);
+        let cfg = SnapshotConfig::paper(self.threshold, self.cache_bytes, seed);
+        let mut sn = SensorNetwork::new(
+            topo,
+            LinkModel::iid_loss(self.p_loss),
+            EnergyModel::default(),
+            cfg,
+            trace,
+        );
+        sn.train(0, self.train_until);
+        sn.set_time(self.elect_at);
+        sn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_random_walk_setup_matches_the_paper() {
+        let s = RandomWalkSetup::default();
+        assert_eq!(s.n_nodes, 100);
+        assert_eq!(s.cache_bytes, 2048);
+        assert_eq!(s.train_until, 10);
+        assert!((s.range - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_produces_a_trained_network() {
+        let setup = RandomWalkSetup {
+            n_nodes: 20,
+            ..RandomWalkSetup::default()
+        };
+        let sn = setup.build(3);
+        assert_eq!(sn.len(), 20);
+        assert_eq!(sn.now(), 99);
+        // Training populated caches: every node should have models.
+        let populated = sn
+            .nodes()
+            .iter()
+            .filter(|n| n.cache.populated_lines() > 0)
+            .count();
+        assert_eq!(populated, 20);
+    }
+
+    #[test]
+    fn weather_build_produces_a_trained_network() {
+        let setup = WeatherSetup {
+            n_nodes: 10,
+            ..WeatherSetup::default()
+        };
+        let sn = setup.build(3);
+        assert_eq!(sn.len(), 10);
+        assert_eq!(sn.now(), 99);
+    }
+
+    #[test]
+    fn battery_build_skips_training() {
+        let setup = RandomWalkSetup {
+            n_nodes: 10,
+            ..RandomWalkSetup::default()
+        };
+        let sn = setup.build_with_batteries(3, 500.0);
+        for id in sn.net().node_ids().collect::<Vec<_>>() {
+            assert_eq!(sn.net().battery(id).remaining(), 500.0);
+        }
+        let populated = sn
+            .nodes()
+            .iter()
+            .filter(|n| n.cache.populated_lines() > 0)
+            .count();
+        assert_eq!(populated, 0, "no training should have happened");
+    }
+}

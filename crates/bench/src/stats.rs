@@ -1,0 +1,80 @@
+//! Small statistics helpers for experiment aggregation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation (0 for empty input).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Run `reps` repetitions in parallel (one per seed `base_seed + r`)
+/// and collect the results in seed order. Uses crossbeam scoped
+/// threads so `f` can borrow from the caller.
+pub fn run_reps<T, F>(reps: u64, base_seed: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let mut results: Vec<Option<T>> = (0..reps).map(|_| None).collect();
+    crossbeam::scope(|scope| {
+        for (r, slot) in results.iter_mut().enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                *slot = Some(f(base_seed + r as u64));
+            });
+        }
+    })
+    .expect("repetition worker panicked");
+    results
+        .into_iter()
+        .map(|s| s.expect("worker completed"))
+        .collect()
+}
+
+/// A deterministic RNG for experiment-level randomness.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(snapshot_netsim::rng::derive_seed(seed, 0xE59))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_known_data() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn run_reps_is_ordered_and_complete() {
+        let out = run_reps(8, 100, |seed| seed * 2);
+        assert_eq!(out, vec![200, 202, 204, 206, 208, 210, 212, 214]);
+    }
+
+    #[test]
+    fn run_reps_runs_closures_in_parallel_safely() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let counter = AtomicU64::new(0);
+        let out = run_reps(16, 0, |_| counter.fetch_add(1, Ordering::SeqCst));
+        assert_eq!(out.len(), 16);
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+}

@@ -1,0 +1,246 @@
+//! A single cache line: the pairs cached for one neighbor.
+//!
+//! The paper: "the cache-line for `N_j` (maintained by `N_i`) is a list
+//! of pairs of values of `x_i(t)` and `x_j(t)` collected at the same
+//! time", ordered oldest-to-newest; "victims are always chosen from the
+//! oldest member of a cache-line", which both shifts the cache toward
+//! recent observations and keeps every update linear-time.
+//!
+//! The line maintains its [`SuffStats`] incrementally, so fitting the
+//! model and evaluating benefits is O(1); the raw pairs are retained so
+//! the oldest can be removed exactly (and so tests can recompute
+//! statistics from scratch).
+
+use crate::model::{LinearModel, SuffStats};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// The cached pairs for one neighbor, oldest first.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CacheLine {
+    pairs: VecDeque<(f64, f64)>,
+    stats: SuffStats,
+}
+
+impl CacheLine {
+    /// An empty line.
+    pub fn new() -> Self {
+        CacheLine::default()
+    }
+
+    /// Number of cached pairs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no pairs are cached.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The cached pairs, oldest first.
+    pub fn pairs(&self) -> impl Iterator<Item = &(f64, f64)> {
+        self.pairs.iter()
+    }
+
+    /// The oldest pair, if any.
+    #[inline]
+    pub fn oldest(&self) -> Option<(f64, f64)> {
+        self.pairs.front().copied()
+    }
+
+    /// The newest pair, if any.
+    #[inline]
+    pub fn newest(&self) -> Option<(f64, f64)> {
+        self.pairs.back().copied()
+    }
+
+    /// Current sufficient statistics.
+    #[inline]
+    pub fn stats(&self) -> &SuffStats {
+        &self.stats
+    }
+
+    /// Fit the line's model (Lemma 1).
+    pub fn model(&self) -> LinearModel {
+        self.stats.fit()
+    }
+
+    /// Append a new (most recent) pair.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.pairs.push_back((x, y));
+        self.stats.add(x, y);
+    }
+
+    /// Remove and return the oldest pair.
+    pub fn evict_oldest(&mut self) -> Option<(f64, f64)> {
+        let (x, y) = self.pairs.pop_front()?;
+        self.stats.remove(x, y);
+        // An emptied line has exactly-zero statistics by definition;
+        // snap off any floating-point residue from the running sums.
+        if self.pairs.is_empty() {
+            self.stats = SuffStats::new();
+        }
+        Some((x, y))
+    }
+
+    /// Statistics of the *time-shifted* line: drop the oldest pair,
+    /// append `(x, y)`. Non-destructive; empty lines shift to the
+    /// single new pair.
+    pub fn stats_shifted(&self, x: f64, y: f64) -> SuffStats {
+        match self.oldest() {
+            Some((ox, oy)) => self.stats.without(ox, oy).with(x, y),
+            None => SuffStats::from_pairs(&[(x, y)]),
+        }
+    }
+
+    /// Statistics of the *augmented* line: append `(x, y)` keeping
+    /// everything. Non-destructive.
+    pub fn stats_augmented(&self, x: f64, y: f64) -> SuffStats {
+        self.stats.with(x, y)
+    }
+
+    /// Statistics of the line with its oldest pair removed
+    /// (the `c''` of the paper's eviction-penalty computation).
+    pub fn stats_without_oldest(&self) -> SuffStats {
+        match self.oldest() {
+            Some((ox, oy)) => self.stats.without(ox, oy),
+            None => SuffStats::new(),
+        }
+    }
+
+    /// The paper's eviction penalty for this line:
+    /// `benefit(c', a*(c'), b*(c')) - benefit(c', a*(c''), b*(c''))`,
+    /// where `c''` is the line minus its oldest pair and both benefits
+    /// are evaluated over the full line `c'`. Always >= 0 because the
+    /// full-line fit minimizes sse over the full line.
+    pub fn eviction_penalty(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let full_model = self.model();
+        let truncated_model = self.stats_without_oldest().fit();
+        let p = self.stats.benefit(&full_model) - self.stats.benefit(&truncated_model);
+        p.max(0.0)
+    }
+
+    /// Recompute statistics from the raw pairs (reference path used by
+    /// tests to bound incremental drift).
+    pub fn recomputed_stats(&self) -> SuffStats {
+        SuffStats::from_pairs(self.pairs.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_of(pairs: &[(f64, f64)]) -> CacheLine {
+        let mut l = CacheLine::new();
+        for &(x, y) in pairs {
+            l.push(x, y);
+        }
+        l
+    }
+
+    #[test]
+    fn push_and_evict_preserve_fifo_order() {
+        let mut l = line_of(&[(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]);
+        assert_eq!(l.oldest(), Some((1.0, 10.0)));
+        assert_eq!(l.newest(), Some((3.0, 30.0)));
+        assert_eq!(l.evict_oldest(), Some((1.0, 10.0)));
+        assert_eq!(l.oldest(), Some((2.0, 20.0)));
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn incremental_stats_match_recompute() {
+        let mut l = CacheLine::new();
+        for i in 0..50 {
+            l.push(i as f64 * 0.7, (i * i) as f64 * 0.01);
+            if i % 3 == 0 {
+                l.evict_oldest();
+            }
+            let inc = *l.stats();
+            let ref_ = l.recomputed_stats();
+            assert_eq!(inc.n, ref_.n);
+            assert!((inc.sx - ref_.sx).abs() < 1e-6);
+            assert!((inc.sxy - ref_.sxy).abs() < 1e-6);
+            assert!((inc.syy - ref_.syy).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn emptied_line_resets_stats_exactly() {
+        let mut l = line_of(&[(0.1, 0.2)]);
+        l.evict_oldest();
+        assert_eq!(*l.stats(), SuffStats::new());
+        assert!(l.is_empty());
+        assert_eq!(l.evict_oldest(), None);
+    }
+
+    #[test]
+    fn shifted_stats_equal_manual_shift() {
+        let l = line_of(&[(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]);
+        let shifted = l.stats_shifted(4.0, 16.0);
+        let manual = SuffStats::from_pairs(&[(2.0, 4.0), (3.0, 9.0), (4.0, 16.0)]);
+        assert_eq!(shifted.n, manual.n);
+        assert!((shifted.sxy - manual.sxy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shifting_an_empty_line_is_just_the_new_pair() {
+        let l = CacheLine::new();
+        let s = l.stats_shifted(2.0, 3.0);
+        assert_eq!(s.n, 1);
+        assert!((s.sx - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn augmented_stats_add_one_pair() {
+        let l = line_of(&[(1.0, 2.0)]);
+        let s = l.stats_augmented(3.0, 4.0);
+        assert_eq!(s.n, 2);
+        assert!((s.sy - 6.0).abs() < 1e-12);
+        assert_eq!(l.len(), 1, "augmentation must not mutate the line");
+    }
+
+    #[test]
+    fn eviction_penalty_is_non_negative() {
+        let lines = [
+            line_of(&[(1.0, 10.0)]),
+            line_of(&[(1.0, 1.0), (2.0, 2.0)]),
+            line_of(&[(0.0, 5.0), (1.0, 5.1), (2.0, 4.9), (3.0, 5.05)]),
+        ];
+        for l in &lines {
+            assert!(l.eviction_penalty() >= 0.0);
+        }
+        assert_eq!(CacheLine::new().eviction_penalty(), 0.0);
+    }
+
+    #[test]
+    fn single_pair_line_has_high_eviction_penalty() {
+        // Evicting the only pair destroys a perfect model of y:
+        // penalty equals the no-answer cost y².
+        let l = line_of(&[(3.0, 7.0)]);
+        assert!((l.eviction_penalty() - 49.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redundant_pair_has_low_eviction_penalty() {
+        // A long line on an exact linear relation loses nothing by
+        // dropping one pair: the refit is identical.
+        let l = line_of(&[(1.0, 2.0), (2.0, 4.0), (3.0, 6.0), (4.0, 8.0)]);
+        assert!(l.eviction_penalty() < 1e-9);
+    }
+
+    #[test]
+    fn model_tracks_the_cached_relation() {
+        let l = line_of(&[(1.0, 3.0), (2.0, 5.0), (3.0, 7.0)]);
+        let m = l.model();
+        assert!((m.a - 2.0).abs() < 1e-9);
+        assert!((m.b - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,28 @@
+//! Cache replacement policies.
+
+use serde::{Deserialize, Serialize};
+
+/// Which replacement strategy the cache manager runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CachePolicy {
+    /// The paper's model-aware admission/replacement algorithm
+    /// (Section 4): observations are admitted, time-shifted or
+    /// rejected by comparing model benefits, and victims come from the
+    /// line with the smallest eviction penalty.
+    #[default]
+    ModelAware,
+    /// The baseline of Figure 8: victims rotate round-robin over the
+    /// cache lines. The paper notes that for this write-mostly access
+    /// pattern round-robin is equivalent to FIFO and LRU.
+    RoundRobin,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_papers_algorithm() {
+        assert_eq!(CachePolicy::default(), CachePolicy::ModelAware);
+    }
+}

@@ -1,0 +1,136 @@
+//! The coverage metric of Figure 10.
+//!
+//! The paper: "we tracked the number of node measurements available to
+//! the query over the number of nodes that would have responded given
+//! infinite battery capacity. We call this metric coverage." A dead
+//! node inside the query region costs coverage under regular
+//! execution; under snapshot execution its representative may still
+//! supply an estimate, keeping coverage at 100%.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates coverage samples over a query workload and reports the
+/// series (the y-axis of Figure 10) plus its integral ("what is
+/// important is the area below each curve").
+///
+/// ```
+/// use snapshot_core::CoverageTracker;
+///
+/// let mut tracker = CoverageTracker::new();
+/// tracker.record(4, 4); // all four in-region nodes answered
+/// tracker.record(3, 4); // one node dark
+/// assert!((tracker.mean() - 0.875).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CoverageTracker {
+    samples: Vec<f64>,
+}
+
+impl CoverageTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        CoverageTracker::default()
+    }
+
+    /// Record one query's coverage: `available` measurements out of
+    /// `ideal` (the count under infinite batteries). Queries whose
+    /// region is empty (`ideal == 0`) count as full coverage — there
+    /// was nothing to miss.
+    pub fn record(&mut self, available: usize, ideal: usize) {
+        let c = if ideal == 0 {
+            1.0
+        } else {
+            available as f64 / ideal as f64
+        };
+        self.samples.push(c);
+    }
+
+    /// Number of recorded queries.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw coverage series.
+    pub fn series(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Mean coverage over all recorded queries — the area under the
+    /// Figure 10 curve, normalized by its length.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Mean coverage over a window `[from, to)` of the query sequence
+    /// (for plotting the curve in buckets).
+    pub fn window_mean(&self, from: usize, to: usize) -> f64 {
+        let to = to.min(self.samples.len());
+        if from >= to {
+            return 0.0;
+        }
+        self.samples[from..to].iter().sum::<f64>() / (to - from) as f64
+    }
+
+    /// Index of the first query whose coverage dropped below
+    /// `threshold`, if any — locates the collapse point of the
+    /// regular-query curve in Figure 10.
+    pub fn first_below(&self, threshold: f64) -> Option<usize> {
+        self.samples.iter().position(|&c| c < threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_is_a_simple_ratio() {
+        let mut t = CoverageTracker::new();
+        t.record(3, 4);
+        assert!((t.series()[0] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_regions_count_as_full_coverage() {
+        let mut t = CoverageTracker::new();
+        t.record(0, 0);
+        assert_eq!(t.series()[0], 1.0);
+    }
+
+    #[test]
+    fn mean_and_windows() {
+        let mut t = CoverageTracker::new();
+        for (a, i) in [(4, 4), (2, 4), (0, 4), (4, 4)] {
+            t.record(a, i);
+        }
+        assert!((t.mean() - 0.625).abs() < 1e-12);
+        assert!((t.window_mean(0, 2) - 0.75).abs() < 1e-12);
+        assert!((t.window_mean(2, 4) - 0.5).abs() < 1e-12);
+        assert_eq!(t.window_mean(4, 9), 0.0);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn collapse_point_detection() {
+        let mut t = CoverageTracker::new();
+        t.record(4, 4);
+        t.record(4, 4);
+        t.record(1, 4);
+        assert_eq!(t.first_below(0.5), Some(2));
+        assert_eq!(t.first_below(0.1), None);
+    }
+
+    #[test]
+    fn empty_tracker_mean_is_zero() {
+        assert_eq!(CoverageTracker::new().mean(), 0.0);
+        assert!(CoverageTracker::new().is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Error metrics.
+//!
+//! Section 3 of the paper: "Given an error metric `d()` and a threshold
+//! value `T`, node `N_i` can represent node `N_j` if
+//! `d(x_j, x̂_j) <= T`." The metric is supplied by the application; the
+//! paper lists three common choices, all implemented here. All of the
+//! paper's experiments use the sum-squared error.
+
+use serde::{Deserialize, Serialize};
+
+/// The application-chosen error metric `d(actual, estimate)`.
+///
+/// ```
+/// use snapshot_core::ErrorMetric;
+///
+/// let sse = ErrorMetric::Sse;
+/// assert_eq!(sse.d(5.0, 3.0), 4.0);          // (5-3)^2
+/// assert!(sse.within(5.0, 4.5, 0.3));        // 0.25 <= T
+/// assert!(!sse.within(5.0, 4.0, 0.3));       // 1.0  >  T
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ErrorMetric {
+    /// Squared error `(x - x̂)^2` — the paper's default ("sse").
+    #[default]
+    Sse,
+    /// Absolute error `|x - x̂|`.
+    Absolute,
+    /// Relative error `|x - x̂| / max(s, |x|)`, with `s > 0` a sanity
+    /// bound guarding against `x = 0`.
+    Relative {
+        /// The sanity bound `s`.
+        sanity: f64,
+    },
+}
+
+impl ErrorMetric {
+    /// Relative error with the conventional sanity bound of 1.
+    pub fn relative() -> Self {
+        ErrorMetric::Relative { sanity: 1.0 }
+    }
+
+    /// Evaluate `d(actual, estimate)`.
+    #[inline]
+    pub fn d(&self, actual: f64, estimate: f64) -> f64 {
+        match *self {
+            ErrorMetric::Sse => {
+                let e = actual - estimate;
+                e * e
+            }
+            ErrorMetric::Absolute => (actual - estimate).abs(),
+            ErrorMetric::Relative { sanity } => {
+                debug_assert!(sanity > 0.0, "sanity bound must be positive");
+                (actual - estimate).abs() / sanity.max(actual.abs())
+            }
+        }
+    }
+
+    /// True when the estimate is acceptable under threshold `t`.
+    #[inline]
+    pub fn within(&self, actual: f64, estimate: f64, t: f64) -> bool {
+        self.d(actual, estimate) <= t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sse_squares_the_difference() {
+        assert_eq!(ErrorMetric::Sse.d(5.0, 2.0), 9.0);
+        assert_eq!(ErrorMetric::Sse.d(2.0, 5.0), 9.0);
+        assert_eq!(ErrorMetric::Sse.d(3.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn absolute_is_symmetric() {
+        assert_eq!(ErrorMetric::Absolute.d(5.0, 2.0), 3.0);
+        assert_eq!(ErrorMetric::Absolute.d(2.0, 5.0), 3.0);
+    }
+
+    #[test]
+    fn relative_normalizes_by_magnitude() {
+        let m = ErrorMetric::relative();
+        assert!((m.d(10.0, 9.0) - 0.1).abs() < 1e-12);
+        // Sanity bound takes over near zero.
+        assert!((m.d(0.0, 0.5) - 0.5).abs() < 1e-12);
+        let m = ErrorMetric::Relative { sanity: 2.0 };
+        assert!((m.d(0.0, 0.5) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn within_respects_threshold_boundary() {
+        let m = ErrorMetric::Sse;
+        assert!(m.within(1.0, 2.0, 1.0)); // d = 1 <= T = 1: inclusive
+        assert!(!m.within(1.0, 2.01, 1.0));
+    }
+
+    #[test]
+    fn default_is_sse_like_the_paper() {
+        assert_eq!(ErrorMetric::default(), ErrorMetric::Sse);
+    }
+}

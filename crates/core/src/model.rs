@@ -1,0 +1,333 @@
+//! Linear correlation models (Lemma 1 of the paper).
+//!
+//! Node `N_i` models its neighbor `N_j`'s measurement as a linear
+//! projection of its own: `x̂_j(t) = a_{i,j} * x_i(t) + b_{i,j}`. For the
+//! sum-squared error the optimal `(a, b)` is the least-squares
+//! regression line over the cached pairs (Lemma 1); the degenerate case
+//! — constant `x_i`, including a single pair — falls back to
+//! `a = 0, b = mean(x_j)`.
+//!
+//! Fits and error evaluations run in O(1) from *sufficient statistics*
+//! `(n, Σx, Σy, Σxy, Σx², Σy²)` maintained incrementally by the cache
+//! line; [`SuffStats::from_pairs`] provides the recompute-from-scratch
+//! path that property tests check the incremental path against.
+
+use serde::{Deserialize, Serialize};
+
+/// Sufficient statistics of a set of `(x, y)` pairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SuffStats {
+    /// Number of pairs.
+    pub n: u32,
+    /// Σx
+    pub sx: f64,
+    /// Σy
+    pub sy: f64,
+    /// Σxy
+    pub sxy: f64,
+    /// Σx²
+    pub sxx: f64,
+    /// Σy²
+    pub syy: f64,
+}
+
+impl SuffStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        SuffStats::default()
+    }
+
+    /// Recompute from raw pairs (the reference implementation).
+    pub fn from_pairs<'a, I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = &'a (f64, f64)>,
+    {
+        let mut s = SuffStats::new();
+        for &(x, y) in pairs {
+            s.add(x, y);
+        }
+        s
+    }
+
+    /// Add a pair.
+    #[inline]
+    pub fn add(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        self.sx += x;
+        self.sy += y;
+        self.sxy += x * y;
+        self.sxx += x * x;
+        self.syy += y * y;
+    }
+
+    /// Remove a pair previously added.
+    ///
+    /// # Panics
+    /// Panics when the statistics are already empty.
+    #[inline]
+    pub fn remove(&mut self, x: f64, y: f64) {
+        assert!(self.n > 0, "removing from empty statistics");
+        self.n -= 1;
+        self.sx -= x;
+        self.sy -= y;
+        self.sxy -= x * y;
+        self.sxx -= x * x;
+        self.syy -= y * y;
+    }
+
+    /// Statistics of `self` with one extra pair (non-destructive).
+    #[inline]
+    pub fn with(&self, x: f64, y: f64) -> Self {
+        let mut s = *self;
+        s.add(x, y);
+        s
+    }
+
+    /// Statistics of `self` minus one pair (non-destructive).
+    #[inline]
+    pub fn without(&self, x: f64, y: f64) -> Self {
+        let mut s = *self;
+        s.remove(x, y);
+        s
+    }
+
+    /// Fit the Lemma 1 least-squares line.
+    pub fn fit(&self) -> LinearModel {
+        LinearModel::fit(self)
+    }
+
+    /// Mean squared error of predicting every cached `y` as
+    /// `a*x + b`, i.e. the paper's `sse(c, a, b)` (which it defines as
+    /// an *average* over the cache line). Returns 0 for empty stats.
+    ///
+    /// Expansion: `Σ(y - a x - b)² =
+    /// Σy² + a²Σx² + n b² - 2aΣxy - 2bΣy + 2abΣx`.
+    pub fn sse(&self, model: &LinearModel) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let (a, b) = (model.a, model.b);
+        let total = self.syy + a * a * self.sxx + self.n as f64 * b * b
+            - 2.0 * a * self.sxy
+            - 2.0 * b * self.sy
+            + 2.0 * a * b * self.sx;
+        // Cancellation can leave a tiny negative residue.
+        (total / self.n as f64).max(0.0)
+    }
+
+    /// Mean squared error of the *no-answer* policy (no model, no
+    /// estimate): the paper scores an unanswerable `x_j` as `x_j²`,
+    /// i.e. an implicit estimate of zero.
+    pub fn no_answer_sse(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.syy / self.n as f64
+        }
+    }
+
+    /// The paper's `benefit(c, a, b) = no_answer_sse(c) - sse(c, a, b)`:
+    /// expected gain of using the model over having no estimate at all.
+    pub fn benefit(&self, model: &LinearModel) -> f64 {
+        self.no_answer_sse() - self.sse(model)
+    }
+}
+
+/// A fitted line `x̂_j = a * x_i + b`.
+///
+/// ```
+/// use snapshot_core::{LinearModel, SuffStats};
+///
+/// // Fit the paper's Lemma 1 least-squares line over cached pairs.
+/// let stats = SuffStats::from_pairs(&[(1.0, 3.0), (2.0, 5.0), (3.0, 7.0)]);
+/// let model = stats.fit();
+/// assert!((model.a - 2.0).abs() < 1e-9);
+/// assert!((model.b - 1.0).abs() < 1e-9);
+/// assert!((model.predict(10.0) - 21.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    /// Slope `a_{i,j}`.
+    pub a: f64,
+    /// Intercept `b_{i,j}`.
+    pub b: f64,
+}
+
+impl LinearModel {
+    /// The model predicting a constant.
+    pub fn constant(b: f64) -> Self {
+        LinearModel { a: 0.0, b }
+    }
+
+    /// Fit the optimal parameters of Lemma 1:
+    ///
+    /// `a* = (n Σxy - Σx Σy) / (n Σx² - (Σx)²)`,
+    /// `b* = (Σy - a* Σx) / n`.
+    ///
+    /// When `x` is constant (including `n <= 1`) the denominator
+    /// vanishes and the optimal fallback is `a = 0, b = mean(y)`;
+    /// empty statistics yield the zero model (equivalent to the
+    /// no-answer policy).
+    pub fn fit(stats: &SuffStats) -> Self {
+        if stats.n == 0 {
+            return LinearModel::constant(0.0);
+        }
+        let n = stats.n as f64;
+        let denom = n * stats.sxx - stats.sx * stats.sx;
+        // Guard against x-variance that is zero or pure rounding noise
+        // relative to the magnitude of the data.
+        let scale = (n * stats.sxx).abs().max(stats.sx * stats.sx);
+        if denom.abs() <= scale * 1e-12 {
+            return LinearModel::constant(stats.sy / n);
+        }
+        let a = (n * stats.sxy - stats.sx * stats.sy) / denom;
+        let b = (stats.sy - a * stats.sx) / n;
+        LinearModel { a, b }
+    }
+
+    /// Predict `x̂_j` from `x_i`.
+    #[inline]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.a * x + self.b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit_pairs(pairs: &[(f64, f64)]) -> LinearModel {
+        SuffStats::from_pairs(pairs).fit()
+    }
+
+    #[test]
+    fn exact_line_is_recovered() {
+        // y = 3x - 2, no noise.
+        let pairs: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
+        let m = fit_pairs(&pairs);
+        assert!((m.a - 3.0).abs() < 1e-9, "a = {}", m.a);
+        assert!((m.b + 2.0).abs() < 1e-9, "b = {}", m.b);
+        assert!((m.predict(100.0) - 298.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_x_falls_back_to_mean_of_y() {
+        let pairs = [(2.0, 1.0), (2.0, 3.0), (2.0, 5.0)];
+        let m = fit_pairs(&pairs);
+        assert_eq!(m.a, 0.0);
+        assert!((m.b - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_pair_predicts_that_pairs_y() {
+        let m = fit_pairs(&[(7.0, 4.5)]);
+        assert_eq!(m.a, 0.0);
+        assert!((m.b - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_give_the_zero_model() {
+        let m = LinearModel::fit(&SuffStats::new());
+        assert_eq!(m, LinearModel::constant(0.0));
+    }
+
+    #[test]
+    fn least_squares_beats_any_other_line_on_sse() {
+        let pairs = [(0.0, 1.0), (1.0, 2.9), (2.0, 5.2), (3.0, 6.8), (4.0, 9.1)];
+        let stats = SuffStats::from_pairs(&pairs);
+        let best = stats.fit();
+        let best_sse = stats.sse(&best);
+        for da in [-0.5, -0.1, 0.1, 0.5] {
+            for db in [-0.5, -0.1, 0.1, 0.5] {
+                let other = LinearModel {
+                    a: best.a + da,
+                    b: best.b + db,
+                };
+                assert!(
+                    stats.sse(&other) >= best_sse - 1e-9,
+                    "perturbed line beat the least-squares fit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sse_expansion_matches_direct_computation() {
+        let pairs = [(1.0, 2.0), (2.5, -1.0), (4.0, 8.0), (0.5, 0.25)];
+        let stats = SuffStats::from_pairs(&pairs);
+        let m = LinearModel { a: 1.2, b: -0.7 };
+        let direct: f64 = pairs
+            .iter()
+            .map(|&(x, y)| {
+                let e = y - m.predict(x);
+                e * e
+            })
+            .sum::<f64>()
+            / pairs.len() as f64;
+        assert!((stats.sse(&m) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_answer_sse_is_mean_square_of_y() {
+        let pairs = [(0.0, 3.0), (1.0, -4.0)];
+        let stats = SuffStats::from_pairs(&pairs);
+        assert!((stats.no_answer_sse() - (9.0 + 16.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn benefit_is_positive_when_the_model_helps() {
+        let pairs: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 10.0 + i as f64)).collect();
+        let stats = SuffStats::from_pairs(&pairs);
+        let m = stats.fit();
+        assert!(stats.benefit(&m) > 0.0);
+        // The optimal model's benefit dominates the constant-zero model's.
+        assert!(stats.benefit(&m) >= stats.benefit(&LinearModel::constant(0.0)));
+    }
+
+    #[test]
+    fn add_remove_roundtrip_restores_stats() {
+        let mut s = SuffStats::from_pairs(&[(1.0, 2.0), (3.0, 4.0)]);
+        let before = s;
+        s.add(5.0, 6.0);
+        s.remove(5.0, 6.0);
+        assert!((s.sx - before.sx).abs() < 1e-12);
+        assert!((s.sxy - before.sxy).abs() < 1e-12);
+        assert_eq!(s.n, before.n);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn removing_from_empty_stats_panics() {
+        SuffStats::new().remove(1.0, 1.0);
+    }
+
+    #[test]
+    fn with_without_are_non_destructive() {
+        let s = SuffStats::from_pairs(&[(1.0, 1.0)]);
+        let s2 = s.with(2.0, 2.0);
+        assert_eq!(s.n, 1);
+        assert_eq!(s2.n, 2);
+        let s3 = s2.without(2.0, 2.0);
+        assert_eq!(s3.n, 1);
+        assert!((s3.sx - s.sx).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sse_of_empty_stats_is_zero() {
+        let s = SuffStats::new();
+        assert_eq!(s.sse(&LinearModel::constant(5.0)), 0.0);
+        assert_eq!(s.no_answer_sse(), 0.0);
+    }
+
+    #[test]
+    fn near_constant_x_is_treated_as_degenerate() {
+        // x varies only by rounding noise relative to its magnitude.
+        let x0 = 1.0e9;
+        let pairs = [(x0, 1.0), (x0 + 1e-4, 2.0), (x0 - 1e-4, 3.0)];
+        let m = fit_pairs(&pairs);
+        // Slope from noise would be astronomically steep; the guard
+        // must fall back to the mean model.
+        assert_eq!(m.a, 0.0);
+        assert!((m.b - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,191 @@
+//! Multi-query threshold sharing (Section 3.1).
+//!
+//! "Given queries `Q1, Q2, ...` with error thresholds `T1 <= T2 <= ...`
+//! we can obtain a single set of representatives (snapshot) for the
+//! most tight threshold `T1` and use them for answering all other
+//! queries." Correctness follows from the threshold check being an
+//! upper bound: a representative that satisfies `d(x_j, x̂_j) <= T1`
+//! satisfies every looser `T >= T1` with the same estimate.
+//!
+//! [`ThresholdLadder`] is the planning half: it registers the
+//! thresholds of the active continuous queries and answers "which
+//! threshold must the shared snapshot be elected at?" (the minimum)
+//! and "would admitting this new query force a re-election?" (only
+//! when its threshold undercuts the current tightest). The savings
+//! are concrete: each avoided re-election saves an election cycle of
+//! up to ~5 messages per node.
+
+use std::collections::BTreeMap;
+
+/// Tracks the thresholds of the running queries and the threshold the
+/// shared snapshot was elected at.
+///
+/// ```
+/// use snapshot_core::{SnapshotAction, ThresholdLadder};
+///
+/// let mut ladder = ThresholdLadder::new();
+/// assert_eq!(ladder.register(1.0), SnapshotAction::ElectAt(1.0));
+/// ladder.mark_elected(1.0);
+/// // Looser queries reuse the standing snapshot...
+/// assert_eq!(ladder.register(5.0), SnapshotAction::Reuse);
+/// // ...a tighter one forces a re-election at the new minimum.
+/// assert_eq!(ladder.register(0.25), SnapshotAction::ElectAt(0.25));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ThresholdLadder {
+    /// threshold bits -> reference count (ordered map keyed by the
+    /// threshold's bit pattern; thresholds are finite and positive, so
+    /// the bit order matches the numeric order).
+    queries: BTreeMap<u64, usize>,
+    /// The threshold the current snapshot was elected at, if any.
+    elected_at: Option<f64>,
+}
+
+/// What the planner asks the network to do when a query arrives or
+/// departs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SnapshotAction {
+    /// The current snapshot already serves every registered query.
+    Reuse,
+    /// A (re-)election at the given threshold is required.
+    ElectAt(f64),
+}
+
+impl ThresholdLadder {
+    /// An empty ladder.
+    pub fn new() -> Self {
+        ThresholdLadder::default()
+    }
+
+    fn key(t: f64) -> u64 {
+        assert!(
+            t.is_finite() && t > 0.0,
+            "thresholds must be positive and finite, got {t}"
+        );
+        t.to_bits()
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.queries.values().sum()
+    }
+
+    /// True when no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The tightest registered threshold, if any.
+    pub fn tightest(&self) -> Option<f64> {
+        self.queries.keys().next().map(|&bits| f64::from_bits(bits))
+    }
+
+    /// The threshold the current snapshot was elected at.
+    pub fn elected_at(&self) -> Option<f64> {
+        self.elected_at
+    }
+
+    /// Register a query with threshold `t`. Returns what the network
+    /// must do: reuse the standing snapshot (because `t` is no tighter
+    /// than what it was elected at) or elect at a new threshold.
+    pub fn register(&mut self, t: f64) -> SnapshotAction {
+        *self.queries.entry(Self::key(t)).or_insert(0) += 1;
+        match self.elected_at {
+            Some(current) if current <= t => SnapshotAction::Reuse,
+            _ => SnapshotAction::ElectAt(self.tightest().expect("just registered")),
+        }
+    }
+
+    /// Deregister a query with threshold `t` (no-op if unknown).
+    /// Returns the action that would *optimally* follow: loosening the
+    /// snapshot is an optimization (a larger threshold admits fewer
+    /// representatives), never a correctness requirement, so the
+    /// action is `Reuse` unless the ladder became empty.
+    pub fn deregister(&mut self, t: f64) -> SnapshotAction {
+        if let Some(count) = self.queries.get_mut(&Self::key(t)) {
+            *count -= 1;
+            if *count == 0 {
+                self.queries.remove(&Self::key(t));
+            }
+        }
+        SnapshotAction::Reuse
+    }
+
+    /// Record that the network elected at threshold `t`.
+    pub fn mark_elected(&mut self, t: f64) {
+        self.elected_at = Some(t);
+    }
+
+    /// True when the standing snapshot (if any) serves a query with
+    /// threshold `t`.
+    pub fn serves(&self, t: f64) -> bool {
+        self.elected_at.is_some_and(|e| e <= t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_query_forces_an_election() {
+        let mut l = ThresholdLadder::new();
+        assert_eq!(l.register(1.0), SnapshotAction::ElectAt(1.0));
+        l.mark_elected(1.0);
+        assert!(l.serves(1.0));
+        assert!(l.serves(5.0));
+        assert!(!l.serves(0.5));
+    }
+
+    #[test]
+    fn looser_queries_reuse_the_snapshot() {
+        let mut l = ThresholdLadder::new();
+        l.register(0.5);
+        l.mark_elected(0.5);
+        assert_eq!(l.register(1.0), SnapshotAction::Reuse);
+        assert_eq!(l.register(10.0), SnapshotAction::Reuse);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn tighter_query_forces_a_reelection_at_the_new_minimum() {
+        let mut l = ThresholdLadder::new();
+        l.register(2.0);
+        l.mark_elected(2.0);
+        assert_eq!(l.register(0.25), SnapshotAction::ElectAt(0.25));
+        l.mark_elected(0.25);
+        assert_eq!(l.tightest(), Some(0.25));
+    }
+
+    #[test]
+    fn deregistration_never_requires_a_reelection() {
+        let mut l = ThresholdLadder::new();
+        l.register(0.5);
+        l.register(0.5);
+        l.register(2.0);
+        l.mark_elected(0.5);
+        assert_eq!(l.deregister(0.5), SnapshotAction::Reuse);
+        assert_eq!(l.len(), 2);
+        // Refcounting: the second 0.5 query still holds the threshold.
+        assert_eq!(l.tightest(), Some(0.5));
+        l.deregister(0.5);
+        assert_eq!(l.tightest(), Some(2.0));
+        // The snapshot elected at 0.5 still (over-)serves T = 2.
+        assert!(l.serves(2.0));
+    }
+
+    #[test]
+    fn deregistering_unknown_thresholds_is_a_noop() {
+        let mut l = ThresholdLadder::new();
+        l.register(1.0);
+        l.deregister(3.0);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_thresholds_are_rejected() {
+        let mut l = ThresholdLadder::new();
+        l.register(0.0);
+    }
+}

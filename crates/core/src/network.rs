@@ -1,0 +1,631 @@
+//! `SensorNetwork`: the deployment-level facade.
+//!
+//! Wires a [`snapshot_netsim::Network`] carrying [`ProtocolMsg`]
+//! traffic to a vector of [`SensorNode`] state machines and a
+//! measurement [`Trace`], and exposes the operations the paper's
+//! experiments are built from: training (the initial select-all query
+//! whose broadcasts let neighbors build models), full elections,
+//! maintenance cycles, snooping windows, and query execution in both
+//! modes.
+
+use crate::config::SnapshotConfig;
+use crate::election::{run_full_election, ElectionOutcome, ProtocolMsg};
+use crate::maintenance::reconcile::ReconcileReport;
+use crate::maintenance::rotation::RotationReport;
+use crate::maintenance::{
+    reconcile, rotate_representatives, run_handoff_check, run_maintenance, MaintenanceReport,
+};
+use crate::query::tag::{execute_tag, TagResult};
+use crate::query::{execute, QueryResult, SnapshotQuery};
+use crate::sensor::SensorNode;
+use crate::snapshot::{count_spurious, Snapshot};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use snapshot_datagen::Trace;
+use snapshot_netsim::clock::Epoch;
+use snapshot_netsim::rng::derive_seed;
+use snapshot_netsim::{EnergyModel, LinkModel, NetStats, Network, NodeId, Topology};
+
+/// A full sensor-network deployment.
+///
+/// `Clone` replicates all protocol and cache state; the clone's
+/// protocol RNG is re-seeded deterministically (from the seed and the
+/// current epoch), so clones are reproducible but do not continue the
+/// parent's exact random stream.
+#[derive(Debug)]
+pub struct SensorNetwork {
+    net: Network<ProtocolMsg>,
+    nodes: Vec<SensorNode>,
+    cfg: SnapshotConfig,
+    trace: Trace,
+    now: usize,
+    epoch: Epoch,
+    rng: StdRng,
+}
+
+impl Clone for SensorNetwork {
+    fn clone(&self) -> Self {
+        SensorNetwork {
+            net: self.net.clone(),
+            nodes: self.nodes.clone(),
+            cfg: self.cfg,
+            trace: self.trace.clone(),
+            now: self.now,
+            epoch: self.epoch,
+            rng: StdRng::seed_from_u64(derive_seed(self.cfg.seed, 0x2_C10 ^ self.epoch.0)),
+        }
+    }
+}
+
+impl SensorNetwork {
+    /// Build a deployment with infinite batteries (the Section 6.1
+    /// sensitivity-analysis setting).
+    ///
+    /// # Panics
+    /// Panics when the trace's node count differs from the topology's
+    /// or the configuration is invalid — both are experiment-definition
+    /// errors.
+    pub fn new(
+        topology: Topology,
+        link: LinkModel,
+        energy: EnergyModel,
+        cfg: SnapshotConfig,
+        trace: Trace,
+    ) -> Self {
+        let net = Network::new(topology, link, energy, derive_seed(cfg.seed, 1));
+        Self::from_parts(net, cfg, trace)
+    }
+
+    /// Build a deployment where every node starts with `capacity`
+    /// transmission-equivalents of battery (Figure 10 uses 500).
+    pub fn with_battery_capacity(
+        topology: Topology,
+        link: LinkModel,
+        energy: EnergyModel,
+        capacity: f64,
+        cfg: SnapshotConfig,
+        trace: Trace,
+    ) -> Self {
+        let net = Network::with_finite_batteries(
+            topology,
+            link,
+            energy,
+            capacity,
+            derive_seed(cfg.seed, 1),
+        );
+        Self::from_parts(net, cfg, trace)
+    }
+
+    fn from_parts(net: Network<ProtocolMsg>, cfg: SnapshotConfig, trace: Trace) -> Self {
+        assert_eq!(
+            net.len(),
+            trace.nodes(),
+            "trace covers {} nodes but the topology has {}",
+            trace.nodes(),
+            net.len()
+        );
+        cfg.validate().expect("invalid snapshot configuration");
+        let nodes = net
+            .node_ids()
+            .map(|id| SensorNode::new(id, cfg.cache))
+            .collect();
+        let rng = StdRng::seed_from_u64(derive_seed(cfg.seed, 2));
+        SensorNetwork {
+            net,
+            nodes,
+            cfg,
+            trace,
+            now: 0,
+            epoch: Epoch(0),
+            rng,
+        }
+    }
+
+    // ---- Accessors -----------------------------------------------------
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the deployment has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The underlying radio network.
+    pub fn net(&self) -> &Network<ProtocolMsg> {
+        &self.net
+    }
+
+    /// Mutable access to the radio network (failure injection,
+    /// statistics resets).
+    pub fn net_mut(&mut self) -> &mut Network<ProtocolMsg> {
+        &mut self.net
+    }
+
+    /// One node's protocol state.
+    pub fn node(&self, id: NodeId) -> &SensorNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[SensorNode] {
+        &self.nodes
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SnapshotConfig {
+        &self.cfg
+    }
+
+    /// Adjust the representation threshold `T` for subsequent
+    /// elections and maintenance checks (Section 3.1: each snapshot
+    /// query may define its own error threshold).
+    pub fn set_threshold(&mut self, threshold: f64) {
+        assert!(
+            threshold >= 0.0,
+            "threshold must be non-negative, got {threshold}"
+        );
+        self.cfg.threshold = threshold;
+    }
+
+    /// Change the error metric (and threshold) for subsequent
+    /// elections — the `d()` of Section 3 is application-chosen.
+    pub fn set_metric(&mut self, metric: crate::metrics::ErrorMetric, threshold: f64) {
+        assert!(
+            threshold >= 0.0,
+            "threshold must be non-negative, got {threshold}"
+        );
+        self.cfg.metric = metric;
+        self.cfg.threshold = threshold;
+    }
+
+    /// Adjust the probability of caching values carried by maintenance
+    /// invitations (see [`SnapshotConfig::invite_learn_prob`]).
+    pub fn set_invite_learn_prob(&mut self, prob: f64) {
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "probability expected, got {prob}"
+        );
+        self.cfg.invite_learn_prob = prob;
+    }
+
+    /// Enable (or adjust) the Section 5.1 energy-aware handoff: during
+    /// maintenance, a representative whose battery fraction is below
+    /// this value announces a handoff and its members re-elect.
+    /// Setting 0 disables the behavior.
+    pub fn set_energy_handoff_fraction(&mut self, fraction: f64) {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "handoff fraction must be a probability, got {fraction}"
+        );
+        self.cfg.energy_handoff_fraction = fraction;
+    }
+
+    /// Message statistics.
+    pub fn stats(&self) -> &NetStats {
+        self.net.stats()
+    }
+
+    /// Current simulation time (index into the trace; clamped reads
+    /// past the end hold the last value).
+    pub fn now(&self) -> usize {
+        self.now
+    }
+
+    /// Jump to an absolute time.
+    pub fn set_time(&mut self, t: usize) {
+        self.now = t;
+    }
+
+    /// Advance time by `dt`.
+    pub fn advance(&mut self, dt: usize) {
+        self.now += dt;
+    }
+
+    /// Current election epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// `N_i`'s current measurement.
+    pub fn value(&self, id: NodeId) -> f64 {
+        self.trace.value(id, self.now.min(self.trace.steps() - 1))
+    }
+
+    /// Every node's current measurement.
+    pub fn values(&self) -> Vec<f64> {
+        let t = self.now.min(self.trace.steps() - 1);
+        self.trace.snapshot_at(t).to_vec()
+    }
+
+    // ---- Model building --------------------------------------------------
+
+    /// Run the paper's training window: for each tick in
+    /// `[from, to)`, every alive node broadcasts its measurement (the
+    /// initial query "selecting the values from all nodes") and every
+    /// node that hears a broadcast caches the pair. Time is left at
+    /// `to` on return.
+    pub fn train(&mut self, from: usize, to: usize) {
+        for t in from..to {
+            self.now = t;
+            self.broadcast_and_snoop(None, 1.0);
+        }
+        self.now = to;
+    }
+
+    /// One snooping step (Section 6.3's maintenance runs): nodes in
+    /// `participants` (all alive nodes when `None`) broadcast their
+    /// measurements; each hearer caches each heard pair independently
+    /// with probability `snoop_prob`.
+    pub fn snoop_step(&mut self, participants: Option<&[NodeId]>, snoop_prob: f64) {
+        self.broadcast_and_snoop(participants, snoop_prob);
+    }
+
+    fn broadcast_and_snoop(&mut self, participants: Option<&[NodeId]>, snoop_prob: f64) {
+        let ids: Vec<NodeId> = self.net.node_ids().collect();
+        let values = self.values();
+        let senders: Vec<NodeId> = match participants {
+            Some(p) => p.to_vec(),
+            None => ids.clone(),
+        };
+        for &j in &senders {
+            if self.net.is_alive(j) {
+                let msg = ProtocolMsg::Data {
+                    value: values[j.index()],
+                };
+                let bytes = msg.wire_bytes();
+                self.net.broadcast(j, msg, bytes, "data");
+            }
+        }
+        self.net.deliver();
+        for &i in &ids {
+            if !self.net.is_alive(i) {
+                let _ = self.net.take_inbox(i);
+                continue;
+            }
+            let inbox = self.net.take_inbox(i);
+            let own = values[i.index()];
+            for d in inbox {
+                if let ProtocolMsg::Data { value } = d.payload {
+                    if snoop_prob < 1.0 && !self.rng.random_bool(snoop_prob) {
+                        continue;
+                    }
+                    self.nodes[i.index()].cache.observe(d.from, own, value);
+                    self.net.charge_cache_update(i);
+                }
+            }
+        }
+    }
+
+    // ---- Protocol operations ----------------------------------------------
+
+    /// Run a full network-wide election at the current time.
+    pub fn elect(&mut self) -> ElectionOutcome {
+        self.epoch = self.epoch.next();
+        let values = self.values();
+        run_full_election(
+            &mut self.net,
+            &mut self.nodes,
+            &values,
+            &self.cfg,
+            self.epoch,
+            &mut self.rng,
+        )
+    }
+
+    /// Run one maintenance cycle (heartbeats + re-elections) at the
+    /// current time.
+    pub fn maintain(&mut self) -> MaintenanceReport {
+        self.epoch = self.epoch.next();
+        let values = self.values();
+        run_maintenance(
+            &mut self.net,
+            &mut self.nodes,
+            &values,
+            &self.cfg,
+            self.epoch,
+            &mut self.rng,
+        )
+    }
+
+    /// Run only the energy-handoff check: exhausted representatives
+    /// (battery below the configured fraction) hand their members off
+    /// to fresh nodes. Cheap enough to run every few queries.
+    pub fn check_handoffs(&mut self) -> MaintenanceReport {
+        self.epoch = self.epoch.next();
+        let values = self.values();
+        run_handoff_check(
+            &mut self.net,
+            &mut self.nodes,
+            &values,
+            &self.cfg,
+            self.epoch,
+            &mut self.rng,
+        )
+    }
+
+    /// LEACH-style rotation: each representative steps down with the
+    /// given probability and its members re-elect.
+    pub fn rotate(&mut self, rotation_prob: f64) -> RotationReport {
+        self.epoch = self.epoch.next();
+        let values = self.values();
+        rotate_representatives(
+            &mut self.net,
+            &mut self.nodes,
+            &values,
+            &self.cfg,
+            self.epoch,
+            &mut self.rng,
+            rotation_prob,
+        )
+    }
+
+    /// One spurious-claim reconciliation pass (announce / object /
+    /// correct).
+    pub fn reconcile(&mut self) -> ReconcileReport {
+        reconcile(&mut self.net, &mut self.nodes)
+    }
+
+    /// Execute a query collected at `sink`.
+    pub fn query(&mut self, query: &SnapshotQuery, sink: NodeId) -> QueryResult {
+        let values = self.values();
+        execute(&mut self.net, &self.nodes, &values, query, sink)
+    }
+
+    /// Execute an aggregate query as the full message-level TAG
+    /// protocol: tree formation by real flooding, partial aggregates
+    /// as real (lossy) unicasts. See [`crate::query::tag`].
+    ///
+    /// # Panics
+    /// Panics when `query.aggregate` is `None`.
+    pub fn query_tag(&mut self, query: &SnapshotQuery, sink: NodeId) -> TagResult {
+        let values = self.values();
+        execute_tag(&mut self.net, &self.nodes, &values, query, sink)
+    }
+
+    // ---- Inspection -------------------------------------------------------
+
+    /// The reconciled snapshot view.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::from_nodes(&self.nodes)
+    }
+
+    /// Snapshot size `n1`: alive ACTIVE nodes.
+    pub fn snapshot_size(&self) -> usize {
+        self.net
+            .node_ids()
+            .filter(|&i| self.net.is_alive(i) && self.nodes[i.index()].is_active())
+            .count()
+    }
+
+    /// Number of spurious representatives (Figure 13's metric).
+    pub fn spurious_representatives(&self) -> usize {
+        count_spurious(&self.nodes)
+    }
+
+    /// Mean squared error of the estimates representatives would give
+    /// for the nodes they represent, at the current time (Figure 12's
+    /// metric). `None` when nobody is represented.
+    pub fn mean_estimate_sse(&self) -> Option<f64> {
+        let values = self.values();
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for node in &self.nodes {
+            let j = node.id();
+            if let Some(rep) = node.representative() {
+                if let Some(est) = self.nodes[rep.index()]
+                    .cache
+                    .estimate(j, values[rep.index()])
+                {
+                    let e = est - values[j.index()];
+                    sum += e * e;
+                    n += 1;
+                }
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// A deterministic RNG stream for experiment-level randomness
+    /// (e.g. random sinks), derived from the configuration seed.
+    pub fn experiment_rng(&self) -> StdRng {
+        StdRng::seed_from_u64(derive_seed(self.cfg.seed, 3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Aggregate, QueryMode, SpatialPredicate};
+    use snapshot_datagen::{random_walk, RandomWalkConfig};
+
+    /// The paper's canonical sensitivity setup: 100 nodes, range √2,
+    /// no loss, cache 2048 B, T = 1, train on the first 10 ticks,
+    /// elect at t = 100.
+    fn paper_setup(k: usize, seed: u64) -> SensorNetwork {
+        let data = random_walk(&RandomWalkConfig::paper_defaults(k, seed)).unwrap();
+        let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, seed);
+        let cfg = SnapshotConfig::paper(1.0, 2048, seed);
+        let mut sn = SensorNetwork::new(
+            topo,
+            LinkModel::Perfect,
+            EnergyModel::default(),
+            cfg,
+            data.trace,
+        );
+        sn.train(0, 10);
+        sn.set_time(99);
+        sn
+    }
+
+    #[test]
+    fn one_class_converges_to_a_tiny_snapshot() {
+        // Figure 6, K = 1: "the network successfully picks a single
+        // representative for all 100 nodes". Message loss is zero and
+        // the radio covers everyone, so the snapshot should be minimal
+        // (we allow a little slack for tie-break asymmetries).
+        let mut sn = paper_setup(1, 42);
+        let out = sn.elect();
+        assert!(
+            out.snapshot_size <= 3,
+            "K=1 snapshot should be ~1 representative, got {}",
+            out.snapshot_size
+        );
+        assert_eq!(out.snapshot_size + out.passive, 100);
+    }
+
+    #[test]
+    fn snapshot_grows_with_class_count() {
+        let mut small = paper_setup(1, 7);
+        let s_small = small.elect().snapshot_size;
+        let mut large = paper_setup(50, 7);
+        let s_large = large.elect().snapshot_size;
+        assert!(
+            s_large > s_small,
+            "K=50 snapshot ({s_large}) should exceed K=1 snapshot ({s_small})"
+        );
+    }
+
+    #[test]
+    fn election_respects_the_papers_message_bound() {
+        // Table 2: at most 5 messages per node for discovery
+        // (invitation + candidates + accept + up to 2 refinement);
+        // one rare cascade corner legitimately adds a third
+        // refinement message (notify, then inherit a member and turn
+        // ACTIVE: ack + recall), so the hard bound checked here is 6.
+        let mut sn = paper_setup(10, 3);
+        sn.net_mut().stats_mut().reset();
+        let _ = sn.elect();
+        let max = sn.stats().max_sent_per_node();
+        assert!(max <= 6, "a node sent {max} > 6 messages during election");
+        for id in 0..100u32 {
+            let id = NodeId(id);
+            assert!(sn.stats().sent_in_phase(id, "invitation") <= 1);
+            assert!(sn.stats().sent_in_phase(id, "candidates") <= 1);
+            assert!(sn.stats().sent_in_phase(id, "accept") <= 1);
+            assert!(sn.stats().sent_in_phase(id, "refinement") <= 3);
+        }
+    }
+
+    #[test]
+    fn snapshot_queries_save_participants_on_real_elections() {
+        let mut sn = paper_setup(1, 11);
+        let _ = sn.elect();
+        let mut rng = sn.experiment_rng();
+        let mut saved = 0usize;
+        for _ in 0..20 {
+            let x: f64 = rng.random::<f64>();
+            let y: f64 = rng.random::<f64>();
+            let sink = NodeId(rng.random_range(0..100));
+            let pred = SpatialPredicate::window(x, y, 0.5);
+            let reg = sn.query(
+                &SnapshotQuery::aggregate(pred, Aggregate::Sum, QueryMode::Regular),
+                sink,
+            );
+            let snap = sn.query(
+                &SnapshotQuery::aggregate(pred, Aggregate::Sum, QueryMode::Snapshot),
+                sink,
+            );
+            assert!(snap.participants <= reg.participants);
+            saved += reg.participants - snap.participants;
+        }
+        assert!(saved > 0, "snapshot queries never saved a participant");
+    }
+
+    #[test]
+    fn estimates_respect_the_threshold_at_election_time() {
+        // Immediately after election, every represented node's
+        // estimate was checked against T (= 1, sse): verify through
+        // the public accessor.
+        let mut sn = paper_setup(5, 13);
+        let _ = sn.elect();
+        if let Some(sse) = sn.mean_estimate_sse() {
+            assert!(
+                sse <= 1.5,
+                "mean estimate sse {sse} far above the threshold"
+            );
+        }
+    }
+
+    #[test]
+    fn maintenance_on_healthy_network_is_calm() {
+        let mut sn = paper_setup(1, 17);
+        let _ = sn.elect();
+        let before = sn.snapshot_size();
+        let report = sn.maintain();
+        // No deaths, perfect radio, static-ish walk: no silence
+        // failures; snapshot stays small.
+        assert_eq!(report.silence_detected, 0);
+        let after = sn.snapshot_size();
+        assert!(
+            after <= before + 3,
+            "snapshot exploded: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn killed_representative_self_heals_via_maintenance() {
+        let mut sn = paper_setup(1, 19);
+        let _ = sn.elect();
+        let snapshot = sn.snapshot();
+        let rep = snapshot.representatives()[0];
+        let members = snapshot.members_of(rep).len();
+        assert!(members > 0);
+        sn.net_mut().kill(rep);
+        let report = sn.maintain();
+        assert!(
+            report.silence_detected > 0,
+            "nobody noticed the dead representative"
+        );
+        // Every survivor has an alive representative again.
+        for id in 0..100u32 {
+            let id = NodeId(id);
+            if !sn.net().is_alive(id) {
+                continue;
+            }
+            let r = sn.node(id).representative().unwrap_or(id);
+            assert!(
+                sn.net().is_alive(r),
+                "{id} points at dead representative {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn values_track_the_trace() {
+        let sn = paper_setup(1, 23);
+        assert_eq!(sn.now(), 99);
+        let v = sn.values();
+        assert_eq!(v.len(), 100);
+        assert_eq!(v[5], sn.value(NodeId(5)));
+    }
+
+    #[test]
+    fn time_past_the_trace_holds_the_last_value() {
+        let mut sn = paper_setup(1, 29);
+        sn.set_time(99);
+        let at_end = sn.value(NodeId(0));
+        sn.set_time(5000);
+        assert_eq!(sn.value(NodeId(0)), at_end);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace covers")]
+    fn mismatched_trace_is_rejected() {
+        let data = random_walk(&RandomWalkConfig {
+            n_nodes: 5,
+            ..RandomWalkConfig::paper_defaults(1, 1)
+        })
+        .unwrap();
+        let topo = Topology::random_uniform(10, 1.0, 1);
+        let _ = SensorNetwork::new(
+            topo,
+            LinkModel::Perfect,
+            EnergyModel::default(),
+            SnapshotConfig::default(),
+            data.trace,
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Aggregate functions.
+
+use serde::{Deserialize, Serialize};
+
+/// SQL-style aggregates over the matching nodes' measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregate {
+    /// Sum of measurements.
+    Sum,
+    /// Arithmetic mean.
+    Avg,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Number of available measurements.
+    Count,
+}
+
+impl Aggregate {
+    /// Fold an iterator of measurements. Returns `None` for an empty
+    /// input on all aggregates except `Count` (which returns 0).
+    pub fn apply(&self, values: impl IntoIterator<Item = f64>) -> Option<f64> {
+        let mut iter = values.into_iter();
+        match self {
+            Aggregate::Count => Some(iter.count() as f64),
+            Aggregate::Sum => {
+                let mut any = false;
+                let mut sum = 0.0;
+                for v in iter {
+                    any = true;
+                    sum += v;
+                }
+                any.then_some(sum)
+            }
+            Aggregate::Avg => {
+                let mut n = 0usize;
+                let mut sum = 0.0;
+                for v in iter {
+                    n += 1;
+                    sum += v;
+                }
+                (n > 0).then(|| sum / n as f64)
+            }
+            Aggregate::Min => iter.next().map(|first| {
+                let mut m = first;
+                for v in iter {
+                    if v < m {
+                        m = v;
+                    }
+                }
+                m
+            }),
+            Aggregate::Max => iter.next().map(|first| {
+                let mut m = first;
+                for v in iter {
+                    if v > m {
+                        m = v;
+                    }
+                }
+                m
+            }),
+        }
+    }
+
+    /// Parse the SQL spelling (case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_uppercase().as_str() {
+            "SUM" => Some(Aggregate::Sum),
+            "AVG" => Some(Aggregate::Avg),
+            "MIN" => Some(Aggregate::Min),
+            "MAX" => Some(Aggregate::Max),
+            "COUNT" => Some(Aggregate::Count),
+            _ => None,
+        }
+    }
+
+    /// The canonical SQL spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Aggregate::Sum => "SUM",
+            Aggregate::Avg => "AVG",
+            Aggregate::Min => "MIN",
+            Aggregate::Max => "MAX",
+            Aggregate::Count => "COUNT",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATA: [f64; 4] = [3.0, -1.0, 7.0, 1.0];
+
+    #[test]
+    fn aggregates_compute_textbook_answers() {
+        assert_eq!(Aggregate::Sum.apply(DATA), Some(10.0));
+        assert_eq!(Aggregate::Avg.apply(DATA), Some(2.5));
+        assert_eq!(Aggregate::Min.apply(DATA), Some(-1.0));
+        assert_eq!(Aggregate::Max.apply(DATA), Some(7.0));
+        assert_eq!(Aggregate::Count.apply(DATA), Some(4.0));
+    }
+
+    #[test]
+    fn empty_input_yields_none_except_count() {
+        let empty: [f64; 0] = [];
+        assert_eq!(Aggregate::Sum.apply(empty), None);
+        assert_eq!(Aggregate::Avg.apply(empty), None);
+        assert_eq!(Aggregate::Min.apply(empty), None);
+        assert_eq!(Aggregate::Max.apply(empty), None);
+        assert_eq!(Aggregate::Count.apply(empty), Some(0.0));
+    }
+
+    #[test]
+    fn parse_roundtrips_names() {
+        for agg in [
+            Aggregate::Sum,
+            Aggregate::Avg,
+            Aggregate::Min,
+            Aggregate::Max,
+            Aggregate::Count,
+        ] {
+            assert_eq!(Aggregate::parse(agg.name()), Some(agg));
+            assert_eq!(Aggregate::parse(&agg.name().to_lowercase()), Some(agg));
+        }
+        assert_eq!(Aggregate::parse("MEDIAN"), None);
+    }
+}

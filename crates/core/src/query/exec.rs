@@ -1,0 +1,461 @@
+//! Query execution over the sensor network.
+//!
+//! Execution follows Section 6.2's methodology: an aggregation tree is
+//! rooted at the sink (over the currently alive nodes), matching nodes
+//! respond through it, and each participant — responder or router —
+//! is charged one transmission. The only difference between the two
+//! modes is *who responds*:
+//!
+//! * regular: every alive matching node;
+//! * snapshot: unrepresented matching nodes answer for themselves, and
+//!   representatives answer for their matching members with model
+//!   estimates — so most of the network stays idle.
+
+use super::{QueryMode, SnapshotQuery};
+use crate::election::ProtocolMsg;
+use crate::sensor::SensorNode;
+use crate::snapshot::Snapshot;
+use snapshot_netsim::tree::AggregationTree;
+use snapshot_netsim::{Network, NodeId};
+use std::collections::BTreeSet;
+
+/// The outcome of one query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Mode the query ran in.
+    pub mode: QueryMode,
+    /// Nodes that contributed measurements or estimates.
+    pub responders: Vec<NodeId>,
+    /// Responders plus routers: every node that participated
+    /// (the paper's `N_regular` / `N_snapshot`).
+    pub participants: usize,
+    /// One row per answered target: `(target, value-or-estimate)`.
+    pub rows: Vec<(NodeId, f64)>,
+    /// The aggregate over `rows` (None for drill-through or when no
+    /// rows were available).
+    pub value: Option<f64>,
+    /// The same aggregate over *all* matching targets' true values —
+    /// the infinite-battery, lossless reference.
+    pub ground_truth: Option<f64>,
+    /// Number of matching targets (alive or dead).
+    pub targets: usize,
+    /// `rows.len() / targets` — the paper's coverage metric
+    /// (1.0 when the region is empty).
+    pub coverage: f64,
+}
+
+impl QueryResult {
+    /// Absolute error of the aggregate against the ground truth, when
+    /// both exist.
+    pub fn absolute_error(&self) -> Option<f64> {
+        Some((self.value? - self.ground_truth?).abs())
+    }
+
+    /// Mean squared error of the drill-through rows against the true
+    /// values (`None` when no rows).
+    pub fn rows_mse(&self, truth: impl Fn(NodeId) -> f64) -> Option<f64> {
+        if self.rows.is_empty() {
+            return None;
+        }
+        let sum: f64 = self
+            .rows
+            .iter()
+            .map(|&(id, v)| {
+                let e = v - truth(id);
+                e * e
+            })
+            .sum();
+        Some(sum / self.rows.len() as f64)
+    }
+}
+
+/// Rows assembled for one query execution: who answers, with what.
+pub(crate) struct CollectedRows {
+    /// Nodes that contribute at least one row, in id order.
+    pub responders: BTreeSet<NodeId>,
+    /// `(target, value-or-estimate)` rows that passed the filters.
+    pub rows: Vec<(NodeId, f64)>,
+    /// Obtainable measurements pre-value-filter (coverage numerator).
+    pub available: usize,
+    /// Per-responder contributed values (the local inputs to
+    /// in-network aggregation).
+    pub contributions: std::collections::BTreeMap<NodeId, Vec<f64>>,
+}
+
+/// Determine who answers a query and with which values — shared by
+/// the idealized executor and the message-level TAG executor.
+pub(crate) fn collect_rows(
+    net: &Network<ProtocolMsg>,
+    nodes: &[SensorNode],
+    values: &[f64],
+    query: &SnapshotQuery,
+    tree: &AggregationTree,
+    snapshot: Option<&Snapshot>,
+    targets: &[NodeId],
+) -> CollectedRows {
+    let mut responders: BTreeSet<NodeId> = BTreeSet::new();
+    let mut rows: Vec<(NodeId, f64)> = Vec::new();
+    let mut contributions: std::collections::BTreeMap<NodeId, Vec<f64>> =
+        std::collections::BTreeMap::new();
+    let mut available = 0usize;
+
+    // The value filter is evaluated on whatever value would be
+    // reported (the true reading in regular mode, the estimate in
+    // snapshot mode); a filtered-out row costs no response. The
+    // paper's alert-style reading: the representative checks the
+    // predicate locally and stays silent when nothing matches.
+    let passes = |v: f64| query.value_filter.is_none_or(|f| f.matches(v));
+    let mut contribute = |responders: &mut BTreeSet<NodeId>,
+                          rows: &mut Vec<(NodeId, f64)>,
+                          who: NodeId,
+                          target: NodeId,
+                          v: f64| {
+        responders.insert(who);
+        rows.push((target, v));
+        contributions.entry(who).or_default().push(v);
+    };
+
+    match query.mode {
+        QueryMode::Regular => {
+            for &t in targets {
+                if net.is_alive(t) && tree.contains(t) {
+                    available += 1;
+                    let v = values[t.index()];
+                    if passes(v) {
+                        contribute(&mut responders, &mut rows, t, t, v);
+                    }
+                }
+            }
+        }
+        QueryMode::Snapshot => {
+            let snapshot = snapshot.expect("snapshot built for snapshot mode");
+            for &t in targets {
+                let rep = snapshot.representative_of(t);
+                if rep == t {
+                    // Unrepresented: the node answers for itself when
+                    // it is up, active and reachable.
+                    if net.is_alive(t) && snapshot.is_active(t) && tree.contains(t) {
+                        available += 1;
+                        let v = values[t.index()];
+                        if passes(v) {
+                            contribute(&mut responders, &mut rows, t, t, v);
+                        }
+                    }
+                } else if net.is_alive(rep) && tree.contains(rep) {
+                    // Represented: the representative estimates the
+                    // member's value from its own current measurement.
+                    if let Some(est) = nodes[rep.index()].cache.estimate(t, values[rep.index()]) {
+                        available += 1;
+                        if passes(est) {
+                            contribute(&mut responders, &mut rows, rep, t, est);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    CollectedRows {
+        responders,
+        rows,
+        available,
+        contributions,
+    }
+}
+
+/// Execute a query with `sink` as the collection point. `values[i]`
+/// is `N_i`'s true current measurement. Participants are charged one
+/// transmission each and counted under the `"query"` phase.
+pub fn execute(
+    net: &mut Network<ProtocolMsg>,
+    nodes: &[SensorNode],
+    values: &[f64],
+    query: &SnapshotQuery,
+    sink: NodeId,
+) -> QueryResult {
+    debug_assert_eq!(nodes.len(), values.len());
+    let snapshot = matches!(query.mode, QueryMode::Snapshot).then(|| Snapshot::from_nodes(nodes));
+    let tree = match &snapshot {
+        Some(s) if query.prefer_representative_routing => AggregationTree::bfs_preferring(
+            net.topology(),
+            sink,
+            |id| net.is_alive(id),
+            |id| s.is_active(id),
+        ),
+        _ => AggregationTree::bfs(net.topology(), sink, |id| net.is_alive(id)),
+    };
+    let targets = query.predicate.targets(net.topology());
+    let collected = collect_rows(
+        net,
+        nodes,
+        values,
+        query,
+        &tree,
+        snapshot.as_ref(),
+        &targets,
+    );
+    let CollectedRows {
+        responders,
+        rows,
+        available,
+        contributions: _,
+    } = collected;
+
+    let responder_list: Vec<NodeId> = responders.iter().copied().collect();
+    let participants = tree.participants(&responder_list);
+
+    // Charge each participant one transmission (partial aggregates
+    // flowing up the tree) and account it under the "query" phase.
+    let tx = net.energy_model().tx_cost;
+    for &p in &participants {
+        net.charge(p, tx);
+        net.stats_mut().record_send(p, "query");
+    }
+
+    let value = query
+        .aggregate
+        .and_then(|a| a.apply(rows.iter().map(|&(_, v)| v)));
+    let truth_passes = |v: f64| query.value_filter.is_none_or(|f| f.matches(v));
+    let ground_truth = query.aggregate.and_then(|a| {
+        a.apply(
+            targets
+                .iter()
+                .map(|t| values[t.index()])
+                .filter(|&v| truth_passes(v)),
+        )
+    });
+    let coverage = if targets.is_empty() {
+        1.0
+    } else {
+        available as f64 / targets.len() as f64
+    };
+
+    QueryResult {
+        mode: query.mode,
+        responders: responder_list,
+        participants: participants.len(),
+        rows,
+        value,
+        ground_truth,
+        targets: targets.len(),
+        coverage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::query::{Aggregate, SpatialPredicate};
+    use crate::sensor::Mode;
+    use snapshot_netsim::clock::Epoch;
+    use snapshot_netsim::prelude::*;
+
+    /// Fully connected 4-node network with node 0 representing 1 and 2
+    /// via the models y = x (trained on three exact pairs).
+    fn setup() -> (Network<ProtocolMsg>, Vec<SensorNode>, Vec<f64>) {
+        let topo = Topology::random_uniform(4, 2.0, 21);
+        let net = Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 3);
+        let mut nodes: Vec<SensorNode> = (0..4)
+            .map(|i| SensorNode::new(NodeId::from_index(i), CacheConfig::default()))
+            .collect();
+        for member in [1u32, 2] {
+            nodes[member as usize].mode = Mode::Passive;
+            nodes[member as usize].rep_of = Some((NodeId(0), Epoch(1)));
+            nodes[0].represents.insert(NodeId(member), Epoch(1));
+            for &(x, y) in &[(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)] {
+                nodes[0].cache.observe(NodeId(member), x, y);
+            }
+        }
+        let values = vec![10.0, 10.5, 9.5, 20.0];
+        (net, nodes, values)
+    }
+
+    #[test]
+    fn regular_mode_uses_every_alive_target() {
+        let (mut net, nodes, values) = setup();
+        let q = SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Sum, QueryMode::Regular);
+        let r = execute(&mut net, &nodes, &values, &q, NodeId(3));
+        assert_eq!(r.responders.len(), 4);
+        assert_eq!(r.value, Some(50.0));
+        assert_eq!(r.ground_truth, Some(50.0));
+        assert_eq!(r.coverage, 1.0);
+    }
+
+    #[test]
+    fn snapshot_mode_answers_through_representatives() {
+        let (mut net, nodes, values) = setup();
+        let q =
+            SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Sum, QueryMode::Snapshot);
+        let r = execute(&mut net, &nodes, &values, &q, NodeId(3));
+        // Only nodes 0 and 3 respond; 1 and 2 are estimated as x_0=10.
+        assert_eq!(r.responders, vec![NodeId(0), NodeId(3)]);
+        assert_eq!(r.rows.len(), 4);
+        assert_eq!(r.value, Some(10.0 + 10.0 + 10.0 + 20.0));
+        assert_eq!(r.ground_truth, Some(50.0));
+        assert!(r.absolute_error().unwrap() <= 1.0);
+        assert!(r.participants <= 4);
+    }
+
+    #[test]
+    fn snapshot_queries_use_fewer_participants() {
+        let (mut net, nodes, values) = setup();
+        let q_reg =
+            SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Sum, QueryMode::Regular);
+        let q_snap =
+            SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Sum, QueryMode::Snapshot);
+        let reg = execute(&mut net, &nodes, &values, &q_reg, NodeId(3));
+        let snap = execute(&mut net, &nodes, &values, &q_snap, NodeId(3));
+        assert!(snap.participants < reg.participants);
+    }
+
+    #[test]
+    fn dead_member_is_covered_by_its_representative() {
+        let (mut net, nodes, values) = setup();
+        net.kill(NodeId(1));
+        let q = SnapshotQuery::drill_through(SpatialPredicate::All, QueryMode::Snapshot);
+        let r = execute(&mut net, &nodes, &values, &q, NodeId(3));
+        // All four targets still produce rows: node 1 via its rep.
+        assert_eq!(r.rows.len(), 4);
+        assert_eq!(r.coverage, 1.0);
+
+        // Under regular execution the dead node costs coverage.
+        let q = SnapshotQuery::drill_through(SpatialPredicate::All, QueryMode::Regular);
+        let r = execute(&mut net, &nodes, &values, &q, NodeId(3));
+        assert_eq!(r.rows.len(), 3);
+        assert!((r.coverage - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_representative_costs_coverage_until_maintenance() {
+        let (mut net, nodes, values) = setup();
+        net.kill(NodeId(0));
+        let q = SnapshotQuery::drill_through(SpatialPredicate::All, QueryMode::Snapshot);
+        let r = execute(&mut net, &nodes, &values, &q, NodeId(3));
+        // Members 1 and 2 are passive and their representative is
+        // gone: only node 3 answers.
+        assert_eq!(r.rows.len(), 1);
+        assert!((r.coverage - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn participants_are_charged_energy() {
+        let topo = Topology::random_uniform(3, 2.0, 4);
+        let mut net: Network<ProtocolMsg> = Network::with_finite_batteries(
+            topo,
+            LinkModel::Perfect,
+            EnergyModel::default(),
+            5.0,
+            3,
+        );
+        let nodes: Vec<SensorNode> = (0..3)
+            .map(|i| SensorNode::new(NodeId::from_index(i), CacheConfig::default()))
+            .collect();
+        let values = vec![1.0, 2.0, 3.0];
+        let q = SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Avg, QueryMode::Regular);
+        let before: f64 = (0..3).map(|i| net.battery(NodeId(i)).remaining()).sum();
+        let r = execute(&mut net, &nodes, &values, &q, NodeId(0));
+        let after: f64 = (0..3).map(|i| net.battery(NodeId(i)).remaining()).sum();
+        assert_eq!(r.participants, 3);
+        assert!(
+            (before - after - 3.0).abs() < 1e-9,
+            "each participant pays one tx"
+        );
+        assert_eq!(net.stats().phase_total("query"), 3);
+    }
+
+    #[test]
+    fn spatial_predicate_restricts_targets() {
+        let (mut net, nodes, values) = setup();
+        // Window around node 0's position only.
+        let pos = net.topology().position(NodeId(0));
+        let q = SnapshotQuery::aggregate(
+            SpatialPredicate::window(pos.x, pos.y, 1e-6),
+            Aggregate::Count,
+            QueryMode::Regular,
+        );
+        let r = execute(&mut net, &nodes, &values, &q, NodeId(3));
+        assert_eq!(r.targets, 1);
+        assert_eq!(r.value, Some(1.0));
+    }
+
+    #[test]
+    fn empty_region_has_full_coverage_and_no_value() {
+        let (mut net, nodes, values) = setup();
+        let q = SnapshotQuery::aggregate(
+            SpatialPredicate::Rect {
+                x0: 5.0,
+                y0: 5.0,
+                x1: 6.0,
+                y1: 6.0,
+            },
+            Aggregate::Sum,
+            QueryMode::Regular,
+        );
+        let r = execute(&mut net, &nodes, &values, &q, NodeId(3));
+        assert_eq!(r.targets, 0);
+        assert_eq!(r.value, None);
+        assert_eq!(r.coverage, 1.0);
+        assert_eq!(r.participants, 0);
+    }
+
+    #[test]
+    fn value_filters_run_on_estimates_in_snapshot_mode() {
+        use crate::query::{Comparison, ValueFilter};
+        let (mut net, nodes, values) = setup();
+        // True values: [10.0, 10.5, 9.5, 20.0]; estimates for 1 and 2
+        // are both 10.0 (model y = x on x_0 = 10).
+        let q = SnapshotQuery::drill_through(SpatialPredicate::All, QueryMode::Snapshot)
+            .with_value_filter(ValueFilter::new(Comparison::Gt, 9.9));
+        let r = execute(&mut net, &nodes, &values, &q, NodeId(3));
+        // Node 2's true value (9.5) fails the filter, but its estimate
+        // (10.0) passes: approximate selection includes it.
+        assert_eq!(r.rows.len(), 4);
+        // Coverage counts obtainable measurements, pre-filter.
+        assert_eq!(r.coverage, 1.0);
+
+        // Regular mode filters on true values: 9.5 is excluded.
+        let q = SnapshotQuery::drill_through(SpatialPredicate::All, QueryMode::Regular)
+            .with_value_filter(ValueFilter::new(Comparison::Gt, 9.9));
+        let r = execute(&mut net, &nodes, &values, &q, NodeId(3));
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn value_filtered_aggregates_use_filtered_ground_truth() {
+        use crate::query::{Comparison, ValueFilter};
+        let (mut net, nodes, values) = setup();
+        let q =
+            SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Count, QueryMode::Regular)
+                .with_value_filter(ValueFilter::new(Comparison::Ge, 10.0));
+        let r = execute(&mut net, &nodes, &values, &q, NodeId(3));
+        // 10.0, 10.5, 20.0 pass; 9.5 fails.
+        assert_eq!(r.value, Some(3.0));
+        assert_eq!(r.ground_truth, Some(3.0));
+    }
+
+    #[test]
+    fn filtered_out_representatives_do_not_respond() {
+        use crate::query::{Comparison, ValueFilter};
+        let (mut net, nodes, values) = setup();
+        // Nothing estimates above 50: no responders at all in
+        // snapshot mode except... nothing.
+        let q =
+            SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Count, QueryMode::Snapshot)
+                .with_value_filter(ValueFilter::new(Comparison::Gt, 50.0));
+        let r = execute(&mut net, &nodes, &values, &q, NodeId(3));
+        assert_eq!(r.value, Some(0.0));
+        assert!(r.responders.is_empty());
+        assert_eq!(r.participants, 0, "a fully-filtered query wakes nobody");
+    }
+
+    #[test]
+    fn rows_mse_measures_estimate_quality() {
+        let (mut net, nodes, values) = setup();
+        let q = SnapshotQuery::drill_through(SpatialPredicate::All, QueryMode::Snapshot);
+        let r = execute(&mut net, &nodes, &values, &q, NodeId(3));
+        let mse = r.rows_mse(|id| values[id.index()]).unwrap();
+        // Estimates are 10.0 for true 10.5 / 9.5: mse = (0.25+0.25)/4.
+        assert!((mse - 0.125).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,109 @@
+//! Measurement predicates.
+//!
+//! The paper's "basic queries in sensor networks consist of a
+//! SELECT-FROM-WHERE clause"; beyond the spatial filter its example
+//! uses, deployments routinely filter on the measured value
+//! ("report regions where wind speed exceeds 10 m/s"). Under snapshot
+//! execution the filter runs on the representative's *estimate* — an
+//! approximate selection whose error is bounded by the election
+//! threshold, evaluated without waking a single represented node.
+
+use serde::{Deserialize, Serialize};
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Comparison {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl Comparison {
+    /// Evaluate `value OP threshold`.
+    #[inline]
+    pub fn eval(&self, value: f64, threshold: f64) -> bool {
+        match self {
+            Comparison::Lt => value < threshold,
+            Comparison::Le => value <= threshold,
+            Comparison::Gt => value > threshold,
+            Comparison::Ge => value >= threshold,
+            Comparison::Eq => value == threshold,
+            Comparison::Ne => value != threshold,
+        }
+    }
+
+    /// The SQL spelling.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            Comparison::Lt => "<",
+            Comparison::Le => "<=",
+            Comparison::Gt => ">",
+            Comparison::Ge => ">=",
+            Comparison::Eq => "=",
+            Comparison::Ne => "!=",
+        }
+    }
+}
+
+/// `measurement OP threshold`.
+///
+/// ```
+/// use snapshot_core::{Comparison, ValueFilter};
+///
+/// let gusty = ValueFilter::new(Comparison::Gt, 10.0);
+/// assert!(gusty.matches(12.5));
+/// assert!(!gusty.matches(10.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValueFilter {
+    /// The comparison.
+    pub op: Comparison,
+    /// The literal to compare against.
+    pub threshold: f64,
+}
+
+impl ValueFilter {
+    /// Build a filter.
+    pub fn new(op: Comparison, threshold: f64) -> Self {
+        ValueFilter { op, threshold }
+    }
+
+    /// True when `value` passes the filter.
+    #[inline]
+    pub fn matches(&self, value: f64) -> bool {
+        self.op.eval(value, self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons_follow_their_symbols() {
+        assert!(Comparison::Lt.eval(1.0, 2.0));
+        assert!(!Comparison::Lt.eval(2.0, 2.0));
+        assert!(Comparison::Le.eval(2.0, 2.0));
+        assert!(Comparison::Gt.eval(3.0, 2.0));
+        assert!(Comparison::Ge.eval(2.0, 2.0));
+        assert!(Comparison::Eq.eval(2.0, 2.0));
+        assert!(Comparison::Ne.eval(2.5, 2.0));
+        assert_eq!(Comparison::Ge.symbol(), ">=");
+    }
+
+    #[test]
+    fn filter_applies_its_operator() {
+        let f = ValueFilter::new(Comparison::Gt, 10.0);
+        assert!(f.matches(10.5));
+        assert!(!f.matches(10.0));
+    }
+}

@@ -1,0 +1,315 @@
+//! The per-node state machine.
+//!
+//! Each sensor owns its model cache, its mode flag (undefined /
+//! ACTIVE / PASSIVE, Section 5), its view of who represents it and whom
+//! it represents, and the per-election scratch state (offers heard,
+//! candidate list, refinement-rule flags). The election engine and the
+//! maintenance protocol drive these nodes by delivering messages; no
+//! component ever reads another node's private state directly.
+
+use crate::cache::{CacheConfig, ModelCache};
+use snapshot_netsim::clock::Epoch;
+use snapshot_netsim::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A node's mode flag (Section 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Not yet decided in the current election.
+    Undefined,
+    /// Represents a non-empty set of nodes (including, by default,
+    /// itself); responds to snapshot queries.
+    Active,
+    /// Represented by another node; stays silent during snapshot
+    /// queries.
+    Passive,
+}
+
+/// An offer of representation heard during an election: `from` claims
+/// it can represent this node, along with the size of its candidate
+/// list and the number of nodes it already represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Offer {
+    /// The candidate representative.
+    pub from: NodeId,
+    /// `length(Cand_nodes_from)` in this election.
+    pub cand_len: usize,
+    /// Nodes `from` already represents (used by maintenance-mode
+    /// selection, Section 5.1).
+    pub already: usize,
+}
+
+impl Offer {
+    /// The paper's selection score. Initial elections rank offers by
+    /// candidate-list length alone; maintenance re-elections add the
+    /// number of nodes the candidate already represents.
+    pub fn score(&self, count_already: bool) -> usize {
+        self.cand_len + if count_already { self.already } else { 0 }
+    }
+}
+
+/// One sensor node's complete protocol state.
+#[derive(Debug, Clone)]
+pub struct SensorNode {
+    id: NodeId,
+    /// The model cache (public: the cache manager has its own API).
+    pub cache: ModelCache,
+    pub(crate) mode: Mode,
+    /// Who represents this node: `None` means "myself" (the default).
+    pub(crate) rep_of: Option<(NodeId, Epoch)>,
+    /// Nodes this node believes it represents, with the epoch of
+    /// their election (used to filter spurious claims).
+    pub(crate) represents: BTreeMap<NodeId, Epoch>,
+
+    // ---- per-election scratch ----
+    /// Nodes this node offered to represent in the current election.
+    pub(crate) cand_list: Vec<NodeId>,
+    /// Offers heard in the current election.
+    pub(crate) offers: Vec<Offer>,
+    /// Candidate-list lengths overheard (for Rule-0 tie-breaks).
+    pub(crate) heard_cand_len: BTreeMap<NodeId, usize>,
+    /// Refinement bookkeeping: whether the Rule-2 recall has been sent
+    /// this election (at most one, per the paper's message bound).
+    pub(crate) sent_recall: bool,
+    /// Rule-3: the representative whose acknowledgment this node is
+    /// waiting for before going PASSIVE.
+    pub(crate) waiting_ack_from: Option<NodeId>,
+    /// Rounds until the Rule-3 notification may be re-sent. Under
+    /// perfect links the acknowledgment arrives before the first
+    /// retry, so exactly one notification is sent (the paper's <= 2
+    /// refinement messages); retries only fire when loss ate the
+    /// handshake ("Lost acknowledgments are handled by Rule-4" is the
+    /// final backstop).
+    pub(crate) notify_cooldown: u8,
+    /// Representatives overheard acknowledging this node as a member.
+    /// An overheard acknowledgment is as good as an addressed one —
+    /// the representative is ACTIVE and lists us — so Rule 3 can go
+    /// PASSIVE without a further exchange.
+    pub(crate) acked_reps: BTreeSet<NodeId>,
+    /// Rounds spent with an undefined mode (drives Rule-4).
+    pub(crate) rounds_undefined: u32,
+    /// Whether this node was forced ACTIVE by the Rule-4 timeout.
+    pub(crate) forced_active: bool,
+    /// Members that asked this node to stay active and have not yet
+    /// been acknowledged.
+    pub(crate) pending_ack_members: Vec<NodeId>,
+    /// Set while the node is deliberately shedding load (energy
+    /// handoff): it ignores invitations instead of offering candidacy.
+    pub(crate) refusing_invites: bool,
+}
+
+impl SensorNode {
+    /// A fresh node with an empty cache.
+    pub fn new(id: NodeId, cache_config: CacheConfig) -> Self {
+        SensorNode {
+            id,
+            cache: ModelCache::new(cache_config),
+            mode: Mode::Active, // a lone node answers for itself
+            rep_of: None,
+            represents: BTreeMap::new(),
+            cand_list: Vec::new(),
+            offers: Vec::new(),
+            heard_cand_len: BTreeMap::new(),
+            sent_recall: false,
+            waiting_ack_from: None,
+            notify_cooldown: 0,
+            acked_reps: BTreeSet::new(),
+            rounds_undefined: 0,
+            forced_active: false,
+            pending_ack_members: Vec::new(),
+            refusing_invites: false,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current mode flag.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The node representing this one (`None` = itself).
+    pub fn representative(&self) -> Option<NodeId> {
+        self.rep_of.map(|(id, _)| id)
+    }
+
+    /// Epoch at which the current representative was accepted.
+    pub fn representative_epoch(&self) -> Option<Epoch> {
+        self.rep_of.map(|(_, e)| e)
+    }
+
+    /// The nodes this node believes it represents (never includes
+    /// itself; self-representation is implicit).
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.represents.keys().copied()
+    }
+
+    /// Number of represented nodes (excluding itself).
+    pub fn member_count(&self) -> usize {
+        self.represents.len()
+    }
+
+    /// Epoch recorded for a member claim, if any.
+    pub fn member_epoch(&self, member: NodeId) -> Option<Epoch> {
+        self.represents.get(&member).copied()
+    }
+
+    /// True when this node answers snapshot queries.
+    pub fn is_active(&self) -> bool {
+        self.mode == Mode::Active
+    }
+
+    /// True when this node was forced active by the Rule-4 timeout in
+    /// the last election.
+    pub fn was_forced_active(&self) -> bool {
+        self.forced_active
+    }
+
+    /// Candidate list built in the most recent election.
+    pub fn candidate_list(&self) -> &[NodeId] {
+        &self.cand_list
+    }
+
+    /// Reset all election state for a brand-new full election: mode
+    /// undefined, representation links cleared, scratch cleared.
+    pub(crate) fn reset_for_full_election(&mut self) {
+        self.mode = Mode::Undefined;
+        self.rep_of = None;
+        self.represents.clear();
+        self.reset_scratch();
+    }
+
+    /// Reset only the per-election scratch (partial / maintenance
+    /// elections keep standing representation links).
+    pub(crate) fn reset_scratch(&mut self) {
+        self.cand_list.clear();
+        self.offers.clear();
+        self.heard_cand_len.clear();
+        self.sent_recall = false;
+        self.waiting_ack_from = None;
+        self.notify_cooldown = 0;
+        self.acked_reps.clear();
+        self.rounds_undefined = 0;
+        self.forced_active = false;
+        self.pending_ack_members.clear();
+    }
+
+    /// Pick the best offer: maximum score, ties broken by the larger
+    /// node id (the paper's tie-break).
+    pub(crate) fn best_offer(&self, count_already: bool) -> Option<Offer> {
+        self.offers
+            .iter()
+            .copied()
+            .max_by_key(|o| (o.score(count_already), o.from))
+    }
+
+    /// `length(Cand_nodes_j)` as overheard in this election, 0 when
+    /// the broadcast was lost.
+    pub(crate) fn heard_len(&self, j: NodeId) -> usize {
+        self.heard_cand_len.get(&j).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+
+    fn node(id: u32) -> SensorNode {
+        SensorNode::new(NodeId(id), CacheConfig::default())
+    }
+
+    #[test]
+    fn fresh_node_represents_itself_actively() {
+        let n = node(3);
+        assert_eq!(n.mode(), Mode::Active);
+        assert_eq!(n.representative(), None);
+        assert_eq!(n.member_count(), 0);
+        assert!(n.is_active());
+    }
+
+    #[test]
+    fn full_reset_clears_links_and_mode() {
+        let mut n = node(1);
+        n.rep_of = Some((NodeId(2), Epoch(1)));
+        n.represents.insert(NodeId(3), Epoch(1));
+        n.reset_for_full_election();
+        assert_eq!(n.mode(), Mode::Undefined);
+        assert_eq!(n.representative(), None);
+        assert_eq!(n.member_count(), 0);
+    }
+
+    #[test]
+    fn scratch_reset_keeps_links() {
+        let mut n = node(1);
+        n.rep_of = Some((NodeId(2), Epoch(1)));
+        n.represents.insert(NodeId(3), Epoch(1));
+        n.sent_recall = true;
+        n.reset_scratch();
+        assert_eq!(n.representative(), Some(NodeId(2)));
+        assert_eq!(n.member_count(), 1);
+        assert!(!n.sent_recall);
+    }
+
+    #[test]
+    fn best_offer_prefers_longer_lists_then_larger_ids() {
+        let mut n = node(0);
+        n.offers = vec![
+            Offer {
+                from: NodeId(5),
+                cand_len: 2,
+                already: 0,
+            },
+            Offer {
+                from: NodeId(9),
+                cand_len: 3,
+                already: 0,
+            },
+            Offer {
+                from: NodeId(7),
+                cand_len: 3,
+                already: 0,
+            },
+        ];
+        // Longest list wins; tie between 9 and 7 goes to the larger id.
+        assert_eq!(n.best_offer(false).unwrap().from, NodeId(9));
+    }
+
+    #[test]
+    fn maintenance_scoring_adds_current_members() {
+        let mut n = node(0);
+        n.offers = vec![
+            Offer {
+                from: NodeId(1),
+                cand_len: 2,
+                already: 0,
+            },
+            Offer {
+                from: NodeId(2),
+                cand_len: 1,
+                already: 4,
+            },
+        ];
+        // Initial-mode scoring ignores `already`.
+        assert_eq!(n.best_offer(false).unwrap().from, NodeId(1));
+        // Maintenance-mode scoring counts it (Section 5.1).
+        assert_eq!(n.best_offer(true).unwrap().from, NodeId(2));
+    }
+
+    #[test]
+    fn no_offers_means_no_representative() {
+        let n = node(0);
+        assert!(n.best_offer(true).is_none());
+    }
+
+    #[test]
+    fn heard_len_defaults_to_zero_for_lost_broadcasts() {
+        let mut n = node(0);
+        n.heard_cand_len.insert(NodeId(4), 7);
+        assert_eq!(n.heard_len(NodeId(4)), 7);
+        assert_eq!(n.heard_len(NodeId(5)), 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! The network snapshot: who represents whom.
+//!
+//! A [`Snapshot`] is the queryable view assembled from the nodes'
+//! protocol state. Representation claims are reconciled by election
+//! epoch: when two nodes both believe they represent `N_j` (the
+//! *spurious representative* situation caused by a lost Rule-2
+//! recall), the claim with the latest epoch wins — the timestamp
+//! filter Section 3 describes. The count of spurious claims is what
+//! Figure 13 plots.
+
+use crate::sensor::{Mode, SensorNode};
+use snapshot_netsim::clock::Epoch;
+use snapshot_netsim::NodeId;
+use std::collections::BTreeMap;
+
+/// A reconciled view of the representative structure.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// `rep_of[i]`: the node that answers for `N_i` (`None` = itself).
+    rep_of: Vec<Option<NodeId>>,
+    /// Representative -> members (reconciled; excludes self).
+    members: BTreeMap<NodeId, Vec<NodeId>>,
+    /// `active[i]`: whether `N_i` answers snapshot queries.
+    active: Vec<bool>,
+}
+
+impl Snapshot {
+    /// Build the reconciled snapshot from the nodes' own state.
+    ///
+    /// Each node's `rep_of` pointer is authoritative for *itself*;
+    /// representative member lists are trusted only where they agree
+    /// with the member's pointer (this is exactly the timestamp-based
+    /// filtering of Section 3, using the member's acceptance epoch as
+    /// the latest word).
+    pub fn from_nodes(nodes: &[SensorNode]) -> Self {
+        let n = nodes.len();
+        let mut rep_of = vec![None; n];
+        let mut members: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
+        let mut active = vec![false; n];
+        for node in nodes {
+            let i = node.id();
+            active[i.index()] = node.mode() == Mode::Active;
+            if let Some(rep) = node.representative() {
+                if rep != i {
+                    rep_of[i.index()] = Some(rep);
+                    members.entry(rep).or_default().push(i);
+                }
+            }
+        }
+        Snapshot {
+            rep_of,
+            members,
+            active,
+        }
+    }
+
+    /// Number of nodes covered by the snapshot.
+    pub fn len(&self) -> usize {
+        self.rep_of.len()
+    }
+
+    /// True when the snapshot covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.rep_of.is_empty()
+    }
+
+    /// The node that answers for `id` (itself when unrepresented).
+    pub fn representative_of(&self, id: NodeId) -> NodeId {
+        self.rep_of[id.index()].unwrap_or(id)
+    }
+
+    /// True when `id` is represented by somebody else.
+    pub fn is_represented(&self, id: NodeId) -> bool {
+        self.rep_of[id.index()].is_some()
+    }
+
+    /// True when `id` answers snapshot queries.
+    pub fn is_active(&self, id: NodeId) -> bool {
+        self.active[id.index()]
+    }
+
+    /// All ACTIVE nodes — the snapshot itself.
+    pub fn representatives(&self) -> Vec<NodeId> {
+        (0..self.active.len())
+            .filter(|&i| self.active[i])
+            .map(NodeId::from_index)
+            .collect()
+    }
+
+    /// The snapshot size `n1` (number of ACTIVE nodes).
+    pub fn size(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Members represented by `rep` (reconciled; excludes `rep`).
+    pub fn members_of(&self, rep: NodeId) -> &[NodeId] {
+        self.members.get(&rep).map_or(&[], Vec::as_slice)
+    }
+
+    /// Edges `(representative, member)` of the representation forest —
+    /// the lines drawn in the paper's Figure 1.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for (rep, members) in &self.members {
+            for &m in members {
+                out.push((*rep, m));
+            }
+        }
+        out
+    }
+
+    /// Render the snapshot as Graphviz DOT (Figure 1 reproduction).
+    pub fn to_dot(&self, position: impl Fn(NodeId) -> (f64, f64)) -> String {
+        let mut s = String::from("graph snapshot {\n  node [shape=circle];\n");
+        for i in 0..self.len() {
+            let id = NodeId::from_index(i);
+            let (x, y) = position(id);
+            let style = if self.active[i] {
+                ", style=filled, fillcolor=black, fontcolor=white"
+            } else {
+                ""
+            };
+            s.push_str(&format!(
+                "  n{i} [pos=\"{:.3},{:.3}!\"{}];\n",
+                x * 10.0,
+                y * 10.0,
+                style
+            ));
+        }
+        for (rep, m) in self.edges() {
+            s.push_str(&format!("  n{} -- n{};\n", rep.0, m.0));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Count *spurious representatives*: nodes that believe they represent
+/// some member whose own pointer names a different (or no)
+/// representative. These arise from lost Rule-2 recalls; Figure 13
+/// plots their number under increasing message loss.
+pub fn count_spurious(nodes: &[SensorNode]) -> usize {
+    nodes
+        .iter()
+        .filter(|rep| {
+            rep.members()
+                .any(|m| nodes[m.index()].representative() != Some(rep.id()))
+        })
+        .count()
+}
+
+/// Total stale member claims (a finer-grained diagnostic than
+/// [`count_spurious`]).
+pub fn count_stale_claims(nodes: &[SensorNode]) -> usize {
+    nodes
+        .iter()
+        .map(|rep| {
+            rep.members()
+                .filter(|&m| nodes[m.index()].representative() != Some(rep.id()))
+                .count()
+        })
+        .sum()
+}
+
+/// The epoch of the most recent acceptance present anywhere in the
+/// network (diagnostic for reconciliation tests).
+pub fn latest_epoch(nodes: &[SensorNode]) -> Option<Epoch> {
+    nodes.iter().filter_map(|n| n.representative_epoch()).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::sensor::SensorNode;
+
+    fn make_nodes(n: usize) -> Vec<SensorNode> {
+        (0..n)
+            .map(|i| SensorNode::new(NodeId::from_index(i), CacheConfig::default()))
+            .collect()
+    }
+
+    #[test]
+    fn fresh_nodes_form_an_all_active_snapshot() {
+        let nodes = make_nodes(4);
+        let s = Snapshot::from_nodes(&nodes);
+        assert_eq!(s.size(), 4);
+        assert!(s.edges().is_empty());
+        for i in 0..4 {
+            let id = NodeId::from_index(i);
+            assert_eq!(s.representative_of(id), id);
+            assert!(!s.is_represented(id));
+        }
+    }
+
+    #[test]
+    fn representation_links_project_into_the_snapshot() {
+        let mut nodes = make_nodes(3);
+        // 1 represented by 0.
+        nodes[1].rep_of = Some((NodeId(0), Epoch(1)));
+        nodes[1].mode = Mode::Passive;
+        nodes[0].represents.insert(NodeId(1), Epoch(1));
+        let s = Snapshot::from_nodes(&nodes);
+        assert_eq!(s.size(), 2);
+        assert_eq!(s.representative_of(NodeId(1)), NodeId(0));
+        assert_eq!(s.members_of(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(s.edges(), vec![(NodeId(0), NodeId(1))]);
+    }
+
+    #[test]
+    fn member_pointer_wins_over_stale_claims() {
+        let mut nodes = make_nodes(3);
+        // Node 2 elected node 1 (newer), but node 0 still claims it.
+        nodes[2].rep_of = Some((NodeId(1), Epoch(2)));
+        nodes[2].mode = Mode::Passive;
+        nodes[1].represents.insert(NodeId(2), Epoch(2));
+        nodes[0].represents.insert(NodeId(2), Epoch(1)); // stale
+        let s = Snapshot::from_nodes(&nodes);
+        assert_eq!(s.representative_of(NodeId(2)), NodeId(1));
+        assert!(s.members_of(NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn spurious_representatives_are_counted() {
+        let mut nodes = make_nodes(4);
+        nodes[2].rep_of = Some((NodeId(1), Epoch(2)));
+        nodes[1].represents.insert(NodeId(2), Epoch(2));
+        nodes[0].represents.insert(NodeId(2), Epoch(1)); // spurious claim
+        nodes[3].represents.insert(NodeId(2), Epoch(0)); // another spurious claim
+        assert_eq!(count_spurious(&nodes), 2);
+        assert_eq!(count_stale_claims(&nodes), 2);
+        assert_eq!(latest_epoch(&nodes), Some(Epoch(2)));
+    }
+
+    #[test]
+    fn no_spurious_reps_in_a_consistent_network() {
+        let mut nodes = make_nodes(3);
+        nodes[1].rep_of = Some((NodeId(0), Epoch(1)));
+        nodes[0].represents.insert(NodeId(1), Epoch(1));
+        assert_eq!(count_spurious(&nodes), 0);
+        assert_eq!(count_stale_claims(&nodes), 0);
+    }
+
+    #[test]
+    fn dot_output_marks_representatives() {
+        let mut nodes = make_nodes(2);
+        nodes[1].rep_of = Some((NodeId(0), Epoch(1)));
+        nodes[1].mode = Mode::Passive;
+        nodes[0].represents.insert(NodeId(1), Epoch(1));
+        let s = Snapshot::from_nodes(&nodes);
+        let dot = s.to_dot(|id| (id.0 as f64 * 0.1, 0.5));
+        assert!(dot.contains("fillcolor=black"));
+        assert!(dot.contains("n0 -- n1"));
+        assert!(dot.starts_with("graph snapshot {"));
+    }
+}

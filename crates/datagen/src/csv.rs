@@ -1,0 +1,159 @@
+//! Trace CSV I/O.
+//!
+//! Traces serialize to a plain CSV layout — one row per time step, one
+//! column per node, with a `t,n0,n1,...` header — so experiment
+//! outputs can be inspected with standard tooling and, conversely, the
+//! paper's original weather dataset (or any real deployment log) can
+//! be imported if available.
+
+use crate::error::DatagenError;
+use crate::trace::Trace;
+use snapshot_netsim::NodeId;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Write a trace as CSV.
+pub fn write_trace<W: Write>(trace: &Trace, out: &mut W) -> Result<(), DatagenError> {
+    write!(out, "t")?;
+    for i in 0..trace.nodes() {
+        write!(out, ",n{i}")?;
+    }
+    writeln!(out)?;
+    for t in 0..trace.steps() {
+        write!(out, "{t}")?;
+        for i in 0..trace.nodes() {
+            write!(out, ",{}", trace.value(NodeId::from_index(i), t))?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Read a trace from CSV produced by [`write_trace`] (or any CSV with
+/// a leading time column and one numeric column per node).
+pub fn read_trace<R: Read>(input: R) -> Result<Trace, DatagenError> {
+    let reader = BufReader::new(input);
+    let mut lines = reader.lines().enumerate();
+
+    let (_, header) = lines.next().ok_or(DatagenError::Parse {
+        line: 1,
+        reason: "empty input".into(),
+    })?;
+    let header = header?;
+    let n_cols = header.split(',').count();
+    if n_cols < 2 {
+        return Err(DatagenError::Parse {
+            line: 1,
+            reason: format!("expected `t,n0,...` header, got `{header}`"),
+        });
+    }
+    let nodes = n_cols - 1;
+
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); nodes];
+    for (idx, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != n_cols {
+            return Err(DatagenError::Parse {
+                line: idx + 1,
+                reason: format!("expected {n_cols} fields, got {}", fields.len()),
+            });
+        }
+        for (i, field) in fields[1..].iter().enumerate() {
+            let v: f64 = field.trim().parse().map_err(|_| DatagenError::Parse {
+                line: idx + 1,
+                reason: format!("`{field}` is not a number"),
+            })?;
+            series[i].push(v);
+        }
+    }
+    Trace::from_series(series)
+}
+
+/// Read a single-column series (one value per line, `#`-comments and
+/// blank lines ignored) — the shape of raw weather-station logs.
+pub fn read_series<R: Read>(input: R) -> Result<Vec<f64>, DatagenError> {
+    let reader = BufReader::new(input);
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let v: f64 = trimmed.parse().map_err(|_| DatagenError::Parse {
+            line: idx + 1,
+            reason: format!("`{trimmed}` is not a number"),
+        })?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_roundtrips_through_csv() {
+        let trace =
+            Trace::from_series(vec![vec![1.5, 2.5], vec![-3.0, 4.0], vec![0.0, 100.25]]).unwrap();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn header_is_human_readable() {
+        let trace = Trace::from_series(vec![vec![1.0], vec![2.0]]).unwrap();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("t,n0,n1\n"));
+        assert!(text.contains("0,1,2"));
+    }
+
+    #[test]
+    fn malformed_rows_are_reported_with_line_numbers() {
+        let bad = "t,n0\n0,1.0\n1,not_a_number\n";
+        let err = read_trace(bad.as_bytes()).unwrap_err();
+        match err {
+            DatagenError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other}"),
+        }
+        let ragged = "t,n0,n1\n0,1.0\n";
+        assert!(matches!(
+            read_trace(ragged.as_bytes()),
+            Err(DatagenError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(read_trace(&b""[..]).is_err());
+        let only_time = "t\n0\n";
+        assert!(read_trace(only_time.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn series_reader_skips_comments_and_blanks() {
+        let text = "# wind speed, m/s\n5.8\n\n6.1\n# gust\n9.0\n";
+        let s = read_series(text.as_bytes()).unwrap();
+        assert_eq!(s, vec![5.8, 6.1, 9.0]);
+    }
+
+    #[test]
+    fn series_reader_rejects_garbage() {
+        assert!(read_series(&b"1.0\nxyz\n"[..]).is_err());
+    }
+
+    #[test]
+    fn blank_lines_in_trace_csv_are_skipped() {
+        let text = "t,n0\n0,1.0\n\n1,2.0\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.steps(), 2);
+    }
+}

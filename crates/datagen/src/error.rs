@@ -1,0 +1,97 @@
+//! Error type for workload generation and trace I/O.
+
+use std::fmt;
+
+/// Errors surfaced by the data generators and trace I/O.
+#[derive(Debug)]
+pub enum DatagenError {
+    /// A generator parameter was out of range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A trace access referenced a node or time outside the trace.
+    OutOfBounds {
+        /// What was being indexed.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The valid exclusive bound.
+        bound: usize,
+    },
+    /// CSV parsing failed.
+    Parse {
+        /// Line number (1-based).
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DatagenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatagenError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DatagenError::OutOfBounds { what, index, bound } => {
+                write!(f, "{what} index {index} out of bounds (len {bound})")
+            }
+            DatagenError::Parse { line, reason } => {
+                write!(f, "CSV parse error at line {line}: {reason}")
+            }
+            DatagenError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatagenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatagenError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DatagenError {
+    fn from(e: std::io::Error) -> Self {
+        DatagenError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        let e = DatagenError::InvalidParameter {
+            name: "n_classes",
+            reason: "must be >= 1".into(),
+        };
+        assert!(e.to_string().contains("n_classes"));
+        let e = DatagenError::OutOfBounds {
+            what: "node",
+            index: 7,
+            bound: 5,
+        };
+        assert!(e.to_string().contains('7'));
+        let e = DatagenError::Parse {
+            line: 3,
+            reason: "not a float".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_errors_wrap_with_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = DatagenError::from(io);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,49 @@
+//! # snapshot-datagen
+//!
+//! Workload generators for the *Snapshot Queries* reproduction.
+//!
+//! The paper's evaluation uses two data sources:
+//!
+//! 1. **Synthetic random walks** (Section 6.1): 100 nodes partitioned
+//!    into `K` classes; nodes of the same class step up or down with the
+//!    same class-specific probability, so same-class nodes are strongly
+//!    correlated and the network should discover roughly one
+//!    representative per class. See [`random_walk()`](random_walk()).
+//! 2. **Weather data** (Section 6.3): wind-speed measurements at
+//!    one-minute resolution from the University of Washington weather
+//!    station. That dataset is no longer distributable, so
+//!    [`weather()`](weather()) provides a *calibrated synthetic substitute* matching
+//!    the statistics the paper reports (mean ~5.8, variance ~2.8,
+//!    smooth mean-reverting trajectories with gusts and diurnal drift)
+//!    plus a CSV loader so the real data can be dropped in.
+//!
+//! All generators are deterministic in an explicit seed and produce a
+//! [`trace::Trace`]: a time-indexed matrix of per-node measurements.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod correlated;
+pub mod csv;
+pub mod error;
+pub mod periodic;
+pub mod random_walk;
+pub mod trace;
+pub mod weather;
+
+pub use correlated::{correlated_field, CorrelatedFieldConfig};
+pub use error::DatagenError;
+pub use periodic::{periodic, PeriodicConfig, PeriodicData};
+pub use random_walk::{random_walk, RandomWalkConfig};
+pub use trace::Trace;
+pub use weather::{weather, WeatherConfig};
+
+/// Commonly used types, for glob import.
+pub mod prelude {
+    pub use crate::correlated::{correlated_field, CorrelatedFieldConfig};
+    pub use crate::error::DatagenError;
+    pub use crate::periodic::{periodic, PeriodicConfig, PeriodicData};
+    pub use crate::random_walk::{random_walk, RandomWalkConfig};
+    pub use crate::trace::Trace;
+    pub use crate::weather::{weather, WeatherConfig};
+}

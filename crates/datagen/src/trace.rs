@@ -1,0 +1,323 @@
+//! Time-indexed measurement traces.
+//!
+//! A [`Trace`] is the contract between workload generators and the
+//! simulation: `value(node, t)` is the measurement node `N_i` would
+//! report at time `t`. Traces are dense row-major matrices
+//! (`steps x nodes`), which at the paper's scale (100 nodes x 5000
+//! steps) is well under a megabyte.
+
+use crate::error::DatagenError;
+use serde::{Deserialize, Serialize};
+use snapshot_netsim::NodeId;
+
+/// A dense matrix of per-node, per-timestep measurements.
+///
+/// ```
+/// use snapshot_datagen::Trace;
+/// use snapshot_netsim::NodeId;
+///
+/// let trace = Trace::from_series(vec![vec![1.0, 2.0], vec![10.0, 20.0]]).unwrap();
+/// assert_eq!(trace.nodes(), 2);
+/// assert_eq!(trace.value(NodeId(1), 0), 10.0);
+/// assert!((trace.correlation(NodeId(0), NodeId(1)) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    nodes: usize,
+    steps: usize,
+    /// Row-major: `data[t * nodes + i]` is node `i` at time `t`.
+    data: Vec<f64>,
+}
+
+impl Trace {
+    /// An all-zero trace of the given shape.
+    pub fn zeros(nodes: usize, steps: usize) -> Self {
+        Trace {
+            nodes,
+            steps,
+            data: vec![0.0; nodes * steps],
+        }
+    }
+
+    /// Build from per-node series (each inner vector is one node's
+    /// full time series; all must share a length).
+    ///
+    /// # Errors
+    /// [`DatagenError::InvalidParameter`] when the series lengths
+    /// differ or no series are supplied.
+    pub fn from_series(series: Vec<Vec<f64>>) -> Result<Self, DatagenError> {
+        if series.is_empty() {
+            return Err(DatagenError::InvalidParameter {
+                name: "series",
+                reason: "at least one node series is required".into(),
+            });
+        }
+        let steps = series[0].len();
+        if steps == 0 {
+            return Err(DatagenError::InvalidParameter {
+                name: "series",
+                reason: "series must contain at least one time step".into(),
+            });
+        }
+        if series.iter().any(|s| s.len() != steps) {
+            return Err(DatagenError::InvalidParameter {
+                name: "series",
+                reason: "all node series must have equal length".into(),
+            });
+        }
+        let nodes = series.len();
+        let mut data = vec![0.0; nodes * steps];
+        for (i, s) in series.iter().enumerate() {
+            for (t, v) in s.iter().enumerate() {
+                data[t * nodes + i] = *v;
+            }
+        }
+        Ok(Trace { nodes, steps, data })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of time steps.
+    #[inline]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Measurement of `node` at time `t`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds access (programmer error — simulation
+    /// drivers control both indices).
+    #[inline]
+    pub fn value(&self, node: NodeId, t: usize) -> f64 {
+        assert!(node.index() < self.nodes, "node {node} out of bounds");
+        assert!(
+            t < self.steps,
+            "time {t} out of bounds (steps {})",
+            self.steps
+        );
+        self.data[t * self.nodes + node.index()]
+    }
+
+    /// Checked access.
+    pub fn get(&self, node: NodeId, t: usize) -> Result<f64, DatagenError> {
+        if node.index() >= self.nodes {
+            return Err(DatagenError::OutOfBounds {
+                what: "node",
+                index: node.index(),
+                bound: self.nodes,
+            });
+        }
+        if t >= self.steps {
+            return Err(DatagenError::OutOfBounds {
+                what: "time",
+                index: t,
+                bound: self.steps,
+            });
+        }
+        Ok(self.data[t * self.nodes + node.index()])
+    }
+
+    /// Overwrite one cell.
+    pub fn set(&mut self, node: NodeId, t: usize, v: f64) {
+        assert!(node.index() < self.nodes && t < self.steps);
+        self.data[t * self.nodes + node.index()] = v;
+    }
+
+    /// One node's full series, copied out.
+    pub fn series(&self, node: NodeId) -> Vec<f64> {
+        (0..self.steps).map(|t| self.value(node, t)).collect()
+    }
+
+    /// All measurements at one instant.
+    pub fn snapshot_at(&self, t: usize) -> &[f64] {
+        assert!(t < self.steps);
+        &self.data[t * self.nodes..(t + 1) * self.nodes]
+    }
+
+    /// Mean of one node's series.
+    pub fn mean(&self, node: NodeId) -> f64 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        self.series(node).iter().sum::<f64>() / self.steps as f64
+    }
+
+    /// Population variance of one node's series.
+    pub fn variance(&self, node: NodeId) -> f64 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        let m = self.mean(node);
+        self.series(node)
+            .iter()
+            .map(|v| (v - m) * (v - m))
+            .sum::<f64>()
+            / self.steps as f64
+    }
+
+    /// Mean over all nodes of the per-node means — the statistic the
+    /// paper reports for the weather data ("the average value ... was
+    /// 5.8").
+    pub fn grand_mean(&self) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        (0..self.nodes)
+            .map(|i| self.mean(NodeId::from_index(i)))
+            .sum::<f64>()
+            / self.nodes as f64
+    }
+
+    /// Mean over all nodes of the per-node variances ("the average
+    /// variance 2.8").
+    pub fn mean_variance(&self) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        (0..self.nodes)
+            .map(|i| self.variance(NodeId::from_index(i)))
+            .sum::<f64>()
+            / self.nodes as f64
+    }
+
+    /// Pearson correlation between two node series (NaN-free: returns
+    /// 0 when either series is constant).
+    pub fn correlation(&self, a: NodeId, b: NodeId) -> f64 {
+        let sa = self.series(a);
+        let sb = self.series(b);
+        let n = sa.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let ma = sa.iter().sum::<f64>() / n;
+        let mb = sb.iter().sum::<f64>() / n;
+        let mut cov = 0.0;
+        let mut va = 0.0;
+        let mut vb = 0.0;
+        for (x, y) in sa.iter().zip(&sb) {
+            cov += (x - ma) * (y - mb);
+            va += (x - ma) * (x - ma);
+            vb += (y - mb) * (y - mb);
+        }
+        if va == 0.0 || vb == 0.0 {
+            0.0
+        } else {
+            cov / (va.sqrt() * vb.sqrt())
+        }
+    }
+
+    /// A new trace holding only time steps `[from, to)` — used to
+    /// split long runs into windows (Figure 14 updates every 100
+    /// units).
+    pub fn window(&self, from: usize, to: usize) -> Trace {
+        assert!(from <= to && to <= self.steps, "bad window [{from},{to})");
+        let steps = to - from;
+        let mut data = Vec::with_capacity(steps * self.nodes);
+        data.extend_from_slice(&self.data[from * self.nodes..to * self.nodes]);
+        Trace {
+            nodes: self.nodes,
+            steps,
+            data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Trace {
+        Trace::from_series(vec![vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0]]).unwrap()
+    }
+
+    #[test]
+    fn from_series_lays_out_row_major() {
+        let t = small();
+        assert_eq!(t.nodes(), 2);
+        assert_eq!(t.steps(), 3);
+        assert_eq!(t.value(NodeId(0), 1), 2.0);
+        assert_eq!(t.value(NodeId(1), 2), 30.0);
+        assert_eq!(t.snapshot_at(0), &[1.0, 10.0]);
+    }
+
+    #[test]
+    fn from_series_rejects_ragged_input() {
+        let err = Trace::from_series(vec![vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, DatagenError::InvalidParameter { .. }));
+        let err = Trace::from_series(vec![]).unwrap_err();
+        assert!(matches!(err, DatagenError::InvalidParameter { .. }));
+        // Zero-step series would underflow every time-clamping consumer.
+        let err = Trace::from_series(vec![vec![], vec![]]).unwrap_err();
+        assert!(matches!(err, DatagenError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn checked_access_reports_bounds() {
+        let t = small();
+        assert!(t.get(NodeId(0), 0).is_ok());
+        assert!(matches!(
+            t.get(NodeId(2), 0),
+            Err(DatagenError::OutOfBounds { what: "node", .. })
+        ));
+        assert!(matches!(
+            t.get(NodeId(0), 3),
+            Err(DatagenError::OutOfBounds { what: "time", .. })
+        ));
+    }
+
+    #[test]
+    fn series_roundtrips() {
+        let t = small();
+        assert_eq!(t.series(NodeId(1)), vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let t = small();
+        assert!((t.mean(NodeId(0)) - 2.0).abs() < 1e-12);
+        // var([1,2,3]) = 2/3
+        assert!((t.variance(NodeId(0)) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((t.grand_mean() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_linear_series_correlate_fully() {
+        let t = small(); // node1 = 10 * node0
+        assert!((t.correlation(NodeId(0), NodeId(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_have_zero_correlation() {
+        let t = Trace::from_series(vec![vec![5.0, 5.0, 5.0], vec![1.0, 2.0, 3.0]]).unwrap();
+        assert_eq!(t.correlation(NodeId(0), NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn window_slices_time() {
+        let t = small();
+        let w = t.window(1, 3);
+        assert_eq!(w.steps(), 2);
+        assert_eq!(w.value(NodeId(0), 0), 2.0);
+        assert_eq!(w.value(NodeId(1), 1), 30.0);
+    }
+
+    #[test]
+    fn set_overwrites_one_cell() {
+        let mut t = small();
+        t.set(NodeId(0), 0, 99.0);
+        assert_eq!(t.value(NodeId(0), 0), 99.0);
+        assert_eq!(t.value(NodeId(1), 0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn unchecked_access_panics_loudly() {
+        let t = small();
+        let _ = t.value(NodeId(5), 0);
+    }
+}

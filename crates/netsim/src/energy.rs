@@ -1,0 +1,166 @@
+//! Energy model and batteries.
+//!
+//! Figure 10 of the paper sets "the initial battery capacity of each
+//! node ... equal to the simulated cost of 500 transmissions" and
+//! charges "the processing cost of running the algorithm for
+//! maintaining the cache \[as\] one tenth of the cost of transmitting a
+//! message". Energy is therefore measured in *transmission
+//! equivalents*: one broadcast costs 1.0, a cache-manager update costs
+//! 0.1, and receiving is free by default (configurable).
+
+use serde::{Deserialize, Serialize};
+
+/// Costs of the basic operations, in transmission equivalents.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Cost of transmitting one message.
+    pub tx_cost: f64,
+    /// Cost of receiving one message (0 in the paper's accounting).
+    pub rx_cost: f64,
+    /// Cost of one cache-manager update (0.1 in the paper).
+    pub cache_update_cost: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            tx_cost: 1.0,
+            rx_cost: 0.0,
+            cache_update_cost: 0.1,
+        }
+    }
+}
+
+/// Remaining charge of one node.
+///
+/// A battery may be [`Battery::infinite`] for experiments that ignore
+/// energy (the sensitivity analysis of Section 6.1) or finite for the
+/// lifetime experiment (Figure 10).
+///
+/// ```
+/// use snapshot_netsim::Battery;
+///
+/// let mut battery = Battery::finite(500.0); // the paper's capacity
+/// assert!(battery.draw(1.0));               // one transmission
+/// assert!(battery.draw(0.1));               // one cache update
+/// assert!((battery.fraction() - 0.9978).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Battery {
+    capacity: f64,
+    remaining: f64,
+    infinite: bool,
+}
+
+impl Battery {
+    /// A finite battery holding `capacity` transmission equivalents.
+    pub fn finite(capacity: f64) -> Self {
+        assert!(capacity >= 0.0, "battery capacity must be non-negative");
+        Battery {
+            capacity,
+            remaining: capacity,
+            infinite: false,
+        }
+    }
+
+    /// A battery that never depletes.
+    pub fn infinite() -> Self {
+        Battery {
+            capacity: f64::INFINITY,
+            remaining: f64::INFINITY,
+            infinite: true,
+        }
+    }
+
+    /// Remaining charge (infinity for infinite batteries).
+    #[inline]
+    pub fn remaining(&self) -> f64 {
+        self.remaining
+    }
+
+    /// Initial capacity.
+    #[inline]
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Remaining charge as a fraction of capacity (1.0 for infinite).
+    pub fn fraction(&self) -> f64 {
+        if self.infinite || self.capacity == 0.0 {
+            1.0
+        } else {
+            (self.remaining / self.capacity).max(0.0)
+        }
+    }
+
+    /// True while any charge remains.
+    #[inline]
+    pub fn is_alive(&self) -> bool {
+        self.infinite || self.remaining > 0.0
+    }
+
+    /// Draw `amount` charge. Returns `false` when the battery was
+    /// already depleted (the operation does not happen); drawing the
+    /// last of the charge still succeeds, mirroring a node that dies
+    /// *while* sending its final message.
+    pub fn draw(&mut self, amount: f64) -> bool {
+        debug_assert!(amount >= 0.0);
+        if self.infinite {
+            return true;
+        }
+        if self.remaining <= 0.0 {
+            return false;
+        }
+        self.remaining -= amount;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_matches_paper_accounting() {
+        let m = EnergyModel::default();
+        assert_eq!(m.tx_cost, 1.0);
+        assert_eq!(m.rx_cost, 0.0);
+        assert!((m.cache_update_cost - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finite_battery_depletes() {
+        let mut b = Battery::finite(2.0);
+        assert!(b.is_alive());
+        assert!(b.draw(1.0));
+        assert!(b.draw(1.0));
+        // Last draw succeeded but the battery is now empty.
+        assert!(!b.is_alive());
+        assert!(!b.draw(1.0));
+    }
+
+    #[test]
+    fn infinite_battery_never_dies() {
+        let mut b = Battery::infinite();
+        for _ in 0..10_000 {
+            assert!(b.draw(123.0));
+        }
+        assert!(b.is_alive());
+        assert_eq!(b.fraction(), 1.0);
+    }
+
+    #[test]
+    fn fraction_tracks_consumption() {
+        let mut b = Battery::finite(10.0);
+        b.draw(2.5);
+        assert!((b.fraction() - 0.75).abs() < 1e-12);
+        b.draw(100.0);
+        assert_eq!(b.fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_capacity_rejected() {
+        let _ = Battery::finite(-1.0);
+    }
+}

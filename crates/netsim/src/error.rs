@@ -1,0 +1,53 @@
+//! Error type for the simulator.
+
+use crate::node::NodeId;
+use std::fmt;
+
+/// Errors surfaced by the network simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetsimError {
+    /// A node id referenced a node outside the topology.
+    UnknownNode(NodeId),
+    /// A topology parameter was out of range (e.g. non-positive radio range).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// An operation required an alive node but the node was dead.
+    NodeDead(NodeId),
+}
+
+impl fmt::Display for NetsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetsimError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            NetsimError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            NetsimError::NodeDead(id) => write!(f, "node {id} is dead"),
+        }
+    }
+}
+
+impl std::error::Error for NetsimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_useful_messages() {
+        let e = NetsimError::UnknownNode(NodeId(12));
+        assert!(e.to_string().contains("N12"));
+        let e = NetsimError::InvalidParameter {
+            name: "range",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("range"));
+        assert!(e.to_string().contains("positive"));
+        let e = NetsimError::NodeDead(NodeId(3));
+        assert!(e.to_string().contains("dead"));
+    }
+}

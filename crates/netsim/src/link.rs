@@ -1,0 +1,151 @@
+//! Link-quality models: who hears a transmitted message.
+//!
+//! The paper models "the probability of a link failure" as a single
+//! parameter `P_loss`, applied independently per receiver per message
+//! (its Figures 7 and 13 sweep `P_loss` from 0 to 0.95). We provide
+//! that model plus two refinements used by extension experiments:
+//! per-directed-link probabilities (asymmetric links, the situation
+//! Section 3's "spurious representative" discussion worries about) and
+//! a distance-degraded model where loss grows with distance within the
+//! radio range.
+
+use crate::node::NodeId;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Probabilistic model deciding whether a single (sender, receiver)
+/// delivery attempt succeeds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum LinkModel {
+    /// Every in-range delivery succeeds.
+    Perfect,
+    /// Each delivery fails independently with probability `p_loss`.
+    /// This is the paper's model.
+    Iid {
+        /// Probability in `[0, 1]` that a given receiver misses a
+        /// given message.
+        p_loss: f64,
+    },
+    /// Directed per-link loss probabilities; entry `[src][dst]` is the
+    /// loss probability on the link `src -> dst`. Allows modelling the
+    /// asymmetric "obstacle in their direct path" scenario from
+    /// Section 3 of the paper.
+    PerLink {
+        /// Row-major loss matrix, `n * n` entries.
+        p_loss: Vec<Vec<f64>>,
+    },
+    /// Loss grows linearly from `p_near` at distance 0 to `p_far` at
+    /// the radio range; a crude stand-in for signal attenuation.
+    DistanceDegraded {
+        /// Loss probability at zero distance.
+        p_near: f64,
+        /// Loss probability at exactly the transmission range.
+        p_far: f64,
+    },
+}
+
+impl LinkModel {
+    /// Convenience constructor for the paper's i.i.d. loss model;
+    /// `p_loss = 0` collapses to [`LinkModel::Perfect`].
+    pub fn iid_loss(p_loss: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_loss),
+            "p_loss must be a probability, got {p_loss}"
+        );
+        if p_loss == 0.0 {
+            LinkModel::Perfect
+        } else {
+            LinkModel::Iid { p_loss }
+        }
+    }
+
+    /// Decide whether a delivery attempt from `src` to `dst` succeeds.
+    ///
+    /// `dist_frac` is the sender-receiver distance divided by the
+    /// transmission range (only used by the distance-degraded model).
+    pub fn delivered<R: RngExt + ?Sized>(
+        &self,
+        rng: &mut R,
+        src: NodeId,
+        dst: NodeId,
+        dist_frac: f64,
+    ) -> bool {
+        match self {
+            LinkModel::Perfect => true,
+            LinkModel::Iid { p_loss } => !rng.random_bool(*p_loss),
+            LinkModel::PerLink { p_loss } => {
+                let p = p_loss[src.index()][dst.index()];
+                !rng.random_bool(p.clamp(0.0, 1.0))
+            }
+            LinkModel::DistanceDegraded { p_near, p_far } => {
+                let p = p_near + (p_far - p_near) * dist_frac.clamp(0.0, 1.0);
+                !rng.random_bool(p.clamp(0.0, 1.0))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rate(model: &LinkModel, trials: u32, dist_frac: f64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut ok = 0u32;
+        for _ in 0..trials {
+            if model.delivered(&mut rng, NodeId(0), NodeId(1), dist_frac) {
+                ok += 1;
+            }
+        }
+        f64::from(ok) / f64::from(trials)
+    }
+
+    #[test]
+    fn perfect_always_delivers() {
+        assert_eq!(rate(&LinkModel::Perfect, 1000, 0.5), 1.0);
+    }
+
+    #[test]
+    fn zero_loss_collapses_to_perfect() {
+        assert!(matches!(LinkModel::iid_loss(0.0), LinkModel::Perfect));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn iid_rejects_out_of_range_probability() {
+        let _ = LinkModel::iid_loss(1.5);
+    }
+
+    #[test]
+    fn iid_loss_rate_matches_probability() {
+        let model = LinkModel::iid_loss(0.3);
+        let r = rate(&model, 20_000, 0.0);
+        assert!((r - 0.7).abs() < 0.02, "delivery rate {r}, expected ~0.7");
+    }
+
+    #[test]
+    fn per_link_uses_directed_entries() {
+        let model = LinkModel::PerLink {
+            p_loss: vec![vec![0.0, 1.0], vec![0.0, 0.0]],
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        // 0 -> 1 always lost
+        assert!(!model.delivered(&mut rng, NodeId(0), NodeId(1), 0.0));
+        // 1 -> 0 never lost: asymmetric
+        assert!(model.delivered(&mut rng, NodeId(1), NodeId(0), 0.0));
+    }
+
+    #[test]
+    fn distance_degraded_interpolates() {
+        let model = LinkModel::DistanceDegraded {
+            p_near: 0.0,
+            p_far: 1.0,
+        };
+        assert!((rate(&model, 5_000, 0.0) - 1.0).abs() < 1e-9);
+        assert!(rate(&model, 5_000, 1.0) < 1e-9);
+        let mid = rate(&model, 20_000, 0.5);
+        assert!((mid - 0.5).abs() < 0.02, "mid-range delivery rate {mid}");
+    }
+}

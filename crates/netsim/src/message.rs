@@ -1,0 +1,84 @@
+//! Message envelopes exchanged through the simulator.
+
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Where a message is aimed.
+///
+/// Physically every transmission is a broadcast (anyone in range can
+/// snoop it); `Unicast` merely records the intended recipient so the
+/// simulator can distinguish addressed traffic from overheard traffic.
+/// The snapshot protocols exploit this: models are refined by snooping
+/// broadcasts that were addressed to somebody else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Destination {
+    /// Addressed to every node in range.
+    Broadcast,
+    /// Addressed to one node (still physically audible to others).
+    Unicast(NodeId),
+}
+
+/// A message in flight: sender, destination, payload and its wire size
+/// in bytes (used only for accounting; the radio does not fragment).
+#[derive(Debug, Clone)]
+pub struct Envelope<P> {
+    /// Sending node.
+    pub src: NodeId,
+    /// Intended destination.
+    pub dst: Destination,
+    /// Application payload.
+    pub payload: P,
+    /// Approximate wire size, bytes.
+    pub bytes: u32,
+    /// Label of the protocol phase that produced this message
+    /// (e.g. `"invitation"`); drives per-phase statistics.
+    pub phase: &'static str,
+}
+
+/// A message as it arrives in a node's inbox.
+#[derive(Debug, Clone)]
+pub struct Delivery<P> {
+    /// The sender.
+    pub from: NodeId,
+    /// Whether this node was the addressed recipient (`false` for
+    /// traffic it merely overheard).
+    pub addressed: bool,
+    /// The payload.
+    pub payload: P,
+}
+
+impl<P> Delivery<P> {
+    /// Map the payload, keeping delivery metadata.
+    pub fn map<Q>(self, f: impl FnOnce(P) -> Q) -> Delivery<Q> {
+        Delivery {
+            from: self.from,
+            addressed: self.addressed,
+            payload: f(self.payload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unicast_records_target() {
+        let d = Destination::Unicast(NodeId(5));
+        assert_eq!(d, Destination::Unicast(NodeId(5)));
+        assert_ne!(d, Destination::Broadcast);
+    }
+
+    #[test]
+    fn delivery_map_preserves_metadata() {
+        let d = Delivery {
+            from: NodeId(2),
+            addressed: true,
+            payload: 21u32,
+        };
+        let d2 = d.map(|v| v * 2);
+        assert_eq!(d2.from, NodeId(2));
+        assert!(d2.addressed);
+        assert_eq!(d2.payload, 42);
+    }
+}

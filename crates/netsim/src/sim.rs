@@ -1,0 +1,452 @@
+//! The round-based network engine.
+//!
+//! Protocols in the paper are naturally round-structured: every node
+//! broadcasts its invitation, then every node broadcasts its candidate
+//! list, and so on (Figure 2). [`Network`] therefore exposes a simple
+//! contract: nodes enqueue transmissions with [`Network::broadcast`] /
+//! [`Network::unicast`]; a call to [`Network::deliver`] moves the round's
+//! traffic into per-node inboxes, applying the link model and energy
+//! accounting; nodes then drain their inboxes with
+//! [`Network::take_inbox`].
+//!
+//! Physical-layer semantics: every transmission is physically a
+//! broadcast. Any *alive* node within transmission range receives it
+//! unless the link model drops that particular (sender, receiver) pair.
+//! Unicast messages only differ in that the delivery records whether
+//! the receiving node was the addressed recipient — higher layers use
+//! overheard (snooped) copies to refine their models.
+
+use crate::energy::{Battery, EnergyModel};
+use crate::error::NetsimError;
+use crate::link::LinkModel;
+use crate::message::{Delivery, Destination, Envelope};
+use crate::node::{NodeId, NodeState};
+use crate::rng::derive_seed;
+use crate::stats::NetStats;
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The simulated network: topology + link model + energy + statistics.
+///
+/// Generic over the application payload type `P`.
+#[derive(Debug)]
+pub struct Network<P: Clone> {
+    topology: Topology,
+    link: LinkModel,
+    energy: EnergyModel,
+    seed: u64,
+    rng: StdRng,
+    batteries: Vec<Battery>,
+    states: Vec<NodeState>,
+    stats: NetStats,
+    outbox: Vec<Envelope<P>>,
+    inboxes: Vec<Vec<Delivery<P>>>,
+    round: u64,
+}
+
+impl<P: Clone> Clone for Network<P> {
+    /// Clones replicate the full network state. `StdRng` is
+    /// deliberately not `Clone` upstream, so the clone's loss stream is
+    /// re-seeded deterministically from the original seed and the
+    /// current round: clones are reproducible, but their future loss
+    /// pattern differs from the parent's continuation.
+    fn clone(&self) -> Self {
+        Network {
+            topology: self.topology.clone(),
+            link: self.link.clone(),
+            energy: self.energy,
+            seed: self.seed,
+            rng: StdRng::seed_from_u64(derive_seed(self.seed, 0x000C_104E ^ self.round)),
+            batteries: self.batteries.clone(),
+            states: self.states.clone(),
+            stats: self.stats.clone(),
+            outbox: self.outbox.clone(),
+            inboxes: self.inboxes.clone(),
+            round: self.round,
+        }
+    }
+}
+
+impl<P: Clone> Network<P> {
+    /// Build a network with infinite batteries (the Section 6.1
+    /// sensitivity-analysis configuration).
+    pub fn new(topology: Topology, link: LinkModel, energy: EnergyModel, seed: u64) -> Self {
+        let n = topology.len();
+        Network {
+            topology,
+            link,
+            energy,
+            seed,
+            rng: StdRng::seed_from_u64(derive_seed(seed, 0x11_4E7)),
+            batteries: vec![Battery::infinite(); n],
+            states: vec![NodeState::Alive; n],
+            stats: NetStats::new(n),
+            outbox: Vec::new(),
+            inboxes: vec![Vec::new(); n],
+            round: 0,
+        }
+    }
+
+    /// Build a network in which every node starts with a finite battery
+    /// of `capacity` transmission equivalents (Figure 10 uses 500).
+    pub fn with_finite_batteries(
+        topology: Topology,
+        link: LinkModel,
+        energy: EnergyModel,
+        capacity: f64,
+        seed: u64,
+    ) -> Self {
+        let mut net = Self::new(topology, link, energy, seed);
+        net.batteries = vec![Battery::finite(capacity); net.topology.len()];
+        net
+    }
+
+    /// The deployment.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of nodes (alive or dead).
+    pub fn len(&self) -> usize {
+        self.topology.len()
+    }
+
+    /// True when the network has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.topology.is_empty()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.topology.node_ids()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Mutable statistics (for resets between measured windows).
+    pub fn stats_mut(&mut self) -> &mut NetStats {
+        &mut self.stats
+    }
+
+    /// The energy model in force.
+    pub fn energy_model(&self) -> EnergyModel {
+        self.energy
+    }
+
+    /// Battery of one node.
+    pub fn battery(&self, id: NodeId) -> &Battery {
+        &self.batteries[id.index()]
+    }
+
+    /// True when the node is alive (not failed, battery not depleted).
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.states[id.index()].is_alive() && self.batteries[id.index()].is_alive()
+    }
+
+    /// Number of currently alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.node_ids().filter(|&id| self.is_alive(id)).count()
+    }
+
+    /// Inject a permanent failure at `id` (used by self-healing tests).
+    pub fn kill(&mut self, id: NodeId) {
+        self.states[id.index()] = NodeState::Dead;
+    }
+
+    /// Move a node (mobility): future deliveries use the new
+    /// neighborhoods immediately.
+    pub fn move_node(&mut self, id: NodeId, pos: crate::topology::Position) {
+        self.topology.set_position(id, pos);
+    }
+
+    /// Charge `id` for one cache-manager update (the paper's 0.1-tx
+    /// processing cost). Returns `false` if the node was already dead.
+    pub fn charge_cache_update(&mut self, id: NodeId) -> bool {
+        if !self.states[id.index()].is_alive() {
+            return false;
+        }
+        self.batteries[id.index()].draw(self.energy.cache_update_cost)
+    }
+
+    /// Charge `id` an arbitrary amount of energy (failure-injection
+    /// and ablation experiments).
+    pub fn charge(&mut self, id: NodeId, amount: f64) -> bool {
+        if !self.states[id.index()].is_alive() {
+            return false;
+        }
+        self.batteries[id.index()].draw(amount)
+    }
+
+    /// Enqueue a broadcast from `src`. Silently ignored when `src` is
+    /// dead (a dead radio transmits nothing). Charges tx energy.
+    pub fn broadcast(&mut self, src: NodeId, payload: P, bytes: u32, phase: &'static str) {
+        self.send(src, Destination::Broadcast, payload, bytes, phase);
+    }
+
+    /// Enqueue a unicast from `src` to `dst`. Physically still a
+    /// broadcast; see the module docs.
+    pub fn unicast(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        payload: P,
+        bytes: u32,
+        phase: &'static str,
+    ) {
+        self.send(src, Destination::Unicast(dst), payload, bytes, phase);
+    }
+
+    fn send(&mut self, src: NodeId, dst: Destination, payload: P, bytes: u32, phase: &'static str) {
+        if !self.is_alive(src) {
+            return;
+        }
+        if !self.batteries[src.index()].draw(self.energy.tx_cost) {
+            return;
+        }
+        self.stats.record_send(src, phase);
+        self.outbox.push(Envelope {
+            src,
+            dst,
+            payload,
+            bytes,
+            phase,
+        });
+    }
+
+    /// Deliver the round's traffic: for every queued envelope, every
+    /// alive node within range of the sender receives an independent
+    /// copy subject to the link model. Returns the number of
+    /// successful deliveries.
+    pub fn deliver(&mut self) -> usize {
+        self.round += 1;
+        let envelopes = std::mem::take(&mut self.outbox);
+        let mut delivered = 0;
+        for env in envelopes {
+            let range = self.topology.range();
+            // Collect receivers first to appease the borrow checker;
+            // neighbor lists are precomputed so this is just a copy.
+            let receivers: Vec<NodeId> = self.topology.neighbors(env.src).to_vec();
+            for dst in receivers {
+                if !self.is_alive(dst) {
+                    continue;
+                }
+                let dist_frac = self.topology.distance(env.src, dst) / range;
+                if self.link.delivered(&mut self.rng, env.src, dst, dist_frac) {
+                    if self.energy.rx_cost > 0.0 {
+                        self.batteries[dst.index()].draw(self.energy.rx_cost);
+                    }
+                    self.stats.record_receive(dst);
+                    self.inboxes[dst.index()].push(Delivery {
+                        from: env.src,
+                        addressed: match env.dst {
+                            Destination::Broadcast => true,
+                            Destination::Unicast(t) => t == dst,
+                        },
+                        payload: env.payload.clone(),
+                    });
+                    delivered += 1;
+                } else {
+                    self.stats.record_loss(dst);
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Drain the inbox of `id`.
+    pub fn take_inbox(&mut self, id: NodeId) -> Vec<Delivery<P>> {
+        std::mem::take(&mut self.inboxes[id.index()])
+    }
+
+    /// Number of pending (sent, undelivered) messages.
+    pub fn pending(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Number of delivery rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Validate that a node id belongs to this network.
+    pub fn check_node(&self, id: NodeId) -> Result<(), NetsimError> {
+        if id.index() < self.len() {
+            Ok(())
+        } else {
+            Err(NetsimError::UnknownNode(id))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Position;
+
+    fn line_topology(n: usize, spacing: f64, range: f64) -> Topology {
+        let positions = (0..n)
+            .map(|i| Position::new(i as f64 * spacing, 0.0))
+            .collect();
+        Topology::new(positions, range).unwrap()
+    }
+
+    #[test]
+    fn broadcast_reaches_only_in_range_nodes() {
+        // 0 -- 1 -- 2 -- 3 spaced 0.3 apart, range 0.35: only adjacent
+        // nodes hear each other.
+        let topo = line_topology(4, 0.3, 0.35);
+        let mut net: Network<u8> =
+            Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
+        net.broadcast(NodeId(1), 7, 4, "t");
+        net.deliver();
+        assert_eq!(net.take_inbox(NodeId(0)).len(), 1);
+        assert!(net.take_inbox(NodeId(1)).is_empty());
+        assert_eq!(net.take_inbox(NodeId(2)).len(), 1);
+        assert!(net.take_inbox(NodeId(3)).is_empty());
+    }
+
+    #[test]
+    fn unicast_is_physically_overheard() {
+        let topo = line_topology(3, 0.1, 1.0);
+        let mut net: Network<u8> =
+            Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
+        net.unicast(NodeId(0), NodeId(2), 9, 4, "t");
+        net.deliver();
+        let at1 = net.take_inbox(NodeId(1));
+        let at2 = net.take_inbox(NodeId(2));
+        assert_eq!(at1.len(), 1);
+        assert!(!at1[0].addressed, "node 1 merely snooped the message");
+        assert_eq!(at2.len(), 1);
+        assert!(at2[0].addressed);
+    }
+
+    #[test]
+    fn dead_nodes_neither_send_nor_receive() {
+        let topo = line_topology(3, 0.1, 1.0);
+        let mut net: Network<u8> =
+            Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
+        net.kill(NodeId(1));
+        net.broadcast(NodeId(1), 1, 4, "t"); // ignored
+        net.broadcast(NodeId(0), 2, 4, "t");
+        net.deliver();
+        assert!(net.take_inbox(NodeId(1)).is_empty());
+        assert_eq!(net.take_inbox(NodeId(2)).len(), 1);
+        assert_eq!(net.stats().total_sent(), 1);
+    }
+
+    #[test]
+    fn battery_depletion_silences_a_node() {
+        let topo = line_topology(2, 0.1, 1.0);
+        let mut net: Network<u8> = Network::with_finite_batteries(
+            topo,
+            LinkModel::Perfect,
+            EnergyModel::default(),
+            2.0,
+            1,
+        );
+        // Two sends allowed, the third is dropped.
+        net.broadcast(NodeId(0), 1, 4, "t");
+        net.deliver();
+        net.broadcast(NodeId(0), 2, 4, "t");
+        net.deliver();
+        assert!(!net.is_alive(NodeId(0)));
+        net.broadcast(NodeId(0), 3, 4, "t");
+        net.deliver();
+        assert_eq!(net.stats().sent_by(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn cache_update_cost_drains_a_tenth() {
+        let topo = line_topology(1, 0.1, 1.0);
+        let mut net: Network<u8> = Network::with_finite_batteries(
+            topo,
+            LinkModel::Perfect,
+            EnergyModel::default(),
+            1.0,
+            1,
+        );
+        for _ in 0..10 {
+            assert!(net.charge_cache_update(NodeId(0)));
+        }
+        // Ten updates at 0.1 each drain the whole 1.0 battery, modulo
+        // floating-point residue smaller than one further update.
+        assert!(net.battery(NodeId(0)).remaining() < 1e-9);
+        net.charge_cache_update(NodeId(0));
+        assert!(!net.is_alive(NodeId(0)));
+    }
+
+    #[test]
+    fn total_loss_destroys_all_deliveries() {
+        let topo = line_topology(5, 0.1, 1.0);
+        let mut net: Network<u8> =
+            Network::new(topo, LinkModel::iid_loss(1.0), EnergyModel::default(), 1);
+        net.broadcast(NodeId(0), 1, 4, "t");
+        let delivered = net.deliver();
+        assert_eq!(delivered, 0);
+        assert_eq!(net.stats().total_lost(), 4);
+    }
+
+    #[test]
+    fn loss_rate_is_statistically_respected() {
+        let topo = line_topology(2, 0.1, 1.0);
+        let mut net: Network<u8> =
+            Network::new(topo, LinkModel::iid_loss(0.4), EnergyModel::default(), 42);
+        for _ in 0..5_000 {
+            net.broadcast(NodeId(0), 1, 4, "t");
+            net.deliver();
+            net.take_inbox(NodeId(1));
+        }
+        let rate = net.stats().total_received() as f64 / 5_000.0;
+        assert!(
+            (rate - 0.6).abs() < 0.03,
+            "delivery rate {rate}, expected ~0.6"
+        );
+    }
+
+    #[test]
+    fn deliveries_are_deterministic_in_seed() {
+        let run = |seed: u64| {
+            let topo = line_topology(10, 0.05, 1.0);
+            let mut net: Network<u32> =
+                Network::new(topo, LinkModel::iid_loss(0.5), EnergyModel::default(), seed);
+            let mut log = Vec::new();
+            for t in 0..50u32 {
+                net.broadcast(NodeId(t % 10), t, 4, "t");
+                net.deliver();
+                for id in 0..10u32 {
+                    for d in net.take_inbox(NodeId(id)) {
+                        log.push((t, id, d.from.0, d.payload));
+                    }
+                }
+            }
+            log
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn alive_count_tracks_kills() {
+        let topo = line_topology(4, 0.1, 1.0);
+        let mut net: Network<u8> =
+            Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
+        assert_eq!(net.alive_count(), 4);
+        net.kill(NodeId(2));
+        assert_eq!(net.alive_count(), 3);
+    }
+
+    #[test]
+    fn check_node_rejects_out_of_range_ids() {
+        let topo = line_topology(2, 0.1, 1.0);
+        let net: Network<u8> = Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
+        assert!(net.check_node(NodeId(1)).is_ok());
+        assert!(matches!(
+            net.check_node(NodeId(2)),
+            Err(NetsimError::UnknownNode(_))
+        ));
+    }
+}

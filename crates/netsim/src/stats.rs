@@ -1,0 +1,183 @@
+//! Message and energy accounting.
+//!
+//! Table 2 of the paper bounds the election protocol at five messages
+//! per node (six during maintenance); Figures 14/15 report the average
+//! number of messages per node per snapshot update. These statistics
+//! are gathered here, keyed by a protocol-phase label so experiments
+//! can break counts down exactly the way Table 2 does.
+
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-node, per-phase message counters.
+///
+/// Construct with [`NetStats::new`] — the node count fixes the size of
+/// every counter vector. (There is deliberately no `Default`: a
+/// zero-node instance would panic on the first record.)
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetStats {
+    n: usize,
+    sent: Vec<u64>,
+    received: Vec<u64>,
+    lost: Vec<u64>,
+    /// phase label -> per-node sent counts
+    phase_sent: BTreeMap<String, Vec<u64>>,
+}
+
+impl NetStats {
+    /// Counters for an `n`-node network, all zero.
+    pub fn new(n: usize) -> Self {
+        NetStats {
+            n,
+            sent: vec![0; n],
+            received: vec![0; n],
+            lost: vec![0; n],
+            phase_sent: BTreeMap::new(),
+        }
+    }
+
+    /// Record one transmission by `src` in `phase`.
+    pub fn record_send(&mut self, src: NodeId, phase: &str) {
+        self.sent[src.index()] += 1;
+        self.phase_sent
+            .entry(phase.to_owned())
+            .or_insert_with(|| vec![0; self.n])[src.index()] += 1;
+    }
+
+    /// Record a successful delivery at `dst`.
+    pub fn record_receive(&mut self, dst: NodeId) {
+        self.received[dst.index()] += 1;
+    }
+
+    /// Record a delivery attempt at `dst` destroyed by link loss.
+    pub fn record_loss(&mut self, dst: NodeId) {
+        self.lost[dst.index()] += 1;
+    }
+
+    /// Messages sent by one node, all phases.
+    pub fn sent_by(&self, id: NodeId) -> u64 {
+        self.sent[id.index()]
+    }
+
+    /// Messages received by one node.
+    pub fn received_by(&self, id: NodeId) -> u64 {
+        self.received[id.index()]
+    }
+
+    /// Total messages sent network-wide.
+    pub fn total_sent(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+
+    /// Total successful deliveries network-wide.
+    pub fn total_received(&self) -> u64 {
+        self.received.iter().sum()
+    }
+
+    /// Total deliveries destroyed by loss.
+    pub fn total_lost(&self) -> u64 {
+        self.lost.iter().sum()
+    }
+
+    /// Mean messages sent per node, all phases.
+    pub fn mean_sent_per_node(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.total_sent() as f64 / self.n as f64
+        }
+    }
+
+    /// Messages sent by one node in one phase.
+    pub fn sent_in_phase(&self, id: NodeId, phase: &str) -> u64 {
+        self.phase_sent.get(phase).map_or(0, |v| v[id.index()])
+    }
+
+    /// Total messages sent in one phase across all nodes.
+    pub fn phase_total(&self, phase: &str) -> u64 {
+        self.phase_sent.get(phase).map_or(0, |v| v.iter().sum())
+    }
+
+    /// Maximum messages sent by any single node in one phase —
+    /// used to verify the paper's per-phase bounds (Table 2).
+    pub fn phase_max_per_node(&self, phase: &str) -> u64 {
+        self.phase_sent
+            .get(phase)
+            .map_or(0, |v| v.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Maximum messages sent by any single node across all phases.
+    pub fn max_sent_per_node(&self) -> u64 {
+        self.sent.iter().copied().max().unwrap_or(0)
+    }
+
+    /// All phase labels seen so far.
+    pub fn phases(&self) -> impl Iterator<Item = &str> {
+        self.phase_sent.keys().map(String::as_str)
+    }
+
+    /// Reset every counter to zero (e.g. between maintenance rounds),
+    /// keeping the node count.
+    pub fn reset(&mut self) {
+        self.sent.iter_mut().for_each(|c| *c = 0);
+        self.received.iter_mut().for_each(|c| *c = 0);
+        self.lost.iter_mut().for_each(|c| *c = 0);
+        self.phase_sent.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_phase() {
+        let mut s = NetStats::new(3);
+        s.record_send(NodeId(0), "invitation");
+        s.record_send(NodeId(0), "invitation");
+        s.record_send(NodeId(1), "candidate");
+        s.record_receive(NodeId(2));
+        s.record_loss(NodeId(2));
+
+        assert_eq!(s.sent_by(NodeId(0)), 2);
+        assert_eq!(s.sent_in_phase(NodeId(0), "invitation"), 2);
+        assert_eq!(s.sent_in_phase(NodeId(0), "candidate"), 0);
+        assert_eq!(s.phase_total("invitation"), 2);
+        assert_eq!(s.phase_max_per_node("invitation"), 2);
+        assert_eq!(s.total_sent(), 3);
+        assert_eq!(s.total_received(), 1);
+        assert_eq!(s.total_lost(), 1);
+        assert_eq!(s.received_by(NodeId(2)), 1);
+        assert!((s.mean_sent_per_node() - 1.0).abs() < 1e-12);
+        assert_eq!(s.max_sent_per_node(), 2);
+    }
+
+    #[test]
+    fn unknown_phase_reads_as_zero() {
+        let s = NetStats::new(2);
+        assert_eq!(s.phase_total("nope"), 0);
+        assert_eq!(s.sent_in_phase(NodeId(0), "nope"), 0);
+        assert_eq!(s.phase_max_per_node("nope"), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = NetStats::new(2);
+        s.record_send(NodeId(0), "x");
+        s.record_receive(NodeId(1));
+        s.reset();
+        assert_eq!(s.total_sent(), 0);
+        assert_eq!(s.total_received(), 0);
+        assert_eq!(s.phases().count(), 0);
+    }
+
+    #[test]
+    fn phases_listed_in_sorted_order() {
+        let mut s = NetStats::new(1);
+        s.record_send(NodeId(0), "b");
+        s.record_send(NodeId(0), "a");
+        let phases: Vec<_> = s.phases().collect();
+        assert_eq!(phases, vec!["a", "b"]);
+    }
+}

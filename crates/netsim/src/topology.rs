@@ -1,0 +1,413 @@
+//! Node placement and radio connectivity.
+//!
+//! The paper places `N = 100` nodes uniformly at random in the unit
+//! square `[0,1) x [0,1)` and models the radio as a unit disk: node `A`
+//! can transmit directly to node `B` iff their Euclidean distance is at
+//! most the transmission range. Neighborhood is *not* assumed
+//! symmetric by the protocols, but the unit-disk model itself is; the
+//! simulator keeps per-link asymmetry in the loss model instead.
+
+use crate::error::NetsimError;
+use crate::node::NodeId;
+use crate::rng::derive_seed;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A point in the deployment area.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Position {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Position {
+    /// Construct a position.
+    pub fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to another position.
+    #[inline]
+    pub fn distance(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// True when the position lies inside the axis-aligned rectangle
+    /// `[x0, x1] x [y0, y1]`.
+    #[inline]
+    pub fn in_rect(&self, x0: f64, y0: f64, x1: f64, y1: f64) -> bool {
+        self.x >= x0 && self.x <= x1 && self.y >= y0 && self.y <= y1
+    }
+}
+
+/// Static deployment: node positions plus the radio's transmission range.
+///
+/// Neighbor lists are precomputed; for the paper's scale (hundreds of
+/// nodes) the O(N^2) construction is irrelevant, and lookups during the
+/// protocols are O(1) per neighbor.
+///
+/// ```
+/// use snapshot_netsim::Topology;
+///
+/// // The paper's deployment: 100 nodes in the unit square; range
+/// // sqrt(2) makes the radio graph complete.
+/// let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, 42);
+/// assert!(topo.is_connected());
+/// assert_eq!(topo.neighbors(snapshot_netsim::NodeId(0)).len(), 99);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    positions: Vec<Position>,
+    range: f64,
+    neighbors: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Build a topology from explicit positions.
+    ///
+    /// # Errors
+    /// Returns [`NetsimError::InvalidParameter`] if `range` is not
+    /// strictly positive or `positions` is empty.
+    pub fn new(positions: Vec<Position>, range: f64) -> Result<Self, NetsimError> {
+        if range.is_nan() || range <= 0.0 {
+            return Err(NetsimError::InvalidParameter {
+                name: "range",
+                reason: format!("transmission range must be positive, got {range}"),
+            });
+        }
+        if positions.is_empty() {
+            return Err(NetsimError::InvalidParameter {
+                name: "positions",
+                reason: "at least one node is required".into(),
+            });
+        }
+        let neighbors = Self::compute_neighbors(&positions, range);
+        Ok(Topology {
+            positions,
+            range,
+            neighbors,
+        })
+    }
+
+    /// Place `n` nodes uniformly at random in `[0,1) x [0,1)`,
+    /// reproducing the paper's deployment. Deterministic in `seed`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `range <= 0` (programmer error in an
+    /// experiment definition).
+    pub fn random_uniform(n: usize, range: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0xB10C));
+        let positions = (0..n)
+            .map(|_| Position::new(rng.random::<f64>(), rng.random::<f64>()))
+            .collect();
+        Self::new(positions, range).expect("invalid parameters for random_uniform")
+    }
+
+    /// Place `side * side` nodes on a regular grid covering the unit
+    /// square. Useful for tests that need predictable neighborhoods.
+    pub fn grid(side: usize, range: f64) -> Self {
+        assert!(side > 0, "grid side must be positive");
+        let step = 1.0 / side as f64;
+        let mut positions = Vec::with_capacity(side * side);
+        for row in 0..side {
+            for col in 0..side {
+                positions.push(Position::new(
+                    (col as f64 + 0.5) * step,
+                    (row as f64 + 0.5) * step,
+                ));
+            }
+        }
+        Self::new(positions, range).expect("invalid parameters for grid")
+    }
+
+    fn compute_neighbors(positions: &[Position], range: f64) -> Vec<Vec<NodeId>> {
+        let n = positions.len();
+        let mut neighbors = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && positions[i].distance(&positions[j]) <= range {
+                    neighbors[i].push(NodeId::from_index(j));
+                }
+            }
+        }
+        neighbors
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when the topology holds no nodes (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The radio transmission range.
+    #[inline]
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Position of a node.
+    #[inline]
+    pub fn position(&self, id: NodeId) -> Position {
+        self.positions[id.index()]
+    }
+
+    /// All node ids, in index order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.positions.len()).map(NodeId::from_index)
+    }
+
+    /// Nodes within transmission range of `id` (excluding `id` itself).
+    #[inline]
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.neighbors[id.index()]
+    }
+
+    /// True when `b` is within transmission range of `a`.
+    #[inline]
+    pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.positions[a.index()].distance(&self.positions[b.index()]) <= self.range
+    }
+
+    /// Distance between two nodes.
+    #[inline]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        self.positions[a.index()].distance(&self.positions[b.index()])
+    }
+
+    /// True when the radio graph is connected (ignoring loss).
+    ///
+    /// The paper notes that for 100 nodes a range below 0.2 "often
+    /// results in parts of the network being disconnected"; experiments
+    /// use this check to report or regenerate such deployments.
+    pub fn is_connected(&self) -> bool {
+        let n = self.len();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        seen[0] = true;
+        queue.push_back(NodeId(0));
+        let mut count = 1;
+        while let Some(cur) = queue.pop_front() {
+            for &nb in self.neighbors(cur) {
+                if !seen[nb.index()] {
+                    seen[nb.index()] = true;
+                    count += 1;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Nodes whose position falls in `[x0,x1] x [y0,y1]`.
+    pub fn nodes_in_rect(&self, x0: f64, y0: f64, x1: f64, y1: f64) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&id| self.position(id).in_rect(x0, y0, x1, y1))
+            .collect()
+    }
+
+    /// Move a node to a new position, updating the affected neighbor
+    /// lists (O(N) — mobility is per-node, not per-pair).
+    pub fn set_position(&mut self, id: NodeId, pos: Position) {
+        self.positions[id.index()] = pos;
+        // Rebuild id's own list and id's presence in everyone else's.
+        let mut own = Vec::new();
+        for j in 0..self.positions.len() {
+            if j == id.index() {
+                continue;
+            }
+            let jid = NodeId::from_index(j);
+            let in_range = self.positions[id.index()].distance(&self.positions[j]) <= self.range;
+            if in_range {
+                own.push(jid);
+            }
+            let list = &mut self.neighbors[j];
+            let present = list.contains(&id);
+            if in_range && !present {
+                list.push(id);
+            } else if !in_range && present {
+                list.retain(|&n| n != id);
+            }
+        }
+        self.neighbors[id.index()] = own;
+    }
+
+    /// Average neighborhood size — a density diagnostic used when
+    /// interpreting range sweeps (Figure 9).
+    pub fn mean_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.neighbors.iter().map(Vec::len).sum();
+        total as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert!((b.distance(&a) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rect_membership_is_inclusive() {
+        let p = Position::new(0.5, 0.5);
+        assert!(p.in_rect(0.5, 0.5, 1.0, 1.0));
+        assert!(p.in_rect(0.0, 0.0, 0.5, 0.5));
+        assert!(!p.in_rect(0.6, 0.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn rejects_non_positive_range() {
+        let err = Topology::new(vec![Position::new(0.0, 0.0)], 0.0).unwrap_err();
+        assert!(matches!(
+            err,
+            NetsimError::InvalidParameter { name: "range", .. }
+        ));
+        let err = Topology::new(vec![Position::new(0.0, 0.0)], -1.0).unwrap_err();
+        assert!(matches!(
+            err,
+            NetsimError::InvalidParameter { name: "range", .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_deployment() {
+        let err = Topology::new(vec![], 1.0).unwrap_err();
+        assert!(matches!(
+            err,
+            NetsimError::InvalidParameter {
+                name: "positions",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn full_range_makes_everyone_neighbors() {
+        // sqrt(2) covers the whole unit square, as in the paper's
+        // first experiment.
+        let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, 1);
+        for id in topo.node_ids() {
+            assert_eq!(topo.neighbors(id).len(), 99);
+        }
+        assert!(topo.is_connected());
+        assert!((topo.mean_degree() - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn placement_is_deterministic_in_seed() {
+        let a = Topology::random_uniform(50, 0.3, 9);
+        let b = Topology::random_uniform(50, 0.3, 9);
+        for id in a.node_ids() {
+            assert_eq!(a.position(id), b.position(id));
+        }
+        let c = Topology::random_uniform(50, 0.3, 10);
+        let same = a.node_ids().all(|id| a.position(id) == c.position(id));
+        assert!(!same, "different seeds should give different placements");
+    }
+
+    #[test]
+    fn placement_stays_in_unit_square() {
+        let topo = Topology::random_uniform(200, 0.3, 3);
+        for id in topo.node_ids() {
+            let p = topo.position(id);
+            assert!((0.0..1.0).contains(&p.x));
+            assert!((0.0..1.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn grid_neighbors_are_orthogonal_at_tight_range() {
+        // 3x3 grid with spacing 1/3; range 0.34 reaches only the
+        // orthogonal neighbors.
+        let topo = Topology::grid(3, 0.34);
+        // center node index 4 has 4 neighbors
+        assert_eq!(topo.neighbors(NodeId(4)).len(), 4);
+        // corner node index 0 has 2 neighbors
+        assert_eq!(topo.neighbors(NodeId(0)).len(), 2);
+    }
+
+    #[test]
+    fn in_range_is_symmetric_and_irreflexive() {
+        let topo = Topology::random_uniform(40, 0.4, 5);
+        for a in topo.node_ids() {
+            assert!(!topo.in_range(a, a));
+            for b in topo.node_ids() {
+                assert_eq!(topo.in_range(a, b), topo.in_range(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnection_detected_at_tiny_range() {
+        // With a tiny range and a few nodes, the graph is almost
+        // surely disconnected.
+        let topo = Topology::random_uniform(10, 0.01, 2);
+        assert!(!topo.is_connected());
+    }
+
+    #[test]
+    fn moving_a_node_updates_neighborhoods_symmetrically() {
+        let mut topo = Topology::grid(3, 0.34);
+        // Move the corner node onto the center: it should now neighbor
+        // exactly the center's orthogonal neighbors plus sit on top of
+        // the center node itself.
+        let center = topo.position(NodeId(4));
+        topo.set_position(NodeId(0), center);
+        assert!(topo.in_range(NodeId(0), NodeId(4)));
+        assert!(topo.neighbors(NodeId(4)).contains(&NodeId(0)));
+        assert!(topo.neighbors(NodeId(0)).contains(&NodeId(4)));
+        // Symmetry for every pair after the move.
+        for a in topo.node_ids() {
+            for b in topo.node_ids() {
+                assert_eq!(topo.in_range(a, b), topo.in_range(b, a));
+                assert_eq!(
+                    topo.neighbors(a).contains(&b),
+                    topo.in_range(a, b),
+                    "neighbor list inconsistent for {a}/{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn moving_out_of_range_disconnects() {
+        let mut topo = Topology::grid(2, 0.6);
+        assert!(!topo.neighbors(NodeId(0)).is_empty());
+        topo.set_position(NodeId(0), Position::new(10.0, 10.0));
+        assert!(topo.neighbors(NodeId(0)).is_empty());
+        for other in 1..4u32 {
+            assert!(!topo.neighbors(NodeId(other)).contains(&NodeId(0)));
+        }
+    }
+
+    #[test]
+    fn nodes_in_rect_filters_by_position() {
+        let topo = Topology::grid(4, 0.5);
+        let left_half = topo.nodes_in_rect(0.0, 0.0, 0.5, 1.0);
+        assert_eq!(left_half.len(), 8);
+        let all = topo.nodes_in_rect(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(all.len(), 16);
+    }
+}

@@ -1,0 +1,126 @@
+//! Abstract syntax of the query dialect.
+
+use serde::{Deserialize, Serialize};
+use snapshot_core::{Aggregate, Comparison};
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// What the query returns.
+    pub projection: Projection,
+    /// The table named in FROM (always `sensors` in this dialect, but
+    /// preserved for error messages).
+    pub table: String,
+    /// WHERE conditions, conjoined with AND.
+    pub conditions: Vec<Condition>,
+    /// Optional sampling schedule.
+    pub sample: Option<Sample>,
+    /// Whether `USE SNAPSHOT` was present.
+    pub use_snapshot: bool,
+}
+
+/// The SELECT list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Projection {
+    /// `SELECT *`
+    All,
+    /// `SELECT col1, col2, ...` (drill-through).
+    Columns(Vec<String>),
+    /// `SELECT AGG(col)` (aggregate query).
+    Aggregate {
+        /// The aggregate function.
+        agg: Aggregate,
+        /// The aggregated column.
+        column: String,
+    },
+}
+
+/// One conjunct of the WHERE clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Condition {
+    /// `loc IN <region>`
+    Spatial(Region),
+    /// `<column> <op> <number>`
+    Value {
+        /// The measurement column.
+        column: String,
+        /// The comparison operator.
+        op: Comparison,
+        /// The literal to compare against.
+        literal: f64,
+    },
+}
+
+/// A spatial region in the WHERE clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Region {
+    /// `RECT(x0, y0, x1, y1)`
+    Rect {
+        /// Left edge.
+        x0: f64,
+        /// Bottom edge.
+        y0: f64,
+        /// Right edge.
+        x1: f64,
+        /// Top edge.
+        y1: f64,
+    },
+    /// `CIRCLE(x, y, r)`
+    Circle {
+        /// Center x.
+        x: f64,
+        /// Center y.
+        y: f64,
+        /// Radius.
+        r: f64,
+    },
+    /// A named region resolved by the planner's catalog
+    /// (e.g. `SOUTH_EAST_QUADRANT`).
+    Named(String),
+}
+
+/// `SAMPLE INTERVAL <d> [FOR <d>]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Ticks between samples (1 tick = 1 second).
+    pub interval_ticks: u64,
+    /// Total duration in ticks (`None` = a single sample).
+    pub for_ticks: Option<u64>,
+}
+
+impl Sample {
+    /// Number of sampling epochs this schedule produces.
+    pub fn epochs(&self) -> u64 {
+        match self.for_ticks {
+            None => 1,
+            Some(total) => (total / self.interval_ticks).max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_epoch_arithmetic() {
+        // 1s interval for 5min = 300 epochs (the paper's example).
+        let s = Sample {
+            interval_ticks: 1,
+            for_ticks: Some(300),
+        };
+        assert_eq!(s.epochs(), 300);
+        // No FOR clause: one shot.
+        let s = Sample {
+            interval_ticks: 10,
+            for_ticks: None,
+        };
+        assert_eq!(s.epochs(), 1);
+        // Duration shorter than the interval: still one sample.
+        let s = Sample {
+            interval_ticks: 60,
+            for_ticks: Some(30),
+        };
+        assert_eq!(s.epochs(), 1);
+    }
+}

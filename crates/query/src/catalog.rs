@@ -1,0 +1,125 @@
+//! Named spatial regions.
+//!
+//! The paper's example filters on `loc in SHOUTH_EAST_QUANDRANT`
+//! (sic). Named regions make spatial predicates readable for
+//! location-aware deployments; the catalog maps names to concrete
+//! predicates, pre-populated with the four quadrants of the unit
+//! square the paper's simulations use.
+
+use snapshot_core::SpatialPredicate;
+use std::collections::BTreeMap;
+
+/// A case-insensitive name -> region mapping.
+#[derive(Debug, Clone, Default)]
+pub struct RegionCatalog {
+    regions: BTreeMap<String, SpatialPredicate>,
+}
+
+impl RegionCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        RegionCatalog::default()
+    }
+
+    /// A catalog with the four quadrants of the unit square
+    /// (`NORTH_WEST_QUADRANT`, `NORTH_EAST_QUADRANT`,
+    /// `SOUTH_WEST_QUADRANT`, `SOUTH_EAST_QUADRANT`), with south = low
+    /// `y` and west = low `x`.
+    pub fn with_quadrants() -> Self {
+        let mut c = RegionCatalog::new();
+        c.define(
+            "SOUTH_WEST_QUADRANT",
+            SpatialPredicate::Rect {
+                x0: 0.0,
+                y0: 0.0,
+                x1: 0.5,
+                y1: 0.5,
+            },
+        );
+        c.define(
+            "SOUTH_EAST_QUADRANT",
+            SpatialPredicate::Rect {
+                x0: 0.5,
+                y0: 0.0,
+                x1: 1.0,
+                y1: 0.5,
+            },
+        );
+        c.define(
+            "NORTH_WEST_QUADRANT",
+            SpatialPredicate::Rect {
+                x0: 0.0,
+                y0: 0.5,
+                x1: 0.5,
+                y1: 1.0,
+            },
+        );
+        c.define(
+            "NORTH_EAST_QUADRANT",
+            SpatialPredicate::Rect {
+                x0: 0.5,
+                y0: 0.5,
+                x1: 1.0,
+                y1: 1.0,
+            },
+        );
+        c
+    }
+
+    /// Define (or redefine) a named region.
+    pub fn define(&mut self, name: &str, region: SpatialPredicate) {
+        self.regions.insert(name.to_ascii_uppercase(), region);
+    }
+
+    /// Look up a region by name (case-insensitive).
+    pub fn lookup(&self, name: &str) -> Option<SpatialPredicate> {
+        self.regions.get(&name.to_ascii_uppercase()).copied()
+    }
+
+    /// All defined names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.regions.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapshot_netsim::topology::Position;
+
+    #[test]
+    fn quadrants_cover_the_unit_square() {
+        let c = RegionCatalog::with_quadrants();
+        assert_eq!(c.names().count(), 4);
+        let p = Position::new(0.75, 0.25);
+        assert!(c.lookup("south_east_quadrant").unwrap().matches(p));
+        assert!(!c.lookup("NORTH_WEST_QUADRANT").unwrap().matches(p));
+    }
+
+    #[test]
+    fn lookups_are_case_insensitive() {
+        let mut c = RegionCatalog::new();
+        c.define("Parking_Lot", SpatialPredicate::All);
+        assert!(c.lookup("PARKING_LOT").is_some());
+        assert!(c.lookup("parking_lot").is_some());
+        assert!(c.lookup("garage").is_none());
+    }
+
+    #[test]
+    fn redefinition_overwrites() {
+        let mut c = RegionCatalog::new();
+        c.define("ZONE", SpatialPredicate::All);
+        c.define(
+            "zone",
+            SpatialPredicate::Rect {
+                x0: 0.0,
+                y0: 0.0,
+                x1: 0.1,
+                y1: 0.1,
+            },
+        );
+        let got = c.lookup("ZONE").unwrap();
+        assert!(matches!(got, SpatialPredicate::Rect { .. }));
+        assert_eq!(c.names().count(), 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the query pipeline.
+
+use std::fmt;
+
+/// Errors from lexing, parsing, planning or executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The lexer met a character it cannot tokenize.
+    Lex {
+        /// Byte offset in the input.
+        pos: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The parser met an unexpected token.
+    Parse {
+        /// Byte offset in the input.
+        pos: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// Planning failed (unknown region, unsupported construct, bad
+    /// sampling schedule).
+    Plan {
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl QueryError {
+    pub(crate) fn lex(pos: usize, message: impl Into<String>) -> Self {
+        QueryError::Lex {
+            pos,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn parse(pos: usize, message: impl Into<String>) -> Self {
+        QueryError::Parse {
+            pos,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn plan(message: impl Into<String>) -> Self {
+        QueryError::Plan {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
+            QueryError::Parse { pos, message } => write!(f, "parse error at byte {pos}: {message}"),
+            QueryError::Plan { message } => write!(f, "planning error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = QueryError::lex(7, "bad char");
+        assert!(e.to_string().contains("byte 7"));
+        let e = QueryError::parse(3, "expected FROM");
+        assert!(e.to_string().contains("FROM"));
+        let e = QueryError::plan("unknown region");
+        assert!(e.to_string().contains("unknown region"));
+    }
+}

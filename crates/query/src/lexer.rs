@@ -1,0 +1,347 @@
+//! Tokenizer for the query dialect.
+//!
+//! Keywords are case-insensitive, identifiers keep their spelling
+//! (named regions like `SOUTH_EAST_QUADRANT` are identifiers), numbers
+//! are `f64` literals, and durations (`1s`, `5min`, `250ms`) lex as a
+//! number immediately followed by a unit identifier.
+
+use crate::error::QueryError;
+
+/// A token plus its byte offset (for error reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset where the token starts.
+    pub pos: usize,
+}
+
+/// The dialect's tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A keyword (uppercased).
+    Keyword(Keyword),
+    /// An identifier (original spelling preserved).
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `!=` (also `<>`)
+    Ne,
+}
+
+/// Reserved words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    In,
+    And,
+    Sample,
+    Interval,
+    For,
+    Use,
+    Snapshot,
+    Rect,
+    Circle,
+    Loc,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "IN" => Keyword::In,
+            "AND" => Keyword::And,
+            "SAMPLE" => Keyword::Sample,
+            "INTERVAL" => Keyword::Interval,
+            "FOR" => Keyword::For,
+            "USE" => Keyword::Use,
+            "SNAPSHOT" => Keyword::Snapshot,
+            "RECT" => Keyword::Rect,
+            "CIRCLE" => Keyword::Circle,
+            "LOC" => Keyword::Loc,
+            _ => return None,
+        })
+    }
+}
+
+/// Tokenize a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, QueryError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_ascii_whitespace() => i += 1,
+            ',' => {
+                out.push(Spanned {
+                    token: Token::Comma,
+                    pos: i,
+                });
+                i += 1;
+            }
+            '(' => {
+                out.push(Spanned {
+                    token: Token::LParen,
+                    pos: i,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned {
+                    token: Token::RParen,
+                    pos: i,
+                });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned {
+                    token: Token::Star,
+                    pos: i,
+                });
+                i += 1;
+            }
+            '=' => {
+                out.push(Spanned {
+                    token: Token::Eq,
+                    pos: i,
+                });
+                i += 1;
+            }
+            '<' => match bytes.get(i + 1).map(|&b| b as char) {
+                Some('=') => {
+                    out.push(Spanned {
+                        token: Token::Le,
+                        pos: i,
+                    });
+                    i += 2;
+                }
+                Some('>') => {
+                    out.push(Spanned {
+                        token: Token::Ne,
+                        pos: i,
+                    });
+                    i += 2;
+                }
+                _ => {
+                    out.push(Spanned {
+                        token: Token::Lt,
+                        pos: i,
+                    });
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned {
+                        token: Token::Ge,
+                        pos: i,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Spanned {
+                        token: Token::Gt,
+                        pos: i,
+                    });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned {
+                        token: Token::Ne,
+                        pos: i,
+                    });
+                    i += 2;
+                } else {
+                    return Err(QueryError::lex(i, "expected `!=`".to_string()));
+                }
+            }
+            '-' | '.' | '0'..='9' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                let mut seen_dot = false;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_digit() {
+                        i += 1;
+                    } else if d == '.' && !seen_dot {
+                        seen_dot = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..i];
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| QueryError::lex(start, format!("bad number `{text}`")))?;
+                out.push(Spanned {
+                    token: Token::Number(value),
+                    pos: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..i];
+                match Keyword::from_str(word) {
+                    Some(k) => out.push(Spanned {
+                        token: Token::Keyword(k),
+                        pos: start,
+                    }),
+                    None => out.push(Spanned {
+                        token: Token::Ident(word.to_owned()),
+                        pos: start,
+                    }),
+                }
+            }
+            other => {
+                return Err(QueryError::lex(
+                    i,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<Token> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("select FROM Where uSe"),
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Keyword(Keyword::From),
+                Token::Keyword(Keyword::Where),
+                Token::Keyword(Keyword::Use),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_their_spelling() {
+        assert_eq!(
+            kinds("temperature SOUTH_EAST_QUADRANT"),
+            vec![
+                Token::Ident("temperature".into()),
+                Token::Ident("SOUTH_EAST_QUADRANT".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_lex_including_negatives_and_decimals() {
+        assert_eq!(
+            kinds("1 -2.5 0.01"),
+            vec![Token::Number(1.0), Token::Number(-2.5), Token::Number(0.01)]
+        );
+    }
+
+    #[test]
+    fn durations_lex_as_number_then_ident() {
+        assert_eq!(
+            kinds("1s 5min"),
+            vec![
+                Token::Number(1.0),
+                Token::Ident("s".into()),
+                Token::Number(5.0),
+                Token::Ident("min".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_round_trips() {
+        assert_eq!(
+            kinds("avg ( temp ) , *"),
+            vec![
+                Token::Ident("avg".into()),
+                Token::LParen,
+                Token::Ident("temp".into()),
+                Token::RParen,
+                Token::Comma,
+                Token::Star,
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators_lex() {
+        assert_eq!(
+            kinds("< <= > >= != <> ="),
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Ne,
+                Token::Ne,
+                Token::Eq,
+            ]
+        );
+    }
+
+    #[test]
+    fn bare_bang_is_rejected() {
+        assert!(tokenize("wind ! 3").is_err());
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_position() {
+        let err = tokenize("SELECT ; FROM").unwrap_err();
+        assert_eq!(err, QueryError::lex(7, "unexpected character `;`"));
+    }
+
+    #[test]
+    fn positions_point_at_token_starts() {
+        let toks = tokenize("SELECT avg").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 7);
+    }
+}

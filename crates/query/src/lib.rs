@@ -1,0 +1,58 @@
+//! # snapshot-query
+//!
+//! The declarative face of snapshot queries (Section 3.1 of the
+//! paper). TinyDB-style acquisitional SQL with the paper's
+//! `USE SNAPSHOT` extension:
+//!
+//! ```sql
+//! SELECT loc, temperature
+//! FROM sensors
+//! WHERE loc IN SOUTH_EAST_QUADRANT
+//! SAMPLE INTERVAL 1s FOR 5min
+//! USE SNAPSHOT
+//! ```
+//!
+//! The pipeline is conventional: [`lexer`] tokenizes, [`parser`]
+//! builds an [`ast::Query`], [`planner`] resolves named regions
+//! against a [`catalog::RegionCatalog`] and lowers to the
+//! programmatic [`snapshot_core::SnapshotQuery`], and [`executor`]
+//! drives the sampling schedule against a
+//! [`snapshot_core::SensorNetwork`] — one execution per sampling
+//! epoch, advancing simulated time in between.
+//!
+//! ```
+//! use snapshot_query::prelude::*;
+//!
+//! let q = parse("SELECT AVG(temperature) FROM sensors USE SNAPSHOT").unwrap();
+//! assert!(q.use_snapshot);
+//! let plan = plan(&q, &RegionCatalog::with_quadrants()).unwrap();
+//! assert_eq!(plan.epochs, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod catalog;
+pub mod error;
+pub mod executor;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+
+pub use ast::Query;
+pub use catalog::RegionCatalog;
+pub use error::QueryError;
+pub use executor::{execute_plan, PlannedExecution};
+pub use parser::parse;
+pub use planner::{plan, QueryPlan};
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::ast::Query;
+    pub use crate::catalog::RegionCatalog;
+    pub use crate::error::QueryError;
+    pub use crate::executor::{execute_plan, PlannedExecution};
+    pub use crate::parser::parse;
+    pub use crate::planner::{plan, QueryPlan};
+}

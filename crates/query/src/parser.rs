@@ -1,0 +1,517 @@
+//! Recursive-descent parser for the query dialect.
+//!
+//! ```text
+//! query     := SELECT projection FROM ident
+//!              [ WHERE condition (AND condition)* ]
+//!              [ SAMPLE INTERVAL duration [ FOR duration ] ]
+//!              [ USE SNAPSHOT ]
+//! projection := '*' | agg '(' ident ')' | ident (',' ident)*
+//! condition := LOC IN region
+//!            | ident cmp number   -- e.g. temperature > 5
+//! cmp       := '<' | '<=' | '>' | '>=' | '=' | '!=' | '<>'
+//! region    := RECT '(' n ',' n ',' n ',' n ')'
+//!            | CIRCLE '(' n ',' n ',' n ')'
+//!            | ident
+//! duration  := number ident       -- e.g. 1s, 5min, 250ms
+//! ```
+
+use crate::ast::{Condition, Projection, Query, Region, Sample};
+use crate::error::QueryError;
+use crate::lexer::{tokenize, Keyword, Spanned, Token};
+use snapshot_core::{Aggregate, Comparison};
+
+/// Parse a query string.
+///
+/// ```
+/// use snapshot_query::parse;
+///
+/// let q = parse(
+///     "SELECT AVG(wind_speed) FROM sensors \
+///      WHERE loc IN RECT(0, 0, 0.5, 0.5) AND wind_speed > 5 \
+///      USE SNAPSHOT",
+/// )
+/// .unwrap();
+/// assert!(q.use_snapshot);
+/// assert_eq!(q.conditions.len(), 2);
+/// ```
+pub fn parse(input: &str) -> Result<Query, QueryError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
+    let q = p.query()?;
+    if let Some(tok) = p.peek() {
+        return Err(QueryError::parse(
+            tok.pos,
+            format!("trailing input: {:?}", tok.token),
+        ));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn here(&self) -> usize {
+        self.peek().map_or(self.input_len, |t| t.pos)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if matches!(self.peek(), Some(Spanned { token: Token::Keyword(kk), .. }) if *kk == k) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword) -> Result<(), QueryError> {
+        if self.eat_keyword(k) {
+            Ok(())
+        } else {
+            Err(QueryError::parse(self.here(), format!("expected {k:?}")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, QueryError> {
+        match self.next() {
+            Some(Spanned {
+                token: Token::Ident(s),
+                ..
+            }) => Ok(s),
+            Some(Spanned { token, pos }) => Err(QueryError::parse(
+                pos,
+                format!("expected identifier, got {token:?}"),
+            )),
+            None => Err(QueryError::parse(
+                self.input_len,
+                "expected identifier, got end of input",
+            )),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<f64, QueryError> {
+        match self.next() {
+            Some(Spanned {
+                token: Token::Number(n),
+                ..
+            }) => Ok(n),
+            Some(Spanned { token, pos }) => Err(QueryError::parse(
+                pos,
+                format!("expected number, got {token:?}"),
+            )),
+            None => Err(QueryError::parse(
+                self.input_len,
+                "expected number, got end of input",
+            )),
+        }
+    }
+
+    fn expect_token(&mut self, want: Token, what: &str) -> Result<(), QueryError> {
+        match self.next() {
+            Some(Spanned { token, .. }) if token == want => Ok(()),
+            Some(Spanned { token, pos }) => Err(QueryError::parse(
+                pos,
+                format!("expected {what}, got {token:?}"),
+            )),
+            None => Err(QueryError::parse(
+                self.input_len,
+                format!("expected {what}, got end of input"),
+            )),
+        }
+    }
+
+    /// A column name: any identifier, or the keyword `loc` (which the
+    /// lexer reserves for WHERE clauses but is also a projectable
+    /// column in the paper's examples).
+    fn expect_column(&mut self) -> Result<String, QueryError> {
+        if self.eat_keyword(Keyword::Loc) {
+            return Ok("loc".to_owned());
+        }
+        self.expect_ident()
+    }
+
+    fn query(&mut self) -> Result<Query, QueryError> {
+        self.expect_keyword(Keyword::Select)?;
+        let projection = self.projection()?;
+        self.expect_keyword(Keyword::From)?;
+        let table = self.expect_ident()?;
+
+        let mut conditions = Vec::new();
+        if self.eat_keyword(Keyword::Where) {
+            loop {
+                conditions.push(self.condition()?);
+                if !self.eat_keyword(Keyword::And) {
+                    break;
+                }
+            }
+        }
+
+        let sample = if self.eat_keyword(Keyword::Sample) {
+            self.expect_keyword(Keyword::Interval)?;
+            let interval = self.duration()?;
+            let for_ticks = if self.eat_keyword(Keyword::For) {
+                Some(self.duration()?)
+            } else {
+                None
+            };
+            Some(Sample {
+                interval_ticks: interval.max(1),
+                for_ticks,
+            })
+        } else {
+            None
+        };
+
+        let use_snapshot = if self.eat_keyword(Keyword::Use) {
+            self.expect_keyword(Keyword::Snapshot)?;
+            true
+        } else {
+            false
+        };
+
+        Ok(Query {
+            projection,
+            table,
+            conditions,
+            sample,
+            use_snapshot,
+        })
+    }
+
+    fn condition(&mut self) -> Result<Condition, QueryError> {
+        if self.eat_keyword(Keyword::Loc) {
+            self.expect_keyword(Keyword::In)?;
+            return Ok(Condition::Spatial(self.region()?));
+        }
+        let column = self.expect_ident()?;
+        let op = self.comparison()?;
+        let literal = self.expect_number()?;
+        Ok(Condition::Value {
+            column,
+            op,
+            literal,
+        })
+    }
+
+    fn comparison(&mut self) -> Result<Comparison, QueryError> {
+        match self.next() {
+            Some(Spanned {
+                token: Token::Lt, ..
+            }) => Ok(Comparison::Lt),
+            Some(Spanned {
+                token: Token::Le, ..
+            }) => Ok(Comparison::Le),
+            Some(Spanned {
+                token: Token::Gt, ..
+            }) => Ok(Comparison::Gt),
+            Some(Spanned {
+                token: Token::Ge, ..
+            }) => Ok(Comparison::Ge),
+            Some(Spanned {
+                token: Token::Eq, ..
+            }) => Ok(Comparison::Eq),
+            Some(Spanned {
+                token: Token::Ne, ..
+            }) => Ok(Comparison::Ne),
+            Some(Spanned { token, pos }) => Err(QueryError::parse(
+                pos,
+                format!("expected comparison operator, got {token:?}"),
+            )),
+            None => Err(QueryError::parse(
+                self.input_len,
+                "expected comparison operator, got end of input",
+            )),
+        }
+    }
+
+    fn projection(&mut self) -> Result<Projection, QueryError> {
+        if matches!(
+            self.peek(),
+            Some(Spanned {
+                token: Token::Star,
+                ..
+            })
+        ) {
+            self.pos += 1;
+            return Ok(Projection::All);
+        }
+        let first = self.expect_column()?;
+        // Aggregate call?
+        if matches!(
+            self.peek(),
+            Some(Spanned {
+                token: Token::LParen,
+                ..
+            })
+        ) {
+            let agg = Aggregate::parse(&first).ok_or_else(|| {
+                QueryError::parse(self.here(), format!("unknown aggregate `{first}`"))
+            })?;
+            self.pos += 1; // '('
+            let column = if matches!(
+                self.peek(),
+                Some(Spanned {
+                    token: Token::Star,
+                    ..
+                })
+            ) {
+                self.pos += 1;
+                "*".to_owned()
+            } else {
+                self.expect_column()?
+            };
+            self.expect_token(Token::RParen, "`)`")?;
+            return Ok(Projection::Aggregate { agg, column });
+        }
+        // Column list.
+        let mut cols = vec![first];
+        while matches!(
+            self.peek(),
+            Some(Spanned {
+                token: Token::Comma,
+                ..
+            })
+        ) {
+            self.pos += 1;
+            cols.push(self.expect_column()?);
+        }
+        Ok(Projection::Columns(cols))
+    }
+
+    fn region(&mut self) -> Result<Region, QueryError> {
+        if self.eat_keyword(Keyword::Rect) {
+            self.expect_token(Token::LParen, "`(`")?;
+            let x0 = self.expect_number()?;
+            self.expect_token(Token::Comma, "`,`")?;
+            let y0 = self.expect_number()?;
+            self.expect_token(Token::Comma, "`,`")?;
+            let x1 = self.expect_number()?;
+            self.expect_token(Token::Comma, "`,`")?;
+            let y1 = self.expect_number()?;
+            self.expect_token(Token::RParen, "`)`")?;
+            return Ok(Region::Rect { x0, y0, x1, y1 });
+        }
+        if self.eat_keyword(Keyword::Circle) {
+            self.expect_token(Token::LParen, "`(`")?;
+            let x = self.expect_number()?;
+            self.expect_token(Token::Comma, "`,`")?;
+            let y = self.expect_number()?;
+            self.expect_token(Token::Comma, "`,`")?;
+            let r = self.expect_number()?;
+            self.expect_token(Token::RParen, "`)`")?;
+            return Ok(Region::Circle { x, y, r });
+        }
+        Ok(Region::Named(self.expect_ident()?))
+    }
+
+    /// A duration: number + unit identifier. 1 tick = 1 second.
+    fn duration(&mut self) -> Result<u64, QueryError> {
+        let at = self.here();
+        let n = self.expect_number()?;
+        if n < 0.0 {
+            return Err(QueryError::parse(at, "durations must be non-negative"));
+        }
+        let unit = self.expect_ident()?;
+        let seconds = match unit.to_ascii_lowercase().as_str() {
+            "ms" => n / 1000.0,
+            "s" | "sec" | "secs" | "second" | "seconds" => n,
+            "min" | "mins" | "minute" | "minutes" => n * 60.0,
+            "h" | "hr" | "hour" | "hours" => n * 3600.0,
+            other => {
+                return Err(QueryError::parse(
+                    at,
+                    format!("unknown time unit `{other}`"),
+                ));
+            }
+        };
+        Ok(seconds.round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_papers_example_parses() {
+        let q = parse(
+            "SELECT loc, temperature FROM sensors \
+             WHERE loc IN SOUTH_EAST_QUADRANT \
+             SAMPLE INTERVAL 1s FOR 5min \
+             USE SNAPSHOT",
+        )
+        .unwrap();
+        assert_eq!(
+            q.projection,
+            Projection::Columns(vec!["loc".into(), "temperature".into()])
+        );
+        assert_eq!(q.table, "sensors");
+        assert_eq!(
+            q.conditions,
+            vec![Condition::Spatial(Region::Named(
+                "SOUTH_EAST_QUADRANT".into()
+            ))]
+        );
+        let s = q.sample.unwrap();
+        assert_eq!(s.interval_ticks, 1);
+        assert_eq!(s.for_ticks, Some(300));
+        assert!(q.use_snapshot);
+    }
+
+    #[test]
+    fn aggregates_parse() {
+        let q = parse("SELECT AVG(temperature) FROM sensors").unwrap();
+        assert_eq!(
+            q.projection,
+            Projection::Aggregate {
+                agg: Aggregate::Avg,
+                column: "temperature".into()
+            }
+        );
+        assert!(!q.use_snapshot);
+        let q = parse("SELECT COUNT(*) FROM sensors").unwrap();
+        assert_eq!(
+            q.projection,
+            Projection::Aggregate {
+                agg: Aggregate::Count,
+                column: "*".into()
+            }
+        );
+    }
+
+    #[test]
+    fn star_projection_parses() {
+        let q = parse("SELECT * FROM sensors").unwrap();
+        assert_eq!(q.projection, Projection::All);
+    }
+
+    #[test]
+    fn explicit_rect_and_circle_regions_parse() {
+        let q = parse("SELECT * FROM sensors WHERE loc IN RECT(0.1, 0.2, 0.5, 0.6)").unwrap();
+        assert_eq!(
+            q.conditions,
+            vec![Condition::Spatial(Region::Rect {
+                x0: 0.1,
+                y0: 0.2,
+                x1: 0.5,
+                y1: 0.6
+            })]
+        );
+        let q = parse("SELECT * FROM sensors WHERE loc IN CIRCLE(0.5, 0.5, 0.25)").unwrap();
+        assert_eq!(
+            q.conditions,
+            vec![Condition::Spatial(Region::Circle {
+                x: 0.5,
+                y: 0.5,
+                r: 0.25
+            })]
+        );
+    }
+
+    #[test]
+    fn value_predicates_parse() {
+        let q = parse("SELECT * FROM sensors WHERE wind_speed > 10").unwrap();
+        assert_eq!(
+            q.conditions,
+            vec![Condition::Value {
+                column: "wind_speed".into(),
+                op: Comparison::Gt,
+                literal: 10.0
+            }]
+        );
+        let q = parse("SELECT * FROM sensors WHERE temp <= -2.5").unwrap();
+        assert_eq!(
+            q.conditions,
+            vec![Condition::Value {
+                column: "temp".into(),
+                op: Comparison::Le,
+                literal: -2.5
+            }]
+        );
+    }
+
+    #[test]
+    fn conjunctions_parse_in_order() {
+        let q = parse(
+            "SELECT AVG(wind) FROM sensors              WHERE loc IN NORTH_EAST_QUADRANT AND wind >= 5              USE SNAPSHOT",
+        )
+        .unwrap();
+        assert_eq!(q.conditions.len(), 2);
+        assert!(matches!(q.conditions[0], Condition::Spatial(_)));
+        assert!(matches!(q.conditions[1], Condition::Value { .. }));
+    }
+
+    #[test]
+    fn dangling_and_is_rejected() {
+        assert!(parse("SELECT * FROM sensors WHERE loc IN RECT(0,0,1,1) AND").is_err());
+    }
+
+    #[test]
+    fn missing_comparison_operator_is_rejected() {
+        let err = parse("SELECT * FROM sensors WHERE wind 10").unwrap_err();
+        assert!(err.to_string().contains("comparison"));
+    }
+
+    #[test]
+    fn missing_from_is_a_parse_error() {
+        let err = parse("SELECT *").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+        assert!(err.to_string().contains("From"));
+    }
+
+    #[test]
+    fn unknown_aggregate_is_rejected() {
+        let err = parse("SELECT MEDIAN(x) FROM sensors").unwrap_err();
+        assert!(err.to_string().contains("MEDIAN"));
+    }
+
+    #[test]
+    fn trailing_tokens_are_rejected() {
+        let err = parse("SELECT * FROM sensors garbage here").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn bad_duration_unit_is_rejected() {
+        let err = parse("SELECT * FROM sensors SAMPLE INTERVAL 3 fortnights").unwrap_err();
+        assert!(err.to_string().contains("fortnights"));
+    }
+
+    #[test]
+    fn negative_duration_is_rejected() {
+        let err = parse("SELECT * FROM sensors SAMPLE INTERVAL -1 s").unwrap_err();
+        assert!(err.to_string().contains("non-negative"));
+    }
+
+    #[test]
+    fn use_without_snapshot_is_an_error() {
+        let err = parse("SELECT * FROM sensors USE").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
+    }
+
+    #[test]
+    fn sub_second_intervals_clamp_to_one_tick() {
+        let q = parse("SELECT * FROM sensors SAMPLE INTERVAL 250ms FOR 2s").unwrap();
+        let s = q.sample.unwrap();
+        assert_eq!(s.interval_ticks, 1, "sub-tick intervals clamp to 1");
+    }
+}

@@ -1,0 +1,102 @@
+//! Quickstart: build a sensor network, train models, elect a
+//! snapshot, and compare a snapshot query against a regular one.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use snapshot_queries::core::{
+    Aggregate, QueryMode, SensorNetwork, SnapshotConfig, SnapshotQuery, SpatialPredicate,
+};
+use snapshot_queries::datagen::{random_walk, RandomWalkConfig};
+use snapshot_queries::netsim::{EnergyModel, LinkModel, NodeId, Topology};
+
+fn main() {
+    // 1. A 100-node deployment in the unit square: the paper's
+    //    canonical setup (range sqrt(2) = full connectivity, no loss).
+    let seed = 42;
+    let topology = Topology::random_uniform(100, std::f64::consts::SQRT_2, seed);
+
+    // 2. Synthetic measurements: 5 behavior classes of correlated
+    //    random walks (Section 6.1 of the paper).
+    let data = random_walk(&RandomWalkConfig::paper_defaults(5, seed)).expect("valid config");
+
+    // 3. Wire it together with the paper's defaults: threshold T = 1,
+    //    sse metric, 2 KB model cache per node.
+    let config = SnapshotConfig::paper(1.0, 2048, seed);
+    let mut network = SensorNetwork::new(
+        topology,
+        LinkModel::Perfect,
+        EnergyModel::default(),
+        config,
+        data.trace,
+    );
+
+    // 4. Train: for the first 10 time units a query selects every
+    //    node's value; neighbors overhear the answers and build linear
+    //    models of each other.
+    network.train(0, 10);
+    println!("trained: every node now models its neighbors from overheard values");
+
+    // 5. Elect the snapshot at t = 99 with a handful of messages per
+    //    node (at most ~5; see Table 2 of the paper).
+    network.set_time(99);
+    let outcome = network.elect();
+    println!(
+        "election: {} representatives answer for {} passive nodes ({} refinement rounds)",
+        outcome.snapshot_size, outcome.passive, outcome.refinement_rounds
+    );
+
+    // 6. Ask the same question both ways.
+    let region = SpatialPredicate::window(0.5, 0.5, 0.5); // area 0.25 around the center
+    let sink = NodeId(7);
+
+    let regular = network.query(
+        &SnapshotQuery::aggregate(region, Aggregate::Avg, QueryMode::Regular),
+        sink,
+    );
+    let snapshot = network.query(
+        &SnapshotQuery::aggregate(region, Aggregate::Avg, QueryMode::Snapshot),
+        sink,
+    );
+
+    println!("\nAVG over the central region:");
+    println!(
+        "  regular : value {:>10.3}  participants {:>3}",
+        regular.value.unwrap_or(f64::NAN),
+        regular.participants
+    );
+    println!(
+        "  snapshot: value {:>10.3}  participants {:>3}",
+        snapshot.value.unwrap_or(f64::NAN),
+        snapshot.participants
+    );
+    let saved = regular.participants.saturating_sub(snapshot.participants);
+    println!(
+        "  -> {} fewer nodes involved ({:.0}% saving), answer off by {:.4}",
+        saved,
+        100.0 * saved as f64 / regular.participants.max(1) as f64,
+        (regular.value.unwrap_or(0.0) - snapshot.value.unwrap_or(0.0)).abs()
+    );
+
+    // 7. Representatives self-heal: kill the busiest one and run
+    //    maintenance.
+    let snapshot_view = network.snapshot();
+    let rep = snapshot_view
+        .representatives()
+        .into_iter()
+        .max_by_key(|&r| snapshot_view.members_of(r).len())
+        .expect("snapshot has at least one representative");
+    println!(
+        "\nkilling representative {rep} (answers for {} nodes) ...",
+        snapshot_view.members_of(rep).len()
+    );
+    network.net_mut().kill(rep);
+    let report = network.maintain();
+    println!(
+        "maintenance: {} members noticed the silence and re-elected; snapshot is now {} nodes",
+        report.silence_detected,
+        network.snapshot_size()
+    );
+}

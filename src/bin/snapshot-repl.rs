@@ -1,0 +1,299 @@
+//! `snapshot-repl` — an operator console over a simulated deployment.
+//!
+//! Builds a sensor network (workload, topology and protocol parameters
+//! from flags), then reads SQL queries and meta-commands from stdin:
+//!
+//! ```text
+//! $ cargo run --release --bin snapshot-repl -- --nodes 100 --classes 5
+//! sq> SELECT AVG(value) FROM sensors USE SNAPSHOT
+//! sq> .kill N13
+//! sq> .maintain
+//! sq> .snapshot
+//! sq> .help
+//! ```
+
+use snapshot_queries::core::{SensorNetwork, SnapshotConfig};
+use snapshot_queries::datagen::{random_walk, weather, RandomWalkConfig, WeatherConfig};
+use snapshot_queries::netsim::{EnergyModel, LinkModel, NodeId, Topology};
+use snapshot_queries::query::{execute_plan, parse, plan, RegionCatalog};
+use std::io::{BufRead, Write};
+
+struct Options {
+    nodes: usize,
+    classes: usize,
+    weather: bool,
+    range: f64,
+    loss: f64,
+    threshold: f64,
+    cache: usize,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            nodes: 100,
+            classes: 5,
+            weather: false,
+            range: std::f64::consts::SQRT_2,
+            loss: 0.0,
+            threshold: 1.0,
+            cache: 2048,
+            seed: 42,
+        }
+    }
+}
+
+fn parse_args() -> Options {
+    let mut o = Options::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .unwrap_or_else(|| die("missing flag value"))
+        };
+        match args[i].as_str() {
+            "--nodes" => o.nodes = take(&mut i).parse().unwrap_or_else(|_| die("bad --nodes")),
+            "--classes" => {
+                o.classes = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --classes"))
+            }
+            "--weather" => o.weather = true,
+            "--range" => o.range = take(&mut i).parse().unwrap_or_else(|_| die("bad --range")),
+            "--loss" => o.loss = take(&mut i).parse().unwrap_or_else(|_| die("bad --loss")),
+            "--threshold" => {
+                o.threshold = take(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --threshold"))
+            }
+            "--cache" => o.cache = take(&mut i).parse().unwrap_or_else(|_| die("bad --cache")),
+            "--seed" => o.seed = take(&mut i).parse().unwrap_or_else(|_| die("bad --seed")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: snapshot-repl [--nodes N] [--classes K] [--weather] [--range R] \
+                     [--loss P] [--threshold T] [--cache BYTES] [--seed S]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag `{other}` (try --help)")),
+        }
+        i += 1;
+    }
+    if !(0.0..=1.0).contains(&o.loss) {
+        die("--loss must be a probability in [0, 1]");
+    }
+    if o.nodes == 0 {
+        die("--nodes must be at least 1");
+    }
+    if o.range.is_nan() || o.range <= 0.0 {
+        die("--range must be positive");
+    }
+    if o.threshold.is_nan() || o.threshold < 0.0 {
+        die("--threshold must be non-negative");
+    }
+    o
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("snapshot-repl: {msg}");
+    std::process::exit(2);
+}
+
+fn build(o: &Options) -> SensorNetwork {
+    let trace = if o.weather {
+        weather(&WeatherConfig {
+            n_nodes: o.nodes,
+            window: 1000,
+            ..WeatherConfig::paper_defaults(o.seed)
+        })
+        .unwrap_or_else(|e| die(&format!("weather generation failed: {e}")))
+    } else {
+        random_walk(&RandomWalkConfig {
+            n_nodes: o.nodes,
+            steps: 1000,
+            ..RandomWalkConfig::paper_defaults(o.classes.min(o.nodes), o.seed)
+        })
+        .unwrap_or_else(|e| die(&format!("workload generation failed: {e}")))
+        .trace
+    };
+    let topology = Topology::random_uniform(o.nodes, o.range, o.seed);
+    let mut sn = SensorNetwork::new(
+        topology,
+        LinkModel::iid_loss(o.loss),
+        EnergyModel::default(),
+        SnapshotConfig::paper(o.threshold, o.cache, o.seed),
+        trace,
+    );
+    sn.train(0, 10);
+    sn.set_time(99);
+    let outcome = sn.elect();
+    println!(
+        "network up: {} nodes ({}), range {}, loss {:.0}%, T={} -> snapshot of {} representatives",
+        o.nodes,
+        if o.weather {
+            "weather data"
+        } else {
+            "random-walk data"
+        },
+        o.range,
+        o.loss * 100.0,
+        o.threshold,
+        outcome.snapshot_size,
+    );
+    sn
+}
+
+const HELP: &str = "\
+queries:   any SQL, e.g. SELECT AVG(value) FROM sensors WHERE loc IN NORTH_EAST_QUADRANT USE SNAPSHOT
+meta:      .help                 this text
+           .snapshot             representatives and member counts
+           .elect                run a full re-election
+           .maintain             run one maintenance cycle
+           .reconcile            clear spurious representative claims
+           .kill <id>            fail a node (e.g. .kill N13 or .kill 13)
+           .time [+]<t>          jump to (or advance by) a simulation time
+           .stats                message counters by protocol phase
+           .quit                 exit";
+
+fn main() {
+    let options = parse_args();
+    let mut sn = build(&options);
+    let catalog = RegionCatalog::with_quadrants();
+    let sink = NodeId(0);
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("sq> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => die(&format!("stdin: {e}")),
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            if !meta(&mut sn, rest) {
+                break;
+            }
+            continue;
+        }
+        match parse(line).and_then(|q| plan(&q, &catalog)) {
+            Ok(p) => {
+                let exec = execute_plan(&mut sn, &p, sink);
+                print!("{}", exec.render_last(&sn));
+                if exec.epochs.len() > 1 {
+                    println!(
+                        "({} epochs; mean participants {:.1}, mean coverage {:.0}%)",
+                        exec.epochs.len(),
+                        exec.mean_participants(),
+                        exec.mean_coverage() * 100.0
+                    );
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+/// Handle a meta-command; returns false to quit.
+fn meta(sn: &mut SensorNetwork, cmd: &str) -> bool {
+    let mut parts = cmd.split_whitespace();
+    match parts.next().unwrap_or("") {
+        "help" => println!("{HELP}"),
+        "quit" | "exit" => return false,
+        "snapshot" => {
+            let snapshot = sn.snapshot();
+            let reps = snapshot.representatives();
+            println!(
+                "{} representatives at t={} (epoch {:?}):",
+                reps.len(),
+                sn.now(),
+                sn.epoch()
+            );
+            for rep in reps {
+                let members = snapshot.members_of(rep).len();
+                let alive = if sn.net().is_alive(rep) {
+                    ""
+                } else {
+                    " [DEAD]"
+                };
+                println!("  {rep}{alive}: {members} members");
+            }
+            let spurious = sn.spurious_representatives();
+            if spurious > 0 {
+                println!("  ({spurious} spurious claims; run .reconcile)");
+            }
+        }
+        "elect" => {
+            let o = sn.elect();
+            println!(
+                "elected: {} representatives, {} passive, {} rounds",
+                o.snapshot_size, o.passive, o.refinement_rounds
+            );
+        }
+        "maintain" => {
+            let r = sn.maintain();
+            println!(
+                "maintained: {} heartbeats, {} drift, {} silent, {} fishing",
+                r.heartbeats, r.drift_detected, r.silence_detected, r.fishing
+            );
+        }
+        "reconcile" => {
+            let r = sn.reconcile();
+            println!(
+                "reconciled: {} announcements, {} objections, {} corrected",
+                r.announcements, r.objections, r.corrected
+            );
+        }
+        "kill" => match parts.next().map(|t| t.trim_start_matches(['N', 'n'])) {
+            Some(id_text) => match id_text.parse::<u32>() {
+                Ok(raw) if (raw as usize) < sn.len() => {
+                    sn.net_mut().kill(NodeId(raw));
+                    println!("killed N{raw} ({} nodes alive)", sn.net().alive_count());
+                }
+                _ => println!("error: expected a node id below {}", sn.len()),
+            },
+            None => println!("usage: .kill <id>"),
+        },
+        "time" => match parts.next() {
+            Some(t) if t.starts_with('+') => match t[1..].parse::<usize>() {
+                Ok(dt) => {
+                    sn.advance(dt);
+                    println!("t = {}", sn.now());
+                }
+                Err(_) => println!("error: bad offset `{t}`"),
+            },
+            Some(t) => match t.parse::<usize>() {
+                Ok(abs) => {
+                    sn.set_time(abs);
+                    println!("t = {}", sn.now());
+                }
+                Err(_) => println!("error: bad time `{t}`"),
+            },
+            None => println!("t = {}", sn.now()),
+        },
+        "stats" => {
+            let stats = sn.stats();
+            println!(
+                "total sent {}, received {}, lost {}",
+                stats.total_sent(),
+                stats.total_received(),
+                stats.total_lost()
+            );
+            for phase in stats.phases().map(str::to_owned).collect::<Vec<_>>() {
+                println!("  {phase}: {}", stats.phase_total(&phase));
+            }
+        }
+        other => println!("unknown command `.{other}` (try .help)"),
+    }
+    true
+}

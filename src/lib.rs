@@ -1,0 +1,25 @@
+//! # snapshot-queries
+//!
+//! Facade crate for the *Snapshot Queries* reproduction (Kotidis,
+//! ICDE 2005). Re-exports the workspace crates under one roof:
+//!
+//! * [`netsim`] — the discrete-time wireless network simulator.
+//! * [`datagen`] — synthetic and weather-like workload generators.
+//! * [`core`] — models, model-aware cache, representative election,
+//!   snapshot maintenance and snapshot query execution.
+//! * [`query`] — the declarative `SELECT ... USE SNAPSHOT` dialect.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use snapshot_core as core;
+pub use snapshot_datagen as datagen;
+pub use snapshot_netsim as netsim;
+pub use snapshot_query as query;
+
+/// Frequently used types from every layer.
+pub mod prelude {
+    pub use snapshot_core::prelude::*;
+    pub use snapshot_datagen::prelude::*;
+    pub use snapshot_netsim::prelude::*;
+    pub use snapshot_query::prelude::*;
+}

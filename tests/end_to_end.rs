@@ -1,0 +1,248 @@
+//! End-to-end integration: the full pipeline from data generation
+//! through training, election, querying and maintenance, exercised the
+//! way the paper's experiments (and a real deployment) would.
+
+use snapshot_queries::core::{
+    Aggregate, Mode, QueryMode, SensorNetwork, SnapshotConfig, SnapshotQuery, SpatialPredicate,
+};
+use snapshot_queries::datagen::{random_walk, weather, RandomWalkConfig, WeatherConfig};
+use snapshot_queries::netsim::{EnergyModel, LinkModel, NodeId, Topology};
+
+fn build_rw(k: usize, seed: u64, loss: f64, range: f64) -> SensorNetwork {
+    let data = random_walk(&RandomWalkConfig::paper_defaults(k, seed)).unwrap();
+    let topo = Topology::random_uniform(100, range, seed);
+    let mut sn = SensorNetwork::new(
+        topo,
+        LinkModel::iid_loss(loss),
+        EnergyModel::default(),
+        SnapshotConfig::paper(1.0, 2048, seed),
+        data.trace,
+    );
+    sn.train(0, 10);
+    sn.set_time(99);
+    sn
+}
+
+#[test]
+fn paper_pipeline_produces_a_small_accurate_snapshot() {
+    let mut sn = build_rw(1, 5, 0.0, std::f64::consts::SQRT_2);
+    let outcome = sn.elect();
+    assert!(
+        outcome.snapshot_size <= 3,
+        "K=1 snapshot was {}",
+        outcome.snapshot_size
+    );
+
+    // Aggregate accuracy: with T = 1 (sse) each estimate is within
+    // 1 absolute, so a SUM over n nodes errs at most n.
+    let q = SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Sum, QueryMode::Snapshot);
+    let res = sn.query(&q, NodeId(0));
+    let err = res.absolute_error().expect("both values exist");
+    assert!(
+        err <= 100.0,
+        "sum error {err} exceeds the per-node threshold bound"
+    );
+    assert_eq!(res.rows.len(), 100, "every node is answered for");
+}
+
+#[test]
+fn every_alive_node_settles_into_a_mode() {
+    for (k, loss) in [(1, 0.0), (10, 0.0), (10, 0.3), (50, 0.6)] {
+        let mut sn = build_rw(k, 7, loss, std::f64::consts::SQRT_2);
+        let outcome = sn.elect();
+        for node in sn.nodes() {
+            assert_ne!(node.mode(), Mode::Undefined, "node {} undefined", node.id());
+        }
+        assert_eq!(outcome.snapshot_size + outcome.passive, 100);
+    }
+}
+
+#[test]
+fn elections_are_deterministic_in_the_seed() {
+    let run = |seed: u64| {
+        let mut sn = build_rw(10, seed, 0.4, 0.7);
+        let _ = sn.elect();
+        sn.nodes()
+            .iter()
+            .map(|n| (n.id(), n.mode() == Mode::Active, n.representative()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(42), run(42));
+    assert_ne!(run(42), run(43));
+}
+
+#[test]
+fn snapshot_queries_track_ground_truth_within_threshold_scaled_error() {
+    let mut sn = build_rw(5, 11, 0.0, std::f64::consts::SQRT_2);
+    let _ = sn.elect();
+    let q = SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Avg, QueryMode::Snapshot);
+    let res = sn.query(&q, NodeId(3));
+    // AVG error is bounded by the per-node absolute error bound
+    // (sqrt(T) = 1 for sse with T = 1).
+    let err = res.absolute_error().unwrap();
+    assert!(err <= 1.0, "avg error {err}");
+}
+
+#[test]
+fn drill_through_rows_cover_all_matching_targets() {
+    let mut sn = build_rw(3, 13, 0.0, std::f64::consts::SQRT_2);
+    let _ = sn.elect();
+    let q = SnapshotQuery::drill_through(
+        SpatialPredicate::Rect {
+            x0: 0.0,
+            y0: 0.0,
+            x1: 1.0,
+            y1: 0.5,
+        },
+        QueryMode::Snapshot,
+    );
+    let res = sn.query(&q, NodeId(0));
+    assert_eq!(res.rows.len(), res.targets);
+    assert_eq!(res.coverage, 1.0);
+    // Far fewer responders than rows: the snapshot at work.
+    assert!(res.responders.len() < res.rows.len());
+}
+
+#[test]
+fn maintenance_keeps_the_network_consistent_as_nodes_die() {
+    let mut sn = build_rw(2, 17, 0.0, std::f64::consts::SQRT_2);
+    let _ = sn.elect();
+    // Kill a third of the network, representatives included.
+    for i in (0..100).step_by(3) {
+        sn.net_mut().kill(NodeId(i));
+    }
+    sn.advance(1);
+    let _ = sn.maintain();
+    let _ = sn.maintain(); // second cycle settles fishing nodes
+    for node in sn.nodes() {
+        let id = node.id();
+        if !sn.net().is_alive(id) {
+            continue;
+        }
+        if let Some(rep) = node.representative() {
+            assert!(
+                sn.net().is_alive(rep),
+                "{id} still points at dead representative {rep}"
+            );
+        }
+    }
+}
+
+#[test]
+fn weather_pipeline_elects_under_tight_thresholds() {
+    let trace = weather(&WeatherConfig::paper_defaults(3)).unwrap();
+    let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, 3);
+    let mut sn = SensorNetwork::new(
+        topo,
+        LinkModel::Perfect,
+        EnergyModel::default(),
+        SnapshotConfig::paper(0.1, 2048, 3),
+        trace,
+    );
+    sn.train(0, 10);
+    sn.set_time(99);
+    let outcome = sn.elect();
+    // A tight threshold still yields meaningful compression on
+    // plateau-heavy weather data.
+    assert!(
+        outcome.snapshot_size < 60,
+        "T=0.1 snapshot unexpectedly large: {}",
+        outcome.snapshot_size
+    );
+    // And the measured estimate error honors the threshold's scale.
+    if let Some(sse) = sn.mean_estimate_sse() {
+        assert!(sse <= 0.2, "mean sse {sse} far above T=0.1");
+    }
+}
+
+#[test]
+fn reconciliation_clears_spurious_claims_after_lossy_elections() {
+    let mut sn = build_rw(1, 23, 0.5, 0.7);
+    let _ = sn.elect();
+    for _ in 0..30 {
+        if sn.spurious_representatives() == 0 {
+            break;
+        }
+        sn.reconcile();
+    }
+    assert_eq!(
+        sn.spurious_representatives(),
+        0,
+        "reconciliation failed to converge"
+    );
+}
+
+#[test]
+fn rotation_spreads_the_representative_role() {
+    let mut sn = build_rw(1, 29, 0.0, std::f64::consts::SQRT_2);
+    let _ = sn.elect();
+    let first: Vec<NodeId> = sn.snapshot().representatives();
+    let mut seen: std::collections::BTreeSet<NodeId> = first.iter().copied().collect();
+    for _ in 0..5 {
+        sn.advance(1);
+        let _ = sn.rotate(1.0);
+        seen.extend(sn.snapshot().representatives());
+    }
+    assert!(
+        seen.len() > first.len(),
+        "rotation never moved the role: still {seen:?}"
+    );
+}
+
+#[test]
+fn message_level_tag_agrees_with_the_idealized_executor_losslessly() {
+    let mut sn = build_rw(5, 37, 0.0, 0.6);
+    let _ = sn.elect();
+    for mode in [QueryMode::Regular, QueryMode::Snapshot] {
+        let q = SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Sum, mode);
+        let ideal = sn.query(&q, NodeId(8)).value;
+        let tag = sn.query_tag(&q, NodeId(8)).value;
+        match (ideal, tag) {
+            (Some(a), Some(b)) => {
+                assert!((a - b).abs() < 1e-9, "{mode:?}: idealized {a} vs TAG {b}")
+            }
+            other => panic!("{mode:?}: mismatched presence {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn tag_under_loss_only_loses_contributions() {
+    let mut sn = build_rw(5, 41, 0.4, 0.5);
+    let _ = sn.elect();
+    let q = SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Count, QueryMode::Snapshot);
+    let tag = sn.query_tag(&q, NodeId(2));
+    assert!(tag.delivered_count <= tag.contributed_count);
+    // Whatever arrives is a valid COUNT of some subset.
+    if let Some(v) = tag.value {
+        assert!(v <= 100.0);
+        assert!(v >= 1.0);
+    }
+}
+
+#[test]
+fn regular_and_snapshot_agree_when_everyone_represents_themselves() {
+    // Without an election every node is self-represented and ACTIVE:
+    // the two modes must coincide exactly.
+    let data = random_walk(&RandomWalkConfig::paper_defaults(4, 31)).unwrap();
+    let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, 31);
+    let mut sn = SensorNetwork::new(
+        topo,
+        LinkModel::Perfect,
+        EnergyModel::default(),
+        SnapshotConfig::paper(1.0, 2048, 31),
+        data.trace,
+    );
+    sn.set_time(50);
+    let pred = SpatialPredicate::window(0.4, 0.6, 0.5);
+    let reg = sn.query(
+        &SnapshotQuery::aggregate(pred, Aggregate::Sum, QueryMode::Regular),
+        NodeId(1),
+    );
+    let snap = sn.query(
+        &SnapshotQuery::aggregate(pred, Aggregate::Sum, QueryMode::Snapshot),
+        NodeId(1),
+    );
+    assert_eq!(reg.value, snap.value);
+    assert_eq!(reg.rows.len(), snap.rows.len());
+}

@@ -1,0 +1,219 @@
+//! Conformance tests against the paper's own worked examples and
+//! formulas — the reproduction's ground truth.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snapshot_queries::core::election::run_full_election;
+use snapshot_queries::core::{
+    CacheConfig, LinearModel, Mode, ProtocolMsg, SensorNode, SnapshotConfig, SuffStats,
+};
+use snapshot_queries::netsim::clock::Epoch;
+use snapshot_queries::netsim::topology::Position;
+use snapshot_queries::netsim::{EnergyModel, LinkModel, Network, NodeId, Topology};
+
+/// The paper's Section 5 running example (Figures 3, 4 and the Rule
+/// walk-through). Paper node `N_k` is our `NodeId(k-1)`.
+///
+/// Candidate lists as published:
+///   Cand_1 = {N2}        Cand_2 = {}
+///   Cand_3 = {N4, N6}    Cand_4 = {N1, N2, N3, N5}
+///   Cand_5 = {N8}        Cand_6 = {N7}
+///   Cand_7 = {N8}        Cand_8 = {}
+///
+/// Published outcome: initial representatives {N3, N4, N6, N7};
+/// after refinement the final set is {N3, N4, N7}, with N4 recalling
+/// N3's claim over it and N3 recalling N4 in the closing cascade.
+fn build_paper_example() -> (Network<ProtocolMsg>, Vec<SensorNode>, Vec<f64>) {
+    // Everyone hears everyone (the example has no topology component).
+    let positions = (0..8).map(|i| Position::new(0.1 * i as f64, 0.0)).collect();
+    let topo = Topology::new(positions, 2.0).unwrap();
+    let net: Network<ProtocolMsg> =
+        Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
+
+    // Distinct current measurements.
+    let values: Vec<f64> = (0..8).map(|i| 10.0 * (i + 1) as f64).collect();
+
+    // Hand-craft the models: node i can represent exactly the nodes in
+    // its published candidate list, via a constant model that predicts
+    // the member's current value exactly. (Two pairs with constant y
+    // fit a = 0, b = y.)
+    let cand: [&[usize]; 8] = [
+        &[2],          // N1 can represent N2
+        &[],           // N2
+        &[4, 6],       // N3: N4, N6
+        &[1, 2, 3, 5], // N4: N1, N2, N3, N5
+        &[8],          // N5: N8
+        &[7],          // N6: N7
+        &[8],          // N7: N8
+        &[],           // N8
+    ];
+    let mut nodes: Vec<SensorNode> = (0..8)
+        .map(|i| SensorNode::new(NodeId(i), CacheConfig::default()))
+        .collect();
+    for (i, list) in cand.iter().enumerate() {
+        for &paper_j in list.iter() {
+            let j = NodeId((paper_j - 1) as u32);
+            let y = values[j.index()];
+            nodes[i].cache.observe(j, 1.0, y);
+            nodes[i].cache.observe(j, 2.0, y);
+        }
+    }
+    (net, nodes, values)
+}
+
+#[test]
+fn figure_3_and_4_worked_example_reproduces_exactly() {
+    let (mut net, mut nodes, values) = build_paper_example();
+    let cfg = SnapshotConfig::paper(1.0, 2048, 1);
+    let mut rng = StdRng::seed_from_u64(1);
+    let outcome = run_full_election(&mut net, &mut nodes, &values, &cfg, Epoch(1), &mut rng);
+
+    // Final representatives: N3, N4, N7 (our ids 2, 3, 6).
+    let active: Vec<u32> = nodes
+        .iter()
+        .filter(|n| n.mode() == Mode::Active)
+        .map(|n| n.id().0)
+        .collect();
+    assert_eq!(active, vec![2, 3, 6], "paper's final set is {{N3, N4, N7}}");
+    assert_eq!(outcome.snapshot_size, 3);
+    assert_eq!(outcome.passive, 5);
+    assert_eq!(
+        outcome.forced_active, 0,
+        "the example needs no Rule-4 timeouts"
+    );
+
+    // Membership as the paper walks it through:
+    // N4 keeps N1, N2, N5; N3 keeps N6; N7 keeps N8.
+    let members = |id: u32| -> Vec<u32> { nodes[id as usize].members().map(|m| m.0).collect() };
+    assert_eq!(members(3), vec![0, 1, 4], "N4 represents N1, N2, N5");
+    assert_eq!(members(2), vec![5], "N3 represents N6");
+    assert_eq!(members(6), vec![7], "N7 represents N8");
+
+    // The two recalls of the walk-through happened: N4 is no longer
+    // claimed by N3, and N4 no longer claims N3.
+    assert!(!nodes[2].members().any(|m| m == NodeId(3)));
+    assert!(!nodes[3].members().any(|m| m == NodeId(2)));
+
+    // Representative pointers of the passive nodes.
+    assert_eq!(nodes[0].representative(), Some(NodeId(3))); // N1 -> N4
+    assert_eq!(nodes[1].representative(), Some(NodeId(3))); // N2 -> N4
+    assert_eq!(nodes[4].representative(), Some(NodeId(3))); // N5 -> N4
+    assert_eq!(nodes[5].representative(), Some(NodeId(2))); // N6 -> N3
+    assert_eq!(nodes[7].representative(), Some(NodeId(6))); // N8 -> N7 (tie to larger id)
+}
+
+#[test]
+fn figure_2_message_counts_hold_on_the_worked_example() {
+    let (mut net, mut nodes, values) = build_paper_example();
+    let cfg = SnapshotConfig::paper(1.0, 2048, 1);
+    let mut rng = StdRng::seed_from_u64(1);
+    let _ = run_full_election(&mut net, &mut nodes, &values, &cfg, Epoch(1), &mut rng);
+
+    for i in 0..8u32 {
+        let id = NodeId(i);
+        assert!(net.stats().sent_in_phase(id, "invitation") <= 1);
+        assert!(net.stats().sent_in_phase(id, "candidates") <= 1);
+        assert!(net.stats().sent_in_phase(id, "accept") <= 1);
+        assert!(
+            net.stats().sent_in_phase(id, "refinement") <= 2,
+            "N{} sent {} refinement messages",
+            i + 1,
+            net.stats().sent_in_phase(id, "refinement")
+        );
+        assert!(net.stats().sent_by(id) <= 5, "Table 2's five-message bound");
+    }
+    // N8's tie-break (N5 vs N7, same list length) went to the larger id.
+    assert_eq!(nodes[7].representative(), Some(NodeId(6)));
+}
+
+#[test]
+fn lemma_1_matches_a_hand_computed_regression() {
+    // Hand-computed least squares for the pairs
+    // (1,2), (2,3), (3,5), (4,4):
+    //   n=4, Σx=10, Σy=14, Σxy=(2+6+15+16)=39, Σx²=30
+    //   a* = (4·39 − 10·14) / (4·30 − 100) = (156−140)/20 = 0.8
+    //   b* = (14 − 0.8·10)/4 = 6/4 = 1.5
+    let stats = SuffStats::from_pairs(&[(1.0, 2.0), (2.0, 3.0), (3.0, 5.0), (4.0, 4.0)]);
+    let m = LinearModel::fit(&stats);
+    assert!((m.a - 0.8).abs() < 1e-12, "a = {}", m.a);
+    assert!((m.b - 1.5).abs() < 1e-12, "b = {}", m.b);
+
+    // Degenerate case from the paper: constant x (includes n = 1)
+    // must fall back to a = 0, b = mean(y).
+    let degenerate = SuffStats::from_pairs(&[(7.0, 2.0), (7.0, 4.0)]);
+    let d = LinearModel::fit(&degenerate);
+    assert_eq!(d.a, 0.0);
+    assert!((d.b - 3.0).abs() < 1e-12);
+}
+
+#[test]
+fn section_3_1_example_query_parses_plans_and_runs() {
+    use snapshot_queries::core::{SensorNetwork, SnapshotConfig};
+    use snapshot_queries::datagen::{random_walk, RandomWalkConfig};
+    use snapshot_queries::query::{execute_plan, parse, plan, RegionCatalog};
+
+    // The query as printed in the paper (modulo its typos:
+    // "SHOUTH_EAST_QUANDRANT" is spelled correctly here).
+    let sql = "SELECT loc, temperature \
+               FROM sensors \
+               WHERE loc IN SOUTH_EAST_QUADRANT \
+               SAMPLE INTERVAL 1s FOR 5min \
+               USE SNAPSHOT";
+    let q = parse(sql).unwrap();
+    assert!(q.use_snapshot);
+    let p = plan(&q, &RegionCatalog::with_quadrants()).unwrap();
+    assert_eq!(p.epochs, 300, "1s sampling for 5min = 300 epochs");
+
+    // And it runs against a live network.
+    let data = random_walk(&RandomWalkConfig {
+        steps: 500,
+        ..RandomWalkConfig::paper_defaults(3, 5)
+    })
+    .unwrap();
+    let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, 5);
+    let mut sn = SensorNetwork::new(
+        topo,
+        LinkModel::Perfect,
+        EnergyModel::default(),
+        SnapshotConfig::paper(1.0, 2048, 5),
+        data.trace,
+    );
+    sn.train(0, 10);
+    sn.set_time(99);
+    let _ = sn.elect();
+    let exec = execute_plan(&mut sn, &p, NodeId(0));
+    assert_eq!(exec.epochs.len(), 300);
+    assert!(exec.mean_coverage() > 0.99);
+    // "often a much smaller number of nodes will be involved":
+    // south-east quadrant holds ~25 nodes; the snapshot answers with
+    // far fewer responders.
+    let last = exec.last();
+    assert!(last.responders.len() * 2 < last.targets.max(1));
+}
+
+#[test]
+fn table_1_symbols_are_what_the_api_exposes() {
+    // A tiny sanity map from the paper's notation to the library:
+    // x_i(t) = SensorNetwork::value, x̂_i = ModelCache::estimate,
+    // T = SnapshotConfig::threshold, N = len, n1 = snapshot_size.
+    use snapshot_queries::core::{SensorNetwork, SnapshotConfig};
+    use snapshot_queries::datagen::{random_walk, RandomWalkConfig};
+
+    let data = random_walk(&RandomWalkConfig::paper_defaults(1, 2)).unwrap();
+    let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, 2);
+    let mut sn = SensorNetwork::new(
+        topo,
+        LinkModel::Perfect,
+        EnergyModel::default(),
+        SnapshotConfig::paper(1.0, 2048, 2),
+        data.trace,
+    );
+    sn.train(0, 10);
+    sn.set_time(99);
+    let outcome = sn.elect();
+    assert_eq!(sn.len(), 100); // N
+    let n1 = outcome.snapshot_size; // n1
+    assert!(n1 <= sn.len());
+    assert_eq!(sn.config().threshold, 1.0); // T
+    let _x_i_t = sn.value(NodeId(17)); // x_i(t)
+}

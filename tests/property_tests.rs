@@ -1,0 +1,321 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+use snapshot_queries::core::{
+    Aggregate, CacheConfig, CachePolicy, ErrorMetric, LineKey, LinearModel, ModelCache, SuffStats,
+};
+use snapshot_queries::core::{Mode, SensorNetwork, SnapshotConfig};
+use snapshot_queries::datagen::Trace;
+use snapshot_queries::datagen::{random_walk, RandomWalkConfig};
+use snapshot_queries::netsim::rng::derive_seed;
+use snapshot_queries::netsim::NodeId;
+use snapshot_queries::netsim::{EnergyModel, LinkModel, Topology};
+use snapshot_queries::query::parse;
+
+/// A bounded, well-behaved measurement value.
+fn value() -> impl Strategy<Value = f64> {
+    -1e4..1e4f64
+}
+
+/// An observation stream: (neighbor id, own value, neighbor value).
+fn observations(max_len: usize) -> impl Strategy<Value = Vec<(u32, f64, f64)>> {
+    prop::collection::vec((0u32..12, value(), value()), 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---- Sufficient statistics / Lemma 1 --------------------------------
+
+    #[test]
+    fn incremental_stats_match_recompute(pairs in prop::collection::vec((value(), value()), 0..60)) {
+        let mut inc = SuffStats::new();
+        for &(x, y) in &pairs {
+            inc.add(x, y);
+        }
+        let reference = SuffStats::from_pairs(pairs.iter());
+        prop_assert_eq!(inc.n, reference.n);
+        prop_assert!((inc.sx - reference.sx).abs() <= 1e-6 * (1.0 + reference.sx.abs()));
+        prop_assert!((inc.sxy - reference.sxy).abs() <= 1e-6 * (1.0 + reference.sxy.abs()));
+    }
+
+    #[test]
+    fn least_squares_fit_is_optimal(pairs in prop::collection::vec((value(), value()), 2..40)) {
+        let stats = SuffStats::from_pairs(pairs.iter());
+        let best = stats.fit();
+        let base = stats.sse(&best);
+        prop_assert!(base >= 0.0);
+        for (da, db) in [(0.1, 0.0), (-0.1, 0.0), (0.0, 0.1), (0.0, -0.1), (0.05, -0.05)] {
+            let other = LinearModel { a: best.a + da, b: best.b + db };
+            prop_assert!(
+                stats.sse(&other) + 1e-6 * (1.0 + base.abs()) >= base,
+                "perturbation beat the fit: {} < {}", stats.sse(&other), base
+            );
+        }
+    }
+
+    #[test]
+    fn sse_is_never_negative(pairs in prop::collection::vec((value(), value()), 0..40),
+                             a in -10.0..10.0f64, b in value()) {
+        let stats = SuffStats::from_pairs(pairs.iter());
+        let model = LinearModel { a, b };
+        let sse = stats.sse(&model);
+        prop_assert!(sse >= 0.0);
+        prop_assert!(stats.no_answer_sse() >= 0.0);
+    }
+
+    #[test]
+    fn fit_on_an_exact_line_recovers_it(a in -50.0..50.0f64, b in -100.0..100.0f64,
+                                        xs in prop::collection::vec(-100.0..100.0f64, 3..20)) {
+        // Require genuinely distinct x values to avoid degeneracy.
+        let spread = xs.iter().cloned().fold(f64::MIN, f64::max)
+            - xs.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assume!(spread > 1.0);
+        let pairs: Vec<(f64, f64)> = xs.iter().map(|&x| (x, a * x + b)).collect();
+        let m = SuffStats::from_pairs(pairs.iter()).fit();
+        prop_assert!((m.a - a).abs() < 1e-6 * (1.0 + a.abs()), "a: {} vs {}", m.a, a);
+        prop_assert!((m.b - b).abs() < 1e-5 * (1.0 + b.abs()), "b: {} vs {}", m.b, b);
+    }
+
+    // ---- Error metrics ----------------------------------------------------
+
+    #[test]
+    fn metrics_are_non_negative_and_zero_on_exact(actual in value(), est in value()) {
+        for m in [ErrorMetric::Sse, ErrorMetric::Absolute, ErrorMetric::relative()] {
+            prop_assert!(m.d(actual, est) >= 0.0);
+            prop_assert_eq!(m.d(actual, actual), 0.0);
+        }
+    }
+
+    #[test]
+    fn absolute_and_sse_are_symmetric(a in value(), b in value()) {
+        prop_assert_eq!(ErrorMetric::Sse.d(a, b), ErrorMetric::Sse.d(b, a));
+        prop_assert_eq!(ErrorMetric::Absolute.d(a, b), ErrorMetric::Absolute.d(b, a));
+    }
+
+    // ---- Cache manager ----------------------------------------------------
+
+    #[test]
+    fn cache_never_exceeds_its_budget(obs in observations(300), budget in 0usize..512) {
+        let mut cache = ModelCache::new(CacheConfig {
+            budget_bytes: budget,
+            pair_bytes: 8,
+            policy: CachePolicy::ModelAware,
+        });
+        let cap = cache.config().capacity_pairs();
+        for (j, x, y) in obs {
+            cache.observe(NodeId(j), x, y);
+            prop_assert!(cache.total_pairs() <= cap);
+            prop_assert!(cache.used_bytes() <= budget);
+        }
+    }
+
+    #[test]
+    fn round_robin_cache_never_exceeds_its_budget(obs in observations(300), budget in 8usize..512) {
+        let mut cache = ModelCache::new(CacheConfig {
+            budget_bytes: budget,
+            pair_bytes: 8,
+            policy: CachePolicy::RoundRobin,
+        });
+        let cap = cache.config().capacity_pairs();
+        for (j, x, y) in obs {
+            cache.observe(NodeId(j), x, y);
+            prop_assert!(cache.total_pairs() <= cap);
+        }
+    }
+
+    #[test]
+    fn rejected_observations_leave_the_cache_untouched(obs in observations(150)) {
+        use snapshot_queries::core::CacheDecision;
+        let mut cache = ModelCache::new(CacheConfig {
+            budget_bytes: 64,
+            pair_bytes: 8,
+            policy: CachePolicy::ModelAware,
+        });
+        for (j, x, y) in obs {
+            let before: Vec<(LineKey, usize)> =
+                cache.lines().map(|(id, l)| (id, l.len())).collect();
+            let total_before = cache.total_pairs();
+            let d = cache.observe(NodeId(j), x, y);
+            if d == CacheDecision::Rejected {
+                let after: Vec<(LineKey, usize)> =
+                    cache.lines().map(|(id, l)| (id, l.len())).collect();
+                prop_assert_eq!(&before, &after);
+                prop_assert_eq!(total_before, cache.total_pairs());
+            }
+        }
+    }
+
+    #[test]
+    fn full_cache_stays_full_under_model_aware_policy(obs in observations(200)) {
+        // Once the byte budget is reached, every subsequent decision
+        // preserves the pair count: evictions are always paired with
+        // insertions.
+        let mut cache = ModelCache::new(CacheConfig {
+            budget_bytes: 80,
+            pair_bytes: 8,
+            policy: CachePolicy::ModelAware,
+        });
+        let cap = cache.config().capacity_pairs();
+        let mut was_full = false;
+        for (j, x, y) in obs {
+            cache.observe(NodeId(j), x, y);
+            if was_full {
+                prop_assert_eq!(cache.total_pairs(), cap);
+            }
+            was_full = was_full || cache.total_pairs() == cap;
+        }
+    }
+
+    #[test]
+    fn cache_line_stats_stay_consistent(obs in observations(200)) {
+        let mut cache = ModelCache::new(CacheConfig {
+            budget_bytes: 128,
+            pair_bytes: 8,
+            policy: CachePolicy::ModelAware,
+        });
+        for (j, x, y) in obs {
+            cache.observe(NodeId(j), x, y);
+        }
+        for (_, line) in cache.lines() {
+            let inc = *line.stats();
+            let reference = line.recomputed_stats();
+            prop_assert_eq!(inc.n, reference.n);
+            prop_assert!((inc.sxy - reference.sxy).abs() <= 1e-3 * (1.0 + reference.sxy.abs()));
+        }
+    }
+
+    // ---- Aggregates --------------------------------------------------------
+
+    #[test]
+    fn aggregates_respect_basic_identities(vals in prop::collection::vec(value(), 1..50)) {
+        let sum = Aggregate::Sum.apply(vals.iter().copied()).unwrap();
+        let avg = Aggregate::Avg.apply(vals.iter().copied()).unwrap();
+        let min = Aggregate::Min.apply(vals.iter().copied()).unwrap();
+        let max = Aggregate::Max.apply(vals.iter().copied()).unwrap();
+        let count = Aggregate::Count.apply(vals.iter().copied()).unwrap();
+        prop_assert_eq!(count as usize, vals.len());
+        prop_assert!((avg - sum / vals.len() as f64).abs() < 1e-9 * (1.0 + sum.abs()));
+        prop_assert!(min <= avg + 1e-9 && avg <= max + 1e-9);
+    }
+
+    // ---- Traces -------------------------------------------------------------
+
+    #[test]
+    fn trace_roundtrips_series(series in prop::collection::vec(
+        prop::collection::vec(value(), 5..10), 1..6)) {
+        let len = series[0].len();
+        let equalized: Vec<Vec<f64>> = series
+            .into_iter()
+            .map(|mut s| { s.truncate(len); s.resize(len, 0.0); s })
+            .collect();
+        let expect = equalized.clone();
+        let trace = Trace::from_series(equalized).unwrap();
+        for (i, s) in expect.iter().enumerate() {
+            prop_assert_eq!(&trace.series(NodeId::from_index(i)), s);
+        }
+    }
+
+    // ---- Seed derivation -----------------------------------------------------
+
+    #[test]
+    fn derived_seeds_are_deterministic_and_distinct(seed in any::<u64>(), s1 in 0u64..64, s2 in 0u64..64) {
+        prop_assert_eq!(derive_seed(seed, s1), derive_seed(seed, s1));
+        if s1 != s2 {
+            prop_assert_ne!(derive_seed(seed, s1), derive_seed(seed, s2));
+        }
+    }
+
+    // ---- Query parser (see next block for protocol-level fuzz) -----------
+}
+
+// Protocol-level fuzz is expensive per case (a full train + election),
+// so it runs with a smaller case budget than the data-structure
+// properties above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn elections_settle_on_arbitrary_small_networks(
+        seed in 0u64..10_000,
+        n in 4usize..25,
+        loss in 0.0..0.9f64,
+        range in 0.2..1.5f64,
+    ) {
+        let k = 1 + (seed as usize % n.min(5));
+        let data = random_walk(&RandomWalkConfig {
+            n_nodes: n,
+            steps: 40,
+            ..RandomWalkConfig::paper_defaults(k, seed)
+        })
+        .unwrap();
+        let topo = Topology::random_uniform(n, range, seed);
+        let mut sn = SensorNetwork::new(
+            topo,
+            LinkModel::iid_loss(loss),
+            EnergyModel::default(),
+            SnapshotConfig::paper(1.0, 256, seed),
+            data.trace,
+        );
+        sn.train(0, 5);
+        sn.set_time(39);
+        let outcome = sn.elect();
+
+        // Invariants that must hold for EVERY execution.
+        prop_assert_eq!(outcome.snapshot_size + outcome.passive, n);
+        for node in sn.nodes() {
+            prop_assert_ne!(node.mode(), Mode::Undefined);
+            if node.mode() == Mode::Passive {
+                let rep = node.representative();
+                prop_assert!(rep.is_some(), "passive {} lacks a representative", node.id());
+                prop_assert_ne!(rep, Some(node.id()));
+                prop_assert_eq!(node.member_count(), 0);
+                // A passive node's representative holds a model for it
+                // OR claims it spuriously — but it must be in range.
+                prop_assert!(sn.net().topology().in_range(node.id(), rep.unwrap()));
+            }
+        }
+        // Message caps per phase hold regardless of loss and topology.
+        for node in sn.nodes() {
+            let id = node.id();
+            prop_assert!(sn.stats().sent_in_phase(id, "invitation") <= 1);
+            prop_assert!(sn.stats().sent_in_phase(id, "candidates") <= 1);
+            prop_assert!(sn.stats().sent_in_phase(id, "accept") <= 1);
+        }
+    }
+
+    // ---- Query parser -----------------------------------------------------
+
+    #[test]
+    fn parser_never_panics(input in "[ -~]{0,120}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn generated_aggregate_queries_parse(
+        agg in prop::sample::select(vec!["SUM", "AVG", "MIN", "MAX", "COUNT"]),
+        col in "[a-z][a-z_]{0,12}",
+        snap in any::<bool>(),
+    ) {
+        prop_assume!(!matches!(col.as_str(),
+            "loc" | "in" | "and" | "for" | "use" | "rect" | "circle" | "select" | "from"
+            | "where" | "sample" | "interval" | "snapshot" | "min" | "max" | "sum" | "avg"
+            | "count"));
+        let sql = format!(
+            "SELECT {agg}({col}) FROM sensors{}",
+            if snap { " USE SNAPSHOT" } else { "" }
+        );
+        let q = parse(&sql).unwrap();
+        prop_assert_eq!(q.use_snapshot, snap);
+    }
+
+    #[test]
+    fn generated_window_queries_parse(x in 0.0..1.0f64, y in 0.0..1.0f64, w in 0.01..0.9f64) {
+        let (x0, y0, x1, y1) = (x - w / 2.0, y - w / 2.0, x + w / 2.0, y + w / 2.0);
+        let sql = format!(
+            "SELECT * FROM sensors WHERE loc IN RECT({x0:.4}, {y0:.4}, {x1:.4}, {y1:.4})"
+        );
+        let q = parse(&sql).unwrap();
+        prop_assert!(!q.conditions.is_empty());
+    }
+}

@@ -1,0 +1,211 @@
+//! Protocol invariants checked across many seeds and loss rates.
+//!
+//! These are the structural guarantees the paper's protocol relies on;
+//! they must hold for *every* execution, not just the happy path.
+
+use snapshot_queries::core::{Mode, SensorNetwork, SnapshotConfig};
+use snapshot_queries::datagen::{random_walk, RandomWalkConfig};
+use snapshot_queries::netsim::{EnergyModel, LinkModel, NodeId, Topology};
+
+fn elected_network(seed: u64, loss: f64, range: f64, k: usize) -> SensorNetwork {
+    let data = random_walk(&RandomWalkConfig::paper_defaults(k, seed)).unwrap();
+    let topo = Topology::random_uniform(100, range, seed);
+    let mut sn = SensorNetwork::new(
+        topo,
+        LinkModel::iid_loss(loss),
+        EnergyModel::default(),
+        SnapshotConfig::paper(1.0, 2048, seed),
+        data.trace,
+    );
+    sn.train(0, 10);
+    sn.set_time(99);
+    let _ = sn.elect();
+    sn
+}
+
+fn scenarios() -> Vec<(u64, f64, f64, usize)> {
+    let mut out = Vec::new();
+    for seed in [1, 2, 3] {
+        for &(loss, range) in &[(0.0, 1.5), (0.3, 0.7), (0.7, 0.4)] {
+            for &k in &[1usize, 20] {
+                out.push((seed, loss, range, k));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn no_node_is_left_undefined() {
+    for (seed, loss, range, k) in scenarios() {
+        let sn = elected_network(seed, loss, range, k);
+        for node in sn.nodes() {
+            assert_ne!(
+                node.mode(),
+                Mode::Undefined,
+                "undefined node {} (seed {seed}, loss {loss})",
+                node.id()
+            );
+        }
+    }
+}
+
+#[test]
+fn passive_nodes_always_have_a_representative() {
+    for (seed, loss, range, k) in scenarios() {
+        let sn = elected_network(seed, loss, range, k);
+        for node in sn.nodes() {
+            if node.mode() == Mode::Passive {
+                let rep = node.representative();
+                assert!(rep.is_some(), "passive {} has no representative", node.id());
+                assert_ne!(
+                    rep,
+                    Some(node.id()),
+                    "{} represents itself yet is passive",
+                    node.id()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn passive_nodes_represent_nobody() {
+    for (seed, loss, range, k) in scenarios() {
+        let sn = elected_network(seed, loss, range, k);
+        for node in sn.nodes() {
+            if node.mode() == Mode::Passive {
+                assert_eq!(
+                    node.member_count(),
+                    0,
+                    "passive {} claims members (seed {seed}, loss {loss})",
+                    node.id()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn representation_is_never_circular_between_settled_nodes() {
+    // After refinement, a mutual pair may only persist when the loser
+    // is ACTIVE (spurious claim from a lost recall); two PASSIVE nodes
+    // can never represent each other.
+    for (seed, loss, range, k) in scenarios() {
+        let sn = elected_network(seed, loss, range, k);
+        for node in sn.nodes() {
+            if node.mode() != Mode::Passive {
+                continue;
+            }
+            if let Some(rep) = node.representative() {
+                let rep_node = sn.node(rep);
+                if rep_node.mode() == Mode::Passive {
+                    assert_ne!(
+                        rep_node.representative(),
+                        Some(node.id()),
+                        "passive cycle {} <-> {rep}",
+                        node.id()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn representatives_of_passive_nodes_are_within_radio_range() {
+    for (seed, loss, range, k) in scenarios() {
+        let sn = elected_network(seed, loss, range, k);
+        for node in sn.nodes() {
+            if let Some(rep) = node.representative() {
+                assert!(
+                    sn.net().topology().in_range(node.id(), rep),
+                    "{} elected out-of-range representative {rep}",
+                    node.id()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn per_phase_message_bounds_hold_regardless_of_loss() {
+    for (seed, loss, range, k) in scenarios() {
+        let data = random_walk(&RandomWalkConfig::paper_defaults(k, seed)).unwrap();
+        let topo = Topology::random_uniform(100, range, seed);
+        let mut sn = SensorNetwork::new(
+            topo,
+            LinkModel::iid_loss(loss),
+            EnergyModel::default(),
+            SnapshotConfig::paper(1.0, 2048, seed),
+            data.trace,
+        );
+        sn.train(0, 10);
+        sn.set_time(99);
+        sn.net_mut().stats_mut().reset();
+        let _ = sn.elect();
+        for i in 0..100u32 {
+            let id = NodeId(i);
+            // Single-shot phases never repeat, even under loss.
+            assert!(sn.stats().sent_in_phase(id, "invitation") <= 1);
+            assert!(sn.stats().sent_in_phase(id, "candidates") <= 1);
+            assert!(sn.stats().sent_in_phase(id, "accept") <= 1);
+        }
+    }
+}
+
+#[test]
+fn snapshot_view_is_consistent_with_node_state() {
+    for (seed, loss, range, k) in scenarios() {
+        let sn = elected_network(seed, loss, range, k);
+        let snapshot = sn.snapshot();
+        for node in sn.nodes() {
+            let id = node.id();
+            assert_eq!(snapshot.is_active(id), node.mode() == Mode::Active);
+            assert_eq!(
+                snapshot.representative_of(id),
+                node.representative().unwrap_or(id)
+            );
+        }
+        // Reconciled member lists agree with the member-side pointers.
+        for rep in snapshot.representatives() {
+            for &m in snapshot.members_of(rep) {
+                assert_eq!(snapshot.representative_of(m), rep);
+            }
+        }
+    }
+}
+
+#[test]
+fn lossless_elections_produce_no_spurious_representatives() {
+    for seed in [1, 5, 9, 13] {
+        let sn = elected_network(seed, 0.0, 1.5, 10);
+        assert_eq!(sn.spurious_representatives(), 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn everyone_is_answerable_after_a_lossless_election() {
+    // Every node is either active (answers itself) or has an active,
+    // alive representative holding a model for it.
+    for seed in [2, 4, 6] {
+        let sn = elected_network(seed, 0.0, 1.5, 5);
+        let snapshot = sn.snapshot();
+        for node in sn.nodes() {
+            let id = node.id();
+            let rep = snapshot.representative_of(id);
+            if rep == id {
+                assert!(snapshot.is_active(id));
+            } else {
+                assert!(
+                    snapshot.is_active(rep),
+                    "representative {rep} of {id} is not active"
+                );
+                assert!(
+                    sn.node(rep).cache.model_for(id).is_some(),
+                    "representative {rep} has no model for {id}"
+                );
+            }
+        }
+    }
+}

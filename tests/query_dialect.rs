@@ -1,0 +1,167 @@
+//! The declarative layer against a live network: SQL and the
+//! programmatic API must agree exactly, since they share one engine.
+
+use snapshot_queries::core::{
+    Aggregate, QueryMode, SensorNetwork, SnapshotConfig, SnapshotQuery, SpatialPredicate,
+};
+use snapshot_queries::datagen::{random_walk, RandomWalkConfig};
+use snapshot_queries::netsim::{EnergyModel, LinkModel, NodeId, Topology};
+use snapshot_queries::query::{execute_plan, parse, plan, RegionCatalog};
+
+fn network(seed: u64) -> SensorNetwork {
+    let data = random_walk(&RandomWalkConfig::paper_defaults(3, seed)).unwrap();
+    let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, seed);
+    let mut sn = SensorNetwork::new(
+        topo,
+        LinkModel::Perfect,
+        EnergyModel::default(),
+        SnapshotConfig::paper(1.0, 2048, seed),
+        data.trace,
+    );
+    sn.train(0, 10);
+    sn.set_time(50);
+    let _ = sn.elect();
+    sn
+}
+
+#[test]
+fn sql_and_programmatic_results_agree() {
+    let mut sn = network(3);
+    let catalog = RegionCatalog::with_quadrants();
+    let cases = [
+        (
+            "SELECT SUM(value) FROM sensors USE SNAPSHOT",
+            SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Sum, QueryMode::Snapshot),
+        ),
+        (
+            "SELECT AVG(value) FROM sensors WHERE loc IN SOUTH_WEST_QUADRANT",
+            SnapshotQuery::aggregate(
+                SpatialPredicate::Rect {
+                    x0: 0.0,
+                    y0: 0.0,
+                    x1: 0.5,
+                    y1: 0.5,
+                },
+                Aggregate::Avg,
+                QueryMode::Regular,
+            ),
+        ),
+        (
+            "SELECT MAX(value) FROM sensors WHERE loc IN CIRCLE(0.5, 0.5, 0.3) USE SNAPSHOT",
+            SnapshotQuery::aggregate(
+                SpatialPredicate::Circle {
+                    x: 0.5,
+                    y: 0.5,
+                    r: 0.3,
+                },
+                Aggregate::Max,
+                QueryMode::Snapshot,
+            ),
+        ),
+    ];
+    for (sql, programmatic) in cases {
+        let parsed = parse(sql).unwrap();
+        let planned = plan(&parsed, &catalog).unwrap();
+        assert_eq!(planned.query, programmatic, "lowering mismatch for `{sql}`");
+        let via_sql = execute_plan(&mut sn, &planned, NodeId(0));
+        let direct = sn.query(&programmatic, NodeId(0));
+        assert_eq!(
+            via_sql.last().value,
+            direct.value,
+            "`{sql}` disagreed with the API"
+        );
+        assert_eq!(via_sql.last().rows, direct.rows);
+    }
+}
+
+#[test]
+fn sampling_schedules_advance_time_between_epochs() {
+    let mut sn = network(5);
+    sn.set_time(20);
+    let q =
+        parse("SELECT AVG(value) FROM sensors SAMPLE INTERVAL 2s FOR 10s USE SNAPSHOT").unwrap();
+    let p = plan(&q, &RegionCatalog::new()).unwrap();
+    assert_eq!(p.epochs, 5);
+    let exec = execute_plan(&mut sn, &p, NodeId(0));
+    assert_eq!(exec.epochs.len(), 5);
+    assert_eq!(sn.now(), 20 + 4 * 2); // 4 advances between 5 epochs
+
+    // Values evolve across epochs, so per-epoch aggregates differ.
+    let values: Vec<f64> = exec.epochs.iter().filter_map(|e| e.value).collect();
+    assert_eq!(values.len(), 5);
+    let distinct = values.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-12);
+    assert!(
+        distinct,
+        "values never changed across sampling epochs: {values:?}"
+    );
+}
+
+#[test]
+fn drill_through_sql_returns_per_node_rows() {
+    let mut sn = network(7);
+    let q = parse("SELECT loc, value FROM sensors WHERE loc IN NORTH_WEST_QUADRANT USE SNAPSHOT")
+        .unwrap();
+    let p = plan(&q, &RegionCatalog::with_quadrants()).unwrap();
+    assert!(p.project_loc);
+    let exec = execute_plan(&mut sn, &p, NodeId(0));
+    let last = exec.last();
+    assert_eq!(last.value, None);
+    assert_eq!(last.rows.len(), last.targets);
+    let rendered = exec.render_last(&sn);
+    assert!(rendered.contains("participants"));
+}
+
+#[test]
+fn custom_regions_flow_through_the_catalog() {
+    let mut sn = network(9);
+    let mut catalog = RegionCatalog::new();
+    catalog.define("EVERYTHING", SpatialPredicate::All);
+    let q = parse("SELECT COUNT(*) FROM sensors WHERE loc IN EVERYTHING").unwrap();
+    let p = plan(&q, &catalog).unwrap();
+    let exec = execute_plan(&mut sn, &p, NodeId(0));
+    assert_eq!(exec.last().value, Some(100.0));
+}
+
+#[test]
+fn value_predicates_flow_through_sql() {
+    let mut sn = network(13);
+    let catalog = RegionCatalog::with_quadrants();
+    // Count the nodes reading above the global mean: the filtered
+    // count must be strictly between 0 and 100 for random-walk data,
+    // and the snapshot estimate should be close to the truth.
+    let avg = {
+        let q = parse("SELECT AVG(value) FROM sensors").unwrap();
+        let p = plan(&q, &catalog).unwrap();
+        execute_plan(&mut sn, &p, NodeId(0)).last().value.unwrap()
+    };
+    let q = parse(&format!(
+        "SELECT COUNT(*) FROM sensors WHERE value > {avg:.3} USE SNAPSHOT"
+    ))
+    .unwrap();
+    let p = plan(&q, &catalog).unwrap();
+    let res = execute_plan(&mut sn, &p, NodeId(0));
+    let counted = res.last().value.unwrap();
+    let truth = res.last().ground_truth.unwrap();
+    assert!(counted > 0.0 && counted < 100.0);
+    assert!(
+        (counted - truth).abs() <= 15.0,
+        "approximate selection too far off: {counted} vs {truth}"
+    );
+}
+
+#[test]
+fn snapshot_sql_uses_fewer_participants_than_regular_sql() {
+    let mut sn = network(11);
+    let catalog = RegionCatalog::new();
+    let run = |sn: &mut SensorNetwork, sql: &str| {
+        let q = parse(sql).unwrap();
+        let p = plan(&q, &catalog).unwrap();
+        execute_plan(sn, &p, NodeId(2)).last().participants
+    };
+    let regular = run(&mut sn, "SELECT SUM(value) FROM sensors");
+    let snapshot = run(&mut sn, "SELECT SUM(value) FROM sensors USE SNAPSHOT");
+    assert!(
+        snapshot < regular,
+        "snapshot SQL used {snapshot} participants vs {regular} regular"
+    );
+}

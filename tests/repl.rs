@@ -1,0 +1,96 @@
+//! Drive the `snapshot-repl` binary end-to-end through its stdin/stdout.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_repl(args: &[&str], script: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_snapshot-repl"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("repl binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("script written");
+    let out = child.wait_with_output().expect("repl exits");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn full_session_exercises_queries_and_meta_commands() {
+    let script = "\
+        SELECT AVG(value) FROM sensors USE SNAPSHOT\n\
+        .snapshot\n\
+        .kill 7\n\
+        .maintain\n\
+        .time +5\n\
+        .stats\n\
+        SELECT loc, value FROM sensors WHERE loc IN SOUTH_WEST_QUADRANT USE SNAPSHOT\n\
+        .quit\n";
+    let (stdout, stderr, ok) =
+        run_repl(&["--nodes", "40", "--classes", "2", "--seed", "9"], script);
+    assert!(ok, "repl failed: {stderr}");
+    assert!(stdout.contains("network up: 40 nodes"));
+    assert!(stdout.contains("aggregate = "));
+    assert!(stdout.contains("representatives at t="));
+    assert!(stdout.contains("killed N7"));
+    assert!(stdout.contains("maintained:"));
+    assert!(stdout.contains("t = 104"));
+    assert!(stdout.contains("total sent"));
+    assert!(stdout.contains("participants"));
+}
+
+#[test]
+fn bad_queries_report_errors_without_crashing() {
+    let script = "\
+        SELECT MEDIAN(value) FROM sensors\n\
+        SELECT * FROM actuators\n\
+        .kill 9999\n\
+        .frobnicate\n\
+        .quit\n";
+    let (stdout, _, ok) = run_repl(&["--nodes", "10", "--seed", "3"], script);
+    assert!(ok);
+    assert!(stdout.contains("error: parse error"));
+    assert!(stdout.contains("error: planning error"));
+    assert!(stdout.contains("expected a node id below 10"));
+    assert!(stdout.contains("unknown command"));
+}
+
+#[test]
+fn weather_mode_and_eof_exit() {
+    // EOF (no .quit) must terminate cleanly.
+    let (stdout, _, ok) = run_repl(
+        &[
+            "--nodes",
+            "20",
+            "--weather",
+            "--threshold",
+            "0.5",
+            "--seed",
+            "4",
+        ],
+        "SELECT MAX(wind_speed) FROM sensors USE SNAPSHOT\n",
+    );
+    assert!(ok);
+    assert!(stdout.contains("weather data"));
+    assert!(stdout.contains("aggregate = "));
+}
+
+#[test]
+fn unknown_flags_exit_with_an_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_snapshot-repl"))
+        .arg("--bogus")
+        .output()
+        .expect("repl runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}

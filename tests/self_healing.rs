@@ -1,0 +1,269 @@
+//! Failure-injection suite: the self-healing behaviors Section 3 and
+//! Section 5.1 promise, under node death, asymmetric links, battery
+//! exhaustion and mobility.
+
+use snapshot_queries::core::{
+    Aggregate, Mode, QueryMode, SensorNetwork, SnapshotConfig, SnapshotQuery, SpatialPredicate,
+};
+use snapshot_queries::datagen::{random_walk, RandomWalkConfig};
+use snapshot_queries::netsim::{
+    EnergyModel, LinkModel, NodeId, Position, RandomWaypoint, Topology,
+};
+
+fn build(seed: u64, k: usize, range: f64, link: LinkModel) -> SensorNetwork {
+    let data = random_walk(&RandomWalkConfig {
+        steps: 1000,
+        ..RandomWalkConfig::paper_defaults(k, seed)
+    })
+    .unwrap();
+    let topo = Topology::random_uniform(100, range, seed);
+    let mut sn = SensorNetwork::new(
+        topo,
+        link,
+        EnergyModel::default(),
+        SnapshotConfig::paper(1.0, 2048, seed),
+        data.trace,
+    );
+    sn.train(0, 10);
+    sn.set_time(99);
+    let _ = sn.elect();
+    sn
+}
+
+/// After any number of maintenance cycles, no alive passive node may
+/// point at a dead representative.
+fn assert_no_dead_representatives(sn: &SensorNetwork) {
+    for node in sn.nodes() {
+        let id = node.id();
+        if !sn.net().is_alive(id) || node.mode() != Mode::Passive {
+            continue;
+        }
+        let rep = node
+            .representative()
+            .expect("passive nodes have representatives");
+        assert!(
+            sn.net().is_alive(rep),
+            "{id} still points at dead representative {rep}"
+        );
+    }
+}
+
+#[test]
+fn cascading_representative_deaths_heal_cycle_by_cycle() {
+    let mut sn = build(1, 1, 2.0, LinkModel::Perfect);
+    for round in 0..5 {
+        // Kill the current busiest representative.
+        let snapshot = sn.snapshot();
+        let Some(rep) = snapshot
+            .representatives()
+            .into_iter()
+            .filter(|&r| sn.net().is_alive(r))
+            .max_by_key(|&r| snapshot.members_of(r).len())
+        else {
+            break;
+        };
+        sn.net_mut().kill(rep);
+        sn.advance(1);
+        let report = sn.maintain();
+        assert!(
+            report.silence_detected > 0 || snapshot.members_of(rep).is_empty(),
+            "round {round}: nobody noticed {rep} dying"
+        );
+        assert_no_dead_representatives(&sn);
+    }
+    // Five dead representatives later the network still answers.
+    let res = sn.query(
+        &SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Count, QueryMode::Snapshot),
+        NodeId(50),
+    );
+    assert!(
+        res.value.unwrap_or(0.0) >= 90.0,
+        "coverage collapsed: {:?}",
+        res.value
+    );
+}
+
+#[test]
+fn mass_death_leaves_a_functional_network() {
+    let mut sn = build(2, 5, 2.0, LinkModel::Perfect);
+    // Kill half the network, odd ids.
+    for i in (1..100).step_by(2) {
+        sn.net_mut().kill(NodeId(i));
+    }
+    sn.advance(1);
+    let _ = sn.maintain();
+    let _ = sn.maintain();
+    assert_no_dead_representatives(&sn);
+    // Every alive node is answerable.
+    let res = sn.query(
+        &SnapshotQuery::drill_through(SpatialPredicate::All, QueryMode::Snapshot),
+        NodeId(0),
+    );
+    // 50 alive nodes; every one reachable directly or via a live rep.
+    assert!(
+        res.rows.len() >= 50,
+        "only {} of 50 alive nodes answered",
+        res.rows.len()
+    );
+}
+
+#[test]
+fn asymmetric_links_do_not_wedge_the_election() {
+    // One-way links: even ids hear odd ids but not vice versa.
+    let n = 100;
+    let mut p_loss = vec![vec![0.0; n]; n];
+    for (src, row) in p_loss.iter_mut().enumerate() {
+        for (dst, p) in row.iter_mut().enumerate() {
+            if src % 2 == 0 && dst % 2 == 1 {
+                *p = 1.0; // even -> odd always lost
+            }
+        }
+    }
+    let mut sn = build(3, 1, 2.0, LinkModel::PerLink { p_loss });
+    let outcome = sn.elect();
+    // The protocol settles: everyone ACTIVE or PASSIVE.
+    assert_eq!(outcome.snapshot_size + outcome.passive, 100);
+    for node in sn.nodes() {
+        assert_ne!(node.mode(), Mode::Undefined);
+    }
+}
+
+#[test]
+fn battery_exhaustion_mid_operation_degrades_gracefully() {
+    let data = random_walk(&RandomWalkConfig {
+        steps: 500,
+        ..RandomWalkConfig::paper_defaults(1, 4)
+    })
+    .unwrap();
+    let topo = Topology::random_uniform(100, 0.7, 4);
+    let mut sn = SensorNetwork::with_battery_capacity(
+        topo,
+        LinkModel::Perfect,
+        EnergyModel::default(),
+        200.0, // tight battery
+        SnapshotConfig::paper(1.0, 2048, 4),
+        data.trace,
+    );
+    sn.set_energy_handoff_fraction(0.15);
+    sn.train(0, 10);
+    sn.set_time(99);
+    let _ = sn.elect();
+    // Hammer the network until many nodes die; maintenance must keep
+    // the survivors consistent.
+    for q in 0..600 {
+        let pred = SpatialPredicate::window(0.3 + (q % 5) as f64 * 0.1, 0.5, 0.4);
+        let _ = sn.query(
+            &SnapshotQuery::aggregate(pred, Aggregate::Avg, QueryMode::Snapshot),
+            NodeId((q % 100) as u32),
+        );
+        if q % 50 == 49 {
+            let _ = sn.check_handoffs();
+        }
+        if q % 150 == 149 {
+            let _ = sn.maintain();
+            assert_no_dead_representatives(&sn);
+        }
+        sn.advance(1);
+    }
+    assert_no_dead_representatives(&sn);
+}
+
+#[test]
+fn mobility_strands_members_and_maintenance_rescues_them() {
+    let mut sn = build(5, 1, 0.35, LinkModel::Perfect);
+    let mut mob = RandomWaypoint::new(100, 0.05, 99);
+    for _ in 0..10 {
+        mob.step(sn.net_mut());
+        sn.advance(1);
+    }
+    let stranded_before = sn
+        .nodes()
+        .iter()
+        .filter(|n| {
+            n.mode() == Mode::Passive
+                && n.representative()
+                    .is_some_and(|r| !sn.net().topology().in_range(n.id(), r))
+        })
+        .count();
+    assert!(
+        stranded_before > 0,
+        "movement at 0.05/tick should strand someone"
+    );
+    let _ = sn.maintain();
+    let stranded_after = sn
+        .nodes()
+        .iter()
+        .filter(|n| {
+            n.mode() == Mode::Passive
+                && n.representative()
+                    .is_some_and(|r| !sn.net().topology().in_range(n.id(), r))
+        })
+        .count();
+    assert!(
+        stranded_after < stranded_before,
+        "maintenance rescued nobody: {stranded_before} -> {stranded_after}"
+    );
+}
+
+#[test]
+fn teleporting_a_representative_away_is_detected_by_silence() {
+    let mut sn = build(6, 1, 0.35, LinkModel::Perfect);
+    let snapshot = sn.snapshot();
+    let rep = snapshot
+        .representatives()
+        .into_iter()
+        .max_by_key(|&r| snapshot.members_of(r).len())
+        .unwrap();
+    let members = snapshot.members_of(rep).len();
+    if members == 0 {
+        return; // degenerate seed; nothing to strand
+    }
+    // Teleport the representative far outside everyone's range.
+    sn.net_mut().move_node(rep, Position::new(50.0, 50.0));
+    sn.advance(1);
+    let report = sn.maintain();
+    assert!(
+        report.silence_detected > 0,
+        "no member noticed its representative vanishing over the horizon"
+    );
+    // Its former members are answerable again after healing.
+    for node in sn.nodes() {
+        if node.mode() == Mode::Passive {
+            let r = node.representative().unwrap();
+            assert!(
+                sn.net().topology().in_range(node.id(), r),
+                "{} still bound to out-of-range representative {r}",
+                node.id()
+            );
+        }
+    }
+}
+
+#[test]
+fn the_network_survives_simultaneous_loss_death_and_drift() {
+    // Everything at once: 30% loss, a dead representative, moving
+    // nodes, evolving data.
+    let mut sn = build(7, 3, 0.5, LinkModel::iid_loss(0.3));
+    let mut mob = RandomWaypoint::new(100, 0.01, 77);
+    let rep = sn.snapshot().representatives()[0];
+    sn.net_mut().kill(rep);
+    for _ in 0..5 {
+        for _ in 0..20 {
+            mob.step(sn.net_mut());
+            sn.advance(1);
+        }
+        let _ = sn.maintain();
+    }
+    assert_no_dead_representatives(&sn);
+    for node in sn.nodes() {
+        assert_ne!(node.mode(), Mode::Undefined);
+    }
+    let res = sn.query(
+        &SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Count, QueryMode::Snapshot),
+        NodeId(10),
+    );
+    assert!(
+        res.value.unwrap_or(0.0) > 50.0,
+        "most of the network went dark"
+    );
+}
