@@ -2,8 +2,8 @@
 //! the round-robin baseline, across cache budgets — the per-update
 //! cost that the paper charges at 0.1 transmission equivalents.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use snapshot_core::{CacheConfig, CachePolicy, ModelCache};
+use snapshot_microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use snapshot_netsim::NodeId;
 use std::hint::black_box;
 

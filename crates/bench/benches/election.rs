@@ -1,8 +1,8 @@
 //! Macro-benchmark: a full representative election on the paper's
 //! 100-node network (training already done), plus a maintenance cycle.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use snapshot_bench::RandomWalkSetup;
+use snapshot_microbench::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 fn bench_election(c: &mut Criterion) {

@@ -2,8 +2,8 @@
 //! checks (the cheap high-frequency probe), reconciliation passes and
 //! LEACH-style rotation.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use snapshot_bench::RandomWalkSetup;
+use snapshot_microbench::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 fn elected() -> snapshot_core::SensorNetwork {

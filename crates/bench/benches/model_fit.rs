@@ -2,8 +2,8 @@
 //! sufficient statistics vs recompute-from-pairs (the ablation called
 //! out in DESIGN.md).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use snapshot_core::{LinearModel, SuffStats};
+use snapshot_microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn pairs(n: usize) -> Vec<(f64, f64)> {

@@ -1,7 +1,7 @@
 //! Micro-benchmark: the declarative pipeline (lex + parse + plan) on
 //! the paper's example query.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use snapshot_microbench::{criterion_group, criterion_main, Criterion};
 use snapshot_query::{parse, plan, RegionCatalog};
 use std::hint::black_box;
 

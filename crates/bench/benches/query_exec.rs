@@ -2,9 +2,9 @@
 //! 100-node network — the per-query cost that snapshot mode trades
 //! against accuracy.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use snapshot_bench::RandomWalkSetup;
 use snapshot_core::{Aggregate, QueryMode, SnapshotQuery, SpatialPredicate};
+use snapshot_microbench::{criterion_group, criterion_main, BatchSize, Criterion};
 use snapshot_netsim::NodeId;
 use std::hint::black_box;
 

@@ -1,9 +1,9 @@
 //! Message-level TAG aggregation vs the idealized accounting executor:
 //! the cost of simulating the aggregate's actual journey up the tree.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use snapshot_bench::RandomWalkSetup;
 use snapshot_core::{Aggregate, QueryMode, SnapshotQuery, SpatialPredicate};
+use snapshot_microbench::{criterion_group, criterion_main, BatchSize, Criterion};
 use snapshot_netsim::NodeId;
 use std::hint::black_box;
 

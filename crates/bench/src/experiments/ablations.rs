@@ -5,13 +5,13 @@ use crate::setup::RandomWalkSetup;
 use crate::stats::{mean, rng, run_reps};
 use crate::table::{fmt, Table};
 use crate::{ExperimentOutput, RunContext};
-use rand::RngExt;
 use snapshot_core::{
     Aggregate, ErrorMetric, Mode, QueryMode, SnapshotAction, SnapshotQuery, SpatialPredicate,
     ThresholdLadder,
 };
 use snapshot_core::{SensorNetwork, SnapshotConfig};
 use snapshot_datagen::{correlated_field, periodic, CorrelatedFieldConfig, PeriodicConfig, Trace};
+use snapshot_netsim::rng::RngExt;
 use snapshot_netsim::{EnergyModel, LinkModel, NodeId, RandomWaypoint, Topology};
 
 /// `abl_routing`: the paper's post-Table-3 remark — favoring
@@ -46,8 +46,8 @@ pub fn run_routing(ctx: &RunContext) -> ExperimentOutput {
             let mut r = rng(seed ^ 0xAB1);
             let (mut plain_sum, mut pref_sum) = (0usize, 0usize);
             for _ in 0..queries {
-                let x: f64 = r.random::<f64>();
-                let y: f64 = r.random::<f64>();
+                let x: f64 = r.random_f64();
+                let y: f64 = r.random_f64();
                 let sink = NodeId(r.random_range(0..n));
                 let pred = SpatialPredicate::window(x, y, w);
                 let base = SnapshotQuery::aggregate(pred, Aggregate::Sum, QueryMode::Snapshot);

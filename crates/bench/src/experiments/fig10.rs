@@ -16,10 +16,10 @@ use crate::setup::RandomWalkSetup;
 use crate::stats::{mean, rng};
 use crate::table::{fmt, Table};
 use crate::{ExperimentOutput, RunContext};
-use rand::RngExt;
 use snapshot_core::{
     Aggregate, CoverageTracker, QueryMode, SensorNetwork, SnapshotQuery, SpatialPredicate,
 };
+use snapshot_netsim::rng::RngExt;
 use snapshot_netsim::NodeId;
 
 const BATTERY: f64 = 500.0;
@@ -57,8 +57,8 @@ fn run_workload(
     let mut r = rng(seed ^ 0x000F_1610);
     let mut tracker = CoverageTracker::new();
     for q in 0..n_queries {
-        let x: f64 = r.random::<f64>();
-        let y: f64 = r.random::<f64>();
+        let x: f64 = r.random_f64();
+        let y: f64 = r.random_f64();
         let sink = NodeId(r.random_range(0..n));
         let pred = SpatialPredicate::window(x, y, w);
         let res = sn.query(&SnapshotQuery::aggregate(pred, Aggregate::Avg, mode), sink);

@@ -13,8 +13,8 @@ use crate::setup::WeatherSetup;
 use crate::stats::{mean, rng};
 use crate::table::{fmt, Table};
 use crate::{ExperimentOutput, RunContext};
-use rand::RngExt;
 use snapshot_core::SpatialPredicate;
+use snapshot_netsim::rng::RngExt;
 
 /// One run's time series.
 pub struct MaintenanceSeries {
@@ -49,8 +49,8 @@ pub fn simulate(ctx: &RunContext, range: f64) -> MaintenanceSeries {
         // Between updates: random queries, snooped at 5%.
         for q in 0..snoop_queries_per_window {
             sn.set_time(t + (q + 1) * update_every / (snoop_queries_per_window + 1));
-            let x: f64 = r.random::<f64>();
-            let y: f64 = r.random::<f64>();
+            let x: f64 = r.random_f64();
+            let y: f64 = r.random_f64();
             let pred = SpatialPredicate::window(x, y, 0.316);
             let participants = pred.targets(sn.net().topology());
             sn.snoop_step(Some(&participants), sn.config().snoop_prob);

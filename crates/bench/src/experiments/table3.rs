@@ -11,8 +11,8 @@ use crate::setup::RandomWalkSetup;
 use crate::stats::{mean, rng, run_reps};
 use crate::table::{fmt, Table};
 use crate::{ExperimentOutput, RunContext};
-use rand::RngExt;
 use snapshot_core::{Aggregate, QueryMode, SnapshotQuery, SpatialPredicate};
+use snapshot_netsim::rng::RngExt;
 use snapshot_netsim::NodeId;
 
 fn cell(ctx: &RunContext, w2: f64, range: f64, k: usize, queries: usize) -> f64 {
@@ -29,8 +29,8 @@ fn cell(ctx: &RunContext, w2: f64, range: f64, k: usize, queries: usize) -> f64 
         let mut r = rng(seed ^ 0x7AB1E3);
         let mut per_query = Vec::new();
         for _ in 0..queries {
-            let x: f64 = r.random::<f64>();
-            let y: f64 = r.random::<f64>();
+            let x: f64 = r.random_f64();
+            let y: f64 = r.random_f64();
             let sink = NodeId(r.random_range(0..n));
             let pred = SpatialPredicate::window(x, y, w);
             let reg = sn.query(

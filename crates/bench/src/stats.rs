@@ -1,7 +1,6 @@
 //! Small statistics helpers for experiment aggregation.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use snapshot_netsim::rng::DetRng;
 
 /// Arithmetic mean (0 for empty input).
 pub fn mean(xs: &[f64]) -> f64 {
@@ -22,23 +21,22 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 }
 
 /// Run `reps` repetitions in parallel (one per seed `base_seed + r`)
-/// and collect the results in seed order. Uses crossbeam scoped
-/// threads so `f` can borrow from the caller.
+/// and collect the results in seed order. Uses std scoped threads so
+/// `f` can borrow from the caller.
 pub fn run_reps<T, F>(reps: u64, base_seed: u64, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
     let mut results: Vec<Option<T>> = (0..reps).map(|_| None).collect();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (r, slot) in results.iter_mut().enumerate() {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(f(base_seed + r as u64));
             });
         }
-    })
-    .expect("repetition worker panicked");
+    });
     results
         .into_iter()
         .map(|s| s.expect("worker completed"))
@@ -46,8 +44,8 @@ where
 }
 
 /// A deterministic RNG for experiment-level randomness.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(snapshot_netsim::rng::derive_seed(seed, 0xE59))
+pub fn rng(seed: u64) -> DetRng {
+    DetRng::seed_from_u64(snapshot_netsim::rng::derive_seed(seed, 0xE59))
 }
 
 #[cfg(test)]

@@ -12,11 +12,10 @@
 //! statistics from scratch).
 
 use crate::model::{LinearModel, SuffStats};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// The cached pairs for one neighbor, oldest first.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CacheLine {
     pairs: VecDeque<(f64, f64)>,
     stats: SuffStats,

@@ -17,7 +17,6 @@
 use super::line::CacheLine;
 use super::policy::CachePolicy;
 use crate::model::LinearModel;
-use serde::{Deserialize, Serialize};
 use snapshot_netsim::NodeId;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -30,9 +29,7 @@ use std::fmt;
 /// modification is the addition of a *measurement_id* during model
 /// computation." Single-measurement deployments use
 /// [`MeasurementId::DEFAULT`] implicitly.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MeasurementId(pub u8);
 
 impl MeasurementId {
@@ -47,7 +44,7 @@ impl fmt::Display for MeasurementId {
 }
 
 /// A cache-line key: one neighbor's one measurement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LineKey {
     /// The neighbor being modeled.
     pub node: NodeId,
@@ -71,7 +68,7 @@ impl From<(NodeId, MeasurementId)> for LineKey {
 }
 
 /// Cache sizing and policy.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CacheConfig {
     /// Total budget, bytes (paper default: 2048).
     pub budget_bytes: usize,

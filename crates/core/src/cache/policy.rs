@@ -1,9 +1,7 @@
 //! Cache replacement policies.
 
-use serde::{Deserialize, Serialize};
-
 /// Which replacement strategy the cache manager runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CachePolicy {
     /// The paper's model-aware admission/replacement algorithm
     /// (Section 4): observations are admitted, time-shifted or

@@ -2,10 +2,9 @@
 
 use crate::cache::CacheConfig;
 use crate::metrics::ErrorMetric;
-use serde::{Deserialize, Serialize};
 
 /// All tunables of the snapshot framework, with the paper's defaults.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SnapshotConfig {
     /// The representation threshold `T`: `N_i` may represent `N_j`
     /// when `d(x_j, x̂_j) <= T` (paper sweeps 0.1..=10; sensitivity

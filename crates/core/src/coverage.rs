@@ -7,8 +7,6 @@
 //! execution; under snapshot execution its representative may still
 //! supply an estimate, keeping coverage at 100%.
 
-use serde::{Deserialize, Serialize};
-
 /// Accumulates coverage samples over a query workload and reports the
 /// series (the y-axis of Figure 10) plus its integral ("what is
 /// important is the area below each curve").
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// tracker.record(3, 4); // one node dark
 /// assert!((tracker.mean() - 0.875).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CoverageTracker {
     samples: Vec<f64>,
 }

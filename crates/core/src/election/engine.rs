@@ -21,9 +21,9 @@
 use crate::config::SnapshotConfig;
 use crate::election::messages::ProtocolMsg;
 use crate::sensor::{Mode, Offer, SensorNode};
-use rand::rngs::StdRng;
-use rand::RngExt;
 use snapshot_netsim::clock::Epoch;
+use snapshot_netsim::rng::DetRng;
+use snapshot_netsim::rng::RngExt;
 use snapshot_netsim::{Network, NodeId};
 
 /// Phase labels used for the Table 2 message accounting.
@@ -71,7 +71,7 @@ pub fn run_full_election(
     values: &[f64],
     cfg: &SnapshotConfig,
     epoch: Epoch,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
 ) -> ElectionOutcome {
     run_election(net, nodes, values, cfg, epoch, rng, Scope::Full, false)
 }
@@ -85,7 +85,7 @@ pub fn run_maintenance_election(
     values: &[f64],
     cfg: &SnapshotConfig,
     epoch: Epoch,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
     initiators: &[NodeId],
 ) -> ElectionOutcome {
     run_election(
@@ -107,7 +107,7 @@ fn run_election(
     values: &[f64],
     cfg: &SnapshotConfig,
     epoch: Epoch,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
     scope: Scope<'_>,
     count_already: bool,
 ) -> ElectionOutcome {
@@ -282,8 +282,10 @@ fn run_election(
         }
     }
     for (j, dst, msg) in to_send.drain(..) {
+        // Acceptances are only queued with a chosen representative; a
+        // destination-less entry is dropped rather than panicking.
+        let Some(rep) = dst else { continue };
         let bytes = msg.wire_bytes();
-        let rep = dst.expect("accept without representative");
         net.unicast(j, rep, msg, bytes, phase::ACCEPT);
     }
     net.deliver();
@@ -513,7 +515,14 @@ fn run_election(
         match nodes[i.index()].mode {
             Mode::Active => active += 1,
             Mode::Passive => passive += 1,
-            Mode::Undefined => unreachable!("safety valve guarantees no undefined mode"),
+            // The safety valve above forces every live node out of
+            // Undefined; should that invariant ever break, degrade to
+            // ACTIVE (the paper's Rule 1 default) instead of aborting
+            // the simulation.
+            Mode::Undefined => {
+                nodes[i.index()].mode = Mode::Active;
+                active += 1;
+            }
         }
         if nodes[i.index()].forced_active {
             forced += 1;

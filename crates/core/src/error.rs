@@ -1,0 +1,58 @@
+//! Error type for the snapshot core.
+//!
+//! The protocol crates are panic-free in library code (enforced by
+//! `cargo xtask analyze`): conditions that used to `expect` now
+//! surface here so callers decide whether to degrade or abort.
+
+use std::fmt;
+
+/// Errors surfaced by the snapshot protocol and query execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoreError {
+    /// TAG execution was requested for a query with no aggregate
+    /// function (TAG computes aggregates in-network; a selection
+    /// query has nothing to aggregate).
+    MissingAggregate,
+    /// A least-squares fit was requested on statistics whose `x` has
+    /// no variance (including `n <= 1`); Lemma 1's denominator
+    /// vanishes and no unique line exists.
+    DegenerateFit {
+        /// Number of cached pairs.
+        n: u32,
+        /// Mean of the cached `y` values — the optimal constant
+        /// fallback when the caller chooses to degrade.
+        mean_y: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::MissingAggregate => {
+                f.write_str("TAG execution requires an aggregate function")
+            }
+            CoreError::DegenerateFit { n, mean_y } => write!(
+                f,
+                "least-squares fit is degenerate ({n} pair(s), zero x-variance); \
+                 constant fallback would be {mean_y}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_useful_messages() {
+        assert!(CoreError::MissingAggregate
+            .to_string()
+            .contains("aggregate"));
+        let e = CoreError::DegenerateFit { n: 1, mean_y: 2.5 };
+        assert!(e.to_string().contains("1 pair"));
+        assert!(e.to_string().contains("2.5"));
+    }
+}

@@ -36,6 +36,7 @@ pub mod cache;
 pub mod config;
 pub mod coverage;
 pub mod election;
+pub mod error;
 pub mod maintenance;
 pub mod metrics;
 pub mod model;
@@ -49,6 +50,7 @@ pub use cache::{CacheConfig, CacheDecision, CachePolicy, LineKey, MeasurementId,
 pub use config::SnapshotConfig;
 pub use coverage::CoverageTracker;
 pub use election::{ElectionOutcome, ProtocolMsg};
+pub use error::CoreError;
 pub use metrics::ErrorMetric;
 pub use model::{LinearModel, SuffStats};
 pub use multi::{SnapshotAction, ThresholdLadder};
@@ -68,6 +70,7 @@ pub mod prelude {
     pub use crate::config::SnapshotConfig;
     pub use crate::coverage::CoverageTracker;
     pub use crate::election::{ElectionOutcome, ProtocolMsg};
+    pub use crate::error::CoreError;
     pub use crate::metrics::ErrorMetric;
     pub use crate::model::{LinearModel, SuffStats};
     pub use crate::multi::{SnapshotAction, ThresholdLadder};

@@ -30,9 +30,9 @@ pub use rotation::{rotate_representatives, RotationReport};
 use crate::config::SnapshotConfig;
 use crate::election::{run_maintenance_election, ElectionOutcome, ProtocolMsg};
 use crate::sensor::{Mode, SensorNode};
-use rand::rngs::StdRng;
-use rand::RngExt;
 use snapshot_netsim::clock::Epoch;
+use snapshot_netsim::rng::DetRng;
+use snapshot_netsim::rng::RngExt;
 use snapshot_netsim::{Network, NodeId};
 use std::collections::BTreeSet;
 
@@ -70,7 +70,7 @@ pub fn run_maintenance(
     values: &[f64],
     cfg: &SnapshotConfig,
     epoch: Epoch,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
 ) -> MaintenanceReport {
     run_cycle(net, nodes, values, cfg, epoch, rng, true)
 }
@@ -89,7 +89,7 @@ pub fn run_handoff_check(
     values: &[f64],
     cfg: &SnapshotConfig,
     epoch: Epoch,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
 ) -> MaintenanceReport {
     run_cycle(net, nodes, values, cfg, epoch, rng, false)
 }
@@ -101,7 +101,7 @@ fn run_cycle(
     values: &[f64],
     cfg: &SnapshotConfig,
     epoch: Epoch,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
     with_heartbeats: bool,
 ) -> MaintenanceReport {
     debug_assert_eq!(nodes.len(), values.len());
@@ -298,7 +298,6 @@ fn run_cycle(
 mod tests {
     use super::*;
     use crate::cache::CacheConfig;
-    use rand::SeedableRng;
     use snapshot_netsim::prelude::*;
 
     fn setup(n: usize, loss: f64) -> (Network<ProtocolMsg>, Vec<SensorNode>, SnapshotConfig) {
@@ -325,7 +324,7 @@ mod tests {
     #[test]
     fn accurate_member_stays_passive() {
         let (mut net, mut nodes, cfg) = setup(3, 0.0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = snapshot_netsim::rng::DetRng::seed_from_u64(1);
         // Model: x_m = x_rep exactly.
         wire_member(
             &mut nodes,
@@ -345,7 +344,7 @@ mod tests {
     #[test]
     fn drifted_member_reelects() {
         let (mut net, mut nodes, cfg) = setup(3, 0.0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = snapshot_netsim::rng::DetRng::seed_from_u64(1);
         wire_member(
             &mut nodes,
             NodeId(0),
@@ -362,7 +361,7 @@ mod tests {
     #[test]
     fn dead_representative_is_detected_by_silence() {
         let (mut net, mut nodes, cfg) = setup(3, 0.0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = snapshot_netsim::rng::DetRng::seed_from_u64(1);
         wire_member(&mut nodes, NodeId(0), NodeId(1), &[(1.0, 1.0), (2.0, 2.0)]);
         net.kill(NodeId(0));
         let values = vec![5.0, 5.0, 7.0];
@@ -376,7 +375,7 @@ mod tests {
     #[test]
     fn self_only_actives_fish_for_representatives() {
         let (mut net, mut nodes, cfg) = setup(2, 0.0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = snapshot_netsim::rng::DetRng::seed_from_u64(1);
         // Node 1 can model node 0 perfectly.
         for &(x, y) in &[(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)] {
             nodes[1].cache.observe(NodeId(0), x, y);
@@ -393,7 +392,7 @@ mod tests {
     #[test]
     fn heartbeat_fine_tunes_the_model() {
         let (mut net, mut nodes, cfg) = setup(2, 0.0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = snapshot_netsim::rng::DetRng::seed_from_u64(1);
         wire_member(&mut nodes, NodeId(0), NodeId(1), &[(1.0, 1.0), (2.0, 2.0)]);
         let before = nodes[0].cache.line(NodeId(1)).unwrap().len();
         let values = vec![3.0, 3.0];
@@ -417,7 +416,7 @@ mod tests {
         );
         // Drain rep 0 below 50%.
         net.charge(NodeId(0), 6.0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = snapshot_netsim::rng::DetRng::seed_from_u64(1);
         wire_member(&mut nodes, NodeId(0), NodeId(1), &[(1.0, 1.0), (2.0, 2.0)]);
         // Node 2 can also model node 1.
         for &(x, y) in &[(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)] {

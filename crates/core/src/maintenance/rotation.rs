@@ -11,9 +11,9 @@
 use crate::config::SnapshotConfig;
 use crate::election::{run_maintenance_election, ElectionOutcome, ProtocolMsg};
 use crate::sensor::{Mode, SensorNode};
-use rand::rngs::StdRng;
-use rand::RngExt;
 use snapshot_netsim::clock::Epoch;
+use snapshot_netsim::rng::DetRng;
+use snapshot_netsim::rng::RngExt;
 use snapshot_netsim::{Network, NodeId};
 use std::collections::BTreeSet;
 
@@ -37,7 +37,7 @@ pub fn rotate_representatives(
     values: &[f64],
     cfg: &SnapshotConfig,
     epoch: Epoch,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
     rotation_prob: f64,
 ) -> RotationReport {
     assert!(
@@ -113,7 +113,6 @@ pub fn rotate_representatives(
 mod tests {
     use super::*;
     use crate::cache::CacheConfig;
-    use rand::SeedableRng;
     use snapshot_netsim::prelude::*;
 
     #[test]
@@ -133,7 +132,7 @@ mod tests {
             nodes[2].cache.observe(NodeId(1), x, y);
         }
         let values = vec![4.0, 4.0, 4.0];
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = snapshot_netsim::rng::DetRng::seed_from_u64(3);
         let r =
             rotate_representatives(&mut net, &mut nodes, &values, &cfg, Epoch(2), &mut rng, 1.0);
         assert_eq!(r.retired, 1);
@@ -154,7 +153,7 @@ mod tests {
         nodes[1].rep_of = Some((NodeId(0), Epoch(1)));
         nodes[0].represents.insert(NodeId(1), Epoch(1));
         let values = vec![1.0, 1.0];
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = snapshot_netsim::rng::DetRng::seed_from_u64(3);
         let r =
             rotate_representatives(&mut net, &mut nodes, &values, &cfg, Epoch(2), &mut rng, 0.0);
         assert_eq!(r.retired, 0);
@@ -169,7 +168,7 @@ mod tests {
             Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 2);
         let cfg = SnapshotConfig::default();
         let mut nodes = vec![SensorNode::new(NodeId(0), CacheConfig::default())];
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = snapshot_netsim::rng::DetRng::seed_from_u64(3);
         let _ = rotate_representatives(&mut net, &mut nodes, &[1.0], &cfg, Epoch(1), &mut rng, 1.5);
     }
 }

@@ -6,8 +6,6 @@
 //! paper lists three common choices, all implemented here. All of the
 //! paper's experiments use the sum-squared error.
 
-use serde::{Deserialize, Serialize};
-
 /// The application-chosen error metric `d(actual, estimate)`.
 ///
 /// ```
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(sse.within(5.0, 4.5, 0.3));        // 0.25 <= T
 /// assert!(!sse.within(5.0, 4.0, 0.3));       // 1.0  >  T
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum ErrorMetric {
     /// Squared error `(x - x̂)^2` — the paper's default ("sse").
     #[default]

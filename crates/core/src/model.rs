@@ -12,10 +12,10 @@
 //! line; [`SuffStats::from_pairs`] provides the recompute-from-scratch
 //! path that property tests check the incremental path against.
 
-use serde::{Deserialize, Serialize};
+use crate::error::CoreError;
 
 /// Sufficient statistics of a set of `(x, y)` pairs.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SuffStats {
     /// Number of pairs.
     pub n: u32,
@@ -145,7 +145,7 @@ impl SuffStats {
 /// assert!((model.b - 1.0).abs() < 1e-9);
 /// assert!((model.predict(10.0) - 21.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearModel {
     /// Slope `a_{i,j}`.
     pub a: f64,
@@ -167,10 +167,24 @@ impl LinearModel {
     /// When `x` is constant (including `n <= 1`) the denominator
     /// vanishes and the optimal fallback is `a = 0, b = mean(y)`;
     /// empty statistics yield the zero model (equivalent to the
-    /// no-answer policy).
+    /// no-answer policy). Use [`LinearModel::try_fit`] when the caller
+    /// must distinguish a genuine regression from the fallback.
     pub fn fit(stats: &SuffStats) -> Self {
+        match LinearModel::try_fit(stats) {
+            Ok(model) => model,
+            Err(CoreError::DegenerateFit { mean_y, .. }) => LinearModel::constant(mean_y),
+            Err(_) => LinearModel::constant(0.0),
+        }
+    }
+
+    /// Like [`LinearModel::fit`], but surfaces the degenerate case
+    /// (zero x-variance, including `n <= 1` and empty statistics) as
+    /// [`CoreError::DegenerateFit`] instead of silently falling back
+    /// to a constant model. The error carries the mean of `y` so the
+    /// caller can still degrade explicitly.
+    pub fn try_fit(stats: &SuffStats) -> Result<Self, CoreError> {
         if stats.n == 0 {
-            return LinearModel::constant(0.0);
+            return Err(CoreError::DegenerateFit { n: 0, mean_y: 0.0 });
         }
         let n = stats.n as f64;
         let denom = n * stats.sxx - stats.sx * stats.sx;
@@ -178,11 +192,14 @@ impl LinearModel {
         // relative to the magnitude of the data.
         let scale = (n * stats.sxx).abs().max(stats.sx * stats.sx);
         if denom.abs() <= scale * 1e-12 {
-            return LinearModel::constant(stats.sy / n);
+            return Err(CoreError::DegenerateFit {
+                n: stats.n,
+                mean_y: stats.sy / n,
+            });
         }
         let a = (n * stats.sxy - stats.sx * stats.sy) / denom;
         let b = (stats.sy - a * stats.sx) / n;
-        LinearModel { a, b }
+        Ok(LinearModel { a, b })
     }
 
     /// Predict `x̂_j` from `x_i`.
@@ -310,6 +327,27 @@ mod tests {
         let s3 = s2.without(2.0, 2.0);
         assert_eq!(s3.n, 1);
         assert!((s3.sx - s.sx).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_fit_reports_degenerate_input() {
+        let stats = SuffStats::from_pairs(&[(2.0, 1.0), (2.0, 3.0)]);
+        match LinearModel::try_fit(&stats) {
+            Err(CoreError::DegenerateFit { n, mean_y }) => {
+                assert_eq!(n, 2);
+                assert!((mean_y - 2.0).abs() < 1e-12);
+            }
+            other => panic!("expected DegenerateFit, got {other:?}"),
+        }
+        // The infallible path degrades to the constant the error names.
+        assert_eq!(stats.fit(), LinearModel::constant(2.0));
+    }
+
+    #[test]
+    fn try_fit_succeeds_on_sloped_data() {
+        let stats = SuffStats::from_pairs(&[(1.0, 3.0), (2.0, 5.0), (3.0, 7.0)]);
+        let m = LinearModel::try_fit(&stats).expect("non-degenerate");
+        assert!((m.a - 2.0).abs() < 1e-9);
     }
 
     #[test]

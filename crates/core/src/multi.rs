@@ -92,7 +92,9 @@ impl ThresholdLadder {
         *self.queries.entry(Self::key(t)).or_insert(0) += 1;
         match self.elected_at {
             Some(current) if current <= t => SnapshotAction::Reuse,
-            _ => SnapshotAction::ElectAt(self.tightest().expect("just registered")),
+            // `tightest()` is `Some` because `t` was just registered;
+            // fall back to `t` itself rather than panicking.
+            _ => SnapshotAction::ElectAt(self.tightest().unwrap_or(t)),
         }
     }
 

@@ -10,6 +10,7 @@
 
 use crate::config::SnapshotConfig;
 use crate::election::{run_full_election, ElectionOutcome, ProtocolMsg};
+use crate::error::CoreError;
 use crate::maintenance::reconcile::ReconcileReport;
 use crate::maintenance::rotation::RotationReport;
 use crate::maintenance::{
@@ -19,11 +20,11 @@ use crate::query::tag::{execute_tag, TagResult};
 use crate::query::{execute, QueryResult, SnapshotQuery};
 use crate::sensor::SensorNode;
 use crate::snapshot::{count_spurious, Snapshot};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use snapshot_datagen::Trace;
 use snapshot_netsim::clock::Epoch;
 use snapshot_netsim::rng::derive_seed;
+use snapshot_netsim::rng::DetRng;
+use snapshot_netsim::rng::RngExt;
 use snapshot_netsim::{EnergyModel, LinkModel, NetStats, Network, NodeId, Topology};
 
 /// A full sensor-network deployment.
@@ -40,7 +41,7 @@ pub struct SensorNetwork {
     trace: Trace,
     now: usize,
     epoch: Epoch,
-    rng: StdRng,
+    rng: DetRng,
 }
 
 impl Clone for SensorNetwork {
@@ -52,7 +53,7 @@ impl Clone for SensorNetwork {
             trace: self.trace.clone(),
             now: self.now,
             epoch: self.epoch,
-            rng: StdRng::seed_from_u64(derive_seed(self.cfg.seed, 0x2_C10 ^ self.epoch.0)),
+            rng: DetRng::seed_from_u64(derive_seed(self.cfg.seed, 0x2_C10 ^ self.epoch.0)),
         }
     }
 }
@@ -104,12 +105,13 @@ impl SensorNetwork {
             trace.nodes(),
             net.len()
         );
+        // xtask-allow(no_expect): constructor fail-fast on a bad experiment definition, like the assert above
         cfg.validate().expect("invalid snapshot configuration");
         let nodes = net
             .node_ids()
             .map(|id| SensorNode::new(id, cfg.cache))
             .collect();
-        let rng = StdRng::seed_from_u64(derive_seed(cfg.seed, 2));
+        let rng = DetRng::seed_from_u64(derive_seed(cfg.seed, 2));
         SensorNetwork {
             net,
             nodes,
@@ -378,9 +380,13 @@ impl SensorNetwork {
     /// protocol: tree formation by real flooding, partial aggregates
     /// as real (lossy) unicasts. See [`crate::query::tag`].
     ///
-    /// # Panics
-    /// Panics when `query.aggregate` is `None`.
-    pub fn query_tag(&mut self, query: &SnapshotQuery, sink: NodeId) -> TagResult {
+    /// Returns [`CoreError::MissingAggregate`] when `query.aggregate`
+    /// is `None`.
+    pub fn query_tag(
+        &mut self,
+        query: &SnapshotQuery,
+        sink: NodeId,
+    ) -> Result<TagResult, CoreError> {
         let values = self.values();
         execute_tag(&mut self.net, &self.nodes, &values, query, sink)
     }
@@ -430,8 +436,8 @@ impl SensorNetwork {
 
     /// A deterministic RNG stream for experiment-level randomness
     /// (e.g. random sinks), derived from the configuration seed.
-    pub fn experiment_rng(&self) -> StdRng {
-        StdRng::seed_from_u64(derive_seed(self.cfg.seed, 3))
+    pub fn experiment_rng(&self) -> DetRng {
+        DetRng::seed_from_u64(derive_seed(self.cfg.seed, 3))
     }
 }
 
@@ -516,9 +522,9 @@ mod tests {
         let mut rng = sn.experiment_rng();
         let mut saved = 0usize;
         for _ in 0..20 {
-            let x: f64 = rng.random::<f64>();
-            let y: f64 = rng.random::<f64>();
-            let sink = NodeId(rng.random_range(0..100));
+            let x: f64 = rng.random_f64();
+            let y: f64 = rng.random_f64();
+            let sink = NodeId(rng.random_range(0..100u32));
             let pred = SpatialPredicate::window(x, y, 0.5);
             let reg = sn.query(
                 &SnapshotQuery::aggregate(pred, Aggregate::Sum, QueryMode::Regular),

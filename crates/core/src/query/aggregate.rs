@@ -1,9 +1,7 @@
 //! Aggregate functions.
 
-use serde::{Deserialize, Serialize};
-
 /// SQL-style aggregates over the matching nodes' measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Aggregate {
     /// Sum of measurements.
     Sum,

@@ -115,8 +115,15 @@ pub(crate) fn collect_rows(
         contributions.entry(who).or_default().push(v);
     };
 
-    match query.mode {
-        QueryMode::Regular => {
+    // Snapshot collection needs a built snapshot; when the caller asks
+    // for snapshot mode without one, degrade to regular collection
+    // (true readings) rather than panicking mid-simulation.
+    let snap = match query.mode {
+        QueryMode::Regular => None,
+        QueryMode::Snapshot => snapshot,
+    };
+    match snap {
+        None => {
             for &t in targets {
                 if net.is_alive(t) && tree.contains(t) {
                     available += 1;
@@ -127,8 +134,7 @@ pub(crate) fn collect_rows(
                 }
             }
         }
-        QueryMode::Snapshot => {
-            let snapshot = snapshot.expect("snapshot built for snapshot mode");
+        Some(snapshot) => {
             for &t in targets {
                 let rep = snapshot.representative_of(t);
                 if rep == t {

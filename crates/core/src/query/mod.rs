@@ -26,10 +26,8 @@ pub use predicate::SpatialPredicate;
 pub use tag::{execute_tag, TagResult};
 pub use value_filter::{Comparison, ValueFilter};
 
-use serde::{Deserialize, Serialize};
-
 /// Whether a query runs over all nodes or the snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueryMode {
     /// Every matching node responds (no `USE SNAPSHOT`).
     Regular,
@@ -38,7 +36,7 @@ pub enum QueryMode {
 }
 
 /// A query against the sensor network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SnapshotQuery {
     /// Which nodes the query addresses.
     pub predicate: SpatialPredicate,
@@ -52,14 +50,12 @@ pub struct SnapshotQuery {
     /// after Table 3 ("favor ... representative nodes for routing"),
     /// which further reduces the number of participating nodes. Only
     /// meaningful in [`QueryMode::Snapshot`].
-    #[serde(default)]
     pub prefer_representative_routing: bool,
     /// Optional measurement predicate (`WHERE temperature > 5`).
     /// Under [`QueryMode::Snapshot`] the filter is evaluated on the
     /// representative's *estimate* — the approximate-selection
     /// semantics that make the snapshot useful for alert-style
     /// queries without waking the members.
-    #[serde(default)]
     pub value_filter: Option<ValueFilter>,
 }
 

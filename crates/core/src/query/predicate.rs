@@ -6,7 +6,6 @@
 //! `[x - W/2, x + W/2] x [y - W/2, y + W/2]` around random centers
 //! (Section 6.2); [`SpatialPredicate::window`] builds exactly those.
 
-use serde::{Deserialize, Serialize};
 use snapshot_netsim::topology::{Position, Topology};
 use snapshot_netsim::NodeId;
 
@@ -21,7 +20,7 @@ use snapshot_netsim::NodeId;
 /// assert!(window.matches(Position::new(0.52, 0.48)));
 /// assert!(!window.matches(Position::new(0.7, 0.5)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SpatialPredicate {
     /// Matches every node.
     All,

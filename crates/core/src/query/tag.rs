@@ -16,6 +16,7 @@
 use super::exec::collect_rows;
 use super::{QueryMode, SnapshotQuery};
 use crate::election::ProtocolMsg;
+use crate::error::CoreError;
 use crate::query::Aggregate;
 use crate::sensor::SensorNode;
 use crate::snapshot::Snapshot;
@@ -95,19 +96,18 @@ pub struct TagResult {
 /// tree, per-depth rounds of partial aggregates, loss applied to every
 /// message.
 ///
-/// # Panics
-/// Panics when the query has no aggregate (drill-through queries do
-/// not aggregate in-network).
+/// Returns [`CoreError::MissingAggregate`] when the query has no
+/// aggregate (drill-through queries do not aggregate in-network).
 pub fn execute_tag(
     net: &mut Network<ProtocolMsg>,
     nodes: &[SensorNode],
     values: &[f64],
     query: &SnapshotQuery,
     sink: NodeId,
-) -> TagResult {
-    let agg = query
-        .aggregate
-        .expect("TAG execution requires an aggregate");
+) -> Result<TagResult, CoreError> {
+    let Some(agg) = query.aggregate else {
+        return Err(CoreError::MissingAggregate);
+    };
     let msgs_before = net.stats().total_sent();
 
     // 1. Tree formation by real flooding.
@@ -167,7 +167,12 @@ pub fn execute_tag(
             if p.count == 0 {
                 continue;
             }
-            let parent = tree.parent(id).expect("in-tree node has a parent");
+            // A sender at depth > 0 always has a parent in the
+            // formation tree; skip (suppress) rather than panic if
+            // the tree is ever inconsistent.
+            let Some(parent) = tree.parent(id) else {
+                continue;
+            };
             let msg = ProtocolMsg::Partial {
                 sum: p.sum,
                 count: p.count,
@@ -207,13 +212,13 @@ pub fn execute_tag(
     }
 
     let sink_partial = partials[sink.index()];
-    TagResult {
+    Ok(TagResult {
         value: sink_partial.finish(agg),
         delivered_count: sink_partial.count,
         contributed_count: contributed,
         tree_size: tree.len(),
         messages: net.stats().total_sent() - msgs_before,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -254,7 +259,8 @@ mod tests {
         ] {
             let (mut net, nodes, values) = setup(30, 0.5, 0.0, 7);
             let q = SnapshotQuery::aggregate(SpatialPredicate::All, agg, QueryMode::Regular);
-            let tag = execute_tag(&mut net, &nodes, &values, &q, NodeId(3));
+            let tag =
+                execute_tag(&mut net, &nodes, &values, &q, NodeId(3)).expect("aggregate query");
 
             let (mut net2, nodes2, values2) = setup(30, 0.5, 0.0, 7);
             let ideal = execute(&mut net2, &nodes2, &values2, &q, NodeId(3));
@@ -298,7 +304,7 @@ mod tests {
         let (mut net, nodes, values) = setup(50, 0.3, 0.3, 11);
         let q =
             SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Count, QueryMode::Regular);
-        let tag = execute_tag(&mut net, &nodes, &values, &q, NodeId(5));
+        let tag = execute_tag(&mut net, &nodes, &values, &q, NodeId(5)).expect("aggregate query");
         assert!(tag.delivered_count <= tag.contributed_count);
         assert!(tag.tree_size <= 50);
         // With 30% loss on a multi-hop tree, *some* attrition is
@@ -314,7 +320,7 @@ mod tests {
         let (mut net, nodes, values) = setup(20, 1.0, 1.0, 3);
         let q =
             SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Count, QueryMode::Regular);
-        let tag = execute_tag(&mut net, &nodes, &values, &q, NodeId(0));
+        let tag = execute_tag(&mut net, &nodes, &values, &q, NodeId(0)).expect("aggregate query");
         // The flood never leaves the sink, so only the sink is in the
         // tree and only its own value is counted.
         assert_eq!(tag.tree_size, 1);
@@ -325,7 +331,7 @@ mod tests {
     fn message_counts_reflect_flood_plus_partials() {
         let (mut net, nodes, values) = setup(20, 0.5, 0.0, 9);
         let q = SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Sum, QueryMode::Regular);
-        let tag = execute_tag(&mut net, &nodes, &values, &q, NodeId(1));
+        let tag = execute_tag(&mut net, &nodes, &values, &q, NodeId(1)).expect("aggregate query");
         // Lossless: every node floods once (20) and every non-sink
         // tree node sends one partial (19).
         assert_eq!(tag.messages, 20 + 19);
@@ -342,7 +348,7 @@ mod tests {
             Aggregate::Count,
             QueryMode::Regular,
         );
-        let tag = execute_tag(&mut net, &nodes, &values, &q, NodeId(4));
+        let tag = execute_tag(&mut net, &nodes, &values, &q, NodeId(4)).expect("aggregate query");
         assert_eq!(tag.value, Some(1.0));
         // 20 flood messages; zero partials (the only contributor IS
         // the sink).

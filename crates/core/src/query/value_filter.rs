@@ -8,10 +8,8 @@
 //! approximate selection whose error is bounded by the election
 //! threshold, evaluated without waking a single represented node.
 
-use serde::{Deserialize, Serialize};
-
 /// A comparison operator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Comparison {
     /// `<`
     Lt,
@@ -63,7 +61,7 @@ impl Comparison {
 /// assert!(gusty.matches(12.5));
 /// assert!(!gusty.matches(10.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ValueFilter {
     /// The comparison.
     pub op: Comparison,

@@ -20,13 +20,12 @@
 
 use crate::error::DatagenError;
 use crate::trace::Trace;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
 use snapshot_netsim::rng::derive_seed;
+use snapshot_netsim::rng::DetRng;
+use snapshot_netsim::rng::RngExt;
 
 /// Parameters of the periodic-field generator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PeriodicConfig {
     /// Number of nodes.
     pub n_nodes: usize,
@@ -126,7 +125,7 @@ pub struct PeriodicData {
 /// Generate a periodic field.
 pub fn periodic(cfg: &PeriodicConfig) -> Result<PeriodicData, DatagenError> {
     cfg.validate()?;
-    let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, 0x9E810D1C));
+    let mut rng = DetRng::seed_from_u64(derive_seed(cfg.seed, 0x9E810D1C));
 
     let gain: Vec<f64> = (0..cfg.n_nodes)
         .map(|_| rng.random_range(cfg.gain_range.0..=cfg.gain_range.1))
@@ -163,8 +162,8 @@ pub fn periodic(cfg: &PeriodicConfig) -> Result<PeriodicData, DatagenError> {
 
 fn gaussian<R: RngExt + ?Sized>(rng: &mut R) -> f64 {
     loop {
-        let u1: f64 = rng.random::<f64>();
-        let u2: f64 = rng.random::<f64>();
+        let u1: f64 = rng.random_f64();
+        let u2: f64 = rng.random_f64();
         if u1 > f64::MIN_POSITIVE {
             return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         }

@@ -19,13 +19,12 @@
 
 use crate::error::DatagenError;
 use crate::trace::Trace;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
 use snapshot_netsim::rng::derive_seed;
+use snapshot_netsim::rng::DetRng;
+use snapshot_netsim::rng::RngExt;
 
 /// Parameters of the Section 6.1 workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RandomWalkConfig {
     /// Number of sensor nodes (paper: 100).
     pub n_nodes: usize,
@@ -118,7 +117,7 @@ pub struct RandomWalkData {
 /// [`DatagenError::InvalidParameter`] on degenerate configurations.
 pub fn random_walk(cfg: &RandomWalkConfig) -> Result<RandomWalkData, DatagenError> {
     cfg.validate()?;
-    let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, 0xDA7A));
+    let mut rng = DetRng::seed_from_u64(derive_seed(cfg.seed, 0xDA7A));
 
     // Per-class move probability in [0.2, 1].
     let p_move: Vec<f64> = (0..cfg.n_classes)

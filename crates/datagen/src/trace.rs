@@ -7,7 +7,6 @@
 //! steps) is well under a megabyte.
 
 use crate::error::DatagenError;
-use serde::{Deserialize, Serialize};
 use snapshot_netsim::NodeId;
 
 /// A dense matrix of per-node, per-timestep measurements.
@@ -21,7 +20,7 @@ use snapshot_netsim::NodeId;
 /// assert_eq!(trace.value(NodeId(1), 0), 10.0);
 /// assert!((trace.correlation(NodeId(0), NodeId(1)) - 1.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     nodes: usize,
     steps: usize,

@@ -1,0 +1,283 @@
+//! A tiny, dependency-free micro-benchmark harness.
+//!
+//! Implements the subset of the Criterion API that the workspace's
+//! benches use (`criterion_group!`, `criterion_main!`, `Criterion`,
+//! `Bencher::iter` / `iter_batched`, benchmark groups, `black_box`),
+//! so the bench files read identically while building offline with no
+//! external crates. Timing methodology is deliberately simple: a short
+//! warm-up, then `sample_size` samples of an adaptively chosen
+//! iteration count, reporting the median per-iteration time.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The harness runs one
+/// setup per routine invocation regardless, so the variants only
+/// document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is cheap to hold many of.
+    SmallInput,
+    /// Setup output is expensive; batch conservatively.
+    LargeInput,
+    /// Exactly one setup per iteration.
+    PerIteration,
+}
+
+/// A parameterized benchmark label, e.g. `fit/64`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter into one label.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_size,
+        }
+    }
+
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the per-sample iteration count so each
+        // sample runs for roughly a millisecond.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(1);
+        self.iters_per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh input from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.samples.clear();
+        self.iters_per_sample = 1;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn median_ns_per_iter(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut ns: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        ns.sort_by(|a, b| a.total_cmp(b));
+        ns[ns.len() / 2]
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark driver: registry of named benchmarks plus the
+/// sampling configuration.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        println!(
+            "{label:<40} {:>12}/iter",
+            human_time(b.median_ns_per_iter())
+        );
+    }
+
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, f);
+        self
+    }
+
+    /// Run one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// End the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the bench entry point, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` passes harness flags benches don't parse;
+            // with `--test` semantics we just run everything.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut b = Bencher::new(3);
+        b.iter(|| black_box(21u64 * 2));
+        assert!(b.median_ns_per_iter() >= 0.0);
+        assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut b = Bencher::new(4);
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::LargeInput,
+        );
+        assert_eq!(setups, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats_label() {
+        assert_eq!(BenchmarkId::new("fit", 64).to_string(), "fit/64");
+    }
+
+    #[test]
+    fn human_time_scales_units() {
+        assert_eq!(human_time(12.0), "12.0 ns");
+        assert_eq!(human_time(1_500.0), "1.50 µs");
+        assert_eq!(human_time(2_500_000.0), "2.50 ms");
+    }
+}

@@ -6,10 +6,8 @@
 //! epoch-id of a continuous query") used to time-stamp representative
 //! elections and filter out spurious representatives.
 
-use serde::{Deserialize, Serialize};
-
 /// A monotone tick counter shared by the whole simulation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimClock {
     now: u64,
 }
@@ -42,9 +40,7 @@ impl SimClock {
 ///
 /// The *latest* epoch wins when reconciling conflicting claims about
 /// who represents whom (the paper's spurious-representative filter).
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Epoch(pub u64);
 
 impl Epoch {

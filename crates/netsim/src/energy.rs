@@ -8,10 +8,8 @@
 //! equivalents*: one broadcast costs 1.0, a cache-manager update costs
 //! 0.1, and receiving is free by default (configurable).
 
-use serde::{Deserialize, Serialize};
-
 /// Costs of the basic operations, in transmission equivalents.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct EnergyModel {
     /// Cost of transmitting one message.
     pub tx_cost: f64,
@@ -45,7 +43,7 @@ impl Default for EnergyModel {
 /// assert!(battery.draw(0.1));               // one cache update
 /// assert!((battery.fraction() - 0.9978).abs() < 1e-3);
 /// ```
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Battery {
     capacity: f64,
     remaining: f64,

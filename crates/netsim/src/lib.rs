@@ -72,6 +72,7 @@ pub use link::LinkModel;
 pub use message::{Delivery, Destination, Envelope};
 pub use mobility::RandomWaypoint;
 pub use node::NodeId;
+pub use rng::{DetRng, RngCore, RngExt};
 pub use sim::Network;
 pub use stats::NetStats;
 pub use topology::{Position, Topology};
@@ -87,6 +88,7 @@ pub mod prelude {
     pub use crate::message::{Delivery, Destination, Envelope};
     pub use crate::mobility::RandomWaypoint;
     pub use crate::node::NodeId;
+    pub use crate::rng::{DetRng, RngCore, RngExt};
     pub use crate::sim::Network;
     pub use crate::stats::NetStats;
     pub use crate::topology::{Position, Topology};

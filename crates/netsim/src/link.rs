@@ -10,12 +10,11 @@
 //! radio range.
 
 use crate::node::NodeId;
-use rand::RngExt;
-use serde::{Deserialize, Serialize};
+use crate::rng::RngExt;
 
 /// Probabilistic model deciding whether a single (sender, receiver)
 /// delivery attempt succeeds.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum LinkModel {
     /// Every in-range delivery succeeds.
     Perfect,
@@ -88,11 +87,10 @@ impl LinkModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::DetRng;
 
     fn rate(model: &LinkModel, trials: u32, dist_frac: f64) -> f64 {
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = DetRng::seed_from_u64(99);
         let mut ok = 0u32;
         for _ in 0..trials {
             if model.delivered(&mut rng, NodeId(0), NodeId(1), dist_frac) {
@@ -130,7 +128,7 @@ mod tests {
         let model = LinkModel::PerLink {
             p_loss: vec![vec![0.0, 1.0], vec![0.0, 0.0]],
         };
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         // 0 -> 1 always lost
         assert!(!model.delivered(&mut rng, NodeId(0), NodeId(1), 0.0));
         // 1 -> 0 never lost: asymmetric

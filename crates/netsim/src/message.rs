@@ -1,7 +1,6 @@
 //! Message envelopes exchanged through the simulator.
 
 use crate::node::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Where a message is aimed.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// simulator can distinguish addressed traffic from overheard traffic.
 /// The snapshot protocols exploit this: models are refined by snooping
 /// broadcasts that were addressed to somebody else.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Destination {
     /// Addressed to every node in range.
     Broadcast,

@@ -10,17 +10,17 @@
 
 use crate::node::NodeId;
 use crate::rng::derive_seed;
+use crate::rng::DetRng;
+use crate::rng::RngExt;
 use crate::sim::Network;
 use crate::topology::Position;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Random-waypoint mobility over the unit square.
 #[derive(Debug)]
 pub struct RandomWaypoint {
     waypoints: Vec<Position>,
     speed: f64,
-    rng: StdRng,
+    rng: DetRng,
 }
 
 impl RandomWaypoint {
@@ -31,9 +31,9 @@ impl RandomWaypoint {
     /// error; `0.0` is allowed and freezes everyone).
     pub fn new(n: usize, speed: f64, seed: u64) -> Self {
         assert!(speed >= 0.0, "speed must be non-negative, got {speed}");
-        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0x30B1));
+        let mut rng = DetRng::seed_from_u64(derive_seed(seed, 0x30B1));
         let waypoints = (0..n)
-            .map(|_| Position::new(rng.random::<f64>(), rng.random::<f64>()))
+            .map(|_| Position::new(rng.random_f64(), rng.random_f64()))
             .collect();
         RandomWaypoint {
             waypoints,
@@ -65,7 +65,7 @@ impl RandomWaypoint {
             let new_pos = if dist <= self.speed {
                 // Arrived: snap to the waypoint and pick the next one.
                 self.waypoints[id.index()] =
-                    Position::new(self.rng.random::<f64>(), self.rng.random::<f64>());
+                    Position::new(self.rng.random_f64(), self.rng.random_f64());
                 target
             } else {
                 let f = self.speed / dist;

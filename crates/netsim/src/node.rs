@@ -1,6 +1,5 @@
 //! Node identifiers and liveness state.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a sensor node.
@@ -9,7 +8,7 @@ use std::fmt;
 /// that are totally ordered; the election protocol uses the ordering to
 /// break ties ("favor `N_{i1}` if `i1 > i2`"). We use a dense `u32` so
 /// ids double as indices into per-node vectors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -22,6 +21,7 @@ impl NodeId {
     /// Construct from a vector index.
     #[inline]
     pub fn from_index(i: usize) -> Self {
+        // xtask-allow(no_expect): truncating would silently alias node ids; real deployments are far below u32::MAX
         NodeId(u32::try_from(i).expect("node index exceeds u32 range"))
     }
 }
@@ -42,7 +42,7 @@ impl From<u32> for NodeId {
 ///
 /// A node dies when its battery is depleted (or when failure is
 /// injected by an experiment); dead nodes neither send nor receive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeState {
     /// Operating normally.
     Alive,

@@ -22,10 +22,9 @@ use crate::link::LinkModel;
 use crate::message::{Delivery, Destination, Envelope};
 use crate::node::{NodeId, NodeState};
 use crate::rng::derive_seed;
+use crate::rng::DetRng;
 use crate::stats::NetStats;
 use crate::topology::Topology;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// The simulated network: topology + link model + energy + statistics.
 ///
@@ -36,7 +35,7 @@ pub struct Network<P: Clone> {
     link: LinkModel,
     energy: EnergyModel,
     seed: u64,
-    rng: StdRng,
+    rng: DetRng,
     batteries: Vec<Battery>,
     states: Vec<NodeState>,
     stats: NetStats,
@@ -46,7 +45,7 @@ pub struct Network<P: Clone> {
 }
 
 impl<P: Clone> Clone for Network<P> {
-    /// Clones replicate the full network state. `StdRng` is
+    /// Clones replicate the full network state. `DetRng` is
     /// deliberately not `Clone` upstream, so the clone's loss stream is
     /// re-seeded deterministically from the original seed and the
     /// current round: clones are reproducible, but their future loss
@@ -57,7 +56,7 @@ impl<P: Clone> Clone for Network<P> {
             link: self.link.clone(),
             energy: self.energy,
             seed: self.seed,
-            rng: StdRng::seed_from_u64(derive_seed(self.seed, 0x000C_104E ^ self.round)),
+            rng: DetRng::seed_from_u64(derive_seed(self.seed, 0x000C_104E ^ self.round)),
             batteries: self.batteries.clone(),
             states: self.states.clone(),
             stats: self.stats.clone(),
@@ -78,7 +77,7 @@ impl<P: Clone> Network<P> {
             link,
             energy,
             seed,
-            rng: StdRng::seed_from_u64(derive_seed(seed, 0x11_4E7)),
+            rng: DetRng::seed_from_u64(derive_seed(seed, 0x11_4E7)),
             batteries: vec![Battery::infinite(); n],
             states: vec![NodeState::Alive; n],
             stats: NetStats::new(n),

@@ -7,7 +7,6 @@
 //! can break counts down exactly the way Table 2 does.
 
 use crate::node::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Per-node, per-phase message counters.
@@ -15,7 +14,7 @@ use std::collections::BTreeMap;
 /// Construct with [`NetStats::new`] — the node count fixes the size of
 /// every counter vector. (There is deliberately no `Default`: a
 /// zero-node instance would panic on the first record.)
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetStats {
     n: usize,
     sent: Vec<u64>,

@@ -10,13 +10,12 @@
 use crate::error::NetsimError;
 use crate::node::NodeId;
 use crate::rng::derive_seed;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use crate::rng::DetRng;
+use crate::rng::RngExt;
 use std::collections::VecDeque;
 
 /// A point in the deployment area.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Position {
     /// Horizontal coordinate.
     pub x: f64,
@@ -61,7 +60,7 @@ impl Position {
 /// assert!(topo.is_connected());
 /// assert_eq!(topo.neighbors(snapshot_netsim::NodeId(0)).len(), 99);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Topology {
     positions: Vec<Position>,
     range: f64,
@@ -102,10 +101,11 @@ impl Topology {
     /// Panics if `n == 0` or `range <= 0` (programmer error in an
     /// experiment definition).
     pub fn random_uniform(n: usize, range: f64, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(derive_seed(seed, 0xB10C));
+        let mut rng = DetRng::seed_from_u64(derive_seed(seed, 0xB10C));
         let positions = (0..n)
-            .map(|_| Position::new(rng.random::<f64>(), rng.random::<f64>()))
+            .map(|_| Position::new(rng.random_f64(), rng.random_f64()))
             .collect();
+        // xtask-allow(no_expect): documented fail-fast on an invalid experiment definition
         Self::new(positions, range).expect("invalid parameters for random_uniform")
     }
 
@@ -123,6 +123,7 @@ impl Topology {
                 ));
             }
         }
+        // xtask-allow(no_expect): documented fail-fast on an invalid experiment definition
         Self::new(positions, range).expect("invalid parameters for grid")
     }
 

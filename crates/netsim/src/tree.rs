@@ -91,7 +91,9 @@ impl AggregationTree {
                 }
                 // ...then preferred same-depth parents override.
                 for &nb in &next {
-                    if prefer(parent[nb.index()].expect("just attached")) {
+                    // Everything in `next` was attached just above;
+                    // an unattached entry simply keeps its parent.
+                    if parent[nb.index()].is_some_and(|p| prefer(p)) {
                         continue;
                     }
                     for &cand in topology.neighbors(nb) {

@@ -1,10 +1,9 @@
 //! Abstract syntax of the query dialect.
 
-use serde::{Deserialize, Serialize};
 use snapshot_core::{Aggregate, Comparison};
 
 /// A parsed query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     /// What the query returns.
     pub projection: Projection,
@@ -20,7 +19,7 @@ pub struct Query {
 }
 
 /// The SELECT list.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Projection {
     /// `SELECT *`
     All,
@@ -36,7 +35,7 @@ pub enum Projection {
 }
 
 /// One conjunct of the WHERE clause.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Condition {
     /// `loc IN <region>`
     Spatial(Region),
@@ -52,7 +51,7 @@ pub enum Condition {
 }
 
 /// A spatial region in the WHERE clause.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Region {
     /// `RECT(x0, y0, x1, y1)`
     Rect {
@@ -80,7 +79,7 @@ pub enum Region {
 }
 
 /// `SAMPLE INTERVAL <d> [FOR <d>]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sample {
     /// Ticks between samples (1 tick = 1 second).
     pub interval_ticks: u64,

@@ -18,11 +18,10 @@ pub struct PlannedExecution {
 }
 
 impl PlannedExecution {
-    /// The final epoch's result (every execution has at least one).
-    pub fn last(&self) -> &QueryResult {
-        self.epochs
-            .last()
-            .expect("an execution always has >= 1 epoch")
+    /// The final epoch's result (`None` only for a zero-epoch
+    /// execution, which [`execute_plan`] never produces).
+    pub fn last(&self) -> Option<&QueryResult> {
+        self.epochs.last()
     }
 
     /// Mean number of participants per epoch.
@@ -48,7 +47,9 @@ impl PlannedExecution {
     /// Render the final epoch as text rows (for examples and the CLI).
     pub fn render_last(&self, sn: &SensorNetwork) -> String {
         let mut out = String::new();
-        let r = self.last();
+        let Some(r) = self.last() else {
+            return "-- no epochs executed\n".to_string();
+        };
         match r.value {
             Some(v) => {
                 out.push_str(&format!("aggregate = {v:.4}\n"));
@@ -132,7 +133,7 @@ mod tests {
         let mut sn = small_network(5);
         let exec = run(&mut sn, "SELECT AVG(value) FROM sensors");
         assert_eq!(exec.epochs.len(), 1);
-        assert!(exec.last().value.is_some());
+        assert!(exec.last().expect("one epoch").value.is_some());
     }
 
     #[test]
@@ -174,8 +175,8 @@ mod tests {
             &mut sn,
             "SELECT COUNT(value) FROM sensors WHERE loc IN NORTH_EAST_QUADRANT",
         );
-        let all_count = all.last().ground_truth.unwrap();
-        let quad_count = quad.last().ground_truth.unwrap();
+        let all_count = all.last().expect("one epoch").ground_truth.unwrap();
+        let quad_count = quad.last().expect("one epoch").ground_truth.unwrap();
         assert!(quad_count < all_count);
     }
 

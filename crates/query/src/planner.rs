@@ -8,11 +8,10 @@
 use crate::ast::{Condition, Projection, Query, Region};
 use crate::catalog::RegionCatalog;
 use crate::error::QueryError;
-use serde::{Deserialize, Serialize};
 use snapshot_core::{QueryMode, SnapshotQuery, SpatialPredicate, ValueFilter};
 
 /// An executable plan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryPlan {
     /// The per-epoch query to execute.
     pub query: SnapshotQuery,

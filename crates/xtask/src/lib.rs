@@ -1,0 +1,424 @@
+//! Repo-specific static analysis (`cargo xtask analyze`).
+//!
+//! The paper's entire evaluation is simulation (Kotidis §6): every
+//! figure this repo reproduces rests on the simulator and protocol
+//! crates being **deterministic under a seed** and **panic-free under
+//! fault injection**. This pass walks the protocol crates
+//! (`core`, `netsim`, `query`, `datagen`) and emits rustc-style
+//! diagnostics for three invariant families:
+//!
+//! 1. **Determinism** — no `HashMap`/`HashSet` (iteration order leaks
+//!    into protocol state), no `rand::thread_rng` / argless
+//!    `rand::random`, no `Instant::now` / `SystemTime::now`. All
+//!    randomness must flow through the seeded `netsim::rng`.
+//! 2. **Panic-freedom** — no `.unwrap()`, `.expect(…)`, `panic!`,
+//!    `unreachable!`, `todo!`, `unimplemented!` in non-test library
+//!    code; slice-index expressions are reported at *warn* level
+//!    (verified hot-path indexing is idiomatic, but it should be
+//!    visible and auditable).
+//! 3. **Energy accounting** — in `election/` and `maintenance/`, every
+//!    message send must carry a static phase tag, and every `pub fn`
+//!    that (transitively) sends must take the energy-accounted
+//!    [`Network`] as a parameter, keeping the paper's ≤6-messages/node
+//!    budget auditable via `NetStats::sent_in_phase`.
+//!
+//! Escape hatch: `// xtask-allow(lint_name): reason` on the same line
+//! or the line above suppresses one lint at one site. Allows must name
+//! a real lint and carry a non-empty reason; stale or malformed allows
+//! are themselves deny-level diagnostics.
+
+pub mod callgraph;
+pub mod lexer;
+pub mod lints;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Fails the run (non-zero exit).
+    Deny,
+    /// Reported but does not fail the run unless `--strict`.
+    Warn,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Level::Deny => f.write_str("error"),
+            Level::Warn => f.write_str("warning"),
+        }
+    }
+}
+
+/// One finding at one source position.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Lint name, e.g. `no_unwrap`.
+    pub lint: &'static str,
+    /// Severity.
+    pub level: Level,
+    /// File the finding is in.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Actionable fix suggestion.
+    pub suggestion: &'static str,
+}
+
+impl Diagnostic {
+    /// Render in rustc's `error[lint]: … --> file:line:col` style.
+    pub fn render(&self) -> String {
+        format!(
+            "{}[{}]: {}\n  --> {}:{}:{}\n  = help: {}",
+            self.level,
+            self.lint,
+            self.message,
+            self.path.display(),
+            self.line,
+            self.col,
+            self.suggestion
+        )
+    }
+}
+
+/// All lint names the analyzer can emit, used to validate
+/// `xtask-allow` annotations.
+pub const LINT_NAMES: &[&str] = &[
+    "no_unwrap",
+    "no_expect",
+    "no_panic",
+    "slice_index",
+    "no_hash_collections",
+    "no_ambient_rng",
+    "no_wall_clock",
+    "unaccounted_send",
+    "unthreaded_network",
+    "bad_allow",
+    "unused_allow",
+];
+
+/// Outcome of analyzing a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Diagnostics that survived `xtask-allow` filtering, in file
+    /// order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `xtask-allow` annotations that suppressed a finding.
+    pub allows_honored: usize,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Deny-level findings.
+    pub fn deny_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.level == Level::Deny)
+            .count()
+    }
+
+    /// Warn-level findings.
+    pub fn warn_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.level == Level::Warn)
+            .count()
+    }
+
+    /// True when the run should exit non-zero.
+    pub fn failed(&self, strict: bool) -> bool {
+        self.deny_count() > 0 || (strict && self.warn_count() > 0)
+    }
+}
+
+/// Analyze one source file.
+///
+/// `protocol_dir` enables the energy-accounting lints (used for
+/// `election/` and `maintenance/` sources).
+pub fn analyze_source(path: &Path, src: &str, protocol_dir: bool) -> (Vec<Diagnostic>, usize) {
+    let lexed = lexer::lex(src);
+    let excluded = lints::test_regions(&lexed.tokens);
+
+    let mut diags = Vec::new();
+    lints::panic_freedom(path, &lexed.tokens, &excluded, &mut diags);
+    lints::determinism(path, &lexed.tokens, &excluded, &mut diags);
+    if protocol_dir {
+        callgraph::energy_accounting(path, &lexed.tokens, &excluded, &mut diags);
+    }
+
+    apply_allows(path, &lexed.allows, diags)
+}
+
+/// Filter diagnostics through the file's `xtask-allow` annotations and
+/// append diagnostics for malformed or stale annotations.
+fn apply_allows(
+    path: &Path,
+    allows: &[lexer::Allow],
+    diags: Vec<Diagnostic>,
+) -> (Vec<Diagnostic>, usize) {
+    let mut used = vec![false; allows.len()];
+    let mut kept = Vec::new();
+    for d in diags {
+        let mut suppressed = false;
+        for (i, a) in allows.iter().enumerate() {
+            // An allow covers its own line and the line below (so it
+            // can sit inline or on its own line above the site), but
+            // only when well-formed.
+            if a.lint == d.lint
+                && !a.reason.is_empty()
+                && (a.line == d.line || a.line + 1 == d.line)
+            {
+                used[i] = true;
+                suppressed = true;
+                break;
+            }
+        }
+        if !suppressed {
+            kept.push(d);
+        }
+    }
+
+    let allows_honored = used.iter().filter(|u| **u).count();
+    for (i, a) in allows.iter().enumerate() {
+        if !LINT_NAMES.contains(&a.lint.as_str()) {
+            kept.push(Diagnostic {
+                lint: "bad_allow",
+                level: Level::Deny,
+                path: path.to_path_buf(),
+                line: a.line,
+                col: 1,
+                message: format!("xtask-allow names unknown lint `{}`", a.lint),
+                suggestion: "use one of the lints listed by `cargo xtask analyze --help`",
+            });
+        } else if a.reason.is_empty() {
+            kept.push(Diagnostic {
+                lint: "bad_allow",
+                level: Level::Deny,
+                path: path.to_path_buf(),
+                line: a.line,
+                col: 1,
+                message: format!("xtask-allow({}) is missing a justification", a.lint),
+                suggestion: "write `// xtask-allow(lint): why this site is safe`",
+            });
+        } else if !used[i] {
+            kept.push(Diagnostic {
+                lint: "unused_allow",
+                level: Level::Deny,
+                path: path.to_path_buf(),
+                line: a.line,
+                col: 1,
+                message: format!(
+                    "xtask-allow({}) suppresses nothing on this or the next line",
+                    a.lint
+                ),
+                suggestion: "remove the stale annotation or move it next to the violation",
+            });
+        }
+    }
+    kept.sort_by_key(|d| (d.line, d.col));
+    (kept, allows_honored)
+}
+
+/// True when the `election`/`maintenance` energy lints apply to this
+/// path.
+pub fn is_protocol_dir(path: &Path) -> bool {
+    path.components().any(|c| {
+        let s = c.as_os_str().to_string_lossy();
+        s == "election" || s == "maintenance"
+    })
+}
+
+/// Recursively collect `.rs` files under `root` (or `root` itself),
+/// skipping integration-test and bench directories.
+pub fn collect_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if root.is_file() {
+        if root.extension().is_some_and(|e| e == "rs") {
+            out.push(root.to_path_buf());
+        }
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(root)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            let name = entry
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if name == "tests" || name == "benches" || name == "target" {
+                continue;
+            }
+            collect_files(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Analyze every `.rs` file under the given roots.
+pub fn analyze_paths(roots: &[PathBuf]) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for root in roots {
+        collect_files(root, &mut files)?;
+    }
+    let mut report = Report::default();
+    for file in files {
+        let src = std::fs::read_to_string(&file)?;
+        let (diags, honored) = analyze_source(&file, &src, is_protocol_dir(&file));
+        report.diagnostics.extend(diags);
+        report.allows_honored += honored;
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+/// The workspace's default scan roots, relative to the repo root: the
+/// four protocol/simulator crates the invariants protect.
+pub fn default_roots(repo_root: &Path) -> Vec<PathBuf> {
+    ["core", "netsim", "query", "datagen"]
+        .iter()
+        .map(|c| repo_root.join("crates").join(c).join("src"))
+        .collect()
+}
+
+/// Minimal JSON string escaping for `--json` output.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a report as a JSON object for CI consumption.
+pub fn to_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"diagnostics\": [\n");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"lint\": \"{}\", \"level\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\", \"suggestion\": \"{}\"}}{}\n",
+            d.lint,
+            d.level,
+            json_escape(&d.path.display().to_string()),
+            d.line,
+            d.col,
+            json_escape(&d.message),
+            json_escape(d.suggestion),
+            if i + 1 < report.diagnostics.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"deny\": {},\n  \"warn\": {},\n  \"allows_honored\": {},\n  \"files_scanned\": {}\n}}",
+        report.deny_count(),
+        report.warn_count(),
+        report.allows_honored,
+        report.files_scanned
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        analyze_source(Path::new("mem.rs"), src, false).0
+    }
+
+    #[test]
+    fn allow_on_same_line_suppresses() {
+        let d = run("fn f(x: Option<u8>) -> u8 { x.unwrap() } // xtask-allow(no_unwrap): test\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_on_line_above_suppresses() {
+        let d = run("// xtask-allow(no_unwrap): validated by caller\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_must_match_lint_name() {
+        let d = run(
+            "// xtask-allow(no_expect): wrong lint\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        );
+        // The unwrap fires AND the allow is stale.
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|d| d.lint == "no_unwrap"));
+        assert!(d.iter().any(|d| d.lint == "unused_allow"));
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let d = run("fn f(x: Option<u8>) -> u8 { x.unwrap() } // xtask-allow(no_unwrap)\n");
+        assert!(d.iter().any(|d| d.lint == "no_unwrap"));
+        assert!(d.iter().any(|d| d.lint == "bad_allow"));
+    }
+
+    #[test]
+    fn allow_with_unknown_lint_is_rejected() {
+        let d = run("// xtask-allow(no_such_lint): whatever\nfn f() {}\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].lint, "bad_allow");
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn report_failure_semantics() {
+        let mut r = Report::default();
+        assert!(!r.failed(false));
+        r.diagnostics.push(Diagnostic {
+            lint: "slice_index",
+            level: Level::Warn,
+            path: PathBuf::from("x.rs"),
+            line: 1,
+            col: 1,
+            message: String::new(),
+            suggestion: "",
+        });
+        assert!(!r.failed(false));
+        assert!(r.failed(true));
+        r.diagnostics.push(Diagnostic {
+            lint: "no_unwrap",
+            level: Level::Deny,
+            path: PathBuf::from("x.rs"),
+            line: 2,
+            col: 1,
+            message: String::new(),
+            suggestion: "",
+        });
+        assert!(r.failed(false));
+    }
+
+    #[test]
+    fn protocol_dir_detection() {
+        assert!(is_protocol_dir(Path::new(
+            "crates/core/src/election/engine.rs"
+        )));
+        assert!(is_protocol_dir(Path::new(
+            "crates/core/src/maintenance/mod.rs"
+        )));
+        assert!(!is_protocol_dir(Path::new("crates/core/src/model.rs")));
+    }
+}

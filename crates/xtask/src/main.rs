@@ -1,0 +1,106 @@
+//! `cargo xtask analyze` — repo-specific static analysis.
+//!
+//! See the crate docs ([`xtask`]) for the lint families and the
+//! `xtask-allow` escape hatch. Exit status: 0 when clean, 1 on any
+//! deny-level finding (or warn-level with `--strict`), 2 on usage or
+//! I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cargo xtask analyze [--json] [--strict] [paths…]
+
+Scans workspace sources for determinism, panic-freedom and
+energy-accounting violations. With no paths, scans the four protocol
+crates (core, netsim, query, datagen).
+
+options:
+  --json     emit a machine-readable JSON report on stdout
+  --strict   promote warn-level lints (slice_index) to failures
+  --help     show this message, including the lint list
+
+lints:
+  no_unwrap, no_expect, no_panic (deny)   panic-freedom
+  slice_index (warn)                      auditable indexing
+  no_hash_collections, no_ambient_rng,
+  no_wall_clock (deny)                    determinism
+  unaccounted_send, unthreaded_network
+  (deny, election/ + maintenance/ only)   energy accounting
+  bad_allow, unused_allow (deny)          escape-hatch hygiene
+
+Suppress a single finding with `// xtask-allow(lint): reason` on the
+same line or the line above.";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("analyze") => {}
+        Some("--help") | Some("help") | None => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut json = false;
+    let mut strict = false;
+    let mut roots: Vec<PathBuf> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--strict" => strict = true,
+            "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => roots.push(PathBuf::from(path)),
+        }
+    }
+
+    if roots.is_empty() {
+        // CARGO_MANIFEST_DIR is crates/xtask; the repo root is two up.
+        let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        roots = xtask::default_roots(&repo_root);
+    }
+
+    let report = match xtask::analyze_paths(&roots) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", xtask::to_json(&report));
+    } else {
+        for d in &report.diagnostics {
+            println!("{}\n", d.render());
+        }
+        println!(
+            "xtask analyze: {} file(s), {} error(s), {} warning(s), {} allow(s) honored",
+            report.files_scanned,
+            report.deny_count(),
+            report.warn_count(),
+            report.allows_honored
+        );
+    }
+
+    if report.failed(strict) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,134 @@
+//! End-to-end checks of `cargo xtask analyze`: the fixtures must
+//! produce exactly the expected diagnostics, and the real workspace
+//! must be clean.
+
+use std::path::{Path, PathBuf};
+use xtask::{analyze_source, Level};
+
+fn manifest_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn analyze_fixture(name: &str) -> (Vec<(String, u32, u32)>, usize) {
+    let path = manifest_dir().join("tests/fixtures").join(name);
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    let (diags, honored) = analyze_source(&path, &src, false);
+    let rendered = diags
+        .iter()
+        .map(|d| {
+            (
+                d.lint.to_string(),
+                d.line,
+                match d.level {
+                    Level::Deny => 0,
+                    Level::Warn => 1,
+                } as u32,
+            )
+        })
+        .collect();
+    (rendered, honored)
+}
+
+#[test]
+fn panics_fixture_reports_exact_diagnostics() {
+    let (diags, honored) = analyze_fixture("panics.rs");
+    let expected: Vec<(String, u32, u32)> = [
+        ("no_unwrap", 5, 0),
+        ("no_expect", 6, 0),
+        ("no_panic", 8, 0),
+        ("no_panic", 16, 0),
+        ("no_panic", 17, 0),
+        ("slice_index", 22, 1),
+        ("unused_allow", 28, 0),
+    ]
+    .iter()
+    .map(|(l, ln, lv)| (l.to_string(), *ln, *lv))
+    .collect();
+    assert_eq!(diags, expected, "got: {diags:?}");
+    assert_eq!(
+        honored, 1,
+        "the line-25 allow must suppress exactly one finding"
+    );
+}
+
+#[test]
+fn determinism_fixture_reports_exact_diagnostics() {
+    let (diags, honored) = analyze_fixture("determinism.rs");
+    let expected: Vec<(String, u32, u32)> = [
+        ("no_hash_collections", 4, 0),
+        ("no_hash_collections", 8, 0),
+        ("no_ambient_rng", 16, 0),
+        ("no_ambient_rng", 17, 0),
+        ("no_wall_clock", 23, 0),
+        ("no_wall_clock", 27, 0),
+        ("no_hash_collections", 31, 0),
+    ]
+    .iter()
+    .map(|(l, ln, lv)| (l.to_string(), *ln, *lv))
+    .collect();
+    assert_eq!(diags, expected, "got: {diags:?}");
+    assert_eq!(honored, 0);
+}
+
+#[test]
+fn sends_fixture_reports_exact_diagnostics() {
+    // The energy lints only run for election/ and maintenance/ paths;
+    // analyze_source takes the flag directly.
+    let path = manifest_dir().join("tests/fixtures/sends.rs");
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    let (diags, _) = analyze_source(&path, &src, true);
+    let got: Vec<(&str, u32)> = diags.iter().map(|d| (d.lint, d.line)).collect();
+    assert_eq!(
+        got,
+        vec![("unaccounted_send", 6), ("unthreaded_network", 11)],
+        "got: {diags:?}"
+    );
+}
+
+#[test]
+fn fixture_run_exits_nonzero_and_workspace_run_exits_zero() {
+    let fixtures = manifest_dir().join("tests/fixtures");
+    let report = xtask::analyze_paths(&[fixtures]).expect("fixtures scan");
+    assert!(report.failed(false), "fixtures must fail the analyzer");
+    assert!(report.deny_count() > 0);
+
+    // Self-check: the real workspace is clean (this is the same
+    // invariant CI enforces via `cargo xtask analyze --json`).
+    let repo_root = manifest_dir()
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .expect("repo root");
+    let report = xtask::analyze_paths(&xtask::default_roots(&repo_root)).expect("workspace scan");
+    let denies: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.level == Level::Deny)
+        .map(|d| d.render())
+        .collect();
+    assert!(
+        denies.is_empty(),
+        "workspace must be free of deny-level findings:\n{}",
+        denies.join("\n")
+    );
+    assert!(
+        report.files_scanned > 40,
+        "expected to scan the four crates"
+    );
+}
+
+#[test]
+fn json_report_is_well_formed() {
+    let fixtures = manifest_dir().join("tests/fixtures");
+    let report = xtask::analyze_paths(&[fixtures]).expect("fixtures scan");
+    let json = xtask::to_json(&report);
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"diagnostics\""));
+    assert!(json.contains("\"no_unwrap\""));
+    assert!(json.contains("\"deny\""));
+    // Balanced braces/brackets — cheap structural sanity without a
+    // JSON parser dependency.
+    let braces = json.matches('{').count();
+    assert_eq!(braces, json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+}

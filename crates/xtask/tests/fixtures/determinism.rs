@@ -1,0 +1,33 @@
+// Fixture: determinism violations. Expected diagnostics (lint, line)
+// are asserted exactly by tests/fixtures.rs.
+
+use std::collections::HashMap; // line 4: no_hash_collections
+use std::time::Instant;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen: std::collections::HashSet<u32> = Default::default(); // line 8: no_hash_collections
+    for &x in xs {
+        seen.insert(x);
+    }
+    seen.len()
+}
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng(); // line 16: no_ambient_rng
+    let x: f64 = rand::random(); // line 17: no_ambient_rng
+    let _ = rng.gen_range(0.0..1.0);
+    x
+}
+
+pub fn stamp() -> Instant {
+    Instant::now() // line 23: no_wall_clock
+}
+
+pub fn wall() -> u64 {
+    let t = std::time::SystemTime::now(); // line 27: no_wall_clock
+    t.elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}
+
+pub fn lookup(m: &HashMap<u32, u32>, k: u32) -> Option<u32> { // line 31: no_hash_collections
+    m.get(&k).copied()
+}

@@ -1,0 +1,37 @@
+// Fixture: panic-freedom violations. Expected diagnostics
+// (lint, line) are asserted exactly by tests/fixtures.rs.
+
+pub fn take(map: &std::collections::BTreeMap<u32, u32>, k: u32) -> u32 {
+    let v = map.get(&k).unwrap(); // line 5: no_unwrap
+    let w = map.get(&(k + 1)).expect("present"); // line 6: no_expect
+    if *v > *w {
+        panic!("inverted"); // line 8: no_panic
+    }
+    *v
+}
+
+pub fn classify(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        1 => todo!(), // line 16: no_panic
+        _ => unreachable!(), // line 17: no_panic
+    }
+}
+
+pub fn index(xs: &[u32], i: usize) -> u32 {
+    xs[i] // line 22: slice_index (warn)
+}
+
+// xtask-allow(no_unwrap): fixture exercises a honored allow
+pub fn allowed(x: Option<u32>) -> u32 { x.unwrap() }
+
+// xtask-allow(no_expect): stale — nothing on this or the next line (line 28: unused_allow)
+pub fn nothing_here() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u32).unwrap();
+    }
+}

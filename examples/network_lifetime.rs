@@ -12,8 +12,8 @@
 //! cargo run --release --example network_lifetime
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use snapshot_netsim::rng::DetRng;
+use snapshot_netsim::rng::RngExt;
 use snapshot_queries::core::{
     Aggregate, CoverageTracker, QueryMode, SensorNetwork, SnapshotConfig, SnapshotQuery,
     SpatialPredicate,
@@ -55,12 +55,12 @@ fn drive(
     maintain: bool,
     seed: u64,
 ) -> CoverageTracker {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut tracker = CoverageTracker::new();
     for q in 0..N_QUERIES {
-        let x: f64 = rng.random::<f64>();
-        let y: f64 = rng.random::<f64>();
-        let sink = NodeId(rng.random_range(0..100));
+        let x: f64 = rng.random_f64();
+        let y: f64 = rng.random_f64();
+        let sink = NodeId(rng.random_range(0..100u32));
         let pred = SpatialPredicate::window(x, y, 0.316); // area ~0.1
         let res = network.query(&SnapshotQuery::aggregate(pred, Aggregate::Avg, mode), sink);
         tracker.record(res.rows.len(), res.targets);

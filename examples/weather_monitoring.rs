@@ -68,7 +68,9 @@ fn main() {
         // Re-run from the same instant for a fair comparison.
         network.set_time(100);
         let exec = execute_plan(&mut network, &p, NodeId(0));
-        let last = exec.last();
+        let Some(last) = exec.last() else {
+            continue;
+        };
         println!(
             "{mode}: {} epochs, mean participants {:>5.1}, final AVG {:.3} (truth {:.3}), coverage {:.0}%",
             exec.epochs.len(),

@@ -196,7 +196,7 @@ fn message_level_tag_agrees_with_the_idealized_executor_losslessly() {
     for mode in [QueryMode::Regular, QueryMode::Snapshot] {
         let q = SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Sum, mode);
         let ideal = sn.query(&q, NodeId(8)).value;
-        let tag = sn.query_tag(&q, NodeId(8)).value;
+        let tag = sn.query_tag(&q, NodeId(8)).expect("aggregate query").value;
         match (ideal, tag) {
             (Some(a), Some(b)) => {
                 assert!((a - b).abs() < 1e-9, "{mode:?}: idealized {a} vs TAG {b}")
@@ -211,7 +211,7 @@ fn tag_under_loss_only_loses_contributions() {
     let mut sn = build_rw(5, 41, 0.4, 0.5);
     let _ = sn.elect();
     let q = SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Count, QueryMode::Snapshot);
-    let tag = sn.query_tag(&q, NodeId(2));
+    let tag = sn.query_tag(&q, NodeId(2)).expect("aggregate query");
     assert!(tag.delivered_count <= tag.contributed_count);
     // Whatever arrives is a valid COUNT of some subset.
     if let Some(v) = tag.value {

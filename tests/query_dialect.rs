@@ -66,11 +66,14 @@ fn sql_and_programmatic_results_agree() {
         let via_sql = execute_plan(&mut sn, &planned, NodeId(0));
         let direct = sn.query(&programmatic, NodeId(0));
         assert_eq!(
-            via_sql.last().value,
+            via_sql.last().expect("at least one epoch").value,
             direct.value,
             "`{sql}` disagreed with the API"
         );
-        assert_eq!(via_sql.last().rows, direct.rows);
+        assert_eq!(
+            via_sql.last().expect("at least one epoch").rows,
+            direct.rows
+        );
     }
 }
 
@@ -104,7 +107,7 @@ fn drill_through_sql_returns_per_node_rows() {
     let p = plan(&q, &RegionCatalog::with_quadrants()).unwrap();
     assert!(p.project_loc);
     let exec = execute_plan(&mut sn, &p, NodeId(0));
-    let last = exec.last();
+    let last = exec.last().expect("at least one epoch");
     assert_eq!(last.value, None);
     assert_eq!(last.rows.len(), last.targets);
     let rendered = exec.render_last(&sn);
@@ -119,7 +122,7 @@ fn custom_regions_flow_through_the_catalog() {
     let q = parse("SELECT COUNT(*) FROM sensors WHERE loc IN EVERYTHING").unwrap();
     let p = plan(&q, &catalog).unwrap();
     let exec = execute_plan(&mut sn, &p, NodeId(0));
-    assert_eq!(exec.last().value, Some(100.0));
+    assert_eq!(exec.last().expect("at least one epoch").value, Some(100.0));
 }
 
 #[test]
@@ -132,7 +135,11 @@ fn value_predicates_flow_through_sql() {
     let avg = {
         let q = parse("SELECT AVG(value) FROM sensors").unwrap();
         let p = plan(&q, &catalog).unwrap();
-        execute_plan(&mut sn, &p, NodeId(0)).last().value.unwrap()
+        execute_plan(&mut sn, &p, NodeId(0))
+            .last()
+            .expect("at least one epoch")
+            .value
+            .unwrap()
     };
     let q = parse(&format!(
         "SELECT COUNT(*) FROM sensors WHERE value > {avg:.3} USE SNAPSHOT"
@@ -140,8 +147,12 @@ fn value_predicates_flow_through_sql() {
     .unwrap();
     let p = plan(&q, &catalog).unwrap();
     let res = execute_plan(&mut sn, &p, NodeId(0));
-    let counted = res.last().value.unwrap();
-    let truth = res.last().ground_truth.unwrap();
+    let counted = res.last().expect("at least one epoch").value.unwrap();
+    let truth = res
+        .last()
+        .expect("at least one epoch")
+        .ground_truth
+        .unwrap();
     assert!(counted > 0.0 && counted < 100.0);
     assert!(
         (counted - truth).abs() <= 15.0,
@@ -156,7 +167,10 @@ fn snapshot_sql_uses_fewer_participants_than_regular_sql() {
     let run = |sn: &mut SensorNetwork, sql: &str| {
         let q = parse(sql).unwrap();
         let p = plan(&q, &catalog).unwrap();
-        execute_plan(sn, &p, NodeId(2)).last().participants
+        execute_plan(sn, &p, NodeId(2))
+            .last()
+            .expect("at least one epoch")
+            .participants
     };
     let regular = run(&mut sn, "SELECT SUM(value) FROM sensors");
     let snapshot = run(&mut sn, "SELECT SUM(value) FROM sensors USE SNAPSHOT");
