@@ -1,0 +1,85 @@
+//! Inspect a recorded protocol trace.
+//!
+//! ```text
+//! snapshot-trace <trace.jsonl> [--assert] [--max-election-msgs N]
+//!
+//!   <trace.jsonl>        a JSONL trace exported by the telemetry ring
+//!                        (e.g. the `trace` experiment's artifact)
+//!   --assert             exit non-zero unless every node stayed within
+//!                        the per-node election message budget
+//!   --max-election-msgs  the budget --assert checks (default 6: the
+//!                        paper's nominal 5 plus one cascade corner)
+//! ```
+//!
+//! Without `--assert` the tool replays the trace into per-phase
+//! message/energy tables, election segments and query spans and prints
+//! the summary. With it, the tool is a CI gate for the paper's
+//! Table 2 bound.
+
+use snapshot_telemetry::{jsonl, TraceSummary};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut do_assert = false;
+    let mut budget: u64 = 6;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--assert" => do_assert = true,
+            "--max-election-msgs" => {
+                i += 1;
+                budget = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--max-election-msgs needs a positive integer"));
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other if path.is_none() => path = Some(other.to_owned()),
+            other => die(&format!("unexpected argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    let Some(path) = path else {
+        print_usage();
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| die(&format!("cannot read `{path}`: {e}")));
+    let events =
+        jsonl::parse(&text).unwrap_or_else(|e| die(&format!("cannot parse `{path}`: {e}")));
+    let summary = TraceSummary::from_events(&events);
+    println!("{}", summary.render());
+
+    if do_assert {
+        let violations = summary.election_message_violations(budget);
+        if violations.is_empty() {
+            println!(
+                "OK: every node within {budget} election messages across {} election(s)",
+                summary.elections.len()
+            );
+        } else {
+            for v in &violations {
+                eprintln!(
+                    "VIOLATION: epoch {} node {} sent {} election messages (budget {})",
+                    v.epoch, v.node, v.sent, v.budget
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn print_usage() {
+    println!("usage: snapshot-trace <trace.jsonl> [--assert] [--max-election-msgs N]");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}

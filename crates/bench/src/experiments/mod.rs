@@ -15,6 +15,7 @@
 //! | `fig13`  | Figure 13 | spurious representatives vs message loss             |
 //! | `fig14`  | Figure 14 | snapshot size over time under periodic maintenance   |
 //! | `fig15`  | Figure 15 | messages per node per maintenance update             |
+//! | `trace`  | —         | instrumented run exported as a JSONL protocol trace  |
 
 pub mod ablations;
 pub mod fig1;
@@ -29,6 +30,7 @@ pub mod fig9;
 pub mod maintenance_over_time;
 pub mod table2;
 pub mod table3;
+pub mod trace;
 
 use crate::{ExperimentOutput, RunContext};
 
@@ -54,6 +56,7 @@ pub const ALL: &[&str] = &[
     "abl_mobility",
     "abl_periodic",
     "abl_proximity",
+    "trace",
 ];
 
 /// Run one experiment by id.
@@ -78,6 +81,7 @@ pub fn run(id: &str, ctx: &RunContext) -> Option<ExperimentOutput> {
         "abl_mobility" => ablations::run_mobility(ctx),
         "abl_periodic" => ablations::run_periodic(ctx),
         "abl_proximity" => ablations::run_proximity(ctx),
+        "trace" => trace::run(ctx),
         _ => return None,
     })
 }

@@ -9,14 +9,14 @@ use crate::setup::RandomWalkSetup;
 use crate::stats::{mean, run_reps};
 use crate::table::{fmt, Table};
 use crate::{ExperimentOutput, RunContext};
-use snapshot_netsim::NodeId;
+use snapshot_netsim::{NodeId, Phase};
 
 struct PhaseRow {
     avg: f64,
     max: u64,
 }
 
-fn collect_phases(sn: &snapshot_core::SensorNetwork, phases: &[&'static str]) -> Vec<PhaseRow> {
+fn collect_phases(sn: &snapshot_core::SensorNetwork, phases: &[Phase]) -> Vec<PhaseRow> {
     let n = sn.len() as f64;
     phases
         .iter()
@@ -29,14 +29,19 @@ fn collect_phases(sn: &snapshot_core::SensorNetwork, phases: &[&'static str]) ->
 
 /// Run the experiment.
 pub fn run(ctx: &RunContext) -> ExperimentOutput {
-    const ELECTION_PHASES: &[&str] = &["invitation", "candidates", "accept", "refinement"];
-    const MAINT_PHASES: &[&str] = &[
-        "heartbeat",
-        "estimate",
-        "invitation",
-        "candidates",
-        "accept",
-        "refinement",
+    const ELECTION_PHASES: &[Phase] = &[
+        Phase::Invitation,
+        Phase::Candidates,
+        Phase::Accept,
+        Phase::Refinement,
+    ];
+    const MAINT_PHASES: &[Phase] = &[
+        Phase::Heartbeat,
+        Phase::Estimate,
+        Phase::Invitation,
+        Phase::Candidates,
+        Phase::Accept,
+        Phase::Refinement,
     ];
 
     // Collect (avg per phase, max-total per node) over repetitions.
@@ -69,7 +74,7 @@ pub fn run(ctx: &RunContext) -> ExperimentOutput {
         let maint_max_total = (0..sn.len())
             .map(|i| {
                 let id = NodeId::from_index(i);
-                sn.stats().sent_by(id) - sn.stats().sent_in_phase(id, "estimate")
+                sn.stats().sent_by(id) - sn.stats().sent_in_phase(id, Phase::Estimate)
             })
             .max()
             .unwrap_or(0);
@@ -82,7 +87,7 @@ pub fn run(ctx: &RunContext) -> ExperimentOutput {
         let max = reps.iter().map(|r| r.0[i].1).max().unwrap_or(0);
         table.push([
             "discovery".into(),
-            phase.to_owned(),
+            phase.as_str().to_owned(),
             fmt(mean(&avgs), 2),
             max.to_string(),
         ]);
@@ -99,7 +104,7 @@ pub fn run(ctx: &RunContext) -> ExperimentOutput {
         let max = reps.iter().map(|r| r.2[i].1).max().unwrap_or(0);
         table.push([
             "maintenance".into(),
-            phase.to_owned(),
+            phase.as_str().to_owned(),
             fmt(mean(&avgs), 2),
             max.to_string(),
         ]);

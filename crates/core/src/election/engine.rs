@@ -24,15 +24,7 @@ use crate::sensor::{Mode, Offer, SensorNode};
 use snapshot_netsim::clock::Epoch;
 use snapshot_netsim::rng::DetRng;
 use snapshot_netsim::rng::RngExt;
-use snapshot_netsim::{Network, NodeId};
-
-/// Phase labels used for the Table 2 message accounting.
-pub(crate) mod phase {
-    pub const INVITATION: &str = "invitation";
-    pub const CANDIDATES: &str = "candidates";
-    pub const ACCEPT: &str = "accept";
-    pub const REFINEMENT: &str = "refinement";
-}
+use snapshot_netsim::{Event, Network, NodeId, Phase};
 
 /// Summary of one election run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,6 +137,12 @@ fn run_election(
     }
 
     // ---- Phase 1: invitation ------------------------------------------
+    let tick = net.round();
+    net.emit(Event::ElectionPhase {
+        tick,
+        epoch: epoch.0,
+        phase: Phase::Invitation,
+    });
     for &j in &ids {
         if net.is_alive(j) && scope.is_electing(j) {
             net.broadcast(
@@ -154,13 +152,19 @@ fn run_election(
                     epoch,
                 },
                 ProtocolMsg::Invite { value: 0.0, epoch }.wire_bytes(),
-                phase::INVITATION,
+                Phase::Invitation,
             );
         }
     }
     net.deliver();
 
     // ---- Phase 2: model evaluation + candidate lists -------------------
+    let tick = net.round();
+    net.emit(Event::ElectionPhase {
+        tick,
+        epoch: epoch.0,
+        phase: Phase::Candidates,
+    });
     // Outgoing queue: (sender, Some(unicast target) | None for broadcast, message).
     let mut to_send: Vec<(NodeId, Option<NodeId>, ProtocolMsg)> = Vec::new();
     for &i in &ids {
@@ -202,8 +206,9 @@ fn run_election(
                 // nodes from going permanently stale between
                 // elections.
                 if learn && cfg.invite_learn_prob > 0.0 && rng.random_bool(cfg.invite_learn_prob) {
-                    node.cache.observe(d.from, own, value);
+                    let decision = node.cache.observe(d.from, own, value);
                     net.charge_cache_update(i);
+                    crate::trace::record_cache_decision(net, i, d.from, &decision, &node.cache);
                 }
             }
         }
@@ -235,11 +240,17 @@ fn run_election(
     }
     for (i, _, msg) in to_send.drain(..) {
         let bytes = msg.wire_bytes();
-        net.broadcast(i, msg, bytes, phase::CANDIDATES);
+        net.broadcast(i, msg, bytes, Phase::Candidates);
     }
     net.deliver();
 
     // ---- Phase 3: initial selection ------------------------------------
+    let tick = net.round();
+    net.emit(Event::ElectionPhase {
+        tick,
+        epoch: epoch.0,
+        phase: Phase::Accept,
+    });
     for &j in &ids {
         if !net.is_alive(j) {
             let _ = net.take_inbox(j);
@@ -263,6 +274,15 @@ fn run_election(
             if let Some(best) = node.best_offer(count_already) {
                 node.rep_of = Some((best.from, epoch));
                 to_send.push((j, Some(best.from), ProtocolMsg::Accept { epoch }));
+                if net.telemetry_enabled() {
+                    let tick = net.round();
+                    net.emit(Event::InviteAccepted {
+                        tick,
+                        member: j.0,
+                        rep: best.from.0,
+                        epoch: epoch.0,
+                    });
+                }
                 // A maintenance initiator abandoning a different
                 // representative recalls it (best effort; a lost
                 // recall leaves a spurious representative behind).
@@ -273,7 +293,7 @@ fn run_election(
                             old,
                             ProtocolMsg::Recall,
                             ProtocolMsg::Recall.wire_bytes(),
-                            phase::REFINEMENT,
+                            Phase::Refinement,
                         );
                     }
                 }
@@ -286,7 +306,7 @@ fn run_election(
         // destination-less entry is dropped rather than panicking.
         let Some(rep) = dst else { continue };
         let bytes = msg.wire_bytes();
-        net.unicast(j, rep, msg, bytes, phase::ACCEPT);
+        net.unicast(j, rep, msg, bytes, Phase::Accept);
     }
     net.deliver();
 
@@ -320,6 +340,12 @@ fn run_election(
     }
 
     // ---- Phase 4: refinement (Rules 0-4) --------------------------------
+    let tick = net.round();
+    net.emit(Event::ElectionPhase {
+        tick,
+        epoch: epoch.0,
+        phase: Phase::Refinement,
+    });
     let hard_cap = cfg.max_wait + 16;
     let mut rounds = 0u32;
     for round in 0..hard_cap {
@@ -407,8 +433,8 @@ fn run_election(
         for (i, dst, msg) in to_send.drain(..) {
             let bytes = msg.wire_bytes();
             match dst {
-                Some(t) => net.unicast(i, t, msg, bytes, phase::REFINEMENT),
-                None => net.broadcast(i, msg, bytes, phase::REFINEMENT),
+                Some(t) => net.unicast(i, t, msg, bytes, Phase::Refinement),
+                None => net.broadcast(i, msg, bytes, Phase::Refinement),
             }
         }
 
@@ -430,7 +456,7 @@ fn run_election(
                     members: node.members().collect(),
                 };
                 let bytes = msg.wire_bytes();
-                net.broadcast(i, msg, bytes, phase::REFINEMENT);
+                net.broadcast(i, msg, bytes, Phase::Refinement);
             }
         }
 
@@ -514,7 +540,21 @@ fn run_election(
         }
         match nodes[i.index()].mode {
             Mode::Active => active += 1,
-            Mode::Passive => passive += 1,
+            Mode::Passive => {
+                passive += 1;
+                // Record the standing representation link.
+                if net.telemetry_enabled() {
+                    if let Some((rep, _)) = nodes[i.index()].rep_of {
+                        let tick = net.round();
+                        net.emit(Event::Represented {
+                            tick,
+                            member: i.0,
+                            rep: rep.0,
+                            epoch: epoch.0,
+                        });
+                    }
+                }
+            }
             // The safety valve above forces every live node out of
             // Undefined; should that invariant ever break, degrade to
             // ACTIVE (the paper's Rule 1 default) instead of aborting

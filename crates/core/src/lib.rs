@@ -45,6 +45,7 @@ pub mod network;
 pub mod query;
 pub mod sensor;
 pub mod snapshot;
+pub(crate) mod trace;
 
 pub use cache::{CacheConfig, CacheDecision, CachePolicy, LineKey, MeasurementId, ModelCache};
 pub use config::SnapshotConfig;

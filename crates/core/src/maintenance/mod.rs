@@ -33,7 +33,7 @@ use crate::sensor::{Mode, SensorNode};
 use snapshot_netsim::clock::Epoch;
 use snapshot_netsim::rng::DetRng;
 use snapshot_netsim::rng::RngExt;
-use snapshot_netsim::{Network, NodeId};
+use snapshot_netsim::{Event, Network, NodeId, Phase};
 use std::collections::BTreeSet;
 
 /// What one maintenance cycle did.
@@ -132,17 +132,26 @@ fn run_cycle(
             // heartbeat cycle notices the silence.
             let burst_floor =
                 (2 * nodes[i.index()].member_count() + 10) as f64 * net.energy_model().tx_cost;
-            let low = battery.fraction() < cfg.energy_handoff_fraction
-                || battery.remaining() < burst_floor;
+            let battery_fraction = battery.fraction();
+            let low =
+                battery_fraction < cfg.energy_handoff_fraction || battery.remaining() < burst_floor;
             let node = &mut nodes[i.index()];
             if low && node.mode() == Mode::Active && node.member_count() > 0 {
                 node.refusing_invites = true;
                 report.handoffs += 1;
+                if net.telemetry_enabled() {
+                    let tick = net.round();
+                    net.emit(Event::HandoffTriggered {
+                        tick,
+                        node: i.0,
+                        battery_fraction,
+                    });
+                }
                 net.broadcast(
                     i,
                     ProtocolMsg::EnergyHandoff,
                     ProtocolMsg::EnergyHandoff.wire_bytes(),
-                    "handoff",
+                    Phase::Handoff,
                 );
             }
         }
@@ -177,7 +186,7 @@ fn run_cycle(
                     value: values[j.index()],
                 };
                 let bytes = msg.wire_bytes();
-                net.unicast(j, rep, msg, bytes, "heartbeat");
+                net.unicast(j, rep, msg, bytes, Phase::Heartbeat);
                 awaiting.push((j, rep));
                 report.heartbeats += 1;
             }
@@ -208,14 +217,22 @@ fn run_cycle(
                     // neighbor node ... or by using periodic
                     // announcements").
                     if cfg.snoop_prob > 0.0 && rng.random_bool(cfg.snoop_prob) {
-                        nodes[i.index()].cache.observe(d.from, own, value);
+                        let decision = nodes[i.index()].cache.observe(d.from, own, value);
                         net.charge_cache_update(i);
+                        crate::trace::record_cache_decision(
+                            net,
+                            i,
+                            d.from,
+                            &decision,
+                            &nodes[i.index()].cache,
+                        );
                     }
                     continue;
                 }
                 let node = &mut nodes[i.index()];
-                node.cache.observe(d.from, own, value);
+                let decision = node.cache.observe(d.from, own, value);
                 net.charge_cache_update(i);
+                crate::trace::record_cache_decision(net, i, d.from, &decision, &node.cache);
                 // A heartbeat implies "you are my representative" —
                 // repair membership lost to dropped acceptances.
                 node.represents.entry(d.from).or_insert(epoch);
@@ -228,7 +245,7 @@ fn run_cycle(
     for (i, j, est) in replies {
         let msg = ProtocolMsg::Estimate { value: est };
         let bytes = msg.wire_bytes();
-        net.unicast(i, j, msg, bytes, "estimate");
+        net.unicast(i, j, msg, bytes, Phase::Estimate);
     }
     net.deliver();
 
@@ -415,7 +432,7 @@ mod tests {
             7,
         );
         // Drain rep 0 below 50%.
-        net.charge(NodeId(0), 6.0);
+        net.charge(NodeId(0), 6.0, Phase::Test);
         let mut rng = snapshot_netsim::rng::DetRng::seed_from_u64(1);
         wire_member(&mut nodes, NodeId(0), NodeId(1), &[(1.0, 1.0), (2.0, 2.0)]);
         // Node 2 can also model node 1.

@@ -17,7 +17,7 @@
 
 use crate::election::ProtocolMsg;
 use crate::sensor::SensorNode;
-use snapshot_netsim::{Network, NodeId};
+use snapshot_netsim::{Network, NodeId, Phase};
 
 /// Outcome of one reconciliation pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +51,7 @@ pub fn reconcile(net: &mut Network<ProtocolMsg>, nodes: &mut [SensorNode]) -> Re
                 members: node.members().collect(),
             };
             let bytes = msg.wire_bytes();
-            net.broadcast(i, msg, bytes, "announce");
+            net.broadcast(i, msg, bytes, Phase::Announce);
             report.announcements += 1;
         }
     }
@@ -81,7 +81,7 @@ pub fn reconcile(net: &mut Network<ProtocolMsg>, nodes: &mut [SensorNode]) -> Re
             claimant,
             ProtocolMsg::Recall,
             ProtocolMsg::Recall.wire_bytes(),
-            "announce",
+            Phase::Announce,
         );
     }
     net.deliver();

@@ -14,7 +14,7 @@ use crate::sensor::{Mode, SensorNode};
 use snapshot_netsim::clock::Epoch;
 use snapshot_netsim::rng::DetRng;
 use snapshot_netsim::rng::RngExt;
-use snapshot_netsim::{Network, NodeId};
+use snapshot_netsim::{Event, Network, NodeId, Phase};
 use std::collections::BTreeSet;
 
 /// Outcome of a rotation cycle.
@@ -61,11 +61,20 @@ pub fn rotate_representatives(
         {
             node.refusing_invites = true;
             report.retired += 1;
+            if net.telemetry_enabled() {
+                let tick = net.round();
+                let battery_fraction = net.battery(i).fraction();
+                net.emit(Event::HandoffTriggered {
+                    tick,
+                    node: i.0,
+                    battery_fraction,
+                });
+            }
             net.broadcast(
                 i,
                 ProtocolMsg::EnergyHandoff,
                 ProtocolMsg::EnergyHandoff.wire_bytes(),
-                "handoff",
+                Phase::Handoff,
             );
         }
     }

@@ -17,7 +17,7 @@ use crate::maintenance::{
     reconcile, rotate_representatives, run_handoff_check, run_maintenance, MaintenanceReport,
 };
 use crate::query::tag::{execute_tag, TagResult};
-use crate::query::{execute, QueryResult, SnapshotQuery};
+use crate::query::{execute, QueryMode, QueryResult, SnapshotQuery};
 use crate::sensor::SensorNode;
 use crate::snapshot::{count_spurious, Snapshot};
 use snapshot_datagen::Trace;
@@ -25,7 +25,10 @@ use snapshot_netsim::clock::Epoch;
 use snapshot_netsim::rng::derive_seed;
 use snapshot_netsim::rng::DetRng;
 use snapshot_netsim::rng::RngExt;
-use snapshot_netsim::{EnergyModel, LinkModel, NetStats, Network, NodeId, Topology};
+use snapshot_netsim::telemetry::QueryStatus;
+use snapshot_netsim::{
+    EnergyModel, Event, LinkModel, NetStats, Network, NodeId, Phase, Telemetry, Topology,
+};
 
 /// A full sensor-network deployment.
 ///
@@ -42,6 +45,7 @@ pub struct SensorNetwork {
     now: usize,
     epoch: Epoch,
     rng: DetRng,
+    query_seq: u64,
 }
 
 impl Clone for SensorNetwork {
@@ -54,6 +58,7 @@ impl Clone for SensorNetwork {
             now: self.now,
             epoch: self.epoch,
             rng: DetRng::seed_from_u64(derive_seed(self.cfg.seed, 0x2_C10 ^ self.epoch.0)),
+            query_seq: self.query_seq,
         }
     }
 }
@@ -120,6 +125,7 @@ impl SensorNetwork {
             now: 0,
             epoch: Epoch(0),
             rng,
+            query_seq: 0,
         }
     }
 
@@ -278,7 +284,7 @@ impl SensorNetwork {
                     value: values[j.index()],
                 };
                 let bytes = msg.wire_bytes();
-                self.net.broadcast(j, msg, bytes, "data");
+                self.net.broadcast(j, msg, bytes, Phase::Data);
             }
         }
         self.net.deliver();
@@ -294,7 +300,14 @@ impl SensorNetwork {
                     if snoop_prob < 1.0 && !self.rng.random_bool(snoop_prob) {
                         continue;
                     }
-                    self.nodes[i.index()].cache.observe(d.from, own, value);
+                    let decision = self.nodes[i.index()].cache.observe(d.from, own, value);
+                    crate::trace::record_cache_decision(
+                        &mut self.net,
+                        i,
+                        d.from,
+                        &decision,
+                        &self.nodes[i.index()].cache,
+                    );
                     self.net.charge_cache_update(i);
                 }
             }
@@ -373,7 +386,10 @@ impl SensorNetwork {
     /// Execute a query collected at `sink`.
     pub fn query(&mut self, query: &SnapshotQuery, sink: NodeId) -> QueryResult {
         let values = self.values();
-        execute(&mut self.net, &self.nodes, &values, query, sink)
+        let span = self.begin_query_span(sink, matches!(query.mode, QueryMode::Snapshot));
+        let result = execute(&mut self.net, &self.nodes, &values, query, sink);
+        self.end_query_span(span, QueryStatus::Ok, result.participants as u32);
+        result
     }
 
     /// Execute an aggregate query as the full message-level TAG
@@ -388,7 +404,68 @@ impl SensorNetwork {
         sink: NodeId,
     ) -> Result<TagResult, CoreError> {
         let values = self.values();
-        execute_tag(&mut self.net, &self.nodes, &values, query, sink)
+        let span = self.begin_query_span(sink, matches!(query.mode, QueryMode::Snapshot));
+        let result = execute_tag(&mut self.net, &self.nodes, &values, query, sink);
+        match &result {
+            Ok(tag) => self.end_query_span(span, QueryStatus::Ok, tag.tree_size as u32),
+            Err(CoreError::MissingAggregate) => {
+                self.end_query_span(span, QueryStatus::MissingAggregate, 0);
+            }
+            Err(_) => self.end_query_span(span, QueryStatus::Error, 0),
+        }
+        result
+    }
+
+    // ---- Telemetry --------------------------------------------------------
+
+    /// Switch on event tracing and metrics: a bounded ring of
+    /// `capacity` events plus the counter/energy registry. Call before
+    /// the operations to observe; export with
+    /// [`SensorNetwork::export_trace_jsonl`].
+    pub fn enable_telemetry(&mut self, capacity: usize) {
+        self.net.set_telemetry(Telemetry::full(capacity));
+    }
+
+    /// Disable tracing (back to the zero-overhead no-op recorder).
+    pub fn disable_telemetry(&mut self) {
+        self.net.set_telemetry(Telemetry::off());
+    }
+
+    /// The recorded trace as JSON-lines (empty when telemetry is off
+    /// or nothing was recorded).
+    pub fn export_trace_jsonl(&self) -> String {
+        self.net.telemetry().export_jsonl().unwrap_or_default()
+    }
+
+    /// Open a query span: allocate an id and emit `QueryBegin`.
+    /// Returns `None` (and stays silent) when telemetry is off.
+    fn begin_query_span(&mut self, sink: NodeId, snapshot_mode: bool) -> Option<u64> {
+        if !self.net.telemetry_enabled() {
+            return None;
+        }
+        self.query_seq += 1;
+        let id = self.query_seq;
+        let tick = self.net.round();
+        self.net.emit(Event::QueryBegin {
+            tick,
+            id,
+            sink: sink.0,
+            snapshot_mode,
+        });
+        Some(id)
+    }
+
+    /// Close a query span opened by [`Self::begin_query_span`].
+    fn end_query_span(&mut self, span: Option<u64>, status: QueryStatus, participants: u32) {
+        if let Some(id) = span {
+            let tick = self.net.round();
+            self.net.emit(Event::QueryEnd {
+                tick,
+                id,
+                status,
+                participants,
+            });
+        }
     }
 
     // ---- Inspection -------------------------------------------------------
@@ -508,10 +585,10 @@ mod tests {
         assert!(max <= 6, "a node sent {max} > 6 messages during election");
         for id in 0..100u32 {
             let id = NodeId(id);
-            assert!(sn.stats().sent_in_phase(id, "invitation") <= 1);
-            assert!(sn.stats().sent_in_phase(id, "candidates") <= 1);
-            assert!(sn.stats().sent_in_phase(id, "accept") <= 1);
-            assert!(sn.stats().sent_in_phase(id, "refinement") <= 3);
+            assert!(sn.stats().sent_in_phase(id, Phase::Invitation) <= 1);
+            assert!(sn.stats().sent_in_phase(id, Phase::Candidates) <= 1);
+            assert!(sn.stats().sent_in_phase(id, Phase::Accept) <= 1);
+            assert!(sn.stats().sent_in_phase(id, Phase::Refinement) <= 3);
         }
     }
 

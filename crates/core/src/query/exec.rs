@@ -16,7 +16,7 @@ use crate::election::ProtocolMsg;
 use crate::sensor::SensorNode;
 use crate::snapshot::Snapshot;
 use snapshot_netsim::tree::AggregationTree;
-use snapshot_netsim::{Network, NodeId};
+use snapshot_netsim::{Network, NodeId, Phase};
 use std::collections::BTreeSet;
 
 /// The outcome of one query execution.
@@ -214,8 +214,8 @@ pub fn execute(
     // flowing up the tree) and account it under the "query" phase.
     let tx = net.energy_model().tx_cost;
     for &p in &participants {
-        net.charge(p, tx);
-        net.stats_mut().record_send(p, "query");
+        net.charge(p, tx, Phase::Query);
+        net.stats_mut().record_send(p, Phase::Query);
     }
 
     let value = query
@@ -367,7 +367,7 @@ mod tests {
             (before - after - 3.0).abs() < 1e-9,
             "each participant pays one tx"
         );
-        assert_eq!(net.stats().phase_total("query"), 3);
+        assert_eq!(net.stats().phase_total(Phase::Query), 3);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::sensor::SensorNode;
 use crate::snapshot::Snapshot;
 use snapshot_netsim::flood::{flood, FloodToken};
 use snapshot_netsim::tree::AggregationTree;
-use snapshot_netsim::{Network, NodeId};
+use snapshot_netsim::{Network, NodeId, Phase};
 
 /// A combinable partial aggregate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,7 +120,7 @@ pub fn execute_tag(
             _ => None,
         },
         net.len(),
-        "flood",
+        Phase::Flood,
     );
     let _ = FloodToken { hops: 0 }; // keep the import honest
     let tree = AggregationTree::from_flood(&outcome);
@@ -180,7 +180,7 @@ pub fn execute_tag(
                 max: p.max,
             };
             let bytes = msg.wire_bytes();
-            net.unicast(id, parent, msg, bytes, "query");
+            net.unicast(id, parent, msg, bytes, Phase::Query);
         }
         net.deliver();
         // Parents (any node above this depth) fold in delivered partials.

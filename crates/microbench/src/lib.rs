@@ -132,6 +132,37 @@ fn human_time(ns: f64) -> String {
     }
 }
 
+/// When the `MICROBENCH_JSON` environment variable names a file,
+/// append one machine-readable line per benchmark:
+/// `{"name":"...","median_ns":...,"iters":...}`. CI uses this to
+/// publish a `BENCH_baseline.json` artifact; failures to write are
+/// silently ignored (benchmarks still print to stdout).
+fn append_json_record(label: &str, median_ns: f64, iters: u64) {
+    let Ok(path) = std::env::var("MICROBENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c => vec![c],
+        })
+        .collect();
+    let line =
+        format!("{{\"name\":\"{escaped}\",\"median_ns\":{median_ns:?},\"iters\":{iters}}}\n");
+    use std::io::Write as _;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
 /// The benchmark driver: registry of named benchmarks plus the
 /// sampling configuration.
 #[derive(Debug)]
@@ -155,10 +186,9 @@ impl Criterion {
     fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
         let mut b = Bencher::new(self.sample_size);
         f(&mut b);
-        println!(
-            "{label:<40} {:>12}/iter",
-            human_time(b.median_ns_per_iter())
-        );
+        let median_ns = b.median_ns_per_iter();
+        println!("{label:<40} {:>12}/iter", human_time(median_ns));
+        append_json_record(label, median_ns, b.iters_per_sample);
     }
 
     /// Register and immediately run one benchmark.
@@ -272,6 +302,26 @@ mod tests {
     #[test]
     fn benchmark_id_formats_label() {
         assert_eq!(BenchmarkId::new("fit", 64).to_string(), "fit/64");
+    }
+
+    #[test]
+    fn json_records_append_when_env_var_is_set() {
+        let path =
+            std::env::temp_dir().join(format!("microbench_json_test_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("MICROBENCH_JSON", &path);
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("json_probe", |b| b.iter(|| black_box(3u64 + 4)));
+        std::env::remove_var("MICROBENCH_JSON");
+        let text = std::fs::read_to_string(&path).expect("JSON file written");
+        let _ = std::fs::remove_file(&path);
+        let line = text
+            .lines()
+            .find(|l| l.contains("\"json_probe\""))
+            .expect("record for the benchmark");
+        assert!(line.starts_with("{\"name\":\"json_probe\",\"median_ns\":"));
+        assert!(line.contains("\"iters\":"));
+        assert!(line.ends_with('}'));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::message::Delivery;
 use crate::node::NodeId;
 use crate::sim::Network;
+use snapshot_telemetry::Phase;
 
 /// The payload of a flood message: the hop distance of the sender from
 /// the sink. Embed this in the application payload type via the
@@ -64,7 +65,7 @@ pub fn flood<P: Clone>(
     wrap: impl Fn(FloodToken) -> P,
     unwrap: impl Fn(&P) -> Option<FloodToken>,
     max_rounds: usize,
-    phase: &'static str,
+    phase: Phase,
 ) -> FloodOutcome {
     let n = net.len();
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
@@ -144,7 +145,7 @@ mod tests {
     #[test]
     fn lossless_flood_reaches_everyone_with_correct_hops() {
         let mut net = line_net(6, 0.0, 1);
-        let out = flood(&mut net, NodeId(0), |t| t, |t| Some(*t), 10, "flood");
+        let out = flood(&mut net, NodeId(0), |t| t, |t| Some(*t), 10, Phase::Flood);
         assert_eq!(out.reached_count(), 6);
         for i in 0..6 {
             assert_eq!(out.hops[i], Some(i as u32));
@@ -159,7 +160,7 @@ mod tests {
     #[test]
     fn total_loss_reaches_only_the_sink() {
         let mut net = line_net(6, 1.0, 1);
-        let out = flood(&mut net, NodeId(0), |t| t, |t| Some(*t), 10, "flood");
+        let out = flood(&mut net, NodeId(0), |t| t, |t| Some(*t), 10, Phase::Flood);
         assert_eq!(out.reached_count(), 1);
         assert_eq!(out.reached(), vec![NodeId(0)]);
     }
@@ -168,7 +169,7 @@ mod tests {
     fn dead_sink_floods_nothing() {
         let mut net = line_net(4, 0.0, 1);
         net.kill(NodeId(0));
-        let out = flood(&mut net, NodeId(0), |t| t, |t| Some(*t), 10, "flood");
+        let out = flood(&mut net, NodeId(0), |t| t, |t| Some(*t), 10, Phase::Flood);
         assert_eq!(out.reached_count(), 0);
     }
 
@@ -183,7 +184,7 @@ mod tests {
         let mut net: Network<FloodToken> =
             Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
         net.kill(NodeId(2));
-        let out = flood(&mut net, NodeId(0), |t| t, |t| Some(*t), 10, "flood");
+        let out = flood(&mut net, NodeId(0), |t| t, |t| Some(*t), 10, Phase::Flood);
         assert_eq!(out.reached_count(), 4);
         assert_eq!(out.parent[2], None);
     }
@@ -191,7 +192,7 @@ mod tests {
     #[test]
     fn each_node_rebroadcasts_at_most_once() {
         let mut net = line_net(8, 0.0, 3);
-        let _ = flood(&mut net, NodeId(0), |t| t, |t| Some(*t), 20, "flood");
+        let _ = flood(&mut net, NodeId(0), |t| t, |t| Some(*t), 20, Phase::Flood);
         for id in net.node_ids().collect::<Vec<_>>() {
             assert!(net.stats().sent_by(id) <= 1, "{id} sent more than once");
         }

@@ -36,7 +36,7 @@
 //! let mut net: Network<&'static str> =
 //!     Network::new(topo, LinkModel::iid_loss(0.0), EnergyModel::default(), 7);
 //!
-//! net.broadcast(NodeId(0), "hello", 8, "demo");
+//! net.broadcast(NodeId(0), "hello", 8, Phase::Test);
 //! net.deliver();
 //! let nodes: Vec<NodeId> = net.node_ids().collect();
 //! for n in nodes {
@@ -74,6 +74,7 @@ pub use mobility::RandomWaypoint;
 pub use node::NodeId;
 pub use rng::{DetRng, RngCore, RngExt};
 pub use sim::Network;
+pub use snapshot_telemetry::{self as telemetry, Event, Phase, Recorder, Telemetry};
 pub use stats::NetStats;
 pub use topology::{Position, Topology};
 pub use tree::AggregationTree;
@@ -93,4 +94,5 @@ pub mod prelude {
     pub use crate::stats::NetStats;
     pub use crate::topology::{Position, Topology};
     pub use crate::tree::AggregationTree;
+    pub use snapshot_telemetry::{Event, Phase, Recorder, Telemetry};
 }

@@ -1,6 +1,7 @@
 //! Message envelopes exchanged through the simulator.
 
 use crate::node::NodeId;
+use snapshot_telemetry::Phase;
 
 /// Where a message is aimed.
 ///
@@ -29,9 +30,9 @@ pub struct Envelope<P> {
     pub payload: P,
     /// Approximate wire size, bytes.
     pub bytes: u32,
-    /// Label of the protocol phase that produced this message
-    /// (e.g. `"invitation"`); drives per-phase statistics.
-    pub phase: &'static str,
+    /// The protocol phase that produced this message
+    /// (e.g. [`Phase::Invitation`]); drives per-phase statistics.
+    pub phase: Phase,
 }
 
 /// A message as it arrives in a node's inbox.

@@ -25,6 +25,7 @@ use crate::rng::derive_seed;
 use crate::rng::DetRng;
 use crate::stats::NetStats;
 use crate::topology::Topology;
+use snapshot_telemetry::{Event, Phase, Recorder as _, Telemetry};
 
 /// The simulated network: topology + link model + energy + statistics.
 ///
@@ -39,6 +40,7 @@ pub struct Network<P: Clone> {
     batteries: Vec<Battery>,
     states: Vec<NodeState>,
     stats: NetStats,
+    telemetry: Telemetry,
     outbox: Vec<Envelope<P>>,
     inboxes: Vec<Vec<Delivery<P>>>,
     round: u64,
@@ -60,6 +62,7 @@ impl<P: Clone> Clone for Network<P> {
             batteries: self.batteries.clone(),
             states: self.states.clone(),
             stats: self.stats.clone(),
+            telemetry: self.telemetry.clone(),
             outbox: self.outbox.clone(),
             inboxes: self.inboxes.clone(),
             round: self.round,
@@ -81,6 +84,7 @@ impl<P: Clone> Network<P> {
             batteries: vec![Battery::infinite(); n],
             states: vec![NodeState::Alive; n],
             stats: NetStats::new(n),
+            telemetry: Telemetry::off(),
             outbox: Vec::new(),
             inboxes: vec![Vec::new(); n],
             round: 0,
@@ -131,6 +135,38 @@ impl<P: Clone> Network<P> {
         &mut self.stats
     }
 
+    /// The telemetry hub (off by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry hub (attach/clear recorders).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Replace the telemetry hub, e.g.
+    /// `net.set_telemetry(Telemetry::full(100_000))` to start tracing.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// True when a telemetry sink is attached. Instrumented callers
+    /// guard event construction behind this.
+    #[inline]
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.enabled()
+    }
+
+    /// Record a protocol event, stamped by the caller with
+    /// [`Network::round`] as its tick. No-op when telemetry is off.
+    #[inline]
+    pub fn emit(&mut self, event: Event) {
+        if self.telemetry.enabled() {
+            self.telemetry.record(&event);
+        }
+    }
+
     /// The energy model in force.
     pub fn energy_model(&self) -> EnergyModel {
         self.energy
@@ -153,7 +189,11 @@ impl<P: Clone> Network<P> {
 
     /// Inject a permanent failure at `id` (used by self-healing tests).
     pub fn kill(&mut self, id: NodeId) {
-        self.states[id.index()] = NodeState::Dead;
+        if self.states[id.index()].is_alive() {
+            self.states[id.index()] = NodeState::Dead;
+            let tick = self.round;
+            self.emit(Event::NodeFailed { tick, node: id.0 });
+        }
     }
 
     /// Move a node (mobility): future deliveries use the new
@@ -168,45 +208,72 @@ impl<P: Clone> Network<P> {
         if !self.states[id.index()].is_alive() {
             return false;
         }
-        self.batteries[id.index()].draw(self.energy.cache_update_cost)
+        let cost = self.energy.cache_update_cost;
+        self.draw_energy(id, cost, Phase::Cache)
     }
 
-    /// Charge `id` an arbitrary amount of energy (failure-injection
-    /// and ablation experiments).
-    pub fn charge(&mut self, id: NodeId, amount: f64) -> bool {
+    /// Charge `id` an arbitrary amount of energy attributed to `phase`
+    /// (failure-injection and ablation experiments).
+    pub fn charge(&mut self, id: NodeId, amount: f64, phase: Phase) -> bool {
         if !self.states[id.index()].is_alive() {
             return false;
         }
-        self.batteries[id.index()].draw(amount)
+        self.draw_energy(id, amount, phase)
+    }
+
+    /// Draw from `id`'s battery, attributing the energy to `phase` in
+    /// the telemetry stream and recording a `NodeFailed` event when
+    /// the draw depletes the battery.
+    fn draw_energy(&mut self, id: NodeId, amount: f64, phase: Phase) -> bool {
+        if !self.batteries[id.index()].draw(amount) {
+            return false;
+        }
+        if self.telemetry.enabled() {
+            let tick = self.round;
+            self.telemetry.record(&Event::EnergyDraw {
+                tick,
+                node: id.0,
+                phase,
+                amount,
+            });
+            if !self.batteries[id.index()].is_alive() {
+                self.telemetry
+                    .record(&Event::NodeFailed { tick, node: id.0 });
+            }
+        }
+        true
     }
 
     /// Enqueue a broadcast from `src`. Silently ignored when `src` is
     /// dead (a dead radio transmits nothing). Charges tx energy.
-    pub fn broadcast(&mut self, src: NodeId, payload: P, bytes: u32, phase: &'static str) {
+    pub fn broadcast(&mut self, src: NodeId, payload: P, bytes: u32, phase: Phase) {
         self.send(src, Destination::Broadcast, payload, bytes, phase);
     }
 
     /// Enqueue a unicast from `src` to `dst`. Physically still a
     /// broadcast; see the module docs.
-    pub fn unicast(
-        &mut self,
-        src: NodeId,
-        dst: NodeId,
-        payload: P,
-        bytes: u32,
-        phase: &'static str,
-    ) {
+    pub fn unicast(&mut self, src: NodeId, dst: NodeId, payload: P, bytes: u32, phase: Phase) {
         self.send(src, Destination::Unicast(dst), payload, bytes, phase);
     }
 
-    fn send(&mut self, src: NodeId, dst: Destination, payload: P, bytes: u32, phase: &'static str) {
+    fn send(&mut self, src: NodeId, dst: Destination, payload: P, bytes: u32, phase: Phase) {
         if !self.is_alive(src) {
             return;
         }
-        if !self.batteries[src.index()].draw(self.energy.tx_cost) {
+        let tx = self.energy.tx_cost;
+        if !self.draw_energy(src, tx, phase) {
             return;
         }
         self.stats.record_send(src, phase);
+        if self.telemetry.enabled() {
+            let tick = self.round;
+            self.telemetry.record(&Event::MsgSent {
+                tick,
+                node: src.0,
+                phase,
+                bytes,
+            });
+        }
         self.outbox.push(Envelope {
             src,
             dst,
@@ -236,7 +303,8 @@ impl<P: Clone> Network<P> {
                 let dist_frac = self.topology.distance(env.src, dst) / range;
                 if self.link.delivered(&mut self.rng, env.src, dst, dist_frac) {
                     if self.energy.rx_cost > 0.0 {
-                        self.batteries[dst.index()].draw(self.energy.rx_cost);
+                        let rx = self.energy.rx_cost;
+                        self.draw_energy(dst, rx, env.phase);
                     }
                     self.stats.record_receive(dst);
                     self.inboxes[dst.index()].push(Delivery {
@@ -249,7 +317,16 @@ impl<P: Clone> Network<P> {
                     });
                     delivered += 1;
                 } else {
-                    self.stats.record_loss(dst);
+                    self.stats.record_loss(dst, env.phase);
+                    if self.telemetry.enabled() {
+                        let tick = self.round;
+                        self.telemetry.record(&Event::MsgDropped {
+                            tick,
+                            src: env.src.0,
+                            dst: dst.0,
+                            phase: env.phase,
+                        });
+                    }
                 }
             }
         }
@@ -300,7 +377,7 @@ mod tests {
         let topo = line_topology(4, 0.3, 0.35);
         let mut net: Network<u8> =
             Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
-        net.broadcast(NodeId(1), 7, 4, "t");
+        net.broadcast(NodeId(1), 7, 4, Phase::Test);
         net.deliver();
         assert_eq!(net.take_inbox(NodeId(0)).len(), 1);
         assert!(net.take_inbox(NodeId(1)).is_empty());
@@ -313,7 +390,7 @@ mod tests {
         let topo = line_topology(3, 0.1, 1.0);
         let mut net: Network<u8> =
             Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
-        net.unicast(NodeId(0), NodeId(2), 9, 4, "t");
+        net.unicast(NodeId(0), NodeId(2), 9, 4, Phase::Test);
         net.deliver();
         let at1 = net.take_inbox(NodeId(1));
         let at2 = net.take_inbox(NodeId(2));
@@ -329,8 +406,8 @@ mod tests {
         let mut net: Network<u8> =
             Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
         net.kill(NodeId(1));
-        net.broadcast(NodeId(1), 1, 4, "t"); // ignored
-        net.broadcast(NodeId(0), 2, 4, "t");
+        net.broadcast(NodeId(1), 1, 4, Phase::Test); // ignored
+        net.broadcast(NodeId(0), 2, 4, Phase::Test);
         net.deliver();
         assert!(net.take_inbox(NodeId(1)).is_empty());
         assert_eq!(net.take_inbox(NodeId(2)).len(), 1);
@@ -348,12 +425,12 @@ mod tests {
             1,
         );
         // Two sends allowed, the third is dropped.
-        net.broadcast(NodeId(0), 1, 4, "t");
+        net.broadcast(NodeId(0), 1, 4, Phase::Test);
         net.deliver();
-        net.broadcast(NodeId(0), 2, 4, "t");
+        net.broadcast(NodeId(0), 2, 4, Phase::Test);
         net.deliver();
         assert!(!net.is_alive(NodeId(0)));
-        net.broadcast(NodeId(0), 3, 4, "t");
+        net.broadcast(NodeId(0), 3, 4, Phase::Test);
         net.deliver();
         assert_eq!(net.stats().sent_by(NodeId(0)), 2);
     }
@@ -383,7 +460,7 @@ mod tests {
         let topo = line_topology(5, 0.1, 1.0);
         let mut net: Network<u8> =
             Network::new(topo, LinkModel::iid_loss(1.0), EnergyModel::default(), 1);
-        net.broadcast(NodeId(0), 1, 4, "t");
+        net.broadcast(NodeId(0), 1, 4, Phase::Test);
         let delivered = net.deliver();
         assert_eq!(delivered, 0);
         assert_eq!(net.stats().total_lost(), 4);
@@ -395,7 +472,7 @@ mod tests {
         let mut net: Network<u8> =
             Network::new(topo, LinkModel::iid_loss(0.4), EnergyModel::default(), 42);
         for _ in 0..5_000 {
-            net.broadcast(NodeId(0), 1, 4, "t");
+            net.broadcast(NodeId(0), 1, 4, Phase::Test);
             net.deliver();
             net.take_inbox(NodeId(1));
         }
@@ -414,7 +491,7 @@ mod tests {
                 Network::new(topo, LinkModel::iid_loss(0.5), EnergyModel::default(), seed);
             let mut log = Vec::new();
             for t in 0..50u32 {
-                net.broadcast(NodeId(t % 10), t, 4, "t");
+                net.broadcast(NodeId(t % 10), t, 4, Phase::Test);
                 net.deliver();
                 for id in 0..10u32 {
                     for d in net.take_inbox(NodeId(id)) {
@@ -447,5 +524,75 @@ mod tests {
             net.check_node(NodeId(2)),
             Err(NetsimError::UnknownNode(_))
         ));
+    }
+
+    #[test]
+    fn telemetry_records_sends_drops_and_energy() {
+        let topo = line_topology(3, 0.1, 1.0);
+        let mut net: Network<u8> =
+            Network::new(topo, LinkModel::iid_loss(1.0), EnergyModel::default(), 1);
+        net.set_telemetry(Telemetry::full(1024));
+        net.broadcast(NodeId(0), 1, 4, Phase::Test);
+        net.deliver();
+        net.kill(NodeId(2));
+
+        let events = net.telemetry().ring().expect("ring attached").events();
+        let kinds: Vec<&str> = events.iter().map(Event::kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "energy",      // tx draw for the broadcast
+                "msg_sent",    // the broadcast itself
+                "msg_dropped", // lost at node 1 (total loss)
+                "msg_dropped", // lost at node 2
+                "node_failed", // the kill
+            ]
+        );
+        let m = net.telemetry().registry().expect("registry attached");
+        assert_eq!(m.counter("msg_sent"), 1);
+        assert_eq!(m.counter("msg_dropped"), 2);
+        assert_eq!(m.counter("node_failed"), 1);
+        assert!((m.energy_in(0, Phase::Test) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_seeds_produce_byte_identical_traces() {
+        let run = |seed: u64| {
+            let topo = line_topology(8, 0.05, 0.2);
+            let mut net: Network<u32> =
+                Network::new(topo, LinkModel::iid_loss(0.3), EnergyModel::default(), seed);
+            net.set_telemetry(Telemetry::with_ring(100_000));
+            for t in 0..40u32 {
+                net.broadcast(NodeId(t % 8), t, 4, Phase::Data);
+                net.deliver();
+                for id in 0..8u32 {
+                    net.take_inbox(NodeId(id));
+                }
+            }
+            net.telemetry().export_jsonl().expect("ring attached")
+        };
+        assert_eq!(run(11), run(11), "same seed, byte-identical JSONL");
+        assert_ne!(run(11), run(12), "different seed, different trace");
+    }
+
+    #[test]
+    fn battery_depletion_emits_node_failed() {
+        let topo = line_topology(2, 0.1, 1.0);
+        let mut net: Network<u8> = Network::with_finite_batteries(
+            topo,
+            LinkModel::Perfect,
+            EnergyModel::default(),
+            1.0,
+            1,
+        );
+        net.set_telemetry(Telemetry::with_ring(64));
+        net.broadcast(NodeId(0), 1, 4, Phase::Test); // drains the battery
+        let events = net.telemetry().ring().expect("ring attached").events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::NodeFailed { node: 0, .. })),
+            "draining the last charge records a failure"
+        );
     }
 }

@@ -3,11 +3,18 @@
 //! Table 2 of the paper bounds the election protocol at five messages
 //! per node (six during maintenance); Figures 14/15 report the average
 //! number of messages per node per snapshot update. These statistics
-//! are gathered here, keyed by a protocol-phase label so experiments
-//! can break counts down exactly the way Table 2 does.
+//! are gathered here, broken down by protocol [`Phase`] exactly the
+//! way Table 2 does.
+//!
+//! Phases were once free-form `&str` labels backed by a
+//! `BTreeMap<String, Vec<u64>>`; they are now the interned
+//! [`Phase`] enum from `snapshot-telemetry`, so every counter is a
+//! fixed-size array lookup — no allocation or tree walk on the send
+//! hot path — and losses are attributed to a phase symmetrically with
+//! sends.
 
 use crate::node::NodeId;
-use std::collections::BTreeMap;
+use snapshot_telemetry::Phase;
 
 /// Per-node, per-phase message counters.
 ///
@@ -20,8 +27,11 @@ pub struct NetStats {
     sent: Vec<u64>,
     received: Vec<u64>,
     lost: Vec<u64>,
-    /// phase label -> per-node sent counts
-    phase_sent: BTreeMap<String, Vec<u64>>,
+    /// per-node × per-phase sent counts
+    phase_sent: Vec<[u64; Phase::COUNT]>,
+    /// per-node × per-phase lost-delivery counts (indexed by the
+    /// *receiver* that missed the message, like `lost`)
+    phase_lost: Vec<[u64; Phase::COUNT]>,
 }
 
 impl NetStats {
@@ -32,16 +42,15 @@ impl NetStats {
             sent: vec![0; n],
             received: vec![0; n],
             lost: vec![0; n],
-            phase_sent: BTreeMap::new(),
+            phase_sent: vec![[0; Phase::COUNT]; n],
+            phase_lost: vec![[0; Phase::COUNT]; n],
         }
     }
 
     /// Record one transmission by `src` in `phase`.
-    pub fn record_send(&mut self, src: NodeId, phase: &str) {
+    pub fn record_send(&mut self, src: NodeId, phase: Phase) {
         self.sent[src.index()] += 1;
-        self.phase_sent
-            .entry(phase.to_owned())
-            .or_insert_with(|| vec![0; self.n])[src.index()] += 1;
+        self.phase_sent[src.index()][phase.index()] += 1;
     }
 
     /// Record a successful delivery at `dst`.
@@ -49,9 +58,11 @@ impl NetStats {
         self.received[dst.index()] += 1;
     }
 
-    /// Record a delivery attempt at `dst` destroyed by link loss.
-    pub fn record_loss(&mut self, dst: NodeId) {
+    /// Record a delivery attempt at `dst` destroyed by link loss,
+    /// attributed to the phase of the lost message.
+    pub fn record_loss(&mut self, dst: NodeId, phase: Phase) {
         self.lost[dst.index()] += 1;
+        self.phase_lost[dst.index()][phase.index()] += 1;
     }
 
     /// Messages sent by one node, all phases.
@@ -89,21 +100,34 @@ impl NetStats {
     }
 
     /// Messages sent by one node in one phase.
-    pub fn sent_in_phase(&self, id: NodeId, phase: &str) -> u64 {
-        self.phase_sent.get(phase).map_or(0, |v| v[id.index()])
+    pub fn sent_in_phase(&self, id: NodeId, phase: Phase) -> u64 {
+        self.phase_sent[id.index()][phase.index()]
+    }
+
+    /// Deliveries one node missed to loss in one phase.
+    pub fn lost_in_phase(&self, id: NodeId, phase: Phase) -> u64 {
+        self.phase_lost[id.index()][phase.index()]
     }
 
     /// Total messages sent in one phase across all nodes.
-    pub fn phase_total(&self, phase: &str) -> u64 {
-        self.phase_sent.get(phase).map_or(0, |v| v.iter().sum())
+    pub fn phase_total(&self, phase: Phase) -> u64 {
+        self.phase_sent.iter().map(|row| row[phase.index()]).sum()
+    }
+
+    /// Total deliveries destroyed by loss in one phase across all
+    /// nodes.
+    pub fn phase_lost_total(&self, phase: Phase) -> u64 {
+        self.phase_lost.iter().map(|row| row[phase.index()]).sum()
     }
 
     /// Maximum messages sent by any single node in one phase —
     /// used to verify the paper's per-phase bounds (Table 2).
-    pub fn phase_max_per_node(&self, phase: &str) -> u64 {
+    pub fn phase_max_per_node(&self, phase: Phase) -> u64 {
         self.phase_sent
-            .get(phase)
-            .map_or(0, |v| v.iter().copied().max().unwrap_or(0))
+            .iter()
+            .map(|row| row[phase.index()])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum messages sent by any single node across all phases.
@@ -111,9 +135,12 @@ impl NetStats {
         self.sent.iter().copied().max().unwrap_or(0)
     }
 
-    /// All phase labels seen so far.
-    pub fn phases(&self) -> impl Iterator<Item = &str> {
-        self.phase_sent.keys().map(String::as_str)
+    /// All phases with at least one sent or lost message, in charging
+    /// order.
+    pub fn phases(&self) -> impl Iterator<Item = Phase> + '_ {
+        Phase::ALL
+            .into_iter()
+            .filter(|p| self.phase_total(*p) > 0 || self.phase_lost_total(*p) > 0)
     }
 
     /// Reset every counter to zero (e.g. between maintenance rounds),
@@ -122,7 +149,12 @@ impl NetStats {
         self.sent.iter_mut().for_each(|c| *c = 0);
         self.received.iter_mut().for_each(|c| *c = 0);
         self.lost.iter_mut().for_each(|c| *c = 0);
-        self.phase_sent.clear();
+        self.phase_sent
+            .iter_mut()
+            .for_each(|row| *row = [0; Phase::COUNT]);
+        self.phase_lost
+            .iter_mut()
+            .for_each(|row| *row = [0; Phase::COUNT]);
     }
 }
 
@@ -133,17 +165,17 @@ mod tests {
     #[test]
     fn counters_accumulate_per_phase() {
         let mut s = NetStats::new(3);
-        s.record_send(NodeId(0), "invitation");
-        s.record_send(NodeId(0), "invitation");
-        s.record_send(NodeId(1), "candidate");
+        s.record_send(NodeId(0), Phase::Invitation);
+        s.record_send(NodeId(0), Phase::Invitation);
+        s.record_send(NodeId(1), Phase::Candidates);
         s.record_receive(NodeId(2));
-        s.record_loss(NodeId(2));
+        s.record_loss(NodeId(2), Phase::Invitation);
 
         assert_eq!(s.sent_by(NodeId(0)), 2);
-        assert_eq!(s.sent_in_phase(NodeId(0), "invitation"), 2);
-        assert_eq!(s.sent_in_phase(NodeId(0), "candidate"), 0);
-        assert_eq!(s.phase_total("invitation"), 2);
-        assert_eq!(s.phase_max_per_node("invitation"), 2);
+        assert_eq!(s.sent_in_phase(NodeId(0), Phase::Invitation), 2);
+        assert_eq!(s.sent_in_phase(NodeId(0), Phase::Candidates), 0);
+        assert_eq!(s.phase_total(Phase::Invitation), 2);
+        assert_eq!(s.phase_max_per_node(Phase::Invitation), 2);
         assert_eq!(s.total_sent(), 3);
         assert_eq!(s.total_received(), 1);
         assert_eq!(s.total_lost(), 1);
@@ -153,30 +185,50 @@ mod tests {
     }
 
     #[test]
-    fn unknown_phase_reads_as_zero() {
+    fn losses_are_attributed_to_phases_symmetrically() {
+        let mut s = NetStats::new(2);
+        s.record_loss(NodeId(1), Phase::Heartbeat);
+        s.record_loss(NodeId(1), Phase::Heartbeat);
+        s.record_loss(NodeId(0), Phase::Query);
+
+        assert_eq!(s.lost_in_phase(NodeId(1), Phase::Heartbeat), 2);
+        assert_eq!(s.lost_in_phase(NodeId(1), Phase::Query), 0);
+        assert_eq!(s.phase_lost_total(Phase::Heartbeat), 2);
+        assert_eq!(s.phase_lost_total(Phase::Query), 1);
+        assert_eq!(s.total_lost(), 3);
+        // Loss-only phases still show up in the phase listing.
+        let phases: Vec<_> = s.phases().collect();
+        assert_eq!(phases, vec![Phase::Heartbeat, Phase::Query]);
+    }
+
+    #[test]
+    fn untouched_phase_reads_as_zero() {
         let s = NetStats::new(2);
-        assert_eq!(s.phase_total("nope"), 0);
-        assert_eq!(s.sent_in_phase(NodeId(0), "nope"), 0);
-        assert_eq!(s.phase_max_per_node("nope"), 0);
+        assert_eq!(s.phase_total(Phase::Flood), 0);
+        assert_eq!(s.sent_in_phase(NodeId(0), Phase::Flood), 0);
+        assert_eq!(s.phase_max_per_node(Phase::Flood), 0);
+        assert_eq!(s.phase_lost_total(Phase::Flood), 0);
     }
 
     #[test]
     fn reset_clears_everything() {
         let mut s = NetStats::new(2);
-        s.record_send(NodeId(0), "x");
+        s.record_send(NodeId(0), Phase::Test);
         s.record_receive(NodeId(1));
+        s.record_loss(NodeId(1), Phase::Test);
         s.reset();
         assert_eq!(s.total_sent(), 0);
         assert_eq!(s.total_received(), 0);
+        assert_eq!(s.total_lost(), 0);
         assert_eq!(s.phases().count(), 0);
     }
 
     #[test]
-    fn phases_listed_in_sorted_order() {
+    fn phases_listed_in_charging_order() {
         let mut s = NetStats::new(1);
-        s.record_send(NodeId(0), "b");
-        s.record_send(NodeId(0), "a");
+        s.record_send(NodeId(0), Phase::Query);
+        s.record_send(NodeId(0), Phase::Data);
         let phases: Vec<_> = s.phases().collect();
-        assert_eq!(phases, vec!["a", "b"]);
+        assert_eq!(phases, vec![Phase::Data, Phase::Query]);
     }
 }

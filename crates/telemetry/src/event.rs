@@ -1,0 +1,333 @@
+//! Typed protocol events.
+//!
+//! Every event is `Copy`, allocation-free, and timestamped with a
+//! **simulation tick** (the network's delivery-round counter) — never
+//! wall-clock time, so identical seeds always produce identical
+//! traces. Node identities are raw `u32` ids (this crate sits below
+//! the simulator and cannot name its `NodeId` type).
+
+use crate::phase::Phase;
+
+/// What the cache manager did with one observation (mirrors the core
+/// crate's `CacheDecision`, flattened for the trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Stored with spare capacity; nothing evicted.
+    Inserted,
+    /// Stored by evicting the oldest pair of another line.
+    Augmented,
+    /// First observation for a line, stored by round-robin eviction.
+    Newcomer,
+    /// Stored by dropping the line's own oldest pair.
+    TimeShifted,
+    /// Not stored: the current model explains the data better.
+    Rejected,
+}
+
+impl CacheOutcome {
+    /// Canonical trace label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheOutcome::Inserted => "inserted",
+            CacheOutcome::Augmented => "augmented",
+            CacheOutcome::Newcomer => "newcomer",
+            CacheOutcome::TimeShifted => "time_shifted",
+            CacheOutcome::Rejected => "rejected",
+        }
+    }
+
+    /// Parse a canonical label.
+    pub fn parse(s: &str) -> Option<CacheOutcome> {
+        [
+            CacheOutcome::Inserted,
+            CacheOutcome::Augmented,
+            CacheOutcome::Newcomer,
+            CacheOutcome::TimeShifted,
+            CacheOutcome::Rejected,
+        ]
+        .into_iter()
+        .find(|o| o.as_str() == s)
+    }
+
+    /// True when the observation entered the cache.
+    pub fn admitted(self) -> bool {
+        !matches!(self, CacheOutcome::Rejected)
+    }
+}
+
+/// How a query span ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// Completed normally.
+    Ok,
+    /// Rejected: an aggregate executor was asked to run a query with
+    /// no aggregate.
+    MissingAggregate,
+    /// Any other execution error.
+    Error,
+}
+
+impl QueryStatus {
+    /// Canonical trace label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryStatus::Ok => "ok",
+            QueryStatus::MissingAggregate => "missing_aggregate",
+            QueryStatus::Error => "error",
+        }
+    }
+
+    /// Parse a canonical label.
+    pub fn parse(s: &str) -> Option<QueryStatus> {
+        [
+            QueryStatus::Ok,
+            QueryStatus::MissingAggregate,
+            QueryStatus::Error,
+        ]
+        .into_iter()
+        .find(|q| q.as_str() == s)
+    }
+}
+
+/// One timestamped protocol event.
+///
+/// `tick` is always the simulator's delivery-round counter at the
+/// moment the event happened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A node transmitted one message.
+    MsgSent {
+        /// Simulation tick.
+        tick: u64,
+        /// Sender id.
+        node: u32,
+        /// Protocol phase charged for the transmission.
+        phase: Phase,
+        /// Application-declared payload size.
+        bytes: u32,
+    },
+    /// A delivery attempt was destroyed by link loss.
+    MsgDropped {
+        /// Simulation tick.
+        tick: u64,
+        /// Sender id.
+        src: u32,
+        /// The receiver that missed the message.
+        dst: u32,
+        /// Phase of the lost message.
+        phase: Phase,
+    },
+    /// A battery was drained by `amount` transmission-equivalents.
+    EnergyDraw {
+        /// Simulation tick.
+        tick: u64,
+        /// The paying node.
+        node: u32,
+        /// Phase the energy is attributed to.
+        phase: Phase,
+        /// Transmission-equivalents drawn.
+        amount: f64,
+    },
+    /// A node died (injected failure or battery depletion).
+    NodeFailed {
+        /// Simulation tick.
+        tick: u64,
+        /// The failed node.
+        node: u32,
+    },
+    /// An election entered a new protocol phase.
+    ElectionPhase {
+        /// Simulation tick.
+        tick: u64,
+        /// Election epoch.
+        epoch: u64,
+        /// The phase now starting.
+        phase: Phase,
+    },
+    /// A node accepted a representation offer (sent `Accept`).
+    InviteAccepted {
+        /// Simulation tick.
+        tick: u64,
+        /// The accepting member.
+        member: u32,
+        /// The chosen representative.
+        rep: u32,
+        /// Election epoch.
+        epoch: u64,
+    },
+    /// A representation link stood at the end of an election: `member`
+    /// is PASSIVE under `rep`.
+    Represented {
+        /// Simulation tick.
+        tick: u64,
+        /// The represented (PASSIVE) node.
+        member: u32,
+        /// Its representative.
+        rep: u32,
+        /// Election epoch.
+        epoch: u64,
+    },
+    /// The cache manager ruled on one observation.
+    CacheAdmit {
+        /// Simulation tick.
+        tick: u64,
+        /// The caching node.
+        node: u32,
+        /// The neighbor the observation describes.
+        neighbor: u32,
+        /// What was done with the pair.
+        outcome: CacheOutcome,
+        /// Bytes in use after the decision (budget pressure).
+        used_bytes: u32,
+        /// The hard byte budget.
+        budget_bytes: u32,
+    },
+    /// A cache line lost its oldest pair to make room.
+    CacheEvict {
+        /// Simulation tick.
+        tick: u64,
+        /// The caching node.
+        node: u32,
+        /// The line (neighbor) that lost a pair.
+        victim: u32,
+        /// Bytes in use after the eviction + admission.
+        used_bytes: u32,
+        /// The hard byte budget.
+        budget_bytes: u32,
+    },
+    /// A cached line's model was refit after an admission.
+    ModelRefit {
+        /// Simulation tick.
+        tick: u64,
+        /// The caching node.
+        node: u32,
+        /// The neighbor whose model was refit.
+        neighbor: u32,
+    },
+    /// A representative announced an energy handoff (or a rotation
+    /// step-down).
+    HandoffTriggered {
+        /// Simulation tick.
+        tick: u64,
+        /// The stepping-down representative.
+        node: u32,
+        /// Its battery fraction at the announcement.
+        battery_fraction: f64,
+    },
+    /// A query span opened at the sink.
+    QueryBegin {
+        /// Simulation tick.
+        tick: u64,
+        /// Span id, unique within the run.
+        id: u64,
+        /// The collecting sink.
+        sink: u32,
+        /// True for snapshot-mode execution.
+        snapshot_mode: bool,
+    },
+    /// A query span closed.
+    QueryEnd {
+        /// Simulation tick.
+        tick: u64,
+        /// Span id matching the `QueryBegin`.
+        id: u64,
+        /// How the execution ended.
+        status: QueryStatus,
+        /// Participants charged (responders + routers).
+        participants: u32,
+    },
+}
+
+impl Event {
+    /// The simulation tick the event is stamped with.
+    pub fn tick(&self) -> u64 {
+        match *self {
+            Event::MsgSent { tick, .. }
+            | Event::MsgDropped { tick, .. }
+            | Event::EnergyDraw { tick, .. }
+            | Event::NodeFailed { tick, .. }
+            | Event::ElectionPhase { tick, .. }
+            | Event::InviteAccepted { tick, .. }
+            | Event::Represented { tick, .. }
+            | Event::CacheAdmit { tick, .. }
+            | Event::CacheEvict { tick, .. }
+            | Event::ModelRefit { tick, .. }
+            | Event::HandoffTriggered { tick, .. }
+            | Event::QueryBegin { tick, .. }
+            | Event::QueryEnd { tick, .. } => tick,
+        }
+    }
+
+    /// The event's kind label, as written to traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::MsgSent { .. } => "msg_sent",
+            Event::MsgDropped { .. } => "msg_dropped",
+            Event::EnergyDraw { .. } => "energy",
+            Event::NodeFailed { .. } => "node_failed",
+            Event::ElectionPhase { .. } => "election_phase",
+            Event::InviteAccepted { .. } => "invite_accepted",
+            Event::Represented { .. } => "represented",
+            Event::CacheAdmit { .. } => "cache_admit",
+            Event::CacheEvict { .. } => "cache_evict",
+            Event::ModelRefit { .. } => "model_refit",
+            Event::HandoffTriggered { .. } => "handoff",
+            Event::QueryBegin { .. } => "query_begin",
+            Event::QueryEnd { .. } => "query_end",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_accessor_reads_every_variant() {
+        let events = [
+            Event::MsgSent {
+                tick: 1,
+                node: 0,
+                phase: Phase::Data,
+                bytes: 8,
+            },
+            Event::NodeFailed { tick: 2, node: 1 },
+            Event::QueryEnd {
+                tick: 3,
+                id: 9,
+                status: QueryStatus::Ok,
+                participants: 4,
+            },
+        ];
+        assert_eq!(
+            events.iter().map(Event::tick).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn cache_outcome_labels_round_trip() {
+        for o in [
+            CacheOutcome::Inserted,
+            CacheOutcome::Augmented,
+            CacheOutcome::Newcomer,
+            CacheOutcome::TimeShifted,
+            CacheOutcome::Rejected,
+        ] {
+            assert_eq!(CacheOutcome::parse(o.as_str()), Some(o));
+        }
+        assert!(CacheOutcome::Inserted.admitted());
+        assert!(!CacheOutcome::Rejected.admitted());
+    }
+
+    #[test]
+    fn query_status_labels_round_trip() {
+        for q in [
+            QueryStatus::Ok,
+            QueryStatus::MissingAggregate,
+            QueryStatus::Error,
+        ] {
+            assert_eq!(QueryStatus::parse(q.as_str()), Some(q));
+        }
+    }
+}

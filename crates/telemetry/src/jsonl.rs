@@ -1,0 +1,535 @@
+//! Hand-rolled JSONL trace serialization (no serde — the workspace
+//! builds offline with zero external dependencies).
+//!
+//! Each event becomes one flat JSON object per line. Field order is
+//! fixed (`tick`, `kind`, then the variant's fields in declaration
+//! order) and floats are written with Rust's shortest round-trip
+//! `{:?}` formatting, so identical runs produce **byte-identical**
+//! trace files. The parser accepts exactly the writer's dialect:
+//! flat objects of string / number / bool values.
+
+use crate::event::{CacheOutcome, Event, QueryStatus};
+use crate::phase::Phase;
+use core::fmt::Write as _;
+
+/// Why a trace line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line is not a flat JSON object of the writer's dialect.
+    Malformed(String),
+    /// The object parsed but a required field is absent.
+    MissingField(&'static str),
+    /// A field held a value of the wrong type or out of range.
+    BadValue(&'static str),
+    /// The `kind` label names no known event.
+    UnknownKind(String),
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParseError::Malformed(detail) => write!(f, "malformed trace line: {detail}"),
+            ParseError::MissingField(name) => write!(f, "missing field `{name}`"),
+            ParseError::BadValue(name) => write!(f, "bad value for field `{name}`"),
+            ParseError::UnknownKind(kind) => write!(f, "unknown event kind `{kind}`"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn push_u64(out: &mut String, key: &str, value: u64) {
+    let _ = write!(out, ",\"{key}\":{value}");
+}
+
+fn push_f64(out: &mut String, key: &str, value: f64) {
+    // `{:?}` is Rust's shortest round-trip float formatting: parsing
+    // the text reproduces the exact bits, and equal bits always format
+    // identically — the foundation of byte-identical traces.
+    let _ = write!(out, ",\"{key}\":{value:?}");
+}
+
+fn push_str(out: &mut String, key: &str, value: &str) {
+    // All values written here are canonical labels (lowercase ASCII
+    // identifiers), so no escaping is ever needed.
+    let _ = write!(out, ",\"{key}\":\"{value}\"");
+}
+
+fn push_bool(out: &mut String, key: &str, value: bool) {
+    let _ = write!(out, ",\"{key}\":{value}");
+}
+
+/// Append one event as a single-line JSON object (no trailing
+/// newline).
+pub fn write_event(out: &mut String, ev: &Event) {
+    let _ = write!(out, "{{\"tick\":{}", ev.tick());
+    push_str(out, "kind", ev.kind());
+    match *ev {
+        Event::MsgSent {
+            node, phase, bytes, ..
+        } => {
+            push_u64(out, "node", u64::from(node));
+            push_str(out, "phase", phase.as_str());
+            push_u64(out, "bytes", u64::from(bytes));
+        }
+        Event::MsgDropped {
+            src, dst, phase, ..
+        } => {
+            push_u64(out, "src", u64::from(src));
+            push_u64(out, "dst", u64::from(dst));
+            push_str(out, "phase", phase.as_str());
+        }
+        Event::EnergyDraw {
+            node,
+            phase,
+            amount,
+            ..
+        } => {
+            push_u64(out, "node", u64::from(node));
+            push_str(out, "phase", phase.as_str());
+            push_f64(out, "amount", amount);
+        }
+        Event::NodeFailed { node, .. } => {
+            push_u64(out, "node", u64::from(node));
+        }
+        Event::ElectionPhase { epoch, phase, .. } => {
+            push_u64(out, "epoch", epoch);
+            push_str(out, "phase", phase.as_str());
+        }
+        Event::InviteAccepted {
+            member, rep, epoch, ..
+        } => {
+            push_u64(out, "member", u64::from(member));
+            push_u64(out, "rep", u64::from(rep));
+            push_u64(out, "epoch", epoch);
+        }
+        Event::Represented {
+            member, rep, epoch, ..
+        } => {
+            push_u64(out, "member", u64::from(member));
+            push_u64(out, "rep", u64::from(rep));
+            push_u64(out, "epoch", epoch);
+        }
+        Event::CacheAdmit {
+            node,
+            neighbor,
+            outcome,
+            used_bytes,
+            budget_bytes,
+            ..
+        } => {
+            push_u64(out, "node", u64::from(node));
+            push_u64(out, "neighbor", u64::from(neighbor));
+            push_str(out, "outcome", outcome.as_str());
+            push_u64(out, "used_bytes", u64::from(used_bytes));
+            push_u64(out, "budget_bytes", u64::from(budget_bytes));
+        }
+        Event::CacheEvict {
+            node,
+            victim,
+            used_bytes,
+            budget_bytes,
+            ..
+        } => {
+            push_u64(out, "node", u64::from(node));
+            push_u64(out, "victim", u64::from(victim));
+            push_u64(out, "used_bytes", u64::from(used_bytes));
+            push_u64(out, "budget_bytes", u64::from(budget_bytes));
+        }
+        Event::ModelRefit { node, neighbor, .. } => {
+            push_u64(out, "node", u64::from(node));
+            push_u64(out, "neighbor", u64::from(neighbor));
+        }
+        Event::HandoffTriggered {
+            node,
+            battery_fraction,
+            ..
+        } => {
+            push_u64(out, "node", u64::from(node));
+            push_f64(out, "battery_fraction", battery_fraction);
+        }
+        Event::QueryBegin {
+            id,
+            sink,
+            snapshot_mode,
+            ..
+        } => {
+            push_u64(out, "id", id);
+            push_u64(out, "sink", u64::from(sink));
+            push_bool(out, "snapshot_mode", snapshot_mode);
+        }
+        Event::QueryEnd {
+            id,
+            status,
+            participants,
+            ..
+        } => {
+            push_u64(out, "id", id);
+            push_str(out, "status", status.as_str());
+            push_u64(out, "participants", u64::from(participants));
+        }
+    }
+    out.push('}');
+}
+
+/// Serialize a slice of events as JSONL (one object per line,
+/// trailing newline after each).
+pub fn write_events(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 64);
+    for ev in events {
+        write_event(&mut out, ev);
+        out.push('\n');
+    }
+    out
+}
+
+/// One parsed JSON value of the writer's dialect.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+}
+
+/// A parsed flat object, fields in line order.
+struct Fields(Vec<(String, Value)>);
+
+impl Fields {
+    fn get(&self, key: &'static str) -> Option<&Value> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn u64(&self, key: &'static str) -> Result<u64, ParseError> {
+        match self.get(key) {
+            Some(Value::Num(n)) if n.fract() == 0.0 && *n >= 0.0 => Ok(*n as u64),
+            Some(_) => Err(ParseError::BadValue(key)),
+            None => Err(ParseError::MissingField(key)),
+        }
+    }
+
+    fn u32(&self, key: &'static str) -> Result<u32, ParseError> {
+        u32::try_from(self.u64(key)?).map_err(|_| ParseError::BadValue(key))
+    }
+
+    fn f64(&self, key: &'static str) -> Result<f64, ParseError> {
+        match self.get(key) {
+            Some(Value::Num(n)) => Ok(*n),
+            Some(_) => Err(ParseError::BadValue(key)),
+            None => Err(ParseError::MissingField(key)),
+        }
+    }
+
+    fn str(&self, key: &'static str) -> Result<&str, ParseError> {
+        match self.get(key) {
+            Some(Value::Str(s)) => Ok(s),
+            Some(_) => Err(ParseError::BadValue(key)),
+            None => Err(ParseError::MissingField(key)),
+        }
+    }
+
+    fn bool(&self, key: &'static str) -> Result<bool, ParseError> {
+        match self.get(key) {
+            Some(Value::Bool(b)) => Ok(*b),
+            Some(_) => Err(ParseError::BadValue(key)),
+            None => Err(ParseError::MissingField(key)),
+        }
+    }
+
+    fn phase(&self, key: &'static str) -> Result<Phase, ParseError> {
+        Phase::parse(self.str(key)?).ok_or(ParseError::BadValue(key))
+    }
+}
+
+/// Tokenize one flat JSON object `{"k":v,...}` into fields. Accepts
+/// exactly the dialect `write_event` produces.
+fn parse_object(line: &str) -> Result<Fields, ParseError> {
+    let malformed = |detail: &str| ParseError::Malformed(detail.to_owned());
+    let inner = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| malformed("not wrapped in {}"))?;
+    let mut fields = Vec::new();
+    let mut rest = inner;
+    while !rest.is_empty() {
+        // Key: `"name"` followed by `:`.
+        let after_quote = rest
+            .strip_prefix('"')
+            .ok_or_else(|| malformed("expected quoted key"))?;
+        let key_end = after_quote
+            .find('"')
+            .ok_or_else(|| malformed("unterminated key"))?;
+        let key = &after_quote[..key_end];
+        let after_key = after_quote[key_end + 1..]
+            .strip_prefix(':')
+            .ok_or_else(|| malformed("expected `:` after key"))?;
+        // Value: string, bool, or number (no escapes, no nesting).
+        let (value, after_value) = if let Some(s) = after_key.strip_prefix('"') {
+            let end = s
+                .find('"')
+                .ok_or_else(|| malformed("unterminated string"))?;
+            (Value::Str(s[..end].to_owned()), &s[end + 1..])
+        } else if let Some(rem) = after_key.strip_prefix("true") {
+            (Value::Bool(true), rem)
+        } else if let Some(rem) = after_key.strip_prefix("false") {
+            (Value::Bool(false), rem)
+        } else {
+            let end = after_key.find(',').unwrap_or(after_key.len());
+            let num: f64 = after_key[..end]
+                .parse()
+                .map_err(|_| ParseError::BadValue("number"))?;
+            (Value::Num(num), &after_key[end..])
+        };
+        fields.push((key.to_owned(), value));
+        rest = match after_value.strip_prefix(',') {
+            Some(r) => r,
+            None if after_value.is_empty() => after_value,
+            None => return Err(malformed("expected `,` between fields")),
+        };
+    }
+    Ok(Fields(fields))
+}
+
+/// Parse one trace line back into an [`Event`].
+pub fn parse_line(line: &str) -> Result<Event, ParseError> {
+    let f = parse_object(line)?;
+    let tick = f.u64("tick")?;
+    let kind = f.str("kind")?;
+    Ok(match kind {
+        "msg_sent" => Event::MsgSent {
+            tick,
+            node: f.u32("node")?,
+            phase: f.phase("phase")?,
+            bytes: f.u32("bytes")?,
+        },
+        "msg_dropped" => Event::MsgDropped {
+            tick,
+            src: f.u32("src")?,
+            dst: f.u32("dst")?,
+            phase: f.phase("phase")?,
+        },
+        "energy" => Event::EnergyDraw {
+            tick,
+            node: f.u32("node")?,
+            phase: f.phase("phase")?,
+            amount: f.f64("amount")?,
+        },
+        "node_failed" => Event::NodeFailed {
+            tick,
+            node: f.u32("node")?,
+        },
+        "election_phase" => Event::ElectionPhase {
+            tick,
+            epoch: f.u64("epoch")?,
+            phase: f.phase("phase")?,
+        },
+        "invite_accepted" => Event::InviteAccepted {
+            tick,
+            member: f.u32("member")?,
+            rep: f.u32("rep")?,
+            epoch: f.u64("epoch")?,
+        },
+        "represented" => Event::Represented {
+            tick,
+            member: f.u32("member")?,
+            rep: f.u32("rep")?,
+            epoch: f.u64("epoch")?,
+        },
+        "cache_admit" => Event::CacheAdmit {
+            tick,
+            node: f.u32("node")?,
+            neighbor: f.u32("neighbor")?,
+            outcome: CacheOutcome::parse(f.str("outcome")?)
+                .ok_or(ParseError::BadValue("outcome"))?,
+            used_bytes: f.u32("used_bytes")?,
+            budget_bytes: f.u32("budget_bytes")?,
+        },
+        "cache_evict" => Event::CacheEvict {
+            tick,
+            node: f.u32("node")?,
+            victim: f.u32("victim")?,
+            used_bytes: f.u32("used_bytes")?,
+            budget_bytes: f.u32("budget_bytes")?,
+        },
+        "model_refit" => Event::ModelRefit {
+            tick,
+            node: f.u32("node")?,
+            neighbor: f.u32("neighbor")?,
+        },
+        "handoff" => Event::HandoffTriggered {
+            tick,
+            node: f.u32("node")?,
+            battery_fraction: f.f64("battery_fraction")?,
+        },
+        "query_begin" => Event::QueryBegin {
+            tick,
+            id: f.u64("id")?,
+            sink: f.u32("sink")?,
+            snapshot_mode: f.bool("snapshot_mode")?,
+        },
+        "query_end" => Event::QueryEnd {
+            tick,
+            id: f.u64("id")?,
+            status: QueryStatus::parse(f.str("status")?).ok_or(ParseError::BadValue("status"))?,
+            participants: f.u32("participants")?,
+        },
+        other => return Err(ParseError::UnknownKind(other.to_owned())),
+    })
+}
+
+/// Parse a whole JSONL trace (blank lines skipped).
+pub fn parse(text: &str) -> Result<Vec<Event>, ParseError> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(parse_line)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::MsgSent {
+                tick: 1,
+                node: 3,
+                phase: Phase::Invitation,
+                bytes: 12,
+            },
+            Event::MsgDropped {
+                tick: 2,
+                src: 3,
+                dst: 4,
+                phase: Phase::Candidates,
+            },
+            Event::EnergyDraw {
+                tick: 2,
+                node: 3,
+                phase: Phase::Invitation,
+                amount: 1.25,
+            },
+            Event::NodeFailed { tick: 3, node: 9 },
+            Event::ElectionPhase {
+                tick: 4,
+                epoch: 2,
+                phase: Phase::Refinement,
+            },
+            Event::InviteAccepted {
+                tick: 5,
+                member: 1,
+                rep: 2,
+                epoch: 2,
+            },
+            Event::Represented {
+                tick: 6,
+                member: 1,
+                rep: 2,
+                epoch: 2,
+            },
+            Event::CacheAdmit {
+                tick: 7,
+                node: 2,
+                neighbor: 5,
+                outcome: CacheOutcome::Augmented,
+                used_bytes: 48,
+                budget_bytes: 64,
+            },
+            Event::CacheEvict {
+                tick: 7,
+                node: 2,
+                victim: 6,
+                used_bytes: 48,
+                budget_bytes: 64,
+            },
+            Event::ModelRefit {
+                tick: 7,
+                node: 2,
+                neighbor: 5,
+            },
+            Event::HandoffTriggered {
+                tick: 8,
+                node: 2,
+                battery_fraction: 0.19999999999999998,
+            },
+            Event::QueryBegin {
+                tick: 9,
+                id: 1,
+                sink: 0,
+                snapshot_mode: true,
+            },
+            Event::QueryEnd {
+                tick: 10,
+                id: 1,
+                status: QueryStatus::Ok,
+                participants: 14,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let events = sample_events();
+        let text = write_events(&events);
+        let parsed = parse(&text).expect("parse back");
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let events = sample_events();
+        assert_eq!(write_events(&events), write_events(&events));
+        // Round-tripping and re-serializing is also byte-identical —
+        // the float formatting is shortest-round-trip.
+        let text = write_events(&events);
+        let reparsed = parse(&text).expect("parse back");
+        assert_eq!(write_events(&reparsed), text);
+    }
+
+    #[test]
+    fn line_shape_is_flat_json() {
+        let mut out = String::new();
+        write_event(
+            &mut out,
+            &Event::MsgSent {
+                tick: 7,
+                node: 1,
+                phase: Phase::Data,
+                bytes: 8,
+            },
+        );
+        assert_eq!(
+            out,
+            "{\"tick\":7,\"kind\":\"msg_sent\",\"node\":1,\"phase\":\"data\",\"bytes\":8}"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            parse_line("not json"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_line("{\"tick\":1,\"kind\":\"no_such_kind\"}"),
+            Err(ParseError::UnknownKind(_))
+        ));
+        assert!(matches!(
+            parse_line("{\"tick\":1,\"kind\":\"node_failed\"}"),
+            Err(ParseError::MissingField("node"))
+        ));
+        assert!(matches!(
+            parse_line(
+                "{\"tick\":1,\"kind\":\"msg_sent\",\"node\":1,\"phase\":\"warp\",\"bytes\":1}"
+            ),
+            Err(ParseError::BadValue("phase"))
+        ));
+    }
+
+    #[test]
+    fn parse_skips_blank_lines() {
+        let text = "\n{\"tick\":1,\"kind\":\"node_failed\",\"node\":2}\n\n";
+        let parsed = parse(text).expect("parse");
+        assert_eq!(parsed, vec![Event::NodeFailed { tick: 1, node: 2 }]);
+    }
+}

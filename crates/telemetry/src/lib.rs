@@ -1,0 +1,51 @@
+//! # snapshot-telemetry
+//!
+//! Deterministic observability for the snapshot-queries workspace:
+//! typed protocol events, pluggable recorders, aggregate metrics, and
+//! a hand-rolled JSONL trace format that replays bit-for-bit.
+//!
+//! The paper's evaluation (Kotidis, ICDE 2005) is built on counting
+//! things: messages per election phase (Table 2), energy per node over
+//! time (Figures 8–10), cache hit behaviour under byte budgets. The
+//! seed repo computed those numbers ad hoc inside each experiment;
+//! this crate gives the workspace one shared, allocation-light event
+//! pipeline instead:
+//!
+//! * [`Event`] — every protocol occurrence worth recording, as a
+//!   `Copy` enum timestamped by **simulation tick** (the network's
+//!   delivery-round counter). Wall-clock time never appears: a trace
+//!   recorded from seed *s* is byte-identical on every machine and
+//!   every run.
+//! * [`Phase`] — interned protocol-phase labels (previously free-form
+//!   `String`s), so per-phase counters are fixed-size array lookups.
+//! * [`Recorder`] — the sink trait. [`NullRecorder`] discards,
+//!   [`RingRecorder`] keeps the last *N* events in a bounded buffer,
+//!   [`MetricsRegistry`] folds events into counters / gauges /
+//!   histograms / per-node × per-phase energy tables.
+//! * [`Telemetry`] — the hub the simulator embeds: optional ring +
+//!   optional registry behind one `#[inline]` `enabled()` branch, so
+//!   the disabled pipeline costs nothing measurable on hot paths.
+//! * [`jsonl`] — serde-free JSONL export/import of traces.
+//! * [`TraceSummary`] — replay a trace into election segments, query
+//!   spans and per-phase totals, and check paper invariants like the
+//!   ≤ 6-messages-per-node election budget.
+//!
+//! This crate sits at the bottom of the workspace dependency graph
+//! and depends on nothing (not even the simulator — node identities
+//! are raw `u32`s).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod jsonl;
+pub mod phase;
+pub mod recorder;
+pub mod registry;
+pub mod replay;
+
+pub use event::{CacheOutcome, Event, QueryStatus};
+pub use phase::Phase;
+pub use recorder::{NullRecorder, Recorder, RingRecorder, Telemetry};
+pub use registry::{Histogram, MetricsRegistry, PerNodePhase};
+pub use replay::{ElectionSegment, ElectionViolation, QuerySpan, TraceSummary};

@@ -1,0 +1,143 @@
+//! Interned protocol-phase labels.
+//!
+//! The paper's message accounting (Table 2, Figures 14/15) breaks
+//! traffic down by protocol phase. The seed used free-form `String`
+//! keys for that; this enum interns every phase the workspace's
+//! protocols emit, so per-phase counters can live in fixed-size arrays
+//! (no allocation, no map lookups on the send hot path) and trace
+//! files serialize the canonical label.
+
+use core::fmt;
+
+/// One protocol phase, as charged to the per-phase message and energy
+/// accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Phase {
+    /// Training / snooping broadcasts of raw measurements.
+    Data,
+    /// Election phase 1: invitation broadcasts.
+    Invitation,
+    /// Election phase 2: candidate-list broadcasts.
+    Candidates,
+    /// Election phase 3: acceptance unicasts.
+    Accept,
+    /// Election phase 4: refinement traffic (Rules 0–4).
+    Refinement,
+    /// Maintenance heartbeats from members to representatives.
+    Heartbeat,
+    /// Maintenance estimate replies from representatives.
+    Estimate,
+    /// Energy-handoff / rotation step-down announcements.
+    Handoff,
+    /// Spurious-claim reconciliation traffic.
+    Announce,
+    /// Tree-formation flooding.
+    Flood,
+    /// Query responses and partial aggregates.
+    Query,
+    /// Cache-manager processing (energy accounting only — the cache
+    /// never transmits).
+    Cache,
+    /// Scratch phase for tests, examples and ad-hoc traffic.
+    Test,
+}
+
+impl Phase {
+    /// Number of phases (the size of per-phase counter arrays).
+    pub const COUNT: usize = 13;
+
+    /// Every phase, in charging order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Data,
+        Phase::Invitation,
+        Phase::Candidates,
+        Phase::Accept,
+        Phase::Refinement,
+        Phase::Heartbeat,
+        Phase::Estimate,
+        Phase::Handoff,
+        Phase::Announce,
+        Phase::Flood,
+        Phase::Query,
+        Phase::Cache,
+        Phase::Test,
+    ];
+
+    /// The four phases of the representative election — the traffic
+    /// bounded by the paper's ≤ 6-messages-per-node budget (Table 2
+    /// plus the rare refinement cascade corner).
+    pub const ELECTION: [Phase; 4] = [
+        Phase::Invitation,
+        Phase::Candidates,
+        Phase::Accept,
+        Phase::Refinement,
+    ];
+
+    /// Array index of this phase.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The canonical label, as written to traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Data => "data",
+            Phase::Invitation => "invitation",
+            Phase::Candidates => "candidates",
+            Phase::Accept => "accept",
+            Phase::Refinement => "refinement",
+            Phase::Heartbeat => "heartbeat",
+            Phase::Estimate => "estimate",
+            Phase::Handoff => "handoff",
+            Phase::Announce => "announce",
+            Phase::Flood => "flood",
+            Phase::Query => "query",
+            Phase::Cache => "cache",
+            Phase::Test => "test",
+        }
+    }
+
+    /// Parse a canonical label back into a phase.
+    pub fn parse(s: &str) -> Option<Phase> {
+        Phase::ALL.iter().copied().find(|p| p.as_str() == s)
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_every_variant_once() {
+        assert_eq!(Phase::ALL.len(), Phase::COUNT);
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i, "{p} out of order");
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(Phase::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn election_phases_are_election_traffic() {
+        for p in Phase::ELECTION {
+            assert!(matches!(
+                p,
+                Phase::Invitation | Phase::Candidates | Phase::Accept | Phase::Refinement
+            ));
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Event sinks: the `Recorder` trait, a no-op recorder, a bounded
+//! ring-buffer recorder, and the `Telemetry` hub the simulator embeds.
+//!
+//! The hub is designed so a disabled pipeline costs one predictable
+//! branch on the hot path: `Telemetry::enabled` is `#[inline]` and
+//! instrumented code guards event construction behind it.
+
+use crate::event::Event;
+use crate::jsonl;
+use crate::registry::MetricsRegistry;
+
+/// Something that consumes protocol events.
+pub trait Recorder {
+    /// Consume one event.
+    fn record(&mut self, ev: &Event);
+
+    /// False when `record` is a guaranteed no-op; callers may skip
+    /// event construction entirely.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+/// Discards everything. Useful as an explicit "telemetry off"
+/// recorder in generic code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline]
+    fn record(&mut self, _ev: &Event) {}
+
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A bounded, allocation-free-after-warmup event buffer: the last
+/// `capacity` events are kept, oldest first dropped.
+#[derive(Debug, Clone)]
+pub struct RingRecorder {
+    buf: Vec<Event>,
+    capacity: usize,
+    /// Index of the next slot to overwrite once full.
+    next: usize,
+    /// Events ever recorded (including dropped ones).
+    total: u64,
+}
+
+impl RingRecorder {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingRecorder {
+            buf: Vec::new(),
+            capacity,
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Maximum events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events ever recorded, retained or not.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Events lost to wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// The retained events in chronological order (oldest first).
+    pub fn events(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        if self.buf.len() == self.capacity {
+            out.extend_from_slice(&self.buf[self.next..]);
+            out.extend_from_slice(&self.buf[..self.next]);
+        } else {
+            out.extend_from_slice(&self.buf);
+        }
+        out
+    }
+
+    /// Serialize the retained events as JSONL, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.buf.len() * 64);
+        for ev in self.events() {
+            jsonl::write_event(&mut out, &ev);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Forget everything recorded so far (capacity is kept).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.next = 0;
+        self.total = 0;
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&mut self, ev: &Event) {
+        self.total += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(*ev);
+        } else {
+            self.buf[self.next] = *ev;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+}
+
+/// The sink the simulator embeds: an optional ring buffer (for trace
+/// export) plus an optional metrics registry (for aggregate
+/// counters/energy), fed from the same event stream.
+///
+/// The default is fully off; `enabled` then folds to `false` and
+/// instrumented hot paths skip event construction.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    ring: Option<RingRecorder>,
+    registry: Option<MetricsRegistry>,
+}
+
+impl Telemetry {
+    /// Telemetry fully disabled (the default; zero overhead beyond one
+    /// branch per instrumented site).
+    pub fn off() -> Self {
+        Telemetry::default()
+    }
+
+    /// Record the last `capacity` events into a ring buffer, no
+    /// registry.
+    pub fn with_ring(capacity: usize) -> Self {
+        Telemetry {
+            ring: Some(RingRecorder::new(capacity)),
+            registry: None,
+        }
+    }
+
+    /// Fold events into a metrics registry only.
+    pub fn with_registry() -> Self {
+        Telemetry {
+            ring: None,
+            registry: Some(MetricsRegistry::new()),
+        }
+    }
+
+    /// Ring buffer and registry together.
+    pub fn full(capacity: usize) -> Self {
+        Telemetry {
+            ring: Some(RingRecorder::new(capacity)),
+            registry: Some(MetricsRegistry::new()),
+        }
+    }
+
+    /// True when any sink is attached. `#[inline]` so a disabled hub
+    /// costs a single predictable branch at each instrumented site.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.ring.is_some() || self.registry.is_some()
+    }
+
+    /// The ring buffer, when attached.
+    pub fn ring(&self) -> Option<&RingRecorder> {
+        self.ring.as_ref()
+    }
+
+    /// Mutable ring buffer, when attached.
+    pub fn ring_mut(&mut self) -> Option<&mut RingRecorder> {
+        self.ring.as_mut()
+    }
+
+    /// The metrics registry, when attached.
+    pub fn registry(&self) -> Option<&MetricsRegistry> {
+        self.registry.as_ref()
+    }
+
+    /// Mutable metrics registry, when attached.
+    pub fn registry_mut(&mut self) -> Option<&mut MetricsRegistry> {
+        self.registry.as_mut()
+    }
+
+    /// Serialize the ring's events as JSONL (`None` when no ring is
+    /// attached).
+    pub fn export_jsonl(&self) -> Option<String> {
+        self.ring.as_ref().map(RingRecorder::to_jsonl)
+    }
+
+    /// Clear recorded events and metrics, keeping the configuration.
+    pub fn clear(&mut self) {
+        if let Some(r) = self.ring.as_mut() {
+            r.clear();
+        }
+        if let Some(m) = self.registry.as_mut() {
+            *m = MetricsRegistry::new();
+        }
+    }
+}
+
+impl Recorder for Telemetry {
+    #[inline]
+    fn record(&mut self, ev: &Event) {
+        if let Some(r) = self.ring.as_mut() {
+            r.record(ev);
+        }
+        if let Some(m) = self.registry.as_mut() {
+            m.record(ev);
+        }
+    }
+
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        self.enabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+
+    fn ev(tick: u64) -> Event {
+        Event::MsgSent {
+            tick,
+            node: 0,
+            phase: Phase::Test,
+            bytes: 4,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_everything_until_full() {
+        let mut r = RingRecorder::new(4);
+        for t in 0..3 {
+            r.record(&ev(t));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+        let ticks: Vec<u64> = r.events().iter().map(Event::tick).collect();
+        assert_eq!(ticks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ring_wraparound_drops_oldest_and_keeps_order() {
+        let mut r = RingRecorder::new(4);
+        for t in 0..10 {
+            r.record(&ev(t));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.total_recorded(), 10);
+        assert_eq!(r.dropped(), 6);
+        let ticks: Vec<u64> = r.events().iter().map(Event::tick).collect();
+        assert_eq!(ticks, vec![6, 7, 8, 9], "oldest-first after wrap");
+    }
+
+    #[test]
+    fn ring_wraparound_exactly_at_capacity_boundary() {
+        let mut r = RingRecorder::new(3);
+        for t in 0..3 {
+            r.record(&ev(t));
+        }
+        let ticks: Vec<u64> = r.events().iter().map(Event::tick).collect();
+        assert_eq!(ticks, vec![0, 1, 2], "full but not yet wrapped");
+        r.record(&ev(3));
+        let ticks: Vec<u64> = r.events().iter().map(Event::tick).collect();
+        assert_eq!(ticks, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ring_clear_resets_counts() {
+        let mut r = RingRecorder::new(2);
+        for t in 0..5 {
+            r.record(&ev(t));
+        }
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.total_recorded(), 0);
+        r.record(&ev(7));
+        assert_eq!(r.events().len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let r = RingRecorder::new(0);
+        assert_eq!(r.capacity(), 1);
+    }
+
+    #[test]
+    fn null_recorder_reports_disabled() {
+        let mut n = NullRecorder;
+        assert!(!n.is_enabled());
+        n.record(&ev(0)); // no-op
+    }
+
+    #[test]
+    fn hub_off_is_disabled_and_exports_nothing() {
+        let t = Telemetry::off();
+        assert!(!t.enabled());
+        assert_eq!(t.export_jsonl(), None);
+    }
+
+    #[test]
+    fn hub_feeds_both_sinks() {
+        let mut t = Telemetry::full(8);
+        t.record(&ev(1));
+        t.record(&ev(2));
+        assert_eq!(t.ring().map(RingRecorder::len), Some(2));
+        assert_eq!(
+            t.registry().map(|m| m.counter("msg_sent")),
+            Some(2),
+            "registry saw the sends"
+        );
+        t.clear();
+        assert_eq!(t.ring().map(RingRecorder::len), Some(0));
+        assert_eq!(t.registry().map(|m| m.counter("msg_sent")), Some(0));
+    }
+}

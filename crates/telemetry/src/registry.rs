@@ -1,0 +1,355 @@
+//! The metrics registry: named counters and gauges, fixed-bucket
+//! histograms, and the per-node × per-phase energy/message breakdown
+//! that the paper's Figures 8–10 are built from.
+//!
+//! The registry is itself a [`Recorder`]: it folds the typed event
+//! stream into aggregates, so one publish path (events) serves both
+//! the trace and the metrics. Protocol code may also bump counters
+//! directly through [`MetricsRegistry::inc`] for quantities that have
+//! no event of their own.
+//!
+//! Determinism: all maps are `BTreeMap` keyed by `&'static str`
+//! (stable iteration order); per-node state lives in flat vectors
+//! grown on demand.
+
+use crate::event::Event;
+use crate::phase::Phase;
+use crate::recorder::Recorder;
+use std::collections::BTreeMap;
+
+/// Per-node, per-phase accumulation table, grown on demand.
+#[derive(Debug, Clone, Default)]
+pub struct PerNodePhase<T> {
+    rows: Vec<[T; Phase::COUNT]>,
+}
+
+impl<T: Copy + Default> PerNodePhase<T> {
+    /// An empty table.
+    pub fn new() -> Self {
+        PerNodePhase { rows: Vec::new() }
+    }
+
+    /// Number of node rows currently allocated.
+    pub fn nodes(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The cell for `(node, phase)`, default when never touched.
+    pub fn get(&self, node: u32, phase: Phase) -> T {
+        self.rows
+            .get(node as usize)
+            .map_or_else(T::default, |row| row[phase.index()])
+    }
+
+    /// Mutable cell access, growing the table as needed.
+    pub fn cell_mut(&mut self, node: u32, phase: Phase) -> &mut T {
+        let idx = node as usize;
+        if idx >= self.rows.len() {
+            self.rows.resize(idx + 1, [T::default(); Phase::COUNT]);
+        }
+        &mut self.rows[idx][phase.index()]
+    }
+
+    /// One node's full phase row (zeros when never touched).
+    pub fn row(&self, node: u32) -> [T; Phase::COUNT] {
+        self.rows
+            .get(node as usize)
+            .copied()
+            .unwrap_or([T::default(); Phase::COUNT])
+    }
+
+    /// Iterate `(node, row)` over allocated rows.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[T; Phase::COUNT])> {
+        self.rows.iter().enumerate().map(|(i, r)| (i as u32, r))
+    }
+}
+
+/// A histogram over fixed, caller-supplied bucket upper bounds
+/// (inclusive), with one implicit overflow bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending inclusive upper bounds.
+    pub fn new(bounds: &'static [u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+    }
+
+    /// Observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// `(upper_bound, count)` pairs; the final pair uses `u64::MAX` as
+    /// the overflow bound.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(u64::MAX))
+            .zip(self.counts.iter().copied())
+    }
+}
+
+/// Default byte-size buckets for message-size histograms.
+pub const BYTES_BUCKETS: &[u64] = &[4, 8, 16, 32, 64, 128, 256, 1024];
+
+/// The aggregate view of a run.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    /// Messages sent, per node × phase.
+    sent: PerNodePhase<u64>,
+    /// Deliveries lost, per (sender) node × phase.
+    lost: PerNodePhase<u64>,
+    /// Energy drawn (transmission equivalents), per node × phase.
+    energy: PerNodePhase<f64>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Bump a named counter.
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Read a named counter (0 when never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set a named gauge.
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Read a named gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record into a named fixed-bucket histogram (created with
+    /// `bounds` on first touch).
+    pub fn observe_hist(&mut self, name: &'static str, bounds: &'static [u64], value: u64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(value);
+    }
+
+    /// Read a named histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterate `(name, value)` over counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Messages sent by `node` in `phase`.
+    pub fn sent_in(&self, node: u32, phase: Phase) -> u64 {
+        self.sent.get(node, phase)
+    }
+
+    /// Deliveries from `node` destroyed by loss in `phase`.
+    pub fn lost_in(&self, node: u32, phase: Phase) -> u64 {
+        self.lost.get(node, phase)
+    }
+
+    /// Energy `node` drew in `phase`, in transmission equivalents.
+    pub fn energy_in(&self, node: u32, phase: Phase) -> f64 {
+        self.energy.get(node, phase)
+    }
+
+    /// Total energy `node` drew across phases.
+    pub fn node_energy(&self, node: u32) -> f64 {
+        self.energy.row(node).iter().sum()
+    }
+
+    /// Network-wide energy drawn in one phase.
+    pub fn phase_energy(&self, phase: Phase) -> f64 {
+        self.energy.iter().map(|(_, row)| row[phase.index()]).sum()
+    }
+
+    /// Network-wide energy drawn, all nodes and phases.
+    pub fn total_energy(&self) -> f64 {
+        self.energy
+            .iter()
+            .map(|(_, row)| row.iter().sum::<f64>())
+            .sum()
+    }
+
+    /// The per-node × per-phase energy table.
+    pub fn energy_table(&self) -> &PerNodePhase<f64> {
+        &self.energy
+    }
+
+    /// The per-node × per-phase sent-message table.
+    pub fn sent_table(&self) -> &PerNodePhase<u64> {
+        &self.sent
+    }
+}
+
+impl Recorder for MetricsRegistry {
+    fn record(&mut self, ev: &Event) {
+        match *ev {
+            Event::MsgSent {
+                node, phase, bytes, ..
+            } => {
+                self.inc("msg_sent", 1);
+                *self.sent.cell_mut(node, phase) += 1;
+                self.observe_hist("msg_bytes", BYTES_BUCKETS, u64::from(bytes));
+            }
+            Event::MsgDropped { src, phase, .. } => {
+                self.inc("msg_dropped", 1);
+                *self.lost.cell_mut(src, phase) += 1;
+            }
+            Event::EnergyDraw {
+                node,
+                phase,
+                amount,
+                ..
+            } => {
+                *self.energy.cell_mut(node, phase) += amount;
+            }
+            Event::NodeFailed { .. } => self.inc("node_failed", 1),
+            Event::ElectionPhase { .. } => self.inc("election_phase", 1),
+            Event::InviteAccepted { .. } => self.inc("invite_accepted", 1),
+            Event::Represented { .. } => self.inc("represented", 1),
+            Event::CacheAdmit { outcome, .. } => {
+                if outcome.admitted() {
+                    self.inc("cache_admit", 1);
+                } else {
+                    self.inc("cache_reject", 1);
+                }
+            }
+            Event::CacheEvict { .. } => self.inc("cache_evict", 1),
+            Event::ModelRefit { .. } => self.inc("model_refit", 1),
+            Event::HandoffTriggered { .. } => self.inc("handoff", 1),
+            Event::QueryBegin { .. } => self.inc("query_begin", 1),
+            Event::QueryEnd { participants, .. } => {
+                self.inc("query_end", 1);
+                self.inc("query_participants", u64::from(participants));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CacheOutcome;
+
+    #[test]
+    fn per_node_phase_grows_on_demand() {
+        let mut t: PerNodePhase<u64> = PerNodePhase::new();
+        assert_eq!(t.get(5, Phase::Data), 0);
+        *t.cell_mut(5, Phase::Data) += 3;
+        assert_eq!(t.get(5, Phase::Data), 3);
+        assert_eq!(t.nodes(), 6);
+        assert_eq!(t.get(2, Phase::Data), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_inclusive_with_overflow() {
+        let mut h = Histogram::new(&[4, 8]);
+        h.observe(4);
+        h.observe(5);
+        h.observe(9000);
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(4, 1), (8, 1), (u64::MAX, 1)]);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.sum(), 9009);
+    }
+
+    #[test]
+    fn registry_folds_events_into_aggregates() {
+        let mut m = MetricsRegistry::new();
+        m.record(&Event::MsgSent {
+            tick: 1,
+            node: 2,
+            phase: Phase::Invitation,
+            bytes: 12,
+        });
+        m.record(&Event::EnergyDraw {
+            tick: 1,
+            node: 2,
+            phase: Phase::Invitation,
+            amount: 1.0,
+        });
+        m.record(&Event::EnergyDraw {
+            tick: 2,
+            node: 2,
+            phase: Phase::Cache,
+            amount: 0.1,
+        });
+        m.record(&Event::MsgDropped {
+            tick: 2,
+            src: 2,
+            dst: 3,
+            phase: Phase::Invitation,
+        });
+        m.record(&Event::CacheAdmit {
+            tick: 2,
+            node: 2,
+            neighbor: 3,
+            outcome: CacheOutcome::Rejected,
+            used_bytes: 16,
+            budget_bytes: 64,
+        });
+
+        assert_eq!(m.counter("msg_sent"), 1);
+        assert_eq!(m.sent_in(2, Phase::Invitation), 1);
+        assert_eq!(m.lost_in(2, Phase::Invitation), 1);
+        assert_eq!(m.counter("cache_reject"), 1);
+        assert!((m.energy_in(2, Phase::Invitation) - 1.0).abs() < 1e-12);
+        assert!((m.node_energy(2) - 1.1).abs() < 1e-12);
+        assert!((m.phase_energy(Phase::Cache) - 0.1).abs() < 1e-12);
+        assert!((m.total_energy() - 1.1).abs() < 1e-12);
+        assert_eq!(m.histogram("msg_bytes").map(Histogram::total), Some(1));
+    }
+
+    #[test]
+    fn counters_iterate_in_name_order() {
+        let mut m = MetricsRegistry::new();
+        m.inc("zeta", 1);
+        m.inc("alpha", 2);
+        let names: Vec<&str> = m.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

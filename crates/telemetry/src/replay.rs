@@ -1,0 +1,444 @@
+//! Trace replay: fold a recorded event stream back into a structured
+//! run summary, and check the paper's protocol invariants against it.
+//!
+//! This is the analysis half of the `snapshot-trace` CLI: given the
+//! JSONL a run exported, reconstruct per-phase traffic, per-phase
+//! energy, election segments, and query spans — then verify bounds
+//! like the paper's "no node transmits more than a handful of
+//! messages per election" budget (Section 3 fixes it at ≤ 6 in the
+//! common case: 1 invitation + 1 candidate list + 1 accept + limited
+//! refinement traffic).
+
+use crate::event::{Event, QueryStatus};
+use crate::phase::Phase;
+use crate::registry::PerNodePhase;
+use core::fmt::Write as _;
+
+/// One election reconstructed from the trace: the events between an
+/// `ElectionPhase { phase: Invitation }` marker and the next such
+/// marker (or end of trace).
+#[derive(Debug, Clone)]
+pub struct ElectionSegment {
+    /// Election epoch from the opening marker.
+    pub epoch: u64,
+    /// Tick of the opening marker.
+    pub start_tick: u64,
+    /// Tick of the last event attributed to this election.
+    pub end_tick: u64,
+    /// Election-phase messages sent, per node (index = node id).
+    pub sent_per_node: Vec<u64>,
+    /// `Represented` links recorded in this segment.
+    pub represented: u64,
+    /// `InviteAccepted` events recorded in this segment.
+    pub accepts: u64,
+}
+
+impl ElectionSegment {
+    /// The heaviest sender's election-message count.
+    pub fn max_sent(&self) -> u64 {
+        self.sent_per_node.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total election messages in this segment.
+    pub fn total_sent(&self) -> u64 {
+        self.sent_per_node.iter().sum()
+    }
+
+    /// Nodes whose election-message count exceeds `max`.
+    pub fn offenders(&self, max: u64) -> Vec<(u32, u64)> {
+        self.sent_per_node
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > max)
+            .map(|(n, &c)| (n as u32, c))
+            .collect()
+    }
+}
+
+/// One node exceeding the per-election message budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElectionViolation {
+    /// Epoch of the offending election.
+    pub epoch: u64,
+    /// The over-budget node.
+    pub node: u32,
+    /// Election messages it sent.
+    pub sent: u64,
+    /// The budget it broke.
+    pub budget: u64,
+}
+
+/// One query span paired from `QueryBegin`/`QueryEnd`.
+#[derive(Debug, Clone)]
+pub struct QuerySpan {
+    /// Span id.
+    pub id: u64,
+    /// Tick the span opened.
+    pub begin_tick: u64,
+    /// Tick the span closed (`None` when the trace ends mid-span).
+    pub end_tick: Option<u64>,
+    /// The collecting sink.
+    pub sink: u32,
+    /// Snapshot-mode execution.
+    pub snapshot_mode: bool,
+    /// Final status (`None` for an unclosed span).
+    pub status: Option<QueryStatus>,
+    /// Participants charged.
+    pub participants: u32,
+}
+
+/// The structured summary of one recorded run.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Events in the trace.
+    pub events: u64,
+    /// First event tick (`0` for an empty trace).
+    pub first_tick: u64,
+    /// Last event tick.
+    pub last_tick: u64,
+    /// Event counts per kind label, in first-seen order.
+    pub kind_counts: Vec<(&'static str, u64)>,
+    /// Messages sent per node × phase.
+    pub sent: PerNodePhase<u64>,
+    /// Deliveries lost per (sender) node × phase.
+    pub lost: PerNodePhase<u64>,
+    /// Energy drawn per node × phase.
+    pub energy: PerNodePhase<f64>,
+    /// Elections, in trace order.
+    pub elections: Vec<ElectionSegment>,
+    /// Query spans, in trace order.
+    pub queries: Vec<QuerySpan>,
+    /// Handoff announcements `(tick, node, battery_fraction)`.
+    pub handoffs: Vec<(u64, u32, f64)>,
+    /// Node failures `(tick, node)`.
+    pub failures: Vec<(u64, u32)>,
+}
+
+impl TraceSummary {
+    /// Fold a chronological event stream into a summary.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut s = TraceSummary {
+            events: events.len() as u64,
+            first_tick: events.first().map(Event::tick).unwrap_or(0),
+            last_tick: events.last().map(Event::tick).unwrap_or(0),
+            ..TraceSummary::default()
+        };
+        for ev in events {
+            s.count_kind(ev.kind());
+            match *ev {
+                Event::MsgSent {
+                    tick, node, phase, ..
+                } => {
+                    *s.sent.cell_mut(node, phase) += 1;
+                    if Phase::ELECTION.contains(&phase) {
+                        if let Some(seg) = s.elections.last_mut() {
+                            if node as usize >= seg.sent_per_node.len() {
+                                seg.sent_per_node.resize(node as usize + 1, 0);
+                            }
+                            seg.sent_per_node[node as usize] += 1;
+                            seg.end_tick = tick;
+                        }
+                    }
+                }
+                Event::MsgDropped { src, phase, .. } => {
+                    *s.lost.cell_mut(src, phase) += 1;
+                }
+                Event::EnergyDraw {
+                    node,
+                    phase,
+                    amount,
+                    ..
+                } => {
+                    *s.energy.cell_mut(node, phase) += amount;
+                }
+                Event::ElectionPhase { tick, epoch, phase } => {
+                    if phase == Phase::Invitation {
+                        s.elections.push(ElectionSegment {
+                            epoch,
+                            start_tick: tick,
+                            end_tick: tick,
+                            sent_per_node: Vec::new(),
+                            represented: 0,
+                            accepts: 0,
+                        });
+                    } else if let Some(seg) = s.elections.last_mut() {
+                        seg.end_tick = tick;
+                    }
+                }
+                Event::InviteAccepted { tick, .. } => {
+                    if let Some(seg) = s.elections.last_mut() {
+                        seg.accepts += 1;
+                        seg.end_tick = tick;
+                    }
+                }
+                Event::Represented { tick, .. } => {
+                    if let Some(seg) = s.elections.last_mut() {
+                        seg.represented += 1;
+                        seg.end_tick = tick;
+                    }
+                }
+                Event::HandoffTriggered {
+                    tick,
+                    node,
+                    battery_fraction,
+                } => s.handoffs.push((tick, node, battery_fraction)),
+                Event::NodeFailed { tick, node } => s.failures.push((tick, node)),
+                Event::QueryBegin {
+                    tick,
+                    id,
+                    sink,
+                    snapshot_mode,
+                } => s.queries.push(QuerySpan {
+                    id,
+                    begin_tick: tick,
+                    end_tick: None,
+                    sink,
+                    snapshot_mode,
+                    status: None,
+                    participants: 0,
+                }),
+                Event::QueryEnd {
+                    tick,
+                    id,
+                    status,
+                    participants,
+                } => {
+                    if let Some(span) = s
+                        .queries
+                        .iter_mut()
+                        .rev()
+                        .find(|q| q.id == id && q.end_tick.is_none())
+                    {
+                        span.end_tick = Some(tick);
+                        span.status = Some(status);
+                        span.participants = participants;
+                    }
+                }
+                Event::CacheAdmit { .. } | Event::CacheEvict { .. } | Event::ModelRefit { .. } => {}
+            }
+        }
+        s
+    }
+
+    fn count_kind(&mut self, kind: &'static str) {
+        match self.kind_counts.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, c)) => *c += 1,
+            None => self.kind_counts.push((kind, 1)),
+        }
+    }
+
+    /// Network-wide messages sent in one phase.
+    pub fn phase_sent(&self, phase: Phase) -> u64 {
+        self.sent.iter().map(|(_, row)| row[phase.index()]).sum()
+    }
+
+    /// Network-wide deliveries lost in one phase.
+    pub fn phase_lost(&self, phase: Phase) -> u64 {
+        self.lost.iter().map(|(_, row)| row[phase.index()]).sum()
+    }
+
+    /// Network-wide energy drawn in one phase.
+    pub fn phase_energy(&self, phase: Phase) -> f64 {
+        self.energy.iter().map(|(_, row)| row[phase.index()]).sum()
+    }
+
+    /// Total energy across all nodes and phases.
+    pub fn total_energy(&self) -> f64 {
+        Phase::ALL.iter().map(|&p| self.phase_energy(p)).sum()
+    }
+
+    /// Every node that exceeded `budget` election messages in any
+    /// election (the paper's bound is 6).
+    pub fn election_message_violations(&self, budget: u64) -> Vec<ElectionViolation> {
+        let mut out = Vec::new();
+        for seg in &self.elections {
+            for (node, sent) in seg.offenders(budget) {
+                out.push(ElectionViolation {
+                    epoch: seg.epoch,
+                    node,
+                    sent,
+                    budget,
+                });
+            }
+        }
+        out
+    }
+
+    /// Render the summary as a human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace: {} events, ticks {}..{}",
+            self.events, self.first_tick, self.last_tick
+        );
+
+        let _ = writeln!(out, "\nevents by kind:");
+        for (kind, count) in &self.kind_counts {
+            let _ = writeln!(out, "  {kind:<16} {count:>8}");
+        }
+
+        let _ = writeln!(out, "\nmessages by phase (sent / lost):");
+        for &p in Phase::ALL.iter() {
+            let (sent, lost) = (self.phase_sent(p), self.phase_lost(p));
+            if sent > 0 || lost > 0 {
+                let _ = writeln!(out, "  {:<12} {sent:>8} / {lost}", p.as_str());
+            }
+        }
+
+        let _ = writeln!(out, "\nenergy by phase (transmission equivalents):");
+        for &p in Phase::ALL.iter() {
+            let e = self.phase_energy(p);
+            if e > 0.0 {
+                let _ = writeln!(out, "  {:<12} {e:>12.2}", p.as_str());
+            }
+        }
+        let _ = writeln!(out, "  {:<12} {:>12.2}", "total", self.total_energy());
+
+        let _ = writeln!(out, "\nelections: {}", self.elections.len());
+        for seg in &self.elections {
+            let _ = writeln!(
+                out,
+                "  epoch {:<4} ticks {}..{}  msgs {:>5}  max/node {}  accepts {}  represented {}",
+                seg.epoch,
+                seg.start_tick,
+                seg.end_tick,
+                seg.total_sent(),
+                seg.max_sent(),
+                seg.accepts,
+                seg.represented,
+            );
+        }
+
+        let _ = writeln!(out, "\nqueries: {}", self.queries.len());
+        for q in &self.queries {
+            let status = q.status.map(QueryStatus::as_str).unwrap_or("unclosed");
+            let end = q
+                .end_tick
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "?".to_owned());
+            let mode = if q.snapshot_mode {
+                "snapshot"
+            } else {
+                "direct"
+            };
+            let _ = writeln!(
+                out,
+                "  id {:<4} ticks {}..{end}  sink {}  {mode}  {status}  participants {}",
+                q.id, q.begin_tick, q.sink, q.participants,
+            );
+        }
+
+        if !self.handoffs.is_empty() {
+            let _ = writeln!(out, "\nhandoffs: {}", self.handoffs.len());
+            for (tick, node, frac) in &self.handoffs {
+                let _ = writeln!(out, "  tick {tick:<6} node {node:<4} battery {frac:.3}");
+            }
+        }
+
+        if !self.failures.is_empty() {
+            let _ = writeln!(out, "\nnode failures: {}", self.failures.len());
+            for (tick, node) in &self.failures {
+                let _ = writeln!(out, "  tick {tick:<6} node {node}");
+            }
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn election_events(epoch: u64, base_tick: u64, per_node: &[u64]) -> Vec<Event> {
+        let mut evs = vec![Event::ElectionPhase {
+            tick: base_tick,
+            epoch,
+            phase: Phase::Invitation,
+        }];
+        for (node, &count) in per_node.iter().enumerate() {
+            for i in 0..count {
+                evs.push(Event::MsgSent {
+                    tick: base_tick + i,
+                    node: node as u32,
+                    phase: Phase::Invitation,
+                    bytes: 8,
+                });
+            }
+        }
+        evs
+    }
+
+    #[test]
+    fn elections_segment_on_invitation_markers() {
+        let mut evs = election_events(1, 10, &[2, 3]);
+        evs.extend(election_events(2, 50, &[1, 7]));
+        let s = TraceSummary::from_events(&evs);
+        assert_eq!(s.elections.len(), 2);
+        assert_eq!(s.elections[0].max_sent(), 3);
+        assert_eq!(s.elections[1].max_sent(), 7);
+        let violations = s.election_message_violations(6);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].epoch, 2);
+        assert_eq!(violations[0].node, 1);
+        assert_eq!(violations[0].sent, 7);
+    }
+
+    #[test]
+    fn non_election_sends_do_not_count_against_budget() {
+        let mut evs = election_events(1, 0, &[1]);
+        for i in 0..20 {
+            evs.push(Event::MsgSent {
+                tick: 5 + i,
+                node: 0,
+                phase: Phase::Heartbeat,
+                bytes: 4,
+            });
+        }
+        let s = TraceSummary::from_events(&evs);
+        assert_eq!(s.elections[0].max_sent(), 1);
+        assert!(s.election_message_violations(6).is_empty());
+        assert_eq!(s.phase_sent(Phase::Heartbeat), 20);
+    }
+
+    #[test]
+    fn query_spans_pair_begin_and_end() {
+        let evs = vec![
+            Event::QueryBegin {
+                tick: 1,
+                id: 1,
+                sink: 0,
+                snapshot_mode: true,
+            },
+            Event::QueryEnd {
+                tick: 4,
+                id: 1,
+                status: QueryStatus::Ok,
+                participants: 9,
+            },
+            Event::QueryBegin {
+                tick: 6,
+                id: 2,
+                sink: 0,
+                snapshot_mode: false,
+            },
+        ];
+        let s = TraceSummary::from_events(&evs);
+        assert_eq!(s.queries.len(), 2);
+        assert_eq!(s.queries[0].end_tick, Some(4));
+        assert_eq!(s.queries[0].status, Some(QueryStatus::Ok));
+        assert_eq!(s.queries[0].participants, 9);
+        assert_eq!(s.queries[1].end_tick, None, "unclosed span stays open");
+    }
+
+    #[test]
+    fn render_mentions_key_sections() {
+        let evs = election_events(1, 0, &[2, 2]);
+        let s = TraceSummary::from_events(&evs);
+        let report = s.render();
+        assert!(report.contains("events by kind"));
+        assert!(report.contains("elections: 1"));
+        assert!(report.contains("invitation"));
+    }
+}

@@ -151,8 +151,8 @@ fn scan_body(tokens: &[Token], start: usize, end: usize, info: &mut FnInfo) {
 }
 
 /// Check that the *last* argument of the call whose `(` is at `open`
-/// is a static phase tag: a string literal, a `phase::X` path, or an
-/// ALL_CAPS constant.
+/// is a static phase tag: a string literal, a `Phase::X` / `phase::X`
+/// path, or an ALL_CAPS constant.
 fn phase_arg_is_static(tokens: &[Token], open: usize, limit: usize) -> bool {
     let mut depth = 0i32;
     let mut last_arg_start = open + 1;
@@ -189,6 +189,7 @@ fn phase_arg_is_static(tokens: &[Token], open: usize, limit: usize) -> bool {
         TokenKind::Str => true,
         TokenKind::Ident(id) => {
             id == "phase"
+                || id == "Phase"
                 || (id.len() > 1
                     && id
                         .chars()
@@ -338,6 +339,17 @@ mod tests {
                     Msg::Invite { value: 0.0, epoch }.wire_bytes(),
                     phase::INVITATION,
                 );
+            }
+        "#;
+        assert!(lint_names(src).is_empty());
+    }
+
+    #[test]
+    fn phase_enum_variant_counts_as_static() {
+        let src = r#"
+            pub fn run(net: &mut Network<Msg>) {
+                net.broadcast(i, msg, bytes, Phase::Invitation);
+                net.unicast(i, j, msg, bytes, Phase::Heartbeat);
             }
         "#;
         assert!(lint_names(src).is_empty());

@@ -283,9 +283,11 @@ pub fn analyze_paths(roots: &[PathBuf]) -> std::io::Result<Report> {
 }
 
 /// The workspace's default scan roots, relative to the repo root: the
-/// four protocol/simulator crates the invariants protect.
+/// protocol/simulator crates the invariants protect, plus the
+/// telemetry layer (which must stay deterministic for traces to be
+/// reproducible).
 pub fn default_roots(repo_root: &Path) -> Vec<PathBuf> {
-    ["core", "netsim", "query", "datagen"]
+    ["core", "netsim", "query", "datagen", "telemetry"]
         .iter()
         .map(|c| repo_root.join("crates").join(c).join("src"))
         .collect()

@@ -289,8 +289,8 @@ fn meta(sn: &mut SensorNetwork, cmd: &str) -> bool {
                 stats.total_received(),
                 stats.total_lost()
             );
-            for phase in stats.phases().map(str::to_owned).collect::<Vec<_>>() {
-                println!("  {phase}: {}", stats.phase_total(&phase));
+            for phase in stats.phases().collect::<Vec<_>>() {
+                println!("  {phase}: {}", stats.phase_total(phase));
             }
         }
         other => println!("unknown command `.{other}` (try .help)"),

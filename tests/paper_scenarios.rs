@@ -8,7 +8,7 @@ use snapshot_queries::core::{
 };
 use snapshot_queries::netsim::clock::Epoch;
 use snapshot_queries::netsim::topology::Position;
-use snapshot_queries::netsim::{EnergyModel, LinkModel, Network, NodeId, Topology};
+use snapshot_queries::netsim::{EnergyModel, LinkModel, Network, NodeId, Phase, Topology};
 
 /// The paper's Section 5 running example (Figures 3, 4 and the Rule
 /// walk-through). Paper node `N_k` is our `NodeId(k-1)`.
@@ -110,14 +110,14 @@ fn figure_2_message_counts_hold_on_the_worked_example() {
 
     for i in 0..8u32 {
         let id = NodeId(i);
-        assert!(net.stats().sent_in_phase(id, "invitation") <= 1);
-        assert!(net.stats().sent_in_phase(id, "candidates") <= 1);
-        assert!(net.stats().sent_in_phase(id, "accept") <= 1);
+        assert!(net.stats().sent_in_phase(id, Phase::Invitation) <= 1);
+        assert!(net.stats().sent_in_phase(id, Phase::Candidates) <= 1);
+        assert!(net.stats().sent_in_phase(id, Phase::Accept) <= 1);
         assert!(
-            net.stats().sent_in_phase(id, "refinement") <= 2,
+            net.stats().sent_in_phase(id, Phase::Refinement) <= 2,
             "N{} sent {} refinement messages",
             i + 1,
-            net.stats().sent_in_phase(id, "refinement")
+            net.stats().sent_in_phase(id, Phase::Refinement)
         );
         assert!(net.stats().sent_by(id) <= 5, "Table 2's five-message bound");
     }

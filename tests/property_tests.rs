@@ -14,7 +14,7 @@ use snapshot_queries::datagen::Trace;
 use snapshot_queries::datagen::{random_walk, RandomWalkConfig};
 use snapshot_queries::netsim::rng::{derive_seed, DetRng, RngCore, RngExt};
 use snapshot_queries::netsim::NodeId;
-use snapshot_queries::netsim::{EnergyModel, LinkModel, Topology};
+use snapshot_queries::netsim::{EnergyModel, LinkModel, Phase, Topology};
 use snapshot_queries::query::parse;
 
 /// Number of randomized cases for cheap, data-structure-level
@@ -387,9 +387,9 @@ fn elections_settle_on_arbitrary_small_networks() {
         // Message caps per phase hold regardless of loss and topology.
         for node in sn.nodes() {
             let id = node.id();
-            assert!(sn.stats().sent_in_phase(id, "invitation") <= 1);
-            assert!(sn.stats().sent_in_phase(id, "candidates") <= 1);
-            assert!(sn.stats().sent_in_phase(id, "accept") <= 1);
+            assert!(sn.stats().sent_in_phase(id, Phase::Invitation) <= 1);
+            assert!(sn.stats().sent_in_phase(id, Phase::Candidates) <= 1);
+            assert!(sn.stats().sent_in_phase(id, Phase::Accept) <= 1);
         }
     }
 }

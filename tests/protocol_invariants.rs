@@ -5,7 +5,7 @@
 
 use snapshot_queries::core::{Mode, SensorNetwork, SnapshotConfig};
 use snapshot_queries::datagen::{random_walk, RandomWalkConfig};
-use snapshot_queries::netsim::{EnergyModel, LinkModel, NodeId, Topology};
+use snapshot_queries::netsim::{EnergyModel, LinkModel, NodeId, Phase, Topology};
 
 fn elected_network(seed: u64, loss: f64, range: f64, k: usize) -> SensorNetwork {
     let data = random_walk(&RandomWalkConfig::paper_defaults(k, seed)).unwrap();
@@ -147,9 +147,9 @@ fn per_phase_message_bounds_hold_regardless_of_loss() {
         for i in 0..100u32 {
             let id = NodeId(i);
             // Single-shot phases never repeat, even under loss.
-            assert!(sn.stats().sent_in_phase(id, "invitation") <= 1);
-            assert!(sn.stats().sent_in_phase(id, "candidates") <= 1);
-            assert!(sn.stats().sent_in_phase(id, "accept") <= 1);
+            assert!(sn.stats().sent_in_phase(id, Phase::Invitation) <= 1);
+            assert!(sn.stats().sent_in_phase(id, Phase::Candidates) <= 1);
+            assert!(sn.stats().sent_in_phase(id, Phase::Accept) <= 1);
         }
     }
 }

@@ -1,0 +1,53 @@
+//! End-to-end telemetry checks: a fully-instrumented run on the
+//! paper's 100-node deployment, recorded through the ring buffer,
+//! exported as JSONL, parsed back, and replayed into summaries.
+
+use snapshot_bench::experiments::trace::{record_election_trace, ELECTION_MSG_BUDGET};
+use snapshot_queries::netsim::telemetry::{jsonl, Phase, TraceSummary};
+
+#[test]
+fn recorded_traces_are_byte_identical_across_identical_seeds() {
+    let a = record_election_trace(42, 100);
+    let b = record_election_trace(42, 100);
+    assert_eq!(a, b, "identical seeds must record identical traces");
+    let c = record_election_trace(43, 100);
+    assert_ne!(a, c, "different seeds should not collide");
+}
+
+#[test]
+fn recorded_election_respects_the_papers_message_bound() {
+    let text = record_election_trace(7, 100);
+    let events = jsonl::parse(&text).expect("self-recorded trace parses");
+    let summary = TraceSummary::from_events(&events);
+
+    // The run performs a discovery election and a maintenance cycle's
+    // re-elections; each segment must respect the per-node budget.
+    assert!(!summary.elections.is_empty(), "no election was recorded");
+    let violations = summary.election_message_violations(ELECTION_MSG_BUDGET);
+    assert!(
+        violations.is_empty(),
+        "nodes exceeded the {ELECTION_MSG_BUDGET}-message election bound: {violations:?}"
+    );
+
+    // Phase activity sanity: the election phases actually transmitted,
+    // and both query spans closed.
+    for phase in [Phase::Invitation, Phase::Candidates, Phase::Accept] {
+        assert!(
+            summary.phase_sent(phase) > 0,
+            "no {phase} messages in the trace"
+        );
+    }
+    assert_eq!(summary.queries.len(), 2);
+    assert!(summary.queries.iter().all(|q| q.end_tick.is_some()));
+}
+
+#[test]
+fn jsonl_round_trips_through_parse_and_rewrite() {
+    let text = record_election_trace(11, 30);
+    let events = jsonl::parse(&text).expect("trace parses");
+    assert_eq!(
+        jsonl::write_events(&events),
+        text,
+        "parse -> rewrite must reproduce the exported trace byte-for-byte"
+    );
+}
