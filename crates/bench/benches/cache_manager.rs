@@ -1,62 +1,12 @@
-//! Micro-benchmarks for the cache manager: model-aware admission vs
-//! the round-robin baseline, across cache budgets — the per-update
-//! cost that the paper charges at 0.1 transmission equivalents.
+//! Thin bench target; the suite body lives in
+//! `snapshot_bench::microbenches::cache_manager`.
 
-use snapshot_core::{CacheConfig, CachePolicy, ModelCache};
-use snapshot_microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use snapshot_netsim::NodeId;
-use std::hint::black_box;
+use snapshot_bench::microbenches;
+use snapshot_microbench::{counting_alloc::CountingAllocator, Criterion};
 
-fn workload(n_obs: usize, n_neighbors: u32) -> Vec<(NodeId, f64, f64)> {
-    (0..n_obs)
-        .map(|i| {
-            let j = NodeId(i as u32 % n_neighbors);
-            let x = (i as f64 * 0.618).sin() * 10.0 + 20.0;
-            let y = 1.7 * x + 3.0 + ((i * 2654435761) % 89) as f64 * 0.02;
-            (j, x, y)
-        })
-        .collect()
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn main() {
+    microbenches::cache_manager::benches(&mut Criterion::default());
 }
-
-fn bench_observe(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache_observe_1000");
-    let obs = workload(1000, 99);
-    for (name, policy) in [
-        ("model_aware", CachePolicy::ModelAware),
-        ("round_robin", CachePolicy::RoundRobin),
-    ] {
-        for bytes in [512usize, 2048, 4096] {
-            group.bench_with_input(
-                BenchmarkId::new(name, bytes),
-                &(policy, bytes),
-                |b, &(policy, bytes)| {
-                    b.iter(|| {
-                        let mut cache = ModelCache::new(CacheConfig {
-                            budget_bytes: bytes,
-                            pair_bytes: 8,
-                            policy,
-                        });
-                        for &(j, x, y) in &obs {
-                            black_box(cache.observe(j, x, y));
-                        }
-                        black_box(cache.total_pairs())
-                    })
-                },
-            );
-        }
-    }
-    group.finish();
-}
-
-fn bench_estimate(c: &mut Criterion) {
-    let mut cache = ModelCache::new(CacheConfig::default());
-    for &(j, x, y) in &workload(500, 50) {
-        cache.observe(j, x, y);
-    }
-    c.bench_function("cache_estimate", |b| {
-        b.iter(|| black_box(cache.estimate(black_box(NodeId(7)), black_box(21.5))))
-    });
-}
-
-criterion_group!(benches, bench_observe, bench_estimate);
-criterion_main!(benches);

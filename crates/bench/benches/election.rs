@@ -1,59 +1,12 @@
-//! Macro-benchmark: a full representative election on the paper's
-//! 100-node network (training already done), plus a maintenance cycle.
+//! Thin bench target; the suite body lives in
+//! `snapshot_bench::microbenches::election`.
 
-use snapshot_bench::RandomWalkSetup;
-use snapshot_microbench::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
+use snapshot_bench::microbenches;
+use snapshot_microbench::{counting_alloc::CountingAllocator, Criterion};
 
-fn bench_election(c: &mut Criterion) {
-    let trained = RandomWalkSetup {
-        k: 10,
-        ..RandomWalkSetup::default()
-    }
-    .build(42);
-    c.bench_function("full_election_100_nodes", |b| {
-        b.iter_batched(
-            || trained.clone(),
-            |mut sn| black_box(sn.elect()),
-            BatchSize::LargeInput,
-        )
-    });
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
-    let mut elected = trained.clone();
-    let _ = elected.elect();
-    c.bench_function("maintenance_cycle_100_nodes", |b| {
-        b.iter_batched(
-            || elected.clone(),
-            |mut sn| black_box(sn.maintain()),
-            BatchSize::LargeInput,
-        )
-    });
+fn main() {
+    microbenches::election::benches(&mut Criterion::default().sample_size(20));
 }
-
-fn bench_training(c: &mut Criterion) {
-    c.bench_function("training_tick_100_nodes", |b| {
-        b.iter_batched(
-            || {
-                RandomWalkSetup {
-                    k: 10,
-                    train_until: 0,
-                    ..RandomWalkSetup::default()
-                }
-                .build(42)
-            },
-            |mut sn| {
-                sn.set_time(0);
-                sn.train(0, 1);
-                black_box(sn.now())
-            },
-            BatchSize::LargeInput,
-        )
-    });
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_election, bench_training
-}
-criterion_main!(benches);

@@ -1,5 +1,5 @@
 //! Thin bench target; the suite body lives in
-//! `snapshot_bench::microbenches::maintenance`.
+//! `snapshot_bench::microbenches::experiment_cell`.
 
 use snapshot_bench::microbenches;
 use snapshot_microbench::{counting_alloc::CountingAllocator, Criterion};
@@ -8,5 +8,5 @@ use snapshot_microbench::{counting_alloc::CountingAllocator, Criterion};
 static ALLOC: CountingAllocator = CountingAllocator;
 
 fn main() {
-    microbenches::maintenance::benches(&mut Criterion::default().sample_size(20));
+    microbenches::experiment_cell::benches(&mut Criterion::default().sample_size(20));
 }

@@ -1,0 +1,13 @@
+//! Micro-benchmarks for the netsim delivery hot path: a dense
+//! 100-node broadcast round (every node in range of every other), the
+//! innermost loop under every experiment in the paper's evaluation.
+
+use snapshot_bench::microbenches;
+use snapshot_microbench::{counting_alloc::CountingAllocator, Criterion};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn main() {
+    microbenches::netsim_deliver::benches(&mut Criterion::default());
+}

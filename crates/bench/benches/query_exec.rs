@@ -1,50 +1,12 @@
-//! Macro-benchmark: query execution in both modes on an elected
-//! 100-node network — the per-query cost that snapshot mode trades
-//! against accuracy.
+//! Thin bench target; the suite body lives in
+//! `snapshot_bench::microbenches::query_exec`.
 
-use snapshot_bench::RandomWalkSetup;
-use snapshot_core::{Aggregate, QueryMode, SnapshotQuery, SpatialPredicate};
-use snapshot_microbench::{criterion_group, criterion_main, BatchSize, Criterion};
-use snapshot_netsim::NodeId;
-use std::hint::black_box;
+use snapshot_bench::microbenches;
+use snapshot_microbench::{counting_alloc::CountingAllocator, Criterion};
 
-fn bench_queries(c: &mut Criterion) {
-    let mut sn = RandomWalkSetup {
-        k: 5,
-        range: 0.7,
-        ..RandomWalkSetup::default()
-    }
-    .build(42);
-    let _ = sn.elect();
-    let pred = SpatialPredicate::window(0.5, 0.5, 0.316); // area 0.1
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
-    for (name, mode) in [
-        ("regular", QueryMode::Regular),
-        ("snapshot", QueryMode::Snapshot),
-    ] {
-        let q = SnapshotQuery::aggregate(pred, Aggregate::Avg, mode);
-        c.bench_function(&format!("query_{name}_area0.1"), |b| {
-            b.iter_batched(
-                || sn.clone(),
-                |mut sn| black_box(sn.query(&q, NodeId(3))),
-                BatchSize::LargeInput,
-            )
-        });
-    }
-
-    let drill = SnapshotQuery::drill_through(SpatialPredicate::All, QueryMode::Snapshot);
-    c.bench_function("query_drill_through_all", |b| {
-        b.iter_batched(
-            || sn.clone(),
-            |mut sn| black_box(sn.query(&drill, NodeId(3))),
-            BatchSize::LargeInput,
-        )
-    });
+fn main() {
+    microbenches::query_exec::benches(&mut Criterion::default().sample_size(30));
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_queries
-}
-criterion_main!(benches);

@@ -1,52 +1,12 @@
-//! Message-level TAG aggregation vs the idealized accounting executor:
-//! the cost of simulating the aggregate's actual journey up the tree.
+//! Thin bench target; the suite body lives in
+//! `snapshot_bench::microbenches::tag_aggregation`.
 
-use snapshot_bench::RandomWalkSetup;
-use snapshot_core::{Aggregate, QueryMode, SnapshotQuery, SpatialPredicate};
-use snapshot_microbench::{criterion_group, criterion_main, BatchSize, Criterion};
-use snapshot_netsim::NodeId;
-use std::hint::black_box;
+use snapshot_bench::microbenches;
+use snapshot_microbench::{counting_alloc::CountingAllocator, Criterion};
 
-fn bench_tag(c: &mut Criterion) {
-    let mut sn = RandomWalkSetup {
-        k: 5,
-        range: 0.4,
-        ..RandomWalkSetup::default()
-    }
-    .build(42);
-    let _ = sn.elect();
-    let q = SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Avg, QueryMode::Snapshot);
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
-    c.bench_function("query_idealized_snapshot_avg", |b| {
-        b.iter_batched(
-            || sn.clone(),
-            |mut sn| black_box(sn.query(&q, NodeId(3))),
-            BatchSize::LargeInput,
-        )
-    });
-
-    c.bench_function("query_tag_snapshot_avg", |b| {
-        b.iter_batched(
-            || sn.clone(),
-            |mut sn| black_box(sn.query_tag(&q, NodeId(3))),
-            BatchSize::LargeInput,
-        )
-    });
-
-    let regular =
-        SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Avg, QueryMode::Regular);
-    c.bench_function("query_tag_regular_avg", |b| {
-        b.iter_batched(
-            || sn.clone(),
-            |mut sn| black_box(sn.query_tag(&regular, NodeId(3))),
-            BatchSize::LargeInput,
-        )
-    });
+fn main() {
+    microbenches::tag_aggregation::benches(&mut Criterion::default().sample_size(30));
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_tag
-}
-criterion_main!(benches);

@@ -1,22 +1,32 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [ids...] [--reps N] [--seed S] [--out DIR] [--quick]
+//! experiments [ids...] [--reps N] [--seed S] [--out DIR] [--quick] [--jobs N]
 //!
 //!   ids      experiment ids (fig1 table2 fig6 ... fig15), or `all`
 //!   --reps   repetitions to average over (default 10, as in the paper)
 //!   --seed   base seed (default 1)
 //!   --out    directory for CSV artifacts (default EXPERIMENTS-results)
 //!   --quick  smaller sweeps for smoke testing
+//!   --jobs   worker threads (default: available parallelism)
 //! ```
+//!
+//! Reports go to stdout in the order the ids were given (canonical
+//! order for `all`), regardless of `--jobs`; stdout and the CSV
+//! artifacts are byte-identical for every `--jobs` value. Timing
+//! lines go to stderr, where nondeterminism is allowed.
 
-use snapshot_bench::{experiments, RunContext};
+use snapshot_bench::{experiments, runner, RunContext};
 use std::path::PathBuf;
 use std::time::Instant;
 
+// Wall-clock here only feeds the stderr timing lines; the simulated
+// runs themselves stay on the deterministic logical clock.
+#[allow(clippy::disallowed_methods)]
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
+    let mut jobs = runner::default_jobs();
     let mut ctx = RunContext {
         out_dir: Some(PathBuf::from("EXPERIMENTS-results")),
         ..RunContext::default()
@@ -47,9 +57,17 @@ fn main() {
                         .unwrap_or_else(|| die("--out needs a directory")),
                 ));
             }
+            "--jobs" => {
+                i += 1;
+                jobs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&j| j > 0)
+                    .unwrap_or_else(|| die("--jobs needs a positive integer"));
+            }
             "--quick" => ctx.quick = true,
             "--help" | "-h" => {
-                print_usage();
+                print!("{}", usage());
                 return;
             }
             id => ids.push(id.to_owned()),
@@ -61,38 +79,50 @@ fn main() {
         ids = experiments::ALL.iter().map(|s| (*s).to_owned()).collect();
     }
 
-    let overall = Instant::now();
+    // Validate every id up front so a typo late in the list does not
+    // waste the work already done for the ids before it.
     for id in &ids {
-        let started = Instant::now();
-        match experiments::run(id, &ctx) {
-            Some(out) => {
-                println!("{}", out.report());
-                println!("   [{id} took {:.1?}]\n", started.elapsed());
-            }
-            None => {
-                eprintln!(
-                    "unknown experiment `{id}`; known: {}",
-                    experiments::ALL.join(" ")
-                );
-                std::process::exit(2);
-            }
+        if !experiments::ALL.contains(&id.as_str()) {
+            eprintln!(
+                "unknown experiment `{id}`; known: {}",
+                experiments::ALL.join(" ")
+            );
+            std::process::exit(2);
         }
+    }
+
+    runner::set_jobs(jobs);
+    let overall = Instant::now();
+    // Fan the experiments across the worker pool; each experiment's
+    // repetitions fan out through the same pool. Results come back in
+    // input order no matter which cell finished first.
+    let results = runner::parallel_map(ids.len(), |k| {
+        let started = Instant::now();
+        let out =
+            experiments::run(&ids[k], &ctx).expect("experiment ids are validated before dispatch");
+        (out, started.elapsed())
+    });
+
+    for (out, took) in &results {
+        println!("{}", out.report());
+        eprintln!("[{} took {:.1?}]", out.id, took);
     }
     if let Some(dir) = &ctx.out_dir {
         println!("CSV artifacts in {}", dir.display());
     }
-    println!("total: {:.1?}", overall.elapsed());
+    eprintln!("total: {:.1?}", overall.elapsed());
 }
 
-fn print_usage() {
-    println!(
-        "usage: experiments [ids...] [--reps N] [--seed S] [--out DIR] [--quick]\n\
-         known ids: {} (or `all`)",
+fn usage() -> String {
+    format!(
+        "usage: experiments [ids...] [--reps N] [--seed S] [--out DIR] [--quick] [--jobs N]\n\
+         known ids: {} (or `all`)\n",
         experiments::ALL.join(" ")
-    );
+    )
 }
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
+    eprint!("{}", usage());
     std::process::exit(2);
 }

@@ -7,12 +7,16 @@
 //! Run `cargo run --release -p snapshot-bench --bin experiments -- all`
 //! to reproduce everything; each experiment prints the paper-shaped
 //! table and writes a CSV next to it. Every run is deterministic in
-//! the `--seed` argument; repetitions use seeds `seed`, `seed+1`, ....
+//! the `--seed` argument; repetition `r` runs on the derived stream
+//! `derive_seed(seed, r)`, and output is byte-identical for every
+//! `--jobs` setting (see [`runner`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod microbenches;
+pub mod runner;
 pub mod setup;
 pub mod stats;
 pub mod table;
@@ -27,7 +31,7 @@ use std::path::PathBuf;
 pub struct RunContext {
     /// Repetitions to average over (the paper uses 10).
     pub reps: u64,
-    /// Base seed; repetition `r` uses `seed + r`.
+    /// Base seed; repetition `r` uses `derive_seed(seed, r)`.
     pub seed: u64,
     /// Output directory for CSV artifacts (`None` = don't write).
     pub out_dir: Option<PathBuf>,

@@ -1,0 +1,93 @@
+//! Micro-benchmarks for the cache manager: model-aware admission vs
+//! the round-robin baseline across cache budgets, plus the full-cache
+//! augment path — the steady-state admission decision every snooped
+//! pair pays once the byte budget is exhausted (the per-update cost
+//! that the paper charges at 0.1 transmission equivalents).
+
+use snapshot_core::{CacheConfig, CachePolicy, ModelCache};
+use snapshot_microbench::{BenchmarkId, Criterion};
+use snapshot_netsim::NodeId;
+use std::hint::black_box;
+
+fn workload(n_obs: usize, n_neighbors: u32) -> Vec<(NodeId, f64, f64)> {
+    (0..n_obs)
+        .map(|i| {
+            let j = NodeId(i as u32 % n_neighbors);
+            let x = (i as f64 * 0.618).sin() * 10.0 + 20.0;
+            let y = 1.7 * x + 3.0 + ((i * 2654435761) % 89) as f64 * 0.02;
+            (j, x, y)
+        })
+        .collect()
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_observe_1000");
+    let obs = workload(1000, 99);
+    for (name, policy) in [
+        ("model_aware", CachePolicy::ModelAware),
+        ("round_robin", CachePolicy::RoundRobin),
+    ] {
+        for bytes in [512usize, 2048, 4096] {
+            group.bench_with_input(
+                BenchmarkId::new(name, bytes),
+                &(policy, bytes),
+                |b, &(policy, bytes)| {
+                    b.iter(|| {
+                        let mut cache = ModelCache::new(CacheConfig {
+                            budget_bytes: bytes,
+                            pair_bytes: 8,
+                            policy,
+                        });
+                        for &(j, x, y) in &obs {
+                            black_box(cache.observe(j, x, y));
+                        }
+                        black_box(cache.total_pairs())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let mut cache = ModelCache::new(CacheConfig::default());
+    for &(j, x, y) in &workload(500, 50) {
+        cache.observe(j, x, y);
+    }
+    c.bench_function("cache_estimate", |b| {
+        b.iter(|| black_box(cache.estimate(black_box(NodeId(7)), black_box(21.5))))
+    });
+}
+
+/// Steady-state admission on a *full* model-aware cache: every
+/// observation must weigh reject vs time-shift vs augment-and-evict.
+/// This is the dominant per-message CPU cost during long maintenance
+/// runs, so the regression gate watches it closely.
+fn bench_full_cache_augment(c: &mut Criterion) {
+    let mut cache = ModelCache::new(CacheConfig {
+        budget_bytes: 512,
+        pair_bytes: 8,
+        policy: CachePolicy::ModelAware,
+    });
+    for &(j, x, y) in &workload(2000, 20) {
+        cache.observe(j, x, y);
+    }
+    assert!(cache.is_full(), "setup must saturate the byte budget");
+    let obs = workload(4096, 20);
+    c.bench_function("cache_full_augment_admission", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (j, x, y) = obs[i % obs.len()];
+            i = i.wrapping_add(1);
+            black_box(cache.observe(j, x, y))
+        })
+    });
+}
+
+/// Run the suite.
+pub fn benches(c: &mut Criterion) {
+    bench_observe(c);
+    bench_estimate(c);
+    bench_full_cache_augment(c);
+}

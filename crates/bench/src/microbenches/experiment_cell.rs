@@ -1,0 +1,32 @@
+//! Macro-benchmark: one full `--quick` experiment cell, end to end —
+//! the unit of work the parallel runner schedules. Tracks the
+//! fixed overhead every `(experiment, rep)` cell pays (setup,
+//! training, election, aggregation, rendering) so runner-level
+//! regressions show up even when the individual kernels stay fast.
+
+use crate::{experiments, runner, RunContext};
+use snapshot_microbench::Criterion;
+use std::hint::black_box;
+
+fn bench_cell(c: &mut Criterion) {
+    // Pin the scheduler to one thread: this measures the serial cost
+    // of a cell, not however many cores the bench machine has.
+    runner::set_jobs(1);
+    let ctx = RunContext {
+        reps: 1,
+        seed: 1,
+        out_dir: None,
+        quick: true,
+    };
+    c.bench_function("experiment_cell_fig6_quick", |b| {
+        b.iter(|| black_box(experiments::run("fig6", &ctx)))
+    });
+    c.bench_function("experiment_cell_table2_quick", |b| {
+        b.iter(|| black_box(experiments::run("table2", &ctx)))
+    });
+}
+
+/// Run the suite.
+pub fn benches(c: &mut Criterion) {
+    bench_cell(c);
+}

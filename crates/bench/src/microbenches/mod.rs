@@ -1,0 +1,38 @@
+//! The micro-benchmark suites, as library code.
+//!
+//! Each submodule exposes `benches(&mut Criterion)`; the thin
+//! `benches/*.rs` targets wrap one suite each (registering the
+//! counting allocator so every figure carries a deterministic
+//! allocations-per-iteration column), and [`REGISTRY`] lists every
+//! suite so the smoke test in `tests/microbench_smoke.rs` can prove
+//! that each one still runs and emits valid `MICROBENCH_JSON` — the
+//! regression gate is only as trustworthy as the benches feeding it.
+
+pub mod cache_manager;
+pub mod election;
+pub mod experiment_cell;
+pub mod maintenance;
+pub mod model_fit;
+pub mod netsim_deliver;
+pub mod parser;
+pub mod query_exec;
+pub mod tag_aggregation;
+
+use snapshot_microbench::Criterion;
+
+/// A bench suite's registration entry point.
+pub type BenchFn = fn(&mut Criterion);
+
+/// Every bench suite, in canonical order. The smoke test runs each
+/// once; `cargo bench` runs them as individual targets.
+pub const REGISTRY: &[(&str, BenchFn)] = &[
+    ("model_fit", model_fit::benches),
+    ("cache_manager", cache_manager::benches),
+    ("election", election::benches),
+    ("query_exec", query_exec::benches),
+    ("parser", parser::benches),
+    ("maintenance", maintenance::benches),
+    ("tag_aggregation", tag_aggregation::benches),
+    ("netsim_deliver", netsim_deliver::benches),
+    ("experiment_cell", experiment_cell::benches),
+];

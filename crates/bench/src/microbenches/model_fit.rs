@@ -1,0 +1,68 @@
+//! Micro-benchmarks for the Lemma 1 regression kernel: incremental
+//! sufficient statistics vs recompute-from-pairs (the ablation called
+//! out in DESIGN.md).
+
+use snapshot_core::{LinearModel, SuffStats};
+use snapshot_microbench::{BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn pairs(n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64 * 0.37;
+            (x, 2.5 * x - 1.0 + ((i * 2654435761) % 97) as f64 * 0.01)
+        })
+        .collect()
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_fit");
+    for n in [2usize, 16, 256] {
+        let data = pairs(n);
+        group.bench_with_input(
+            BenchmarkId::new("recompute_from_pairs", n),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let stats = SuffStats::from_pairs(black_box(data));
+                    black_box(LinearModel::fit(&stats))
+                })
+            },
+        );
+        let stats = SuffStats::from_pairs(&data);
+        group.bench_with_input(BenchmarkId::new("fit_from_stats", n), &stats, |b, stats| {
+            b.iter(|| black_box(LinearModel::fit(black_box(stats))))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("incremental_update", n),
+            &data,
+            |b, data| {
+                b.iter(|| {
+                    let mut s = SuffStats::from_pairs(black_box(data));
+                    s.add(100.0, 249.0);
+                    s.remove(data[0].0, data[0].1);
+                    black_box(LinearModel::fit(&s))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sse(c: &mut Criterion) {
+    let data = pairs(64);
+    let stats = SuffStats::from_pairs(&data);
+    let model = stats.fit();
+    c.bench_function("sse_closed_form_64", |b| {
+        b.iter(|| black_box(stats.sse(black_box(&model))))
+    });
+    c.bench_function("benefit_closed_form_64", |b| {
+        b.iter(|| black_box(stats.benefit(black_box(&model))))
+    });
+}
+
+/// Run the suite.
+pub fn benches(c: &mut Criterion) {
+    bench_fit(c);
+    bench_sse(c);
+}

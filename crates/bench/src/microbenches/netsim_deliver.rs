@@ -1,0 +1,52 @@
+//! Micro-benchmarks for the netsim delivery hot path: one dense
+//! 100-node broadcast round (everyone in range of everyone, as in the
+//! paper's √2-range deployments), perfect and lossy links. This is the
+//! innermost loop under every experiment; the DESIGN.md §12 contract
+//! says it performs **zero per-envelope heap allocations** with
+//! telemetry off, which the counting allocator verifies every bench
+//! run (`allocs_per_iter` must stay 0 in steady state).
+
+use snapshot_microbench::Criterion;
+use snapshot_netsim::{EnergyModel, LinkModel, Network, NodeId, Phase, Topology};
+use std::hint::black_box;
+
+const N: u32 = 100;
+
+fn dense_network(link: LinkModel) -> Network<u64> {
+    let topo = Topology::random_uniform(N as usize, std::f64::consts::SQRT_2, 7);
+    Network::new(topo, link, EnergyModel::default(), 11)
+}
+
+/// One full round: every node broadcasts, the round is delivered, and
+/// every inbox is drained back into a reused buffer.
+fn round(net: &mut Network<u64>, buf: &mut Vec<snapshot_netsim::Delivery<u64>>) -> usize {
+    for i in 0..N {
+        net.broadcast(NodeId(i), u64::from(i) * 3, 16, Phase::Data);
+    }
+    let delivered = net.deliver();
+    for i in 0..N {
+        net.take_inbox_into(NodeId(i), buf);
+        black_box(buf.len());
+    }
+    delivered
+}
+
+fn bench_deliver(c: &mut Criterion) {
+    for (name, link) in [
+        ("deliver_dense_broadcast_100", LinkModel::Perfect),
+        ("deliver_dense_lossy30_100", LinkModel::iid_loss(0.3)),
+    ] {
+        let mut net = dense_network(link);
+        let mut buf = Vec::new();
+        // Warm one round so every inbox and the outbox have grown to
+        // steady-state capacity; after this the path must not touch
+        // the heap at all.
+        round(&mut net, &mut buf);
+        c.bench_function(name, |b| b.iter(|| black_box(round(&mut net, &mut buf))));
+    }
+}
+
+/// Run the suite.
+pub fn benches(c: &mut Criterion) {
+    bench_deliver(c);
+}

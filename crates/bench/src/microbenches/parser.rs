@@ -1,0 +1,35 @@
+//! Micro-benchmark: the declarative pipeline (lex + parse + plan) on
+//! the paper's example query.
+
+use snapshot_microbench::Criterion;
+use snapshot_query::{parse, plan, RegionCatalog};
+use std::hint::black_box;
+
+const PAPER_QUERY: &str = "SELECT loc, temperature FROM sensors \
+                           WHERE loc IN SOUTH_EAST_QUADRANT \
+                           SAMPLE INTERVAL 1s FOR 5min \
+                           USE SNAPSHOT";
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("parse_paper_query", |b| {
+        b.iter(|| black_box(parse(black_box(PAPER_QUERY)).unwrap()))
+    });
+
+    let catalog = RegionCatalog::with_quadrants();
+    let q = parse(PAPER_QUERY).unwrap();
+    c.bench_function("plan_paper_query", |b| {
+        b.iter(|| black_box(plan(black_box(&q), &catalog).unwrap()))
+    });
+
+    c.bench_function("parse_and_plan_aggregate", |b| {
+        b.iter(|| {
+            let q = parse("SELECT AVG(wind_speed) FROM sensors USE SNAPSHOT").unwrap();
+            black_box(plan(&q, &catalog).unwrap())
+        })
+    });
+}
+
+/// Run the suite.
+pub fn benches(c: &mut Criterion) {
+    bench_pipeline(c);
+}

@@ -1,0 +1,48 @@
+//! Macro-benchmark: query execution in both modes on an elected
+//! 100-node network — the per-query cost that snapshot mode trades
+//! against accuracy.
+
+use crate::RandomWalkSetup;
+use snapshot_core::{Aggregate, QueryMode, SnapshotQuery, SpatialPredicate};
+use snapshot_microbench::{BatchSize, Criterion};
+use snapshot_netsim::NodeId;
+use std::hint::black_box;
+
+fn bench_queries(c: &mut Criterion) {
+    let mut sn = RandomWalkSetup {
+        k: 5,
+        range: 0.7,
+        ..RandomWalkSetup::default()
+    }
+    .build(42);
+    let _ = sn.elect();
+    let pred = SpatialPredicate::window(0.5, 0.5, 0.316); // area 0.1
+
+    for (name, mode) in [
+        ("regular", QueryMode::Regular),
+        ("snapshot", QueryMode::Snapshot),
+    ] {
+        let q = SnapshotQuery::aggregate(pred, Aggregate::Avg, mode);
+        c.bench_function(&format!("query_{name}_area0.1"), |b| {
+            b.iter_batched(
+                || sn.clone(),
+                |mut sn| black_box(sn.query(&q, NodeId(3))),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+
+    let drill = SnapshotQuery::drill_through(SpatialPredicate::All, QueryMode::Snapshot);
+    c.bench_function("query_drill_through_all", |b| {
+        b.iter_batched(
+            || sn.clone(),
+            |mut sn| black_box(sn.query(&drill, NodeId(3))),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+/// Run the suite.
+pub fn benches(c: &mut Criterion) {
+    bench_queries(c);
+}

@@ -1,6 +1,7 @@
 //! Small statistics helpers for experiment aggregation.
 
 use snapshot_netsim::rng::DetRng;
+use snapshot_telemetry::MetricsRegistry;
 
 /// Arithmetic mean (0 for empty input).
 pub fn mean(xs: &[f64]) -> f64 {
@@ -20,27 +21,39 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
 }
 
-/// Run `reps` repetitions in parallel (one per seed `base_seed + r`)
-/// and collect the results in seed order. Uses std scoped threads so
-/// `f` can borrow from the caller.
+/// Run `reps` repetitions — repetition `r` is a pure function of the
+/// derived seed `derive_seed(base_seed, r)` — and collect the results
+/// **in repetition order**. Work is distributed over the global
+/// `--jobs` budget (see [`crate::runner`]); because each cell's seed
+/// is derived, not shared, the collected vector is identical for any
+/// jobs setting, and nearby base seeds no longer share rep streams
+/// the way the old `base_seed + r` scheme made seed 5/rep 1 collide
+/// with seed 6/rep 0.
 pub fn run_reps<T, F>(reps: u64, base_seed: u64, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
-    let mut results: Vec<Option<T>> = (0..reps).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (r, slot) in results.iter_mut().enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                *slot = Some(f(base_seed + r as u64));
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|s| s.expect("worker completed"))
-        .collect()
+    crate::runner::parallel_map(reps as usize, |r| {
+        f(snapshot_netsim::rng::derive_seed(base_seed, r as u64))
+    })
+}
+
+/// Like [`run_reps`], but for repetitions that report a
+/// [`MetricsRegistry`]: each cell records into its own private
+/// registry (the telemetry bus is per-`Network`, so worker threads
+/// never share one), and the registries are folded in repetition
+/// order. The merged aggregate is therefore byte-identical for every
+/// `--jobs` setting.
+pub fn run_reps_merged<F>(reps: u64, base_seed: u64, f: F) -> MetricsRegistry
+where
+    F: Fn(u64) -> MetricsRegistry + Sync,
+{
+    let mut merged = MetricsRegistry::new();
+    for m in run_reps(reps, base_seed, f) {
+        merged.merge(&m);
+    }
+    merged
 }
 
 /// A deterministic RNG for experiment-level randomness.
@@ -63,8 +76,44 @@ mod tests {
 
     #[test]
     fn run_reps_is_ordered_and_complete() {
-        let out = run_reps(8, 100, |seed| seed * 2);
-        assert_eq!(out, vec![200, 202, 204, 206, 208, 210, 212, 214]);
+        use snapshot_netsim::rng::derive_seed;
+        let out = run_reps(8, 100, |seed| seed.wrapping_mul(2));
+        let expect: Vec<u64> = (0..8)
+            .map(|r| derive_seed(100, r).wrapping_mul(2))
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn rep_seeds_do_not_collide_across_adjacent_base_seeds() {
+        use snapshot_netsim::rng::derive_seed;
+        // The old `base_seed + r` scheme made (seed 5, rep 1) and
+        // (seed 6, rep 0) identical runs; derived streams must not.
+        assert_ne!(derive_seed(5, 1), derive_seed(6, 0));
+    }
+
+    #[test]
+    fn run_reps_merged_sums_registries_deterministically() {
+        use snapshot_telemetry::{Event, Phase, Recorder};
+        let run_once = || {
+            run_reps_merged(4, 7, |seed| {
+                let mut m = MetricsRegistry::new();
+                m.record(&Event::MsgSent {
+                    tick: 0,
+                    node: (seed % 3) as u32,
+                    phase: Phase::Data,
+                    bytes: 8,
+                });
+                m
+            })
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.counter("msg_sent"), 4);
+        assert_eq!(b.counter("msg_sent"), 4);
+        for n in 0..3 {
+            assert_eq!(a.sent_in(n, Phase::Data), b.sent_in(n, Phase::Data));
+        }
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! The determinism contract of the parallel runner: `--jobs N` must be
+//! byte-identical to `--jobs 1` — same stdout report, same CSV
+//! artifacts — because cells are seeded independently via
+//! `derive_seed` and merged in canonical order, never completion
+//! order.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::Command;
+
+fn run(ids_and_flags: &[&str], out_dir: &Path) -> (String, BTreeMap<String, Vec<u8>>) {
+    let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(ids_and_flags)
+        .arg("--out")
+        .arg(out_dir)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch experiments binary: {e}"));
+    assert!(
+        output.status.success(),
+        "experiments {ids_and_flags:?} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("stdout is utf-8");
+    // stdout names the --out directory; strip that line so runs into
+    // different directories stay comparable.
+    let stdout = stdout
+        .lines()
+        .filter(|l| !l.starts_with("CSV artifacts in "))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let mut csvs = BTreeMap::new();
+    for entry in std::fs::read_dir(out_dir).expect("out dir exists") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        csvs.insert(name, std::fs::read(entry.path()).expect("csv readable"));
+    }
+    (stdout, csvs)
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "snapshot-parallel-identity-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp out dir");
+    dir
+}
+
+#[test]
+fn jobs4_matches_jobs1_byte_for_byte_across_seeds() {
+    for seed in ["1", "42"] {
+        let d1 = fresh_dir(&format!("j1-{seed}"));
+        let d4 = fresh_dir(&format!("j4-{seed}"));
+        let (out1, csv1) = run(
+            &["table2", "fig6", "--quick", "--seed", seed, "--jobs", "1"],
+            &d1,
+        );
+        let (out4, csv4) = run(
+            &["table2", "fig6", "--quick", "--seed", seed, "--jobs", "4"],
+            &d4,
+        );
+        assert_eq!(
+            out1, out4,
+            "stdout diverged between --jobs 1 and --jobs 4 (seed {seed})"
+        );
+        assert_eq!(
+            csv1.keys().collect::<Vec<_>>(),
+            csv4.keys().collect::<Vec<_>>(),
+            "CSV artifact sets diverged (seed {seed})"
+        );
+        assert!(!csv1.is_empty(), "expected CSV artifacts (seed {seed})");
+        for (name, bytes) in &csv1 {
+            assert_eq!(
+                bytes, &csv4[name],
+                "{name} not byte-identical between --jobs 1 and --jobs 4 (seed {seed})"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&d1);
+        let _ = std::fs::remove_dir_all(&d4);
+    }
+}

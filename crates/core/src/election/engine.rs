@@ -42,6 +42,7 @@ pub struct ElectionOutcome {
     pub forced_active: usize,
 }
 
+#[derive(Clone, Copy)]
 enum Scope<'a> {
     Full,
     Partial(&'a [NodeId]),
@@ -167,12 +168,16 @@ fn run_election(
     });
     // Outgoing queue: (sender, Some(unicast target) | None for broadcast, message).
     let mut to_send: Vec<(NodeId, Option<NodeId>, ProtocolMsg)> = Vec::new();
+    // One reusable delivery buffer serves every drain in this election;
+    // `take_inbox_into` swaps capacity with the node's inbox, so the
+    // steady-state message loops never touch the heap.
+    let mut inbox = Vec::new();
     for &i in &ids {
         if !net.is_alive(i) {
-            let _ = net.take_inbox(i);
+            net.clear_inbox(i);
             continue;
         }
-        let inbox = net.take_inbox(i);
+        net.take_inbox_into(i, &mut inbox);
         // Nodes shedding load — or too drained to take on the role —
         // do not offer candidacy ("a representative node that finds
         // its energy capacity fall below a threshold value ... simply
@@ -185,7 +190,7 @@ fn run_election(
         }
         let own = values[i.index()];
         let learn = !matches!(scope, Scope::Full);
-        for d in inbox {
+        for d in inbox.drain(..) {
             if let ProtocolMsg::Invite { value, .. } = d.payload {
                 if d.from == i {
                     continue;
@@ -253,12 +258,12 @@ fn run_election(
     });
     for &j in &ids {
         if !net.is_alive(j) {
-            let _ = net.take_inbox(j);
+            net.clear_inbox(j);
             continue;
         }
-        let inbox = net.take_inbox(j);
+        net.take_inbox_into(j, &mut inbox);
         let node = &mut nodes[j.index()];
-        for d in inbox {
+        for d in inbox.drain(..) {
             if let ProtocolMsg::Candidates { cand, already } = d.payload {
                 node.heard_cand_len.insert(d.from, cand.len());
                 if scope.is_electing(j) && cand.contains(&j) {
@@ -313,12 +318,12 @@ fn run_election(
     // Acceptances arrive.
     for &i in &ids {
         if !net.is_alive(i) {
-            let _ = net.take_inbox(i);
+            net.clear_inbox(i);
             continue;
         }
-        let inbox = net.take_inbox(i);
+        net.take_inbox_into(i, &mut inbox);
         let node = &mut nodes[i.index()];
-        for d in inbox {
+        for d in inbox.drain(..) {
             if !d.addressed {
                 continue;
             }
@@ -465,12 +470,12 @@ fn run_election(
         // Process refinement traffic.
         for &i in &ids {
             if !net.is_alive(i) {
-                let _ = net.take_inbox(i);
+                net.clear_inbox(i);
                 continue;
             }
-            let inbox = net.take_inbox(i);
+            net.take_inbox_into(i, &mut inbox);
             let node = &mut nodes[i.index()];
-            for d in inbox {
+            for d in inbox.drain(..) {
                 match d.payload {
                     ProtocolMsg::Recall if d.addressed => {
                         node.represents.remove(&d.from);

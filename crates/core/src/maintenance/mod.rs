@@ -106,6 +106,9 @@ fn run_cycle(
 ) -> MaintenanceReport {
     debug_assert_eq!(nodes.len(), values.len());
     let ids: Vec<NodeId> = net.node_ids().collect();
+    // Reusable delivery buffer: `take_inbox_into` swaps capacity with
+    // the inboxes, keeping the maintenance loops allocation-free.
+    let mut inbox = Vec::new();
     let mut reelect: BTreeSet<NodeId> = BTreeSet::new();
     let mut report = MaintenanceReport {
         heartbeats: 0,
@@ -158,12 +161,12 @@ fn run_cycle(
         net.deliver();
         for &i in &ids {
             if !net.is_alive(i) {
-                let _ = net.take_inbox(i);
+                net.clear_inbox(i);
                 continue;
             }
-            let inbox = net.take_inbox(i);
+            net.take_inbox_into(i, &mut inbox);
             let node = &nodes[i.index()];
-            for d in inbox {
+            for d in inbox.drain(..) {
                 if matches!(d.payload, ProtocolMsg::EnergyHandoff)
                     && node.representative() == Some(d.from)
                 {
@@ -202,12 +205,12 @@ fn run_cycle(
     let mut replies: Vec<(NodeId, NodeId, f64)> = Vec::new();
     for &i in &ids {
         if !net.is_alive(i) {
-            let _ = net.take_inbox(i);
+            net.clear_inbox(i);
             continue;
         }
-        let inbox = net.take_inbox(i);
+        net.take_inbox_into(i, &mut inbox);
         let own = values[i.index()];
-        for d in inbox {
+        for d in inbox.drain(..) {
             if let ProtocolMsg::Heartbeat { value } = d.payload {
                 if !d.addressed {
                     // Physically a heartbeat is a broadcast: bystanders
@@ -253,10 +256,11 @@ fn run_cycle(
     let mut estimates: Vec<Option<f64>> = vec![None; nodes.len()];
     for &j in &ids {
         if !net.is_alive(j) {
-            let _ = net.take_inbox(j);
+            net.clear_inbox(j);
             continue;
         }
-        for d in net.take_inbox(j) {
+        net.take_inbox_into(j, &mut inbox);
+        for d in inbox.drain(..) {
             if let ProtocolMsg::Estimate { value } = d.payload {
                 if d.addressed {
                     estimates[j.index()] = Some(value);

@@ -59,14 +59,15 @@ pub fn reconcile(net: &mut Network<ProtocolMsg>, nodes: &mut [SensorNode]) -> Re
 
     // Object to stale claims.
     let mut objections: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut inbox = Vec::new();
     for &i in &ids {
         if !net.is_alive(i) {
-            let _ = net.take_inbox(i);
+            net.clear_inbox(i);
             continue;
         }
-        let inbox = net.take_inbox(i);
+        net.take_inbox_into(i, &mut inbox);
         let node = &nodes[i.index()];
-        for d in inbox {
+        for d in inbox.drain(..) {
             if let ProtocolMsg::RepresentAck { members } = d.payload {
                 if members.contains(&i) && node.representative() != Some(d.from) {
                     objections.push((i, d.from));
@@ -89,12 +90,12 @@ pub fn reconcile(net: &mut Network<ProtocolMsg>, nodes: &mut [SensorNode]) -> Re
     // Corrections.
     for &i in &ids {
         if !net.is_alive(i) {
-            let _ = net.take_inbox(i);
+            net.clear_inbox(i);
             continue;
         }
-        let inbox = net.take_inbox(i);
+        net.take_inbox_into(i, &mut inbox);
         let node = &mut nodes[i.index()];
-        for d in inbox {
+        for d in inbox.drain(..) {
             if matches!(d.payload, ProtocolMsg::Recall)
                 && d.addressed
                 && node.represents.remove(&d.from).is_some()

@@ -82,14 +82,15 @@ pub fn rotate_representatives(
 
     // Members of retiring representatives re-elect.
     let mut initiators: BTreeSet<NodeId> = BTreeSet::new();
+    let mut inbox = Vec::new();
     for &i in &ids {
         if !net.is_alive(i) {
-            let _ = net.take_inbox(i);
+            net.clear_inbox(i);
             continue;
         }
-        let inbox = net.take_inbox(i);
+        net.take_inbox_into(i, &mut inbox);
         let node = &nodes[i.index()];
-        for d in inbox {
+        for d in inbox.drain(..) {
             if matches!(d.payload, ProtocolMsg::EnergyHandoff)
                 && node.representative() == Some(d.from)
             {

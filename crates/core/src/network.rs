@@ -102,6 +102,7 @@ impl SensorNetwork {
         Self::from_parts(net, cfg, trace)
     }
 
+    #[allow(clippy::expect_used)] // documented fail-fast, see xtask-allow below
     fn from_parts(net: Network<ProtocolMsg>, cfg: SnapshotConfig, trace: Trace) -> Self {
         assert_eq!(
             net.len(),
@@ -288,14 +289,15 @@ impl SensorNetwork {
             }
         }
         self.net.deliver();
+        let mut inbox = Vec::new();
         for &i in &ids {
             if !self.net.is_alive(i) {
-                let _ = self.net.take_inbox(i);
+                self.net.clear_inbox(i);
                 continue;
             }
-            let inbox = self.net.take_inbox(i);
+            self.net.take_inbox_into(i, &mut inbox);
             let own = values[i.index()];
-            for d in inbox {
+            for d in inbox.drain(..) {
                 if let ProtocolMsg::Data { value } = d.payload {
                     if snoop_prob < 1.0 && !self.rng.random_bool(snoop_prob) {
                         continue;

@@ -155,6 +155,7 @@ pub fn execute_tag(
         .filter_map(|i| tree.depth(NodeId::from_index(i)))
         .max()
         .unwrap_or(0);
+    let mut inbox = Vec::new();
     for depth in (1..=max_depth).rev() {
         let senders: Vec<NodeId> = (0..n)
             .map(NodeId::from_index)
@@ -186,11 +187,12 @@ pub fn execute_tag(
         // Parents (any node above this depth) fold in delivered partials.
         let ids: Vec<NodeId> = net.node_ids().collect();
         for id in ids {
-            let inbox = net.take_inbox(id);
             if !net.is_alive(id) {
+                net.clear_inbox(id);
                 continue;
             }
-            for d in inbox {
+            net.take_inbox_into(id, &mut inbox);
+            for d in inbox.drain(..) {
                 if let ProtocolMsg::Partial {
                     sum,
                     count,

@@ -125,7 +125,7 @@ pub fn correlated_field(
             series[i].push(blended + cfg.noise_sigma * gaussian(&mut rng));
         }
     }
-    Trace::from_series(series)
+    Trace::from_series(&series)
 }
 
 fn gaussian<R: RngExt + ?Sized>(rng: &mut R) -> f64 {

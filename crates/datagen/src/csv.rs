@@ -69,7 +69,7 @@ pub fn read_trace<R: Read>(input: R) -> Result<Trace, DatagenError> {
             series[i].push(v);
         }
     }
-    Trace::from_series(series)
+    Trace::from_series(&series)
 }
 
 /// Read a single-column series (one value per line, `#`-comments and
@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn trace_roundtrips_through_csv() {
         let trace =
-            Trace::from_series(vec![vec![1.5, 2.5], vec![-3.0, 4.0], vec![0.0, 100.25]]).unwrap();
+            Trace::from_series(&[vec![1.5, 2.5], vec![-3.0, 4.0], vec![0.0, 100.25]]).unwrap();
         let mut buf = Vec::new();
         write_trace(&trace, &mut buf).unwrap();
         let back = read_trace(&buf[..]).unwrap();
@@ -108,7 +108,7 @@ mod tests {
 
     #[test]
     fn header_is_human_readable() {
-        let trace = Trace::from_series(vec![vec![1.0], vec![2.0]]).unwrap();
+        let trace = Trace::from_series(&[vec![1.0], vec![2.0]]).unwrap();
         let mut buf = Vec::new();
         write_trace(&trace, &mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();

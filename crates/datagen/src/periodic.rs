@@ -153,7 +153,7 @@ pub fn periodic(cfg: &PeriodicConfig) -> Result<PeriodicData, DatagenError> {
         }
     }
     Ok(PeriodicData {
-        trace: Trace::from_series(series)?,
+        trace: Trace::from_series(&series)?,
         gain,
         offset,
         shifted,

@@ -186,7 +186,7 @@ pub fn random_walk(cfg: &RandomWalkConfig) -> Result<RandomWalkData, DatagenErro
     }
 
     Ok(RandomWalkData {
-        trace: Trace::from_series(series)?,
+        trace: Trace::from_series(&series)?,
         class_of,
         p_move,
     })
@@ -213,7 +213,7 @@ mod tests {
         let b = random_walk(&cfg).unwrap();
         assert_eq!(a.trace, b.trace);
         assert_eq!(a.class_of, b.class_of);
-        let mut cfg2 = cfg.clone();
+        let mut cfg2 = cfg;
         cfg2.seed = 78;
         let c = random_walk(&cfg2).unwrap();
         assert_ne!(a.trace, c.trace);

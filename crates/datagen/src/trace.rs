@@ -15,7 +15,7 @@ use snapshot_netsim::NodeId;
 /// use snapshot_datagen::Trace;
 /// use snapshot_netsim::NodeId;
 ///
-/// let trace = Trace::from_series(vec![vec![1.0, 2.0], vec![10.0, 20.0]]).unwrap();
+/// let trace = Trace::from_series(&[vec![1.0, 2.0], vec![10.0, 20.0]]).unwrap();
 /// assert_eq!(trace.nodes(), 2);
 /// assert_eq!(trace.value(NodeId(1), 0), 10.0);
 /// assert!((trace.correlation(NodeId(0), NodeId(1)) - 1.0).abs() < 1e-12);
@@ -44,7 +44,7 @@ impl Trace {
     /// # Errors
     /// [`DatagenError::InvalidParameter`] when the series lengths
     /// differ or no series are supplied.
-    pub fn from_series(series: Vec<Vec<f64>>) -> Result<Self, DatagenError> {
+    pub fn from_series(series: &[Vec<f64>]) -> Result<Self, DatagenError> {
         if series.is_empty() {
             return Err(DatagenError::InvalidParameter {
                 name: "series",
@@ -231,7 +231,7 @@ mod tests {
     use super::*;
 
     fn small() -> Trace {
-        Trace::from_series(vec![vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0]]).unwrap()
+        Trace::from_series(&[vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0]]).unwrap()
     }
 
     #[test]
@@ -246,12 +246,12 @@ mod tests {
 
     #[test]
     fn from_series_rejects_ragged_input() {
-        let err = Trace::from_series(vec![vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        let err = Trace::from_series(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err();
         assert!(matches!(err, DatagenError::InvalidParameter { .. }));
-        let err = Trace::from_series(vec![]).unwrap_err();
+        let err = Trace::from_series(&[]).unwrap_err();
         assert!(matches!(err, DatagenError::InvalidParameter { .. }));
         // Zero-step series would underflow every time-clamping consumer.
-        let err = Trace::from_series(vec![vec![], vec![]]).unwrap_err();
+        let err = Trace::from_series(&[vec![], vec![]]).unwrap_err();
         assert!(matches!(err, DatagenError::InvalidParameter { .. }));
     }
 
@@ -292,7 +292,7 @@ mod tests {
 
     #[test]
     fn constant_series_have_zero_correlation() {
-        let t = Trace::from_series(vec![vec![5.0, 5.0, 5.0], vec![1.0, 2.0, 3.0]]).unwrap();
+        let t = Trace::from_series(&[vec![5.0, 5.0, 5.0], vec![1.0, 2.0, 3.0]]).unwrap();
         assert_eq!(t.correlation(NodeId(0), NodeId(1)), 0.0);
     }
 

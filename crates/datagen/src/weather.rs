@@ -256,7 +256,7 @@ pub fn carve_windows(master: &[f64], n: usize, window: usize) -> Result<Trace, D
     let series: Vec<Vec<f64>> = (0..n)
         .map(|i| master[i * window..(i + 1) * window].to_vec())
         .collect();
-    Trace::from_series(series)
+    Trace::from_series(&series)
 }
 
 /// Generate the full weather workload: a master "year" long enough for

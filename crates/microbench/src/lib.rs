@@ -13,6 +13,75 @@
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
+pub mod counting_alloc {
+    //! An opt-in counting global allocator.
+    //!
+    //! Bench binaries that register [`CountingAllocator`] as their
+    //! `#[global_allocator]` get a deterministic *allocations per
+    //! iteration* figure alongside every timing: the harness reads the
+    //! global counter around the timed loops and divides by the
+    //! iteration count. Unlike wall-clock medians, allocation counts
+    //! are exactly reproducible on any machine, so the CI regression
+    //! gate (`cargo xtask benchcmp`) treats them as hard numbers and
+    //! wall-clock as advisory.
+    //!
+    //! When no counting allocator is registered the counter never
+    //! moves and every benchmark reports `allocs_per_iter: 0`.
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+    static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// A pass-through wrapper over the system allocator that counts
+    /// every allocation and reallocation.
+    ///
+    /// ```ignore
+    /// #[global_allocator]
+    /// static ALLOC: CountingAllocator = CountingAllocator;
+    /// ```
+    #[derive(Debug)]
+    pub struct CountingAllocator;
+
+    // SAFETY: defers entirely to `System`; the wrapper only bumps
+    // atomic counters and never touches the returned memory.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    /// Total allocations (plus reallocations) observed so far; zero
+    /// forever unless a [`CountingAllocator`] is registered.
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested so far.
+    pub fn allocated_bytes() -> u64 {
+        ALLOCATED_BYTES.load(Ordering::Relaxed)
+    }
+}
+
 /// Opaque value barrier preventing the optimizer from deleting the
 /// benchmarked computation.
 pub fn black_box<T>(x: T) -> T {
@@ -59,6 +128,7 @@ pub struct Bencher {
     samples: Vec<Duration>,
     iters_per_sample: u64,
     sample_size: usize,
+    allocs_per_iter: f64,
 }
 
 impl Bencher {
@@ -67,10 +137,12 @@ impl Bencher {
             samples: Vec::new(),
             iters_per_sample: 1,
             sample_size,
+            allocs_per_iter: 0.0,
         }
     }
 
     /// Time `routine` repeatedly.
+    #[allow(clippy::disallowed_methods)] // the bench harness is the one sanctioned wall-clock user
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm up and size the per-sample iteration count so each
         // sample runs for roughly a millisecond.
@@ -80,6 +152,11 @@ impl Bencher {
         let target = Duration::from_millis(1);
         self.iters_per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
         self.samples.clear();
+        // Pre-size the sample vector so the harness itself does not
+        // allocate inside the measured region (the allocation counter
+        // must see only the routine's allocations).
+        self.samples.reserve(self.sample_size);
+        let allocs_before = counting_alloc::allocations();
         for _ in 0..self.sample_size {
             let t0 = Instant::now();
             for _ in 0..self.iters_per_sample {
@@ -87,23 +164,33 @@ impl Bencher {
             }
             self.samples.push(t0.elapsed());
         }
+        let total_iters = self.sample_size as u64 * self.iters_per_sample;
+        self.allocs_per_iter =
+            (counting_alloc::allocations() - allocs_before) as f64 / total_iters.max(1) as f64;
     }
 
     /// Time `routine` on fresh input from `setup`, excluding setup
-    /// time from the measurement.
+    /// time (and setup allocations) from the measurement.
+    #[allow(clippy::disallowed_methods)] // the bench harness is the one sanctioned wall-clock user
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
     where
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
         self.samples.clear();
+        self.samples.reserve(self.sample_size);
         self.iters_per_sample = 1;
+        let mut allocs = 0u64;
         for _ in 0..self.sample_size {
             let input = setup();
+            let a0 = counting_alloc::allocations();
             let t0 = Instant::now();
             black_box(routine(input));
-            self.samples.push(t0.elapsed());
+            let elapsed = t0.elapsed();
+            allocs += counting_alloc::allocations() - a0;
+            self.samples.push(elapsed);
         }
+        self.allocs_per_iter = allocs as f64 / (self.sample_size.max(1)) as f64;
     }
 
     fn median_ns_per_iter(&self) -> f64 {
@@ -134,10 +221,12 @@ fn human_time(ns: f64) -> String {
 
 /// When the `MICROBENCH_JSON` environment variable names a file,
 /// append one machine-readable line per benchmark:
-/// `{"name":"...","median_ns":...,"iters":...}`. CI uses this to
-/// publish a `BENCH_baseline.json` artifact; failures to write are
-/// silently ignored (benchmarks still print to stdout).
-fn append_json_record(label: &str, median_ns: f64, iters: u64) {
+/// `{"name":"...","median_ns":...,"iters":...,"allocs_per_iter":...}`.
+/// CI compares these against the committed `BENCH_baseline.json` with
+/// `cargo xtask benchcmp` (allocation counts gate hard, wall-clock is
+/// advisory); failures to write are silently ignored (benchmarks
+/// still print to stdout).
+fn append_json_record(label: &str, median_ns: f64, iters: u64, allocs_per_iter: f64) {
     let Ok(path) = std::env::var("MICROBENCH_JSON") else {
         return;
     };
@@ -151,8 +240,10 @@ fn append_json_record(label: &str, median_ns: f64, iters: u64) {
             c => vec![c],
         })
         .collect();
-    let line =
-        format!("{{\"name\":\"{escaped}\",\"median_ns\":{median_ns:?},\"iters\":{iters}}}\n");
+    let line = format!(
+        "{{\"name\":\"{escaped}\",\"median_ns\":{median_ns:?},\"iters\":{iters},\
+         \"allocs_per_iter\":{allocs_per_iter:?}}}\n"
+    );
     use std::io::Write as _;
     if let Ok(mut f) = std::fs::OpenOptions::new()
         .create(true)
@@ -187,8 +278,12 @@ impl Criterion {
         let mut b = Bencher::new(self.sample_size);
         f(&mut b);
         let median_ns = b.median_ns_per_iter();
-        println!("{label:<40} {:>12}/iter", human_time(median_ns));
-        append_json_record(label, median_ns, b.iters_per_sample);
+        println!(
+            "{label:<40} {:>12}/iter {:>10.1} allocs/iter",
+            human_time(median_ns),
+            b.allocs_per_iter
+        );
+        append_json_record(label, median_ns, b.iters_per_sample, b.allocs_per_iter);
     }
 
     /// Register and immediately run one benchmark.
@@ -274,6 +369,21 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    // Exercise the counting allocator in this crate's own test binary;
+    // the workspace bench binaries register it the same way.
+    #[global_allocator]
+    static ALLOC: counting_alloc::CountingAllocator = counting_alloc::CountingAllocator;
+
+    #[test]
+    fn counting_allocator_observes_heap_traffic() {
+        let a0 = counting_alloc::allocations();
+        let b0 = counting_alloc::allocated_bytes();
+        let v: Vec<u64> = Vec::with_capacity(32);
+        black_box(&v);
+        assert!(counting_alloc::allocations() > a0);
+        assert!(counting_alloc::allocated_bytes() >= b0 + 32 * 8);
+    }
+
     #[test]
     fn bencher_measures_something() {
         let mut c = Criterion::default().sample_size(5);
@@ -321,6 +431,7 @@ mod tests {
             .expect("record for the benchmark");
         assert!(line.starts_with("{\"name\":\"json_probe\",\"median_ns\":"));
         assert!(line.contains("\"iters\":"));
+        assert!(line.contains("\"allocs_per_iter\":"));
         assert!(line.ends_with('}'));
     }
 

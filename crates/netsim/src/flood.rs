@@ -77,6 +77,7 @@ pub fn flood<P: Clone>(
         net.broadcast(sink, wrap(FloodToken { hops: 0 }), 4, phase);
     }
 
+    let mut inbox: Vec<Delivery<P>> = Vec::new();
     for _ in 0..max_rounds {
         let delivered = net.deliver();
         if delivered == 0 && net.pending() == 0 {
@@ -85,7 +86,7 @@ pub fn flood<P: Clone>(
         let mut joiners: Vec<(NodeId, u32)> = Vec::new();
         for id in 0..n {
             let id = NodeId::from_index(id);
-            let inbox: Vec<Delivery<P>> = net.take_inbox(id);
+            net.take_inbox_into(id, &mut inbox);
             if parent[id.index()].is_some() {
                 continue; // already in the tree
             }
@@ -118,7 +119,7 @@ pub fn flood<P: Clone>(
     // Drain any leftover flood traffic so later protocol phases start clean.
     net.deliver();
     for id in 0..n {
-        let _ = net.take_inbox(NodeId::from_index(id));
+        net.clear_inbox(NodeId::from_index(id));
     }
 
     FloodOutcome { sink, parent, hops }

@@ -18,6 +18,18 @@ pub enum Destination {
     Unicast(NodeId),
 }
 
+impl Destination {
+    /// Whether a copy arriving at `receiver` counts as addressed
+    /// traffic (as opposed to merely overheard).
+    #[inline]
+    pub fn is_addressed_to(self, receiver: NodeId) -> bool {
+        match self {
+            Destination::Broadcast => true,
+            Destination::Unicast(t) => t == receiver,
+        }
+    }
+}
+
 /// A message in flight: sender, destination, payload and its wire size
 /// in bytes (used only for accounting; the radio does not fragment).
 #[derive(Debug, Clone)]

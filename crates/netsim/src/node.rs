@@ -20,6 +20,7 @@ impl NodeId {
 
     /// Construct from a vector index.
     #[inline]
+    #[allow(clippy::expect_used)] // documented fail-fast, see xtask-allow below
     pub fn from_index(i: usize) -> Self {
         // xtask-allow(no_expect): truncating would silently alias node ids; real deployments are far below u32::MAX
         NodeId(u32::try_from(i).expect("node index exceeds u32 range"))

@@ -216,7 +216,7 @@ impl RngCore for DetRng {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn derive_seed_is_deterministic() {
@@ -226,7 +226,7 @@ mod tests {
 
     #[test]
     fn derive_seed_separates_streams() {
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for seed in 0..50u64 {
             for stream in 0..50u64 {
                 assert!(
@@ -296,7 +296,7 @@ mod tests {
             );
         }
         // Inclusive ranges reach both endpoints.
-        let mut saw = HashSet::new();
+        let mut saw = BTreeSet::new();
         for _ in 0..200 {
             saw.insert(rng.random_range(0..=3u64));
         }

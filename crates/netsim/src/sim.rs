@@ -43,6 +43,9 @@ pub struct Network<P: Clone> {
     telemetry: Telemetry,
     outbox: Vec<Envelope<P>>,
     inboxes: Vec<Vec<Delivery<P>>>,
+    /// Drained-outbox buffer recycled across rounds so [`Network::deliver`]
+    /// never re-allocates the envelope queue (DESIGN.md §12).
+    scratch: Vec<Envelope<P>>,
     round: u64,
 }
 
@@ -65,6 +68,7 @@ impl<P: Clone> Clone for Network<P> {
             telemetry: self.telemetry.clone(),
             outbox: self.outbox.clone(),
             inboxes: self.inboxes.clone(),
+            scratch: Vec::new(),
             round: self.round,
         }
     }
@@ -87,6 +91,7 @@ impl<P: Clone> Network<P> {
             telemetry: Telemetry::off(),
             outbox: Vec::new(),
             inboxes: vec![Vec::new(); n],
+            scratch: Vec::new(),
             round: 0,
         }
     }
@@ -225,23 +230,14 @@ impl<P: Clone> Network<P> {
     /// the telemetry stream and recording a `NodeFailed` event when
     /// the draw depletes the battery.
     fn draw_energy(&mut self, id: NodeId, amount: f64, phase: Phase) -> bool {
-        if !self.batteries[id.index()].draw(amount) {
-            return false;
-        }
-        if self.telemetry.enabled() {
-            let tick = self.round;
-            self.telemetry.record(&Event::EnergyDraw {
-                tick,
-                node: id.0,
-                phase,
-                amount,
-            });
-            if !self.batteries[id.index()].is_alive() {
-                self.telemetry
-                    .record(&Event::NodeFailed { tick, node: id.0 });
-            }
-        }
-        true
+        draw_energy_raw(
+            &mut self.batteries,
+            &mut self.telemetry,
+            self.round,
+            id,
+            amount,
+            phase,
+        )
     }
 
     /// Enqueue a broadcast from `src`. Silently ignored when `src` is
@@ -287,41 +283,71 @@ impl<P: Clone> Network<P> {
     /// alive node within range of the sender receives an independent
     /// copy subject to the link model. Returns the number of
     /// successful deliveries.
+    ///
+    /// Allocation contract (DESIGN.md §12): with telemetry off, this
+    /// performs **zero per-envelope heap allocations** in steady
+    /// state. The envelope queue drains through a recycled scratch
+    /// buffer, receivers iterate the precomputed neighbor slice in
+    /// place, and an envelope reaching `R` receivers costs `R − 1`
+    /// payload clones — the last receiver takes the payload by move.
     pub fn deliver(&mut self) -> usize {
         self.round += 1;
-        let envelopes = std::mem::take(&mut self.outbox);
+        // Swap the queued envelopes into the recycled scratch buffer:
+        // draining it leaves its capacity for the next round, and the
+        // outbox keeps the capacity it grew while enqueueing.
+        let mut envelopes = std::mem::take(&mut self.scratch);
+        std::mem::swap(&mut envelopes, &mut self.outbox);
         let mut delivered = 0;
-        for env in envelopes {
-            let range = self.topology.range();
-            // Collect receivers first to appease the borrow checker;
-            // neighbor lists are precomputed so this is just a copy.
-            let receivers: Vec<NodeId> = self.topology.neighbors(env.src).to_vec();
-            for dst in receivers {
-                if !self.is_alive(dst) {
+
+        // Split `self` into disjoint field borrows so the neighbor
+        // slice can be iterated directly while inboxes, batteries and
+        // stats are mutated — no per-envelope receiver copy.
+        let Network {
+            topology,
+            link,
+            energy,
+            rng,
+            batteries,
+            states,
+            stats,
+            telemetry,
+            inboxes,
+            round,
+            ..
+        } = self;
+        let round = *round;
+        let range = topology.range();
+        let rx_cost = energy.rx_cost;
+
+        for env in envelopes.drain(..) {
+            // The previous successful receiver gets a clone when the
+            // next success arrives; the final one takes the payload
+            // by move (a lone receiver costs no clone at all).
+            let mut last_hit: Option<NodeId> = None;
+            for &dst in topology.neighbors(env.src) {
+                let di = dst.index();
+                if !(states[di].is_alive() && batteries[di].is_alive()) {
                     continue;
                 }
-                let dist_frac = self.topology.distance(env.src, dst) / range;
-                if self.link.delivered(&mut self.rng, env.src, dst, dist_frac) {
-                    if self.energy.rx_cost > 0.0 {
-                        let rx = self.energy.rx_cost;
-                        self.draw_energy(dst, rx, env.phase);
+                let dist_frac = topology.distance(env.src, dst) / range;
+                if link.delivered(rng, env.src, dst, dist_frac) {
+                    if rx_cost > 0.0 {
+                        draw_energy_raw(batteries, telemetry, round, dst, rx_cost, env.phase);
                     }
-                    self.stats.record_receive(dst);
-                    self.inboxes[dst.index()].push(Delivery {
-                        from: env.src,
-                        addressed: match env.dst {
-                            Destination::Broadcast => true,
-                            Destination::Unicast(t) => t == dst,
-                        },
-                        payload: env.payload.clone(),
-                    });
+                    stats.record_receive(dst);
+                    if let Some(prev) = last_hit.replace(dst) {
+                        inboxes[prev.index()].push(Delivery {
+                            from: env.src,
+                            addressed: env.dst.is_addressed_to(prev),
+                            payload: env.payload.clone(),
+                        });
+                    }
                     delivered += 1;
                 } else {
-                    self.stats.record_loss(dst, env.phase);
-                    if self.telemetry.enabled() {
-                        let tick = self.round;
-                        self.telemetry.record(&Event::MsgDropped {
-                            tick,
+                    stats.record_loss(dst, env.phase);
+                    if telemetry.enabled() {
+                        telemetry.record(&Event::MsgDropped {
+                            tick: round,
                             src: env.src.0,
                             dst: dst.0,
                             phase: env.phase,
@@ -329,13 +355,42 @@ impl<P: Clone> Network<P> {
                     }
                 }
             }
+            if let Some(last) = last_hit {
+                inboxes[last.index()].push(Delivery {
+                    from: env.src,
+                    addressed: env.dst.is_addressed_to(last),
+                    payload: env.payload,
+                });
+            }
         }
+        self.scratch = envelopes;
         delivered
     }
 
     /// Drain the inbox of `id`.
+    ///
+    /// Allocates a fresh vector per call; round-structured protocol
+    /// loops should prefer [`Network::take_inbox_into`] (reuses one
+    /// buffer across nodes) or [`Network::clear_inbox`] (discard
+    /// without giving up capacity).
     pub fn take_inbox(&mut self, id: NodeId) -> Vec<Delivery<P>> {
         std::mem::take(&mut self.inboxes[id.index()])
+    }
+
+    /// Drain the inbox of `id` into `buf` (cleared first), handing
+    /// `buf`'s capacity to the inbox in exchange. Repeatedly draining
+    /// inboxes through the same buffer circulates capacity between
+    /// the buffer and the inboxes instead of `mem::take`-ing fresh
+    /// allocations every round.
+    pub fn take_inbox_into(&mut self, id: NodeId, buf: &mut Vec<Delivery<P>>) {
+        buf.clear();
+        std::mem::swap(&mut self.inboxes[id.index()], buf);
+    }
+
+    /// Discard the inbox of `id` in place, keeping its capacity for
+    /// the next round (for dead or non-participating nodes).
+    pub fn clear_inbox(&mut self, id: NodeId) {
+        self.inboxes[id.index()].clear();
     }
 
     /// Number of pending (sent, undelivered) messages.
@@ -356,6 +411,37 @@ impl<P: Clone> Network<P> {
             Err(NetsimError::UnknownNode(id))
         }
     }
+}
+
+/// Field-level body of [`Network::draw_energy`], callable while the
+/// rest of the struct is split into disjoint borrows (the delivery
+/// loop iterates the topology's neighbor slices in place).
+fn draw_energy_raw(
+    batteries: &mut [Battery],
+    telemetry: &mut Telemetry,
+    round: u64,
+    id: NodeId,
+    amount: f64,
+    phase: Phase,
+) -> bool {
+    if !batteries[id.index()].draw(amount) {
+        return false;
+    }
+    if telemetry.enabled() {
+        telemetry.record(&Event::EnergyDraw {
+            tick: round,
+            node: id.0,
+            phase,
+            amount,
+        });
+        if !batteries[id.index()].is_alive() {
+            telemetry.record(&Event::NodeFailed {
+                tick: round,
+                node: id.0,
+            });
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -503,6 +589,103 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn broadcast_payload_clones_cost_receivers_minus_one() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CLONES: AtomicUsize = AtomicUsize::new(0);
+
+        #[derive(Debug)]
+        struct Counted(u8);
+        impl Clone for Counted {
+            fn clone(&self) -> Self {
+                CLONES.fetch_add(1, Ordering::SeqCst);
+                Counted(self.0)
+            }
+        }
+
+        // 5 nodes all in range: a broadcast from node 0 reaches 4
+        // receivers; the last one must take the payload by move.
+        let topo = line_topology(5, 0.1, 1.0);
+        let mut net: Network<Counted> =
+            Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
+        net.broadcast(NodeId(0), Counted(9), 4, Phase::Test);
+        CLONES.store(0, Ordering::SeqCst);
+        let delivered = net.deliver();
+        assert_eq!(delivered, 4);
+        assert_eq!(
+            CLONES.load(Ordering::SeqCst),
+            3,
+            "4 receivers must cost exactly 3 payload clones"
+        );
+        for i in 1..5u32 {
+            assert_eq!(net.take_inbox(NodeId(i)).len(), 1);
+        }
+    }
+
+    #[test]
+    fn single_receiver_pays_no_clone() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CLONES: AtomicUsize = AtomicUsize::new(0);
+
+        #[derive(Debug)]
+        struct Counted;
+        impl Clone for Counted {
+            fn clone(&self) -> Self {
+                CLONES.fetch_add(1, Ordering::SeqCst);
+                Counted
+            }
+        }
+
+        let topo = line_topology(2, 0.1, 1.0);
+        let mut net: Network<Counted> =
+            Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
+        net.unicast(NodeId(0), NodeId(1), Counted, 4, Phase::Test);
+        CLONES.store(0, Ordering::SeqCst);
+        assert_eq!(net.deliver(), 1);
+        assert_eq!(CLONES.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn take_inbox_into_matches_take_inbox_and_recycles() {
+        let run = |into: bool| {
+            let topo = line_topology(6, 0.05, 1.0);
+            let mut net: Network<u32> =
+                Network::new(topo, LinkModel::iid_loss(0.4), EnergyModel::default(), 3);
+            let mut log = Vec::new();
+            let mut buf = Vec::new();
+            for t in 0..30u32 {
+                net.broadcast(NodeId(t % 6), t, 4, Phase::Test);
+                net.deliver();
+                for id in 0..6u32 {
+                    if into {
+                        net.take_inbox_into(NodeId(id), &mut buf);
+                        for d in buf.drain(..) {
+                            log.push((t, id, d.from.0, d.addressed, d.payload));
+                        }
+                    } else {
+                        for d in net.take_inbox(NodeId(id)) {
+                            log.push((t, id, d.from.0, d.addressed, d.payload));
+                        }
+                    }
+                }
+            }
+            log
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn clear_inbox_discards_in_place() {
+        let topo = line_topology(3, 0.1, 1.0);
+        let mut net: Network<u8> =
+            Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
+        net.broadcast(NodeId(0), 1, 4, Phase::Test);
+        net.deliver();
+        net.clear_inbox(NodeId(1));
+        assert!(net.take_inbox(NodeId(1)).is_empty());
+        assert_eq!(net.take_inbox(NodeId(2)).len(), 1);
     }
 
     #[test]

@@ -100,6 +100,7 @@ impl Topology {
     /// # Panics
     /// Panics if `n == 0` or `range <= 0` (programmer error in an
     /// experiment definition).
+    #[allow(clippy::expect_used)] // documented fail-fast, see xtask-allow below
     pub fn random_uniform(n: usize, range: f64, seed: u64) -> Self {
         let mut rng = DetRng::seed_from_u64(derive_seed(seed, 0xB10C));
         let positions = (0..n)
@@ -111,6 +112,7 @@ impl Topology {
 
     /// Place `side * side` nodes on a regular grid covering the unit
     /// square. Useful for tests that need predictable neighborhoods.
+    #[allow(clippy::expect_used)] // documented fail-fast, see xtask-allow below
     pub fn grid(side: usize, range: f64) -> Self {
         assert!(side > 0, "grid side must be positive");
         let step = 1.0 / side as f64;

@@ -93,7 +93,7 @@ impl AggregationTree {
                 for &nb in &next {
                     // Everything in `next` was attached just above;
                     // an unattached entry simply keeps its parent.
-                    if parent[nb.index()].is_some_and(|p| prefer(p)) {
+                    if parent[nb.index()].is_some_and(&prefer) {
                         continue;
                     }
                     for &cand in topology.neighbors(nb) {

@@ -125,9 +125,9 @@ impl Parser {
         }
     }
 
-    fn expect_token(&mut self, want: Token, what: &str) -> Result<(), QueryError> {
+    fn expect_token(&mut self, want: &Token, what: &str) -> Result<(), QueryError> {
         match self.next() {
-            Some(Spanned { token, .. }) if token == want => Ok(()),
+            Some(Spanned { token, .. }) if token == *want => Ok(()),
             Some(Spanned { token, pos }) => Err(QueryError::parse(
                 pos,
                 format!("expected {what}, got {token:?}"),
@@ -279,7 +279,7 @@ impl Parser {
             } else {
                 self.expect_column()?
             };
-            self.expect_token(Token::RParen, "`)`")?;
+            self.expect_token(&Token::RParen, "`)`")?;
             return Ok(Projection::Aggregate { agg, column });
         }
         // Column list.
@@ -299,25 +299,25 @@ impl Parser {
 
     fn region(&mut self) -> Result<Region, QueryError> {
         if self.eat_keyword(Keyword::Rect) {
-            self.expect_token(Token::LParen, "`(`")?;
+            self.expect_token(&Token::LParen, "`(`")?;
             let x0 = self.expect_number()?;
-            self.expect_token(Token::Comma, "`,`")?;
+            self.expect_token(&Token::Comma, "`,`")?;
             let y0 = self.expect_number()?;
-            self.expect_token(Token::Comma, "`,`")?;
+            self.expect_token(&Token::Comma, "`,`")?;
             let x1 = self.expect_number()?;
-            self.expect_token(Token::Comma, "`,`")?;
+            self.expect_token(&Token::Comma, "`,`")?;
             let y1 = self.expect_number()?;
-            self.expect_token(Token::RParen, "`)`")?;
+            self.expect_token(&Token::RParen, "`)`")?;
             return Ok(Region::Rect { x0, y0, x1, y1 });
         }
         if self.eat_keyword(Keyword::Circle) {
-            self.expect_token(Token::LParen, "`(`")?;
+            self.expect_token(&Token::LParen, "`(`")?;
             let x = self.expect_number()?;
-            self.expect_token(Token::Comma, "`,`")?;
+            self.expect_token(&Token::Comma, "`,`")?;
             let y = self.expect_number()?;
-            self.expect_token(Token::Comma, "`,`")?;
+            self.expect_token(&Token::Comma, "`,`")?;
             let r = self.expect_number()?;
-            self.expect_token(Token::RParen, "`)`")?;
+            self.expect_token(&Token::RParen, "`)`")?;
             return Ok(Region::Circle { x, y, r });
         }
         Ok(Region::Named(self.expect_ident()?))

@@ -64,6 +64,21 @@ impl<T: Copy + Default> PerNodePhase<T> {
     }
 }
 
+impl<T: Copy + Default + std::ops::AddAssign> PerNodePhase<T> {
+    /// Cell-wise accumulate `other` into `self`, growing as needed.
+    pub fn merge(&mut self, other: &PerNodePhase<T>) {
+        if other.rows.len() > self.rows.len() {
+            self.rows
+                .resize(other.rows.len(), [T::default(); Phase::COUNT]);
+        }
+        for (mine, theirs) in self.rows.iter_mut().zip(&other.rows) {
+            for (cell, &v) in mine.iter_mut().zip(theirs) {
+                *cell += v;
+            }
+        }
+    }
+}
+
 /// A histogram over fixed, caller-supplied bucket upper bounds
 /// (inclusive), with one implicit overflow bucket.
 #[derive(Debug, Clone)]
@@ -106,6 +121,21 @@ impl Histogram {
     /// Sum of all observed values.
     pub fn sum(&self) -> u64 {
         self.sum
+    }
+
+    /// Accumulate `other` into `self`. Both histograms must share the
+    /// same bucket bounds (they do when both were created by the same
+    /// `observe_hist` call site).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram merge requires identical bucket bounds"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
     }
 
     /// `(upper_bound, count)` pairs; the final pair uses `u64::MAX` as
@@ -222,6 +252,36 @@ impl MetricsRegistry {
     /// The per-node × per-phase sent-message table.
     pub fn sent_table(&self) -> &PerNodePhase<u64> {
         &self.sent
+    }
+
+    /// Fold `other` into `self`: counters, histograms, and the
+    /// per-node × per-phase tables accumulate; gauges take `other`'s
+    /// value (a gauge is a level, not a flow — summing two runs'
+    /// "cache_bytes_used" would be meaningless, so last merge wins and
+    /// callers that need per-run gauges must read them before merging).
+    ///
+    /// Merging is deterministic: parallel experiment cells each own a
+    /// private registry, and the harness folds them in canonical
+    /// repetition order, so the merged aggregate is byte-identical no
+    /// matter which worker thread finished first.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name, *v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.entry(name) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(h.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(h),
+            }
+        }
+        self.sent.merge(&other.sent);
+        self.lost.merge(&other.lost);
+        self.energy.merge(&other.energy);
     }
 }
 
@@ -342,6 +402,75 @@ mod tests {
         assert!((m.phase_energy(Phase::Cache) - 0.1).abs() < 1e-12);
         assert!((m.total_energy() - 1.1).abs() < 1e-12);
         assert_eq!(m.histogram("msg_bytes").map(Histogram::total), Some(1));
+    }
+
+    #[test]
+    fn merge_accumulates_counters_histograms_and_tables() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.inc("msg_sent", 2);
+        b.inc("msg_sent", 3);
+        b.inc("cache_admit", 1);
+        a.set_gauge("cache_bytes_used", 10.0);
+        b.set_gauge("cache_bytes_used", 32.0);
+        a.observe_hist("msg_bytes", BYTES_BUCKETS, 4);
+        b.observe_hist("msg_bytes", BYTES_BUCKETS, 4);
+        b.observe_hist("msg_bytes", BYTES_BUCKETS, 9000);
+        b.observe_hist("latency", &[1, 2], 1);
+        *a.sent.cell_mut(1, Phase::Data) += 5;
+        *b.sent.cell_mut(1, Phase::Data) += 7;
+        *b.energy.cell_mut(9, Phase::Query) += 1.5;
+
+        a.merge(&b);
+        assert_eq!(a.counter("msg_sent"), 5);
+        assert_eq!(a.counter("cache_admit"), 1);
+        // Gauges are levels: the merged-in registry's value wins.
+        assert_eq!(a.gauge("cache_bytes_used"), Some(32.0));
+        assert_eq!(a.histogram("msg_bytes").map(Histogram::total), Some(3));
+        assert_eq!(a.histogram("msg_bytes").map(Histogram::sum), Some(9008));
+        assert_eq!(a.histogram("latency").map(Histogram::total), Some(1));
+        assert_eq!(a.sent_in(1, Phase::Data), 12);
+        assert!((a.energy_in(9, Phase::Query) - 1.5).abs() < 1e-12);
+        // Table grew to cover b's widest row.
+        assert_eq!(a.energy_table().nodes(), 10);
+    }
+
+    #[test]
+    fn merge_order_of_many_registries_is_associative_on_integers() {
+        let regs: Vec<MetricsRegistry> = (0..4)
+            .map(|i| {
+                let mut m = MetricsRegistry::new();
+                m.inc("msg_sent", i + 1);
+                *m.sent.cell_mut(i as u32, Phase::Data) += i + 1;
+                m
+            })
+            .collect();
+        let mut left = MetricsRegistry::new();
+        for r in &regs {
+            left.merge(r);
+        }
+        let mut pairwise = MetricsRegistry::new();
+        let mut first = regs[0].clone();
+        first.merge(&regs[1]);
+        let mut second = regs[2].clone();
+        second.merge(&regs[3]);
+        pairwise.merge(&first);
+        pairwise.merge(&second);
+        assert_eq!(left.counter("msg_sent"), pairwise.counter("msg_sent"));
+        for n in 0..4 {
+            assert_eq!(
+                left.sent_in(n, Phase::Data),
+                pairwise.sent_in(n, Phase::Data)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bucket bounds")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[1, 2]);
+        let b = Histogram::new(&[1, 2, 3]);
+        a.merge(&b);
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! `cargo xtask benchcmp` — compare two `MICROBENCH_JSON` files and
+//! gate on regressions.
+//!
+//! The microbench harness (crates/microbench) appends one JSON object
+//! per benchmark: `{"name":"...","median_ns":...,"iters":...,
+//! "allocs_per_iter":...}`. This module diffs a committed baseline
+//! against a fresh run:
+//!
+//! - **`allocs_per_iter` gates hard.** Allocation counts are
+//!   deterministic — independent of CPU load, frequency scaling or the
+//!   shared-runner lottery — so any growth beyond the tolerance fails
+//!   the comparison. A baseline of exactly 0 is a contract: the
+//!   current run must also be 0 (the deliver-path "zero per-envelope
+//!   heap allocation" invariant from DESIGN.md §12).
+//! - **`median_ns` is advisory.** Wall-clock on shared CI runners is
+//!   noisy; regressions beyond the tolerance are reported as warnings
+//!   only and never affect the exit status.
+//! - **A baseline bench missing from the current run fails** — the
+//!   gate must not silently shrink. New benches in the current run are
+//!   reported informationally (commit a refreshed baseline to adopt
+//!   them).
+
+use std::fmt::Write as _;
+
+/// One parsed benchmark record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark label, e.g. `deliver_dense_broadcast_100`.
+    pub name: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Heap allocations per iteration (deterministic).
+    pub allocs_per_iter: f64,
+}
+
+/// Outcome of one comparison.
+#[derive(Debug, Clone, Default)]
+pub struct CmpReport {
+    /// Hard failures (allocation regressions, missing benches).
+    pub failures: Vec<String>,
+    /// Advisory warnings (wall-clock regressions).
+    pub warnings: Vec<String>,
+    /// Informational notes (new benches, improvements).
+    pub notes: Vec<String>,
+}
+
+impl CmpReport {
+    /// Whether the gate should fail.
+    pub fn failed(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// Render the report for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.failures {
+            let _ = writeln!(out, "FAIL  {f}");
+        }
+        for w in &self.warnings {
+            let _ = writeln!(out, "warn  {w}");
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note  {n}");
+        }
+        let _ = writeln!(
+            out,
+            "benchcmp: {} failure(s), {} warning(s)",
+            self.failures.len(),
+            self.warnings.len()
+        );
+        out
+    }
+}
+
+fn find_number(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn find_string(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    // Labels are ascii identifiers plus '/'; the harness escapes
+    // backslashes and quotes, so scan for the first unescaped quote.
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Parse a `MICROBENCH_JSON` file's contents (one JSON object per
+/// line; blank lines ignored). Later records with the same name win,
+/// matching the harness's append semantics.
+pub fn parse_records(contents: &str) -> Vec<BenchRecord> {
+    let mut records: Vec<BenchRecord> = Vec::new();
+    for line in contents.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (Some(name), Some(median_ns), Some(allocs_per_iter)) = (
+            find_string(line, "name"),
+            find_number(line, "median_ns"),
+            find_number(line, "allocs_per_iter"),
+        ) else {
+            continue;
+        };
+        if let Some(existing) = records.iter_mut().find(|r| r.name == name) {
+            existing.median_ns = median_ns;
+            existing.allocs_per_iter = allocs_per_iter;
+        } else {
+            records.push(BenchRecord {
+                name,
+                median_ns,
+                allocs_per_iter,
+            });
+        }
+    }
+    records
+}
+
+/// Compare `current` against `baseline` with a fractional `tolerance`
+/// (0.15 = 15%). See the module docs for the gating rules.
+pub fn compare(baseline: &[BenchRecord], current: &[BenchRecord], tolerance: f64) -> CmpReport {
+    let mut report = CmpReport::default();
+    for base in baseline {
+        let Some(cur) = current.iter().find(|r| r.name == base.name) else {
+            report.failures.push(format!(
+                "{}: present in baseline but missing from current run",
+                base.name
+            ));
+            continue;
+        };
+        // Allocation counts are deterministic: gate hard. A zero
+        // baseline allows zero, full stop; a nonzero baseline allows
+        // the tolerance plus one allocation of absolute slack so a
+        // 2-alloc bench does not fail on rounding.
+        let alloc_limit = if base.allocs_per_iter == 0.0 {
+            0.0
+        } else {
+            base.allocs_per_iter * (1.0 + tolerance) + 1.0
+        };
+        if cur.allocs_per_iter > alloc_limit {
+            report.failures.push(format!(
+                "{}: allocs/iter {} exceeds baseline {} (limit {:.1})",
+                base.name, cur.allocs_per_iter, base.allocs_per_iter, alloc_limit
+            ));
+        }
+        // Wall-clock is advisory on shared runners.
+        if cur.median_ns > base.median_ns * (1.0 + tolerance) {
+            report.warnings.push(format!(
+                "{}: median {:.0} ns is {:+.1}% vs baseline {:.0} ns (advisory)",
+                base.name,
+                cur.median_ns,
+                (cur.median_ns / base.median_ns - 1.0) * 100.0,
+                base.median_ns
+            ));
+        } else if cur.median_ns < base.median_ns * (1.0 - tolerance) {
+            report.notes.push(format!(
+                "{}: median improved {:.1}% ({:.0} ns -> {:.0} ns); consider refreshing the baseline",
+                base.name,
+                (1.0 - cur.median_ns / base.median_ns) * 100.0,
+                base.median_ns,
+                cur.median_ns
+            ));
+        }
+    }
+    for cur in current {
+        if !baseline.iter().any(|r| r.name == cur.name) {
+            report.notes.push(format!(
+                "{}: new bench not in baseline (commit a refreshed BENCH_baseline.json to gate it)",
+                cur.name
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, median_ns: f64, allocs: f64) -> BenchRecord {
+        BenchRecord {
+            name: name.to_owned(),
+            median_ns,
+            allocs_per_iter: allocs,
+        }
+    }
+
+    #[test]
+    fn parses_harness_output_lines() {
+        let text = "\
+{\"name\":\"deliver_dense_broadcast_100\",\"median_ns\":70560.0,\"iters\":50,\"allocs_per_iter\":0.0}\n\
+\n\
+{\"name\":\"model_fit/32\",\"median_ns\":1234.5,\"iters\":100,\"allocs_per_iter\":2.0}\n";
+        let records = parse_records(text);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "deliver_dense_broadcast_100");
+        assert_eq!(records[0].allocs_per_iter, 0.0);
+        assert_eq!(records[1].name, "model_fit/32");
+        assert_eq!(records[1].median_ns, 1234.5);
+    }
+
+    #[test]
+    fn duplicate_names_keep_the_last_record() {
+        let text = "\
+{\"name\":\"a\",\"median_ns\":10.0,\"iters\":1,\"allocs_per_iter\":1.0}\n\
+{\"name\":\"a\",\"median_ns\":20.0,\"iters\":1,\"allocs_per_iter\":3.0}\n";
+        let records = parse_records(text);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].median_ns, 20.0);
+        assert_eq!(records[0].allocs_per_iter, 3.0);
+    }
+
+    #[test]
+    fn allocation_regressions_fail_hard() {
+        let base = [rec("a", 100.0, 10.0)];
+        let cur = [rec("a", 100.0, 13.0)];
+        let report = compare(&base, &cur, 0.15);
+        assert!(report.failed());
+        assert_eq!(report.failures.len(), 1);
+    }
+
+    #[test]
+    fn zero_alloc_baseline_is_a_contract() {
+        let base = [rec("deliver", 100.0, 0.0)];
+        let ok = compare(&base, &[rec("deliver", 100.0, 0.0)], 0.15);
+        assert!(!ok.failed());
+        let bad = compare(&base, &[rec("deliver", 100.0, 0.5)], 0.15);
+        assert!(bad.failed());
+    }
+
+    #[test]
+    fn wall_clock_regressions_warn_but_pass() {
+        let base = [rec("a", 100.0, 2.0)];
+        let cur = [rec("a", 400.0, 2.0)];
+        let report = compare(&base, &cur, 0.15);
+        assert!(!report.failed());
+        assert_eq!(report.warnings.len(), 1);
+    }
+
+    #[test]
+    fn missing_bench_fails_and_new_bench_notes() {
+        let base = [rec("gone", 100.0, 0.0)];
+        let cur = [rec("fresh", 100.0, 0.0)];
+        let report = compare(&base, &cur, 0.15);
+        assert!(report.failed());
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.notes.len(), 1);
+    }
+
+    #[test]
+    fn small_alloc_counts_get_absolute_slack() {
+        // 2 -> 3 allocs is within the +1 absolute slack even though
+        // it is a 50% relative increase.
+        let base = [rec("a", 100.0, 2.0)];
+        let cur = [rec("a", 100.0, 3.0)];
+        assert!(!compare(&base, &cur, 0.15).failed());
+        let cur = [rec("a", 100.0, 4.0)];
+        assert!(compare(&base, &cur, 0.15).failed());
+    }
+}

@@ -170,10 +170,10 @@ fn phase_arg_is_static(tokens: &[Token], open: usize, limit: usize) -> bool {
             }
             // Ignore a trailing comma (directly before the close):
             // `broadcast(…, phase::X,\n)` still ends in the phase arg.
-            TokenKind::Punct(',') if depth == 1 => {
-                if !tokens.get(j + 1).is_some_and(|t| t.kind.is_punct(')')) {
-                    last_arg_start = j + 1;
-                }
+            TokenKind::Punct(',')
+                if depth == 1 && !tokens.get(j + 1).is_some_and(|t| t.kind.is_punct(')')) =>
+            {
+                last_arg_start = j + 1;
             }
             _ => {}
         }

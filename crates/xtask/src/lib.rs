@@ -27,6 +27,7 @@
 //! a real lint and carry a non-empty reason; stale or malformed allows
 //! are themselves deny-level diagnostics.
 
+pub mod benchcmp;
 pub mod callgraph;
 pub mod lexer;
 pub mod lints;

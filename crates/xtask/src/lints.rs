@@ -183,22 +183,19 @@ pub fn panic_freedom(
                 if matches!(
                     name.as_str(),
                     "panic" | "unreachable" | "todo" | "unimplemented"
-                ) =>
-            {
-                if tokens.get(i + 1).is_some_and(|n| n.kind.is_punct('!'))
+                ) && tokens.get(i + 1).is_some_and(|n| n.kind.is_punct('!'))
                     && !tokens
                         .get(i.wrapping_sub(1))
-                        .is_some_and(|p| p.kind.is_punct('.') || p.kind.is_punct(':'))
-                {
-                    diags.push(diag(
-                        path,
-                        t,
-                        "no_panic",
-                        Level::Deny,
-                        format!("`{name}!` aborts the simulation instead of degrading"),
-                        "convert to a typed error, or justify with `// xtask-allow(no_panic): reason`",
-                    ));
-                }
+                        .is_some_and(|p| p.kind.is_punct('.') || p.kind.is_punct(':')) =>
+            {
+                diags.push(diag(
+                    path,
+                    t,
+                    "no_panic",
+                    Level::Deny,
+                    format!("`{name}!` aborts the simulation instead of degrading"),
+                    "convert to a typed error, or justify with `// xtask-allow(no_panic): reason`",
+                ));
             }
             TokenKind::Punct('[') if i > 0 && !excluded[i - 1] => {
                 let prev = &tokens[i - 1];
@@ -251,37 +248,34 @@ pub fn determinism(path: &Path, tokens: &[Token], excluded: &[bool], diags: &mut
                 "`thread_rng` draws from ambient OS entropy; runs become unreproducible".into(),
                 "thread a seeded `netsim::rng::DetRng` through the call path",
             )),
-            "rand" => {
+            "rand"
                 if tokens.get(i + 1).is_some_and(|c| c.kind.is_punct(':'))
                     && tokens.get(i + 2).is_some_and(|c| c.kind.is_punct(':'))
-                    && tokens.get(i + 3).and_then(|n| n.kind.ident()) == Some("random")
-                {
-                    diags.push(diag(
-                        path,
-                        t,
-                        "no_ambient_rng",
-                        Level::Deny,
-                        "`rand::random` uses the ambient thread RNG; runs become unreproducible"
-                            .into(),
-                        "thread a seeded `netsim::rng::DetRng` through the call path",
-                    ));
-                }
+                    && tokens.get(i + 3).and_then(|n| n.kind.ident()) == Some("random") =>
+            {
+                diags.push(diag(
+                    path,
+                    t,
+                    "no_ambient_rng",
+                    Level::Deny,
+                    "`rand::random` uses the ambient thread RNG; runs become unreproducible".into(),
+                    "thread a seeded `netsim::rng::DetRng` through the call path",
+                ));
             }
-            "Instant" | "SystemTime" => {
+            "Instant" | "SystemTime"
                 if tokens.get(i + 1).is_some_and(|c| c.kind.is_punct(':'))
                     && tokens.get(i + 2).is_some_and(|c| c.kind.is_punct(':'))
-                    && tokens.get(i + 3).and_then(|n| n.kind.ident()) == Some("now")
-                {
-                    diags.push(diag(
-                        path,
-                        t,
-                        "no_wall_clock",
-                        Level::Deny,
-                        format!("`{name}::now` leaks wall-clock time into simulated state"),
-                        "use the simulator's logical clock (`netsim::clock::SimClock`); wall time \
-                         belongs only in `crates/bench`",
-                    ));
-                }
+                    && tokens.get(i + 3).and_then(|n| n.kind.ident()) == Some("now") =>
+            {
+                diags.push(diag(
+                    path,
+                    t,
+                    "no_wall_clock",
+                    Level::Deny,
+                    format!("`{name}::now` leaks wall-clock time into simulated state"),
+                    "use the simulator's logical clock (`netsim::clock::SimClock`); wall time \
+                     belongs only in `crates/bench`",
+                ));
             }
             _ => {}
         }

@@ -1,4 +1,5 @@
-//! `cargo xtask analyze` — repo-specific static analysis.
+//! `cargo xtask analyze` — repo-specific static analysis — and
+//! `cargo xtask benchcmp` — the micro-benchmark regression gate.
 //!
 //! See the crate docs ([`xtask`]) for the lint families and the
 //! `xtask-allow` escape hatch. Exit status: 0 when clean, 1 on any
@@ -10,6 +11,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: cargo xtask analyze [--json] [--strict] [paths…]
+       cargo xtask benchcmp <baseline.json> <current.json> [--tolerance F]
 
 Scans workspace sources for determinism, panic-freedom and
 energy-accounting violations. With no paths, scans the four protocol
@@ -30,12 +32,19 @@ lints:
   bad_allow, unused_allow (deny)          escape-hatch hygiene
 
 Suppress a single finding with `// xtask-allow(lint): reason` on the
-same line or the line above.";
+same line or the line above.
+
+benchcmp compares two MICROBENCH_JSON files (one JSON record per
+bench). Deterministic allocation counters gate hard beyond the
+tolerance (default 0.15; a baseline of 0 allocs admits only 0);
+wall-clock medians are advisory warnings only. A baseline bench
+missing from the current file fails the gate.";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("analyze") => {}
+        Some("benchcmp") => return benchcmp_main(args),
         Some("--help") | Some("help") | None => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -99,6 +108,65 @@ fn main() -> ExitCode {
     }
 
     if report.failed(strict) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn benchcmp_main(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut tolerance = 0.15;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                tolerance = match args.next().as_deref().map(str::parse) {
+                    Some(Ok(t)) if (0.0..10.0).contains(&t) => t,
+                    _ => {
+                        eprintln!("--tolerance needs a fraction like 0.15\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => files.push(PathBuf::from(path)),
+        }
+    }
+    let [baseline_path, current_path] = files.as_slice() else {
+        eprintln!("benchcmp needs exactly two files\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let read = |p: &PathBuf| match std::fs::read_to_string(p) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("xtask benchcmp: {}: {e}", p.display());
+            None
+        }
+    };
+    let (Some(baseline_text), Some(current_text)) = (read(baseline_path), read(current_path))
+    else {
+        return ExitCode::from(2);
+    };
+    let baseline = xtask::benchcmp::parse_records(&baseline_text);
+    let current = xtask::benchcmp::parse_records(&current_text);
+    if baseline.is_empty() {
+        eprintln!(
+            "xtask benchcmp: no benchmark records in {}",
+            baseline_path.display()
+        );
+        return ExitCode::from(2);
+    }
+    let report = xtask::benchcmp::compare(&baseline, &current, tolerance);
+    print!("{}", report.render());
+    if report.failed() {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -310,9 +310,8 @@ fn trace_roundtrips_series() {
         let series: Vec<Vec<f64>> = (0..n_series)
             .map(|_| (0..len).map(|_| value(&mut rng)).collect())
             .collect();
-        let expect = series.clone();
-        let trace = Trace::from_series(series).unwrap();
-        for (i, s) in expect.iter().enumerate() {
+        let trace = Trace::from_series(&series).unwrap();
+        for (i, s) in series.iter().enumerate() {
             assert_eq!(&trace.series(NodeId::from_index(i)), s);
         }
     }
