@@ -1,0 +1,13 @@
+//! Micro-benchmarks for the fault-injection engine: scenario parsing,
+//! the per-round overhead of an attached fault schedule, and a dense
+//! broadcast round under the Gilbert–Elliott bursty link model.
+
+use snapshot_bench::microbenches;
+use snapshot_microbench::{counting_alloc::CountingAllocator, Criterion};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn main() {
+    microbenches::fault::benches(&mut Criterion::default());
+}

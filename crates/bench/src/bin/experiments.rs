@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments [ids...] [--reps N] [--seed S] [--out DIR] [--quick] [--jobs N]
+//!             [--fault-plan FILE]
 //!
 //!   ids      experiment ids (fig1 table2 fig6 ... fig15), or `all`
 //!   --reps   repetitions to average over (default 10, as in the paper)
@@ -9,6 +10,8 @@
 //!   --out    directory for CSV artifacts (default EXPERIMENTS-results)
 //!   --quick  smaller sweeps for smoke testing
 //!   --jobs   worker threads (default: available parallelism)
+//!   --fault-plan  a `.fault` scenario file (grammar in FAULTS.md),
+//!            injected by the fault-aware experiments (heal, trace)
 //! ```
 //!
 //! Reports go to stdout in the order the ids were given (canonical
@@ -65,6 +68,18 @@ fn main() {
                     .filter(|&j| j > 0)
                     .unwrap_or_else(|| die("--jobs needs a positive integer"));
             }
+            "--fault-plan" => {
+                i += 1;
+                let path = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--fault-plan needs a file path"));
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+                ctx.fault_plan = Some(
+                    snapshot_netsim::FaultPlan::parse(&text)
+                        .unwrap_or_else(|e| die(&format!("{path}: {e}"))),
+                );
+            }
             "--quick" => ctx.quick = true,
             "--help" | "-h" => {
                 print!("{}", usage());
@@ -115,7 +130,8 @@ fn main() {
 
 fn usage() -> String {
     format!(
-        "usage: experiments [ids...] [--reps N] [--seed S] [--out DIR] [--quick] [--jobs N]\n\
+        "usage: experiments [ids...] [--reps N] [--seed S] [--out DIR] [--quick] [--jobs N] \
+         [--fault-plan FILE]\n\
          known ids: {} (or `all`)\n",
         experiments::ALL.join(" ")
     )

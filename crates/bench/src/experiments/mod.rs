@@ -15,9 +15,12 @@
 //! | `fig13`  | Figure 13 | spurious representatives vs message loss             |
 //! | `fig14`  | Figure 14 | snapshot size over time under periodic maintenance   |
 //! | `fig15`  | Figure 15 | messages per node per maintenance update             |
+//! | `heal`   | —         | time-to-repair after a representative crash (faults) |
+//! | `burst-loss` | —     | i.i.d. vs Gilbert–Elliott loss at equal average rate |
 //! | `trace`  | —         | instrumented run exported as a JSONL protocol trace  |
 
 pub mod ablations;
+pub mod burst_loss;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;
@@ -27,6 +30,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod heal;
 pub mod maintenance_over_time;
 pub mod table2;
 pub mod table3;
@@ -56,6 +60,8 @@ pub const ALL: &[&str] = &[
     "abl_mobility",
     "abl_periodic",
     "abl_proximity",
+    "heal",
+    "burst-loss",
     "trace",
 ];
 
@@ -81,6 +87,8 @@ pub fn run(id: &str, ctx: &RunContext) -> Option<ExperimentOutput> {
         "abl_mobility" => ablations::run_mobility(ctx),
         "abl_periodic" => ablations::run_periodic(ctx),
         "abl_proximity" => ablations::run_proximity(ctx),
+        "heal" => heal::run(ctx),
+        "burst-loss" => burst_loss::run(ctx),
         "trace" => trace::run(ctx),
         _ => return None,
     })

@@ -13,7 +13,7 @@
 use crate::setup::RandomWalkSetup;
 use crate::{ExperimentOutput, RunContext};
 use snapshot_core::{Aggregate, QueryMode, SnapshotQuery, SpatialPredicate};
-use snapshot_netsim::NodeId;
+use snapshot_netsim::{FaultPlan, NodeId};
 use snapshot_telemetry::{jsonl, TraceSummary};
 
 /// Ring capacity for recorded runs: large enough that the 100-node
@@ -31,6 +31,18 @@ pub const ELECTION_MSG_BUDGET: u64 = 6;
 /// Deterministic in `seed`: identical seeds produce byte-identical
 /// traces (the integration tests assert this).
 pub fn record_election_trace(seed: u64, n_nodes: usize) -> String {
+    record_election_trace_with_plan(seed, n_nodes, None)
+}
+
+/// Like [`record_election_trace`], but with an optional fault
+/// timeline attached before the protocol runs — `--fault-plan`
+/// injections then show up as `fault_injected` / `node_recovered` /
+/// `link_state` events in the artifact.
+pub fn record_election_trace_with_plan(
+    seed: u64,
+    n_nodes: usize,
+    plan: Option<&FaultPlan>,
+) -> String {
     let mut sn = RandomWalkSetup {
         n_nodes,
         k: 10,
@@ -38,6 +50,9 @@ pub fn record_election_trace(seed: u64, n_nodes: usize) -> String {
     }
     .build(seed);
     sn.enable_telemetry(RING_CAPACITY);
+    if let Some(p) = plan {
+        sn.net_mut().set_fault_plan(p.clone());
+    }
     let _ = sn.elect();
     sn.advance(1);
     let _ = sn.maintain();
@@ -57,7 +72,7 @@ pub fn record_election_trace(seed: u64, n_nodes: usize) -> String {
 /// Run the experiment.
 pub fn run(ctx: &RunContext) -> ExperimentOutput {
     let n_nodes = if ctx.quick { 40 } else { 100 };
-    let jsonl_text = record_election_trace(ctx.seed, n_nodes);
+    let jsonl_text = record_election_trace_with_plan(ctx.seed, n_nodes, ctx.fault_plan.as_ref());
     let events = jsonl::parse(&jsonl_text).expect("self-produced trace must parse");
     let summary = TraceSummary::from_events(&events);
     let violations = summary.election_message_violations(ELECTION_MSG_BUDGET);

@@ -24,6 +24,7 @@ pub mod table;
 pub use setup::{RandomWalkSetup, WeatherSetup};
 pub use table::Table;
 
+use snapshot_netsim::FaultPlan;
 use std::path::PathBuf;
 
 /// Shared context for experiment runs.
@@ -38,6 +39,10 @@ pub struct RunContext {
     /// Trade fidelity for speed (smaller sweeps, fewer queries);
     /// used by the integration tests that smoke-run every experiment.
     pub quick: bool,
+    /// A fault timeline (`--fault-plan <file>`, see `FAULTS.md`)
+    /// applied by the fault-aware experiments (`heal`, `trace`) in
+    /// place of their built-in scenarios. `None` keeps the built-ins.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for RunContext {
@@ -47,6 +52,7 @@ impl Default for RunContext {
             seed: 1,
             out_dir: None,
             quick: false,
+            fault_plan: None,
         }
     }
 }
@@ -59,6 +65,7 @@ impl RunContext {
             seed,
             out_dir: None,
             quick: true,
+            fault_plan: None,
         }
     }
 

@@ -17,6 +17,7 @@ fn bench_cell(c: &mut Criterion) {
         seed: 1,
         out_dir: None,
         quick: true,
+        fault_plan: None,
     };
     c.bench_function("experiment_cell_fig6_quick", |b| {
         b.iter(|| black_box(experiments::run("fig6", &ctx)))

@@ -11,6 +11,7 @@
 pub mod cache_manager;
 pub mod election;
 pub mod experiment_cell;
+pub mod fault;
 pub mod maintenance;
 pub mod model_fit;
 pub mod netsim_deliver;
@@ -34,5 +35,6 @@ pub const REGISTRY: &[(&str, BenchFn)] = &[
     ("maintenance", maintenance::benches),
     ("tag_aggregation", tag_aggregation::benches),
     ("netsim_deliver", netsim_deliver::benches),
+    ("fault", fault::benches),
     ("experiment_cell", experiment_cell::benches),
 ];

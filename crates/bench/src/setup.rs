@@ -3,7 +3,7 @@
 
 use snapshot_core::{CachePolicy, SensorNetwork, SnapshotConfig};
 use snapshot_datagen::{random_walk, weather, RandomWalkConfig, WeatherConfig};
-use snapshot_netsim::{EnergyModel, LinkModel, Topology};
+use snapshot_netsim::{EnergyModel, GilbertElliott, LinkModel, Topology};
 
 /// The Section 6.1 configuration: N nodes on the unit square, K-class
 /// random-walk data, train on the first tenth, elect at the end.
@@ -15,8 +15,13 @@ pub struct RandomWalkSetup {
     pub k: usize,
     /// Radio range (paper default √2: everyone hears everyone).
     pub range: f64,
-    /// Message-loss probability.
+    /// Message-loss probability (i.i.d. per delivery attempt).
     pub p_loss: f64,
+    /// When set, use a Gilbert–Elliott bursty link model with these
+    /// parameters instead of the i.i.d. `p_loss` channel (the
+    /// `burst-loss` experiment compares the two at equal average
+    /// loss; see `FAULTS.md`).
+    pub burst: Option<GilbertElliott>,
     /// Cache budget, bytes (paper default 2048).
     pub cache_bytes: usize,
     /// Cache replacement policy.
@@ -38,6 +43,7 @@ impl Default for RandomWalkSetup {
             k: 1,
             range: std::f64::consts::SQRT_2,
             p_loss: 0.0,
+            burst: None,
             cache_bytes: 2048,
             policy: CachePolicy::ModelAware,
             threshold: 1.0,
@@ -49,6 +55,15 @@ impl Default for RandomWalkSetup {
 }
 
 impl RandomWalkSetup {
+    /// The configured link model: Gilbert–Elliott when `burst` is
+    /// set, the i.i.d. `p_loss` channel otherwise.
+    fn link(&self) -> LinkModel {
+        match self.burst {
+            Some(params) => LinkModel::gilbert_elliott(self.n_nodes, params),
+            None => LinkModel::iid_loss(self.p_loss),
+        }
+    }
+
     /// Build the network, run the training window, and position time
     /// at the discovery instant. (The caller runs `elect()`.)
     pub fn build(&self, seed: u64) -> SensorNetwork {
@@ -61,13 +76,7 @@ impl RandomWalkSetup {
         let topo = Topology::random_uniform(self.n_nodes, self.range, seed);
         let mut cfg = SnapshotConfig::paper(self.threshold, self.cache_bytes, seed);
         cfg.cache.policy = self.policy;
-        let mut sn = SensorNetwork::new(
-            topo,
-            LinkModel::iid_loss(self.p_loss),
-            EnergyModel::default(),
-            cfg,
-            data.trace,
-        );
+        let mut sn = SensorNetwork::new(topo, self.link(), EnergyModel::default(), cfg, data.trace);
         sn.train(0, self.train_until);
         sn.set_time(self.elect_at);
         sn
@@ -88,7 +97,7 @@ impl RandomWalkSetup {
         cfg.cache.policy = self.policy;
         SensorNetwork::with_battery_capacity(
             topo,
-            LinkModel::iid_loss(self.p_loss),
+            self.link(),
             EnergyModel::default(),
             capacity,
             cfg,

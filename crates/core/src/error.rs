@@ -23,6 +23,16 @@ pub enum CoreError {
         /// fallback when the caller chooses to degrade.
         mean_y: f64,
     },
+    /// A query was issued while the network has no usable nodes (the
+    /// sink is dead, or every node is dead — e.g. after a region
+    /// blackout injected by the fault engine). Queries on an
+    /// unavailable network return this typed error instead of
+    /// panicking or reporting zero coverage as if it were data.
+    NetworkUnavailable {
+        /// Number of alive nodes at query time (0 when the whole
+        /// network is down; non-zero means the sink itself was dead).
+        alive: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -35,6 +45,10 @@ impl fmt::Display for CoreError {
                 f,
                 "least-squares fit is degenerate ({n} pair(s), zero x-variance); \
                  constant fallback would be {mean_y}"
+            ),
+            CoreError::NetworkUnavailable { alive } => write!(
+                f,
+                "query issued on an unavailable network ({alive} node(s) alive)"
             ),
         }
     }
@@ -54,5 +68,8 @@ mod tests {
         let e = CoreError::DegenerateFit { n: 1, mean_y: 2.5 };
         assert!(e.to_string().contains("1 pair"));
         assert!(e.to_string().contains("2.5"));
+        let e = CoreError::NetworkUnavailable { alive: 0 };
+        assert!(e.to_string().contains("unavailable"));
+        assert!(e.to_string().contains("0 node"));
     }
 }

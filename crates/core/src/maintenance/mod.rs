@@ -1,30 +1,61 @@
-//! Snapshot maintenance (Section 5.1).
+//! Snapshot maintenance (Section 5.1): keeping the representative set
+//! healthy after elections, without global knowledge.
 //!
-//! Periodically:
+//! # The maintenance cycle
 //!
-//! 1. Representatives whose battery has fallen below the configured
-//!    fraction announce a handoff; their members will re-elect.
-//! 2. Every PASSIVE node heartbeats its representative with its
-//!    current measurement; the representative uses the value to
-//!    fine-tune its model (a cache-manager update, charged at the
-//!    paper's 0.1-transmission processing cost) and replies with its
-//!    estimate.
-//! 3. A member whose representative did not respond (death, loss) or
-//!    whose estimate is out of bounds (`d(x_j, x̂_j) > T`) initiates a
-//!    re-election; so does every ACTIVE node that only represents
-//!    itself (it fishes for a representative with a periodic
-//!    invitation).
-//! 4. One maintenance election settles all initiators at once, scoring
-//!    offers by candidate-list length plus current member count.
+//! [`run_maintenance`] executes one cycle, in four steps:
 //!
-//! The paper bounds this at six messages per node (heartbeat +
-//! response + the up-to-four election messages); Figure 15 reports the
-//! measured average, which this module's report exposes.
+//! 1. **Energy handoff** — representatives whose battery has fallen
+//!    below the configured fraction (or below one burst of heartbeat
+//!    replies plus a query window for their member count) broadcast a
+//!    handoff announcement; members that hear it will re-elect. This
+//!    step alone is also available as [`run_handoff_check`]: the
+//!    battery test is local, so it can run every few queries at no
+//!    cost to the members.
+//! 2. **Heartbeats** — every PASSIVE node unicasts its current
+//!    measurement to its representative. The representative feeds the
+//!    pair to its cache manager (fine-tuning the model first, charged
+//!    at the paper's 0.1-transmission processing cost) and replies
+//!    with its estimate `x̂_j`. Bystanders snoop overheard heartbeats
+//!    with the configured probability, keeping their own models warm.
+//! 3. **Detection** — a member whose representative stayed silent
+//!    (death, message loss) or whose returned estimate violates the
+//!    threshold (`d(x_j, x̂_j) > T`) initiates a re-election; so does
+//!    every ACTIVE node that represents nobody (it periodically
+//!    *fishes* for a representative with a fresh invitation).
+//! 4. **One election** settles all initiators at once, scoring offers
+//!    by candidate-list length plus current member count.
+//!
+//! # Message budget
+//!
+//! The paper bounds the cycle at **six messages per node**: heartbeat
+//! and estimate reply, plus the up-to-four election messages
+//! (invitation, candidate list, accept, refinement). The repository
+//! enforces this bound three ways: unit tests here and in
+//! `network.rs`, the `snapshot-trace --assert --max-election-msgs 6`
+//! CI gate over the `heal` experiment's trace, and Figure 15-style
+//! measured averages in the [`MaintenanceReport`].
+//!
+//! # Companion passes
+//!
+//! * [`reconcile`](reconcile::reconcile) — the announce / object /
+//!   correct pass that retires *spurious* representative claims left
+//!   behind by lost recall messages (epoch numbers decide who is
+//!   stale).
+//! * [`rotation`](rotate_representatives) — LEACH-style random
+//!   stepping-down so the representative role (and its energy bill)
+//!   circulates through each cluster.
+//! * [`repair`] — measurement only: tracks how many ticks the network
+//!   takes to re-cover every orphan after a representative dies, and
+//!   the query error paid meanwhile. Used by the fault-injection
+//!   `heal` experiment (see `FAULTS.md`).
 
 pub mod reconcile;
+pub mod repair;
 pub mod rotation;
 
 pub use reconcile::{reconcile, ReconcileReport};
+pub use repair::{RepairRecord, RepairTracker};
 pub use rotation::{rotate_representatives, RotationReport};
 
 use crate::config::SnapshotConfig;

@@ -1,0 +1,227 @@
+//! Time-to-repair measurement for self-healing experiments.
+//!
+//! When a representative dies, its passive members are *orphans*: they
+//! keep pointing at a node that will never answer a heartbeat, and
+//! snapshot queries silently lose their rows until a maintenance cycle
+//! notices the silence and re-elects. The `heal` experiment (and the
+//! fault-injection handbook, `FAULTS.md`) quantify that window with two
+//! numbers this module measures:
+//!
+//! * **time to repair** — simulator ticks from the representative's
+//!   death until *every* orphan is re-covered (points at an alive
+//!   representative, or represents itself again);
+//! * **query error during repair** — the absolute aggregate error of
+//!   queries executed while at least one orphan is still dark.
+//!
+//! [`RepairTracker`] is embedded in
+//! [`SensorNetwork`](crate::network::SensorNetwork): call
+//! [`SensorNetwork::kill_representative`](crate::network::SensorNetwork::kill_representative)
+//! to open an episode, run maintenance cycles until
+//! [`RepairTracker::in_repair`] turns false, then read the finished
+//! [`RepairRecord`]s.
+
+use snapshot_netsim::NodeId;
+use std::collections::BTreeSet;
+
+/// One finished repair episode: a representative died, and after
+/// `time_to_repair` ticks every surviving orphan was re-covered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairRecord {
+    /// The representative that died.
+    pub rep: NodeId,
+    /// Simulator tick (network round) at death.
+    pub died_at: u64,
+    /// Tick at which the last orphan was re-covered.
+    pub repaired_at: u64,
+    /// Number of members orphaned by the death.
+    pub orphans: usize,
+    /// Queries executed while the episode was open.
+    pub queries_during_repair: u64,
+    /// Sum of absolute aggregate errors of those queries (only the
+    /// ones where both a value and a ground truth existed).
+    pub query_abs_err_sum: f64,
+}
+
+impl RepairRecord {
+    /// Ticks from death to full re-coverage.
+    pub fn time_to_repair(&self) -> u64 {
+        self.repaired_at.saturating_sub(self.died_at)
+    }
+
+    /// Mean absolute query error during the repair window (`None`
+    /// when no query ran, or none produced an error measurement).
+    pub fn mean_query_error(&self) -> Option<f64> {
+        (self.queries_during_repair > 0)
+            .then(|| self.query_abs_err_sum / self.queries_during_repair as f64)
+    }
+}
+
+/// Tracks at most one open repair episode and the finished records.
+///
+/// Orphans that die themselves while the episode is open (battery, a
+/// second fault) are removed from the outstanding set — a dead node
+/// needs no representative — so the episode always terminates once the
+/// survivors are re-covered.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RepairTracker {
+    open: Option<OpenEpisode>,
+    records: Vec<RepairRecord>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct OpenEpisode {
+    rep: NodeId,
+    died_at: u64,
+    orphans_total: usize,
+    outstanding: BTreeSet<NodeId>,
+    queries: u64,
+    err_sum: f64,
+}
+
+impl RepairTracker {
+    /// Fresh tracker with no open episode and no records.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open an episode: `rep` died at `tick` orphaning `orphans`.
+    /// A second call while an episode is open replaces it (the first
+    /// episode is abandoned without a record — overlapping failures
+    /// are one compound outage, measured from the later death).
+    pub fn begin(&mut self, rep: NodeId, tick: u64, orphans: impl IntoIterator<Item = NodeId>) {
+        let outstanding: BTreeSet<NodeId> = orphans.into_iter().collect();
+        if outstanding.is_empty() {
+            // Nothing to heal: a member-less representative repairs
+            // instantly and is not worth a record.
+            self.open = None;
+            return;
+        }
+        self.open = Some(OpenEpisode {
+            rep,
+            died_at: tick,
+            orphans_total: outstanding.len(),
+            outstanding,
+            queries: 0,
+            err_sum: 0.0,
+        });
+    }
+
+    /// True while orphans are still uncovered.
+    pub fn in_repair(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// Account one query executed during the open episode (no-op when
+    /// none is open). `abs_err` is the query's absolute aggregate
+    /// error when measurable.
+    pub fn record_query(&mut self, abs_err: Option<f64>) {
+        if let Some(ep) = &mut self.open {
+            ep.queries += 1;
+            if let Some(e) = abs_err {
+                ep.err_sum += e;
+            }
+        }
+    }
+
+    /// Re-examine the outstanding orphans at `tick`. `covered(j)`
+    /// must return true when `j` no longer needs healing: it is dead,
+    /// or alive with an alive representative (possibly itself). When
+    /// the outstanding set empties, the episode closes and a
+    /// [`RepairRecord`] is appended.
+    pub fn observe(&mut self, tick: u64, mut covered: impl FnMut(NodeId) -> bool) {
+        let Some(ep) = &mut self.open else {
+            return;
+        };
+        ep.outstanding.retain(|&j| !covered(j));
+        if !ep.outstanding.is_empty() {
+            return;
+        }
+        if let Some(ep) = self.open.take() {
+            self.records.push(RepairRecord {
+                rep: ep.rep,
+                died_at: ep.died_at,
+                repaired_at: tick,
+                orphans: ep.orphans_total,
+                queries_during_repair: ep.queries,
+                query_abs_err_sum: ep.err_sum,
+            });
+        }
+    }
+
+    /// Finished episodes, in completion order.
+    pub fn records(&self) -> &[RepairRecord] {
+        &self.records
+    }
+
+    /// Nodes still waiting for re-coverage (empty when no episode is
+    /// open).
+    pub fn outstanding(&self) -> Vec<NodeId> {
+        self.open
+            .as_ref()
+            .map(|ep| ep.outstanding.iter().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn episode_closes_when_every_orphan_is_covered() {
+        let mut t = RepairTracker::new();
+        t.begin(NodeId(0), 10, [NodeId(1), NodeId(2)]);
+        assert!(t.in_repair());
+        t.observe(12, |j| j == NodeId(1));
+        assert!(t.in_repair());
+        assert_eq!(t.outstanding(), vec![NodeId(2)]);
+        t.observe(15, |_| true);
+        assert!(!t.in_repair());
+        let r = &t.records()[0];
+        assert_eq!(r.time_to_repair(), 5);
+        assert_eq!(r.orphans, 2);
+    }
+
+    #[test]
+    fn queries_during_repair_are_accounted() {
+        let mut t = RepairTracker::new();
+        t.begin(NodeId(3), 0, [NodeId(4)]);
+        t.record_query(Some(2.0));
+        t.record_query(None);
+        t.record_query(Some(4.0));
+        t.observe(7, |_| true);
+        let r = &t.records()[0];
+        assert_eq!(r.queries_during_repair, 3);
+        assert_eq!(r.query_abs_err_sum, 6.0);
+        assert_eq!(r.mean_query_error(), Some(2.0));
+    }
+
+    #[test]
+    fn memberless_death_opens_no_episode() {
+        let mut t = RepairTracker::new();
+        t.begin(NodeId(0), 0, []);
+        assert!(!t.in_repair());
+        t.observe(1, |_| true);
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn queries_outside_an_episode_are_ignored() {
+        let mut t = RepairTracker::new();
+        t.record_query(Some(9.0));
+        t.begin(NodeId(0), 0, [NodeId(1)]);
+        t.observe(3, |_| true);
+        assert_eq!(t.records()[0].queries_during_repair, 0);
+    }
+
+    #[test]
+    fn a_second_begin_replaces_the_open_episode() {
+        let mut t = RepairTracker::new();
+        t.begin(NodeId(0), 0, [NodeId(1)]);
+        t.begin(NodeId(2), 5, [NodeId(3)]);
+        t.observe(9, |_| true);
+        assert_eq!(t.records().len(), 1);
+        assert_eq!(t.records()[0].rep, NodeId(2));
+        assert_eq!(t.records()[0].died_at, 5);
+    }
+}

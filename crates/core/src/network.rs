@@ -12,6 +12,7 @@ use crate::config::SnapshotConfig;
 use crate::election::{run_full_election, ElectionOutcome, ProtocolMsg};
 use crate::error::CoreError;
 use crate::maintenance::reconcile::ReconcileReport;
+use crate::maintenance::repair::RepairTracker;
 use crate::maintenance::rotation::RotationReport;
 use crate::maintenance::{
     reconcile, rotate_representatives, run_handoff_check, run_maintenance, MaintenanceReport,
@@ -46,6 +47,7 @@ pub struct SensorNetwork {
     epoch: Epoch,
     rng: DetRng,
     query_seq: u64,
+    repair: RepairTracker,
 }
 
 impl Clone for SensorNetwork {
@@ -59,6 +61,7 @@ impl Clone for SensorNetwork {
             epoch: self.epoch,
             rng: DetRng::seed_from_u64(derive_seed(self.cfg.seed, 0x2_C10 ^ self.epoch.0)),
             query_seq: self.query_seq,
+            repair: self.repair.clone(),
         }
     }
 }
@@ -127,6 +130,7 @@ impl SensorNetwork {
             epoch: Epoch(0),
             rng,
             query_seq: 0,
+            repair: RepairTracker::new(),
         }
     }
 
@@ -322,29 +326,35 @@ impl SensorNetwork {
     pub fn elect(&mut self) -> ElectionOutcome {
         self.epoch = self.epoch.next();
         let values = self.values();
-        run_full_election(
+        let outcome = run_full_election(
             &mut self.net,
             &mut self.nodes,
             &values,
             &self.cfg,
             self.epoch,
             &mut self.rng,
-        )
+        );
+        self.observe_repair();
+        outcome
     }
 
     /// Run one maintenance cycle (heartbeats + re-elections) at the
-    /// current time.
+    /// current time. When a repair episode is open (see
+    /// [`Self::kill_representative`]), the orphan set is re-examined
+    /// afterwards, closing the episode once everyone is re-covered.
     pub fn maintain(&mut self) -> MaintenanceReport {
         self.epoch = self.epoch.next();
         let values = self.values();
-        run_maintenance(
+        let report = run_maintenance(
             &mut self.net,
             &mut self.nodes,
             &values,
             &self.cfg,
             self.epoch,
             &mut self.rng,
-        )
+        );
+        self.observe_repair();
+        report
     }
 
     /// Run only the energy-handoff check: exhausted representatives
@@ -385,13 +395,88 @@ impl SensorNetwork {
         reconcile(&mut self.net, &mut self.nodes)
     }
 
+    // ---- Failure injection & repair measurement ---------------------------
+
+    /// Kill `rep` and open a repair episode tracking its orphaned
+    /// members (alive nodes currently pointing at `rep`). Returns the
+    /// orphan count. Subsequent [`Self::maintain`] calls close the
+    /// episode once every surviving orphan is re-covered; the
+    /// measured [`RepairRecord`](crate::maintenance::repair::RepairRecord)s
+    /// are available through [`Self::repair`].
+    pub fn kill_representative(&mut self, rep: NodeId) -> usize {
+        let orphans: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|n| n.id() != rep && n.representative() == Some(rep))
+            .map(|n| n.id())
+            .filter(|&j| self.net.is_alive(j))
+            .collect();
+        self.net.kill(rep);
+        let tick = self.net.round();
+        self.repair.begin(rep, tick, orphans.iter().copied());
+        orphans.len()
+    }
+
+    /// The repair tracker: open episode state and finished
+    /// time-to-repair records.
+    pub fn repair(&self) -> &RepairTracker {
+        &self.repair
+    }
+
+    /// Close the open repair episode if every surviving orphan points
+    /// at an alive representative again (or represents itself).
+    fn observe_repair(&mut self) {
+        if !self.repair.in_repair() {
+            return;
+        }
+        let tick = self.net.round();
+        let net = &self.net;
+        let nodes = &self.nodes;
+        self.repair.observe(tick, |j| {
+            if !net.is_alive(j) {
+                // Dead orphans need no representative.
+                return true;
+            }
+            let r = nodes[j.index()].representative().unwrap_or(j);
+            net.is_alive(r)
+        });
+    }
+
     /// Execute a query collected at `sink`.
+    ///
+    /// While a repair episode is open (see
+    /// [`Self::kill_representative`]) the query's absolute aggregate
+    /// error is accumulated into the episode's record — the
+    /// query-error-during-repair metric of the `heal` experiment.
     pub fn query(&mut self, query: &SnapshotQuery, sink: NodeId) -> QueryResult {
         let values = self.values();
         let span = self.begin_query_span(sink, matches!(query.mode, QueryMode::Snapshot));
         let result = execute(&mut self.net, &self.nodes, &values, query, sink);
         self.end_query_span(span, QueryStatus::Ok, result.participants as u32);
+        self.repair.record_query(result.absolute_error());
         result
+    }
+
+    /// Execute a query, first checking the network can answer at all.
+    ///
+    /// Returns [`CoreError::NetworkUnavailable`] — instead of a
+    /// zero-coverage [`QueryResult`] that looks like data — when every
+    /// node is dead (e.g. after a fault-engine region blackout swallows
+    /// the whole deployment) or when `sink` itself is dead. The failed
+    /// attempt still appears in the telemetry trace as a `QueryEnd`
+    /// with status `error`.
+    pub fn try_query(
+        &mut self,
+        query: &SnapshotQuery,
+        sink: NodeId,
+    ) -> Result<QueryResult, CoreError> {
+        let alive = self.net.alive_count();
+        if alive == 0 || !self.net.is_alive(sink) {
+            let span = self.begin_query_span(sink, matches!(query.mode, QueryMode::Snapshot));
+            self.end_query_span(span, QueryStatus::Error, 0);
+            return Err(CoreError::NetworkUnavailable { alive });
+        }
+        Ok(self.query(query, sink))
     }
 
     /// Execute an aggregate query as the full message-level TAG
@@ -676,6 +761,70 @@ mod tests {
                 "{id} points at dead representative {r}"
             );
         }
+    }
+
+    #[test]
+    fn repair_episode_measures_time_to_repair() {
+        let mut sn = paper_setup(1, 19);
+        let _ = sn.elect();
+        let rep = sn.snapshot().representatives()[0];
+        let orphans = sn.kill_representative(rep);
+        assert!(orphans > 0, "the K=1 representative must have members");
+        assert!(sn.repair().in_repair());
+        let mut cycles = 0;
+        while sn.repair().in_repair() && cycles < 10 {
+            let _ = sn.maintain();
+            cycles += 1;
+        }
+        assert!(!sn.repair().in_repair(), "repair never completed");
+        let rec = &sn.repair().records()[0];
+        assert_eq!(rec.rep, rep);
+        assert_eq!(rec.orphans, orphans);
+        assert!(rec.time_to_repair() > 0, "repair cannot be instantaneous");
+    }
+
+    #[test]
+    fn queries_during_repair_accumulate_error() {
+        let mut sn = paper_setup(1, 37);
+        let _ = sn.elect();
+        let rep = sn.snapshot().representatives()[0];
+        sn.kill_representative(rep);
+        let q =
+            SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Sum, QueryMode::Snapshot);
+        let sink = sn.net().node_ids().find(|&i| sn.net().is_alive(i)).unwrap();
+        let _ = sn.query(&q, sink);
+        while sn.repair().in_repair() {
+            let _ = sn.maintain();
+        }
+        assert_eq!(sn.repair().records()[0].queries_during_repair, 1);
+    }
+
+    #[test]
+    fn try_query_on_dead_network_returns_typed_error() {
+        let mut sn = paper_setup(1, 31);
+        sn.enable_telemetry(1024);
+        for id in 0..100u32 {
+            sn.net_mut().kill(NodeId(id));
+        }
+        let q = SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Sum, QueryMode::Regular);
+        let err = sn.try_query(&q, NodeId(0)).unwrap_err();
+        assert_eq!(err, CoreError::NetworkUnavailable { alive: 0 });
+        let trace = sn.export_trace_jsonl();
+        assert!(
+            trace.contains("\"status\":\"error\""),
+            "failed query must leave an error span in the trace"
+        );
+    }
+
+    #[test]
+    fn try_query_at_a_dead_sink_reports_survivors() {
+        let mut sn = paper_setup(1, 31);
+        sn.net_mut().kill(NodeId(0));
+        let q = SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Sum, QueryMode::Regular);
+        let err = sn.try_query(&q, NodeId(0)).unwrap_err();
+        assert_eq!(err, CoreError::NetworkUnavailable { alive: 99 });
+        // A live sink still answers.
+        assert!(sn.try_query(&q, NodeId(1)).is_ok());
     }
 
     #[test]

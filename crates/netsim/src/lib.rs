@@ -47,12 +47,13 @@
 //! }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod clock;
 pub mod energy;
 pub mod error;
+pub mod fault;
 pub mod flood;
 pub mod link;
 pub mod message;
@@ -67,8 +68,9 @@ pub mod tree;
 pub use clock::SimClock;
 pub use energy::{Battery, EnergyModel};
 pub use error::NetsimError;
+pub use fault::{FaultEvent, FaultKind, FaultParseError, FaultPlan, FaultSchedule, FaultTarget};
 pub use flood::FloodOutcome;
-pub use link::LinkModel;
+pub use link::{GilbertElliott, LinkModel};
 pub use message::{Delivery, Destination, Envelope};
 pub use mobility::RandomWaypoint;
 pub use node::NodeId;
@@ -84,8 +86,9 @@ pub mod prelude {
     pub use crate::clock::SimClock;
     pub use crate::energy::{Battery, EnergyModel};
     pub use crate::error::NetsimError;
+    pub use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultTarget};
     pub use crate::flood::FloodOutcome;
-    pub use crate::link::LinkModel;
+    pub use crate::link::{GilbertElliott, LinkModel};
     pub use crate::message::{Delivery, Destination, Envelope};
     pub use crate::mobility::RandomWaypoint;
     pub use crate::node::NodeId;

@@ -12,6 +12,90 @@
 use crate::node::NodeId;
 use crate::rng::RngExt;
 
+/// Parameters of the Gilbert–Elliott two-state bursty-loss chain.
+///
+/// Each directed link is an independent two-state Markov chain. In the
+/// *good* state deliveries are lost with probability `p_loss_good`; in
+/// the *bad* state with `p_loss_bad`. Before every delivery attempt the
+/// chain takes one transition step (`p_good_to_bad` / `p_bad_to_good`),
+/// then the loss draw uses the resulting state. The stationary
+/// bad-state probability is `p_good_to_bad / (p_good_to_bad +
+/// p_bad_to_good)`, so the long-run average loss rate is
+/// `π_good·p_loss_good + π_bad·p_loss_bad` — see [`Self::average_loss`].
+/// Setting `p_loss_good == p_loss_bad == p` degenerates to the paper's
+/// i.i.d. model with loss `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// Per-attempt transition probability good → bad.
+    pub p_good_to_bad: f64,
+    /// Per-attempt transition probability bad → good.
+    pub p_bad_to_good: f64,
+    /// Loss probability while the link is in the good state.
+    pub p_loss_good: f64,
+    /// Loss probability while the link is in the bad state.
+    pub p_loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// Stationary probability of the bad state.
+    pub fn stationary_bad(&self) -> f64 {
+        let denom = self.p_good_to_bad + self.p_bad_to_good;
+        if denom == 0.0 {
+            // A frozen chain never leaves the good state links start in.
+            0.0
+        } else {
+            self.p_good_to_bad / denom
+        }
+    }
+
+    /// Long-run average loss rate of the chain (the number to match
+    /// when comparing against an i.i.d. model at equal loss).
+    pub fn average_loss(&self) -> f64 {
+        let pi_bad = self.stationary_bad();
+        (1.0 - pi_bad) * self.p_loss_good + pi_bad * self.p_loss_bad
+    }
+
+    /// Build a bursty chain whose long-run average loss equals
+    /// `average` with a lossless good state: `p_loss_bad` is solved as
+    /// `average / π_bad`.
+    ///
+    /// # Panics
+    /// Panics when the stationary bad-state probability is smaller
+    /// than `average` (the bad state cannot lose more than every
+    /// message), or when any argument is outside `[0, 1]`.
+    pub fn with_average_loss(average: f64, p_good_to_bad: f64, p_bad_to_good: f64) -> Self {
+        for (name, p) in [
+            ("average", average),
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be a probability, got {p}"
+            );
+        }
+        let probe = GilbertElliott {
+            p_good_to_bad,
+            p_bad_to_good,
+            p_loss_good: 0.0,
+            p_loss_bad: 0.0,
+        };
+        let pi_bad = probe.stationary_bad();
+        assert!(
+            average == 0.0 || pi_bad >= average,
+            "stationary bad probability {pi_bad} cannot carry average loss {average}"
+        );
+        GilbertElliott {
+            p_loss_bad: if average == 0.0 {
+                0.0
+            } else {
+                average / pi_bad
+            },
+            ..probe
+        }
+    }
+}
+
 /// Probabilistic model deciding whether a single (sender, receiver)
 /// delivery attempt succeeds.
 #[derive(Debug, Clone)]
@@ -41,6 +125,18 @@ pub enum LinkModel {
         /// Loss probability at exactly the transmission range.
         p_far: f64,
     },
+    /// Bursty loss: every directed link runs an independent
+    /// Gilbert–Elliott two-state chain (see [`GilbertElliott`]).
+    /// Built with [`LinkModel::gilbert_elliott`]; all links start in
+    /// the good state.
+    Burst {
+        /// The shared chain parameters.
+        params: GilbertElliott,
+        /// Per-directed-link state, row-major `n × n`; `true` = bad.
+        bad: Vec<bool>,
+        /// Node count the state matrix was sized for.
+        n: usize,
+    },
 }
 
 impl LinkModel {
@@ -58,27 +154,87 @@ impl LinkModel {
         }
     }
 
+    /// Convenience constructor for the bursty Gilbert–Elliott model;
+    /// allocates good-state chains for `n_nodes * n_nodes` directed
+    /// links.
+    pub fn gilbert_elliott(n_nodes: usize, params: GilbertElliott) -> Self {
+        for (name, p) in [
+            ("p_good_to_bad", params.p_good_to_bad),
+            ("p_bad_to_good", params.p_bad_to_good),
+            ("p_loss_good", params.p_loss_good),
+            ("p_loss_bad", params.p_loss_bad),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be a probability, got {p}"
+            );
+        }
+        LinkModel::Burst {
+            params,
+            bad: vec![false; n_nodes * n_nodes],
+            n: n_nodes,
+        }
+    }
+
     /// Decide whether a delivery attempt from `src` to `dst` succeeds.
     ///
     /// `dist_frac` is the sender-receiver distance divided by the
     /// transmission range (only used by the distance-degraded model).
+    /// Takes `&mut self` because the bursty model advances per-link
+    /// chain state; the memoryless models never mutate.
     pub fn delivered<R: RngExt + ?Sized>(
-        &self,
+        &mut self,
         rng: &mut R,
         src: NodeId,
         dst: NodeId,
         dist_frac: f64,
     ) -> bool {
+        self.delivered_tracked(rng, src, dst, dist_frac).0
+    }
+
+    /// Like [`Self::delivered`], but additionally reports a bursty
+    /// link-state flip: `Some(now_bad)` when this attempt moved the
+    /// `src -> dst` chain between states, `None` otherwise (including
+    /// for every memoryless model).
+    pub fn delivered_tracked<R: RngExt + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        src: NodeId,
+        dst: NodeId,
+        dist_frac: f64,
+    ) -> (bool, Option<bool>) {
         match self {
-            LinkModel::Perfect => true,
-            LinkModel::Iid { p_loss } => !rng.random_bool(*p_loss),
+            LinkModel::Perfect => (true, None),
+            LinkModel::Iid { p_loss } => (!rng.random_bool(*p_loss), None),
             LinkModel::PerLink { p_loss } => {
                 let p = p_loss[src.index()][dst.index()];
-                !rng.random_bool(p.clamp(0.0, 1.0))
+                (!rng.random_bool(p.clamp(0.0, 1.0)), None)
             }
             LinkModel::DistanceDegraded { p_near, p_far } => {
-                let p = p_near + (p_far - p_near) * dist_frac.clamp(0.0, 1.0);
-                !rng.random_bool(p.clamp(0.0, 1.0))
+                let p = *p_near + (*p_far - *p_near) * dist_frac.clamp(0.0, 1.0);
+                (!rng.random_bool(p.clamp(0.0, 1.0)), None)
+            }
+            LinkModel::Burst { params, bad, n } => {
+                let idx = src.index() * *n + dst.index();
+                let was_bad = bad[idx];
+                // One chain step per attempt, then the loss draw uses
+                // the post-transition state. Both draws always happen
+                // in this order, keeping the stream layout fixed.
+                let flip_p = if was_bad {
+                    params.p_bad_to_good
+                } else {
+                    params.p_good_to_bad
+                };
+                let now_bad = was_bad ^ rng.random_bool(flip_p);
+                bad[idx] = now_bad;
+                let p_loss = if now_bad {
+                    params.p_loss_bad
+                } else {
+                    params.p_loss_good
+                };
+                let delivered = !rng.random_bool(p_loss);
+                let flip = (was_bad != now_bad).then_some(now_bad);
+                (delivered, flip)
             }
         }
     }
@@ -89,7 +245,7 @@ mod tests {
     use super::*;
     use crate::rng::DetRng;
 
-    fn rate(model: &LinkModel, trials: u32, dist_frac: f64) -> f64 {
+    fn rate(model: &mut LinkModel, trials: u32, dist_frac: f64) -> f64 {
         let mut rng = DetRng::seed_from_u64(99);
         let mut ok = 0u32;
         for _ in 0..trials {
@@ -102,7 +258,7 @@ mod tests {
 
     #[test]
     fn perfect_always_delivers() {
-        assert_eq!(rate(&LinkModel::Perfect, 1000, 0.5), 1.0);
+        assert_eq!(rate(&mut LinkModel::Perfect, 1000, 0.5), 1.0);
     }
 
     #[test]
@@ -118,14 +274,14 @@ mod tests {
 
     #[test]
     fn iid_loss_rate_matches_probability() {
-        let model = LinkModel::iid_loss(0.3);
-        let r = rate(&model, 20_000, 0.0);
+        let mut model = LinkModel::iid_loss(0.3);
+        let r = rate(&mut model, 20_000, 0.0);
         assert!((r - 0.7).abs() < 0.02, "delivery rate {r}, expected ~0.7");
     }
 
     #[test]
     fn per_link_uses_directed_entries() {
-        let model = LinkModel::PerLink {
+        let mut model = LinkModel::PerLink {
             p_loss: vec![vec![0.0, 1.0], vec![0.0, 0.0]],
         };
         let mut rng = DetRng::seed_from_u64(1);
@@ -137,13 +293,87 @@ mod tests {
 
     #[test]
     fn distance_degraded_interpolates() {
-        let model = LinkModel::DistanceDegraded {
+        let mut model = LinkModel::DistanceDegraded {
             p_near: 0.0,
             p_far: 1.0,
         };
-        assert!((rate(&model, 5_000, 0.0) - 1.0).abs() < 1e-9);
-        assert!(rate(&model, 5_000, 1.0) < 1e-9);
-        let mid = rate(&model, 20_000, 0.5);
+        assert!((rate(&mut model, 5_000, 0.0) - 1.0).abs() < 1e-9);
+        assert!(rate(&mut model, 5_000, 1.0) < 1e-9);
+        let mid = rate(&mut model, 20_000, 0.5);
         assert!((mid - 0.5).abs() < 0.02, "mid-range delivery rate {mid}");
+    }
+
+    #[test]
+    fn gilbert_elliott_stationary_math() {
+        let ge = GilbertElliott {
+            p_good_to_bad: 0.1,
+            p_bad_to_good: 0.3,
+            p_loss_good: 0.0,
+            p_loss_bad: 0.8,
+        };
+        assert!((ge.stationary_bad() - 0.25).abs() < 1e-12);
+        assert!((ge.average_loss() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_average_loss_matches_target() {
+        let ge = GilbertElliott::with_average_loss(0.1, 0.05, 0.25);
+        assert!((ge.average_loss() - 0.1).abs() < 1e-12);
+        assert_eq!(ge.p_loss_good, 0.0);
+        let frozen = GilbertElliott::with_average_loss(0.0, 0.0, 0.0);
+        assert_eq!(frozen.average_loss(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot carry average loss")]
+    fn with_average_loss_rejects_unreachable_targets() {
+        // π_bad = 0.1 < target 0.5: even a fully-lossy bad state
+        // cannot average 50% loss.
+        let _ = GilbertElliott::with_average_loss(0.5, 0.1, 0.9);
+    }
+
+    #[test]
+    fn gilbert_elliott_long_run_rate_matches_average_loss() {
+        let ge = GilbertElliott::with_average_loss(0.2, 0.05, 0.2);
+        let mut model = LinkModel::gilbert_elliott(2, ge);
+        let r = rate(&mut model, 100_000, 0.0);
+        assert!(
+            (r - 0.8).abs() < 0.02,
+            "delivery rate {r}, expected ~0.8 at 20% average loss"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_reports_state_flips() {
+        let ge = GilbertElliott {
+            p_good_to_bad: 1.0,
+            p_bad_to_good: 1.0,
+            p_loss_good: 0.0,
+            p_loss_bad: 1.0,
+        };
+        let mut model = LinkModel::gilbert_elliott(2, ge);
+        let mut rng = DetRng::seed_from_u64(5);
+        // Deterministic alternation: every attempt flips the chain.
+        let (ok1, flip1) = model.delivered_tracked(&mut rng, NodeId(0), NodeId(1), 0.0);
+        assert_eq!((ok1, flip1), (false, Some(true)));
+        let (ok2, flip2) = model.delivered_tracked(&mut rng, NodeId(0), NodeId(1), 0.0);
+        assert_eq!((ok2, flip2), (true, Some(false)));
+        // Chains are per directed link: 1 -> 0 starts fresh in good.
+        let (_, flip3) = model.delivered_tracked(&mut rng, NodeId(1), NodeId(0), 0.0);
+        assert_eq!(flip3, Some(true));
+    }
+
+    #[test]
+    fn degenerate_gilbert_elliott_is_iid() {
+        let ge = GilbertElliott {
+            p_good_to_bad: 0.5,
+            p_bad_to_good: 0.5,
+            p_loss_good: 0.3,
+            p_loss_bad: 0.3,
+        };
+        assert!((ge.average_loss() - 0.3).abs() < 1e-12);
+        let mut model = LinkModel::gilbert_elliott(2, ge);
+        let r = rate(&mut model, 50_000, 0.0);
+        assert!((r - 0.7).abs() < 0.02, "delivery rate {r}, expected ~0.7");
     }
 }

@@ -43,11 +43,16 @@ impl From<u32> for NodeId {
 ///
 /// A node dies when its battery is depleted (or when failure is
 /// injected by an experiment); dead nodes neither send nor receive.
+/// Death is permanent unless the fault engine scheduled a transient
+/// outage, in which case `Network::revive` flips the node back to
+/// [`NodeState::Alive`] at the recovery tick (battery permitting).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeState {
     /// Operating normally.
     Alive,
-    /// Battery depleted or failure injected; silent forever.
+    /// Battery depleted or failure injected; silent until revived by
+    /// a scheduled outage recovery (battery depletion is never
+    /// revivable — a drained battery stays drained).
     Dead,
 }
 

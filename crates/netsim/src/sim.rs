@@ -18,6 +18,7 @@
 
 use crate::energy::{Battery, EnergyModel};
 use crate::error::NetsimError;
+use crate::fault::{FaultKind, FaultPlan, FaultSchedule};
 use crate::link::LinkModel;
 use crate::message::{Delivery, Destination, Envelope};
 use crate::node::{NodeId, NodeState};
@@ -46,15 +47,49 @@ pub struct Network<P: Clone> {
     /// Drained-outbox buffer recycled across rounds so [`Network::deliver`]
     /// never re-allocates the envelope queue (DESIGN.md §12).
     scratch: Vec<Envelope<P>>,
+    /// Per-node battery drain multiplier (1.0 = nominal), set by
+    /// fault injection.
+    drain: Vec<f64>,
+    /// Compiled fault timeline, applied at each tick boundary.
+    faults: Option<FaultSchedule>,
     round: u64,
 }
 
 impl<P: Clone> Clone for Network<P> {
-    /// Clones replicate the full network state. `DetRng` is
-    /// deliberately not `Clone` upstream, so the clone's loss stream is
-    /// re-seeded deterministically from the original seed and the
-    /// current round: clones are reproducible, but their future loss
-    /// pattern differs from the parent's continuation.
+    /// Clones replicate the full network state **except** the loss
+    /// RNG, which is deliberately re-seeded from `(seed, round)`
+    /// rather than copied. `DetRng` itself is `Clone`, so this is a
+    /// contract, not a workaround: two clones taken at the same round
+    /// share identical futures *with each other* (cloning is how the
+    /// parallel experiment runner fans a configured network out to
+    /// repetition cells, and every cell must see the same stream), but
+    /// a clone's loss pattern diverges from the **parent's own
+    /// continuation** — the parent's RNG keeps the position it had
+    /// already advanced to, while the clone restarts from the derived
+    /// seed.
+    ///
+    /// ```
+    /// use snapshot_netsim::prelude::*;
+    ///
+    /// let topo = Topology::new(
+    ///     vec![Position::new(0.0, 0.0), Position::new(0.1, 0.0)],
+    ///     1.0,
+    /// )
+    /// .unwrap();
+    /// let net: Network<u8> =
+    ///     Network::new(topo, LinkModel::iid_loss(0.5), EnergyModel::default(), 7);
+    ///
+    /// let mut a = net.clone();
+    /// let mut b = net.clone();
+    /// for _ in 0..20 {
+    ///     a.broadcast(NodeId(0), 1, 4, Phase::Test);
+    ///     a.deliver();
+    ///     b.broadcast(NodeId(0), 1, 4, Phase::Test);
+    ///     b.deliver();
+    /// }
+    /// // Sibling clones replay the same loss stream.
+    /// assert_eq!(a.stats().total_received(), b.stats().total_received());
+    /// ```
     fn clone(&self) -> Self {
         Network {
             topology: self.topology.clone(),
@@ -69,6 +104,8 @@ impl<P: Clone> Clone for Network<P> {
             outbox: self.outbox.clone(),
             inboxes: self.inboxes.clone(),
             scratch: Vec::new(),
+            drain: self.drain.clone(),
+            faults: self.faults.clone(),
             round: self.round,
         }
     }
@@ -92,6 +129,8 @@ impl<P: Clone> Network<P> {
             outbox: Vec::new(),
             inboxes: vec![Vec::new(); n],
             scratch: Vec::new(),
+            drain: vec![1.0; n],
+            faults: None,
             round: 0,
         }
     }
@@ -192,12 +231,172 @@ impl<P: Clone> Network<P> {
         self.node_ids().filter(|&id| self.is_alive(id)).count()
     }
 
-    /// Inject a permanent failure at `id` (used by self-healing tests).
+    /// Inject a permanent failure at `id` (used by self-healing tests
+    /// and the fault engine). Killing an already-dead node is a no-op:
+    /// no state change and no duplicate telemetry event.
     pub fn kill(&mut self, id: NodeId) {
         if self.states[id.index()].is_alive() {
             self.states[id.index()] = NodeState::Dead;
             let tick = self.round;
             self.emit(Event::NodeFailed { tick, node: id.0 });
+        }
+    }
+
+    /// Bring a failed node back (transient-outage recovery). Only a
+    /// node that is marked dead but whose battery still holds charge
+    /// revives; reviving an alive node — or a battery-depleted corpse —
+    /// is a no-op with no telemetry event.
+    pub fn revive(&mut self, id: NodeId) {
+        if !self.states[id.index()].is_alive() && self.batteries[id.index()].is_alive() {
+            self.states[id.index()] = NodeState::Alive;
+            let tick = self.round;
+            self.emit(Event::NodeRecovered { tick, node: id.0 });
+        }
+    }
+
+    /// Set the battery drain multiplier for one node (or, with `None`,
+    /// every node): subsequent energy draws are scaled by `factor`.
+    pub fn set_drain_multiplier(&mut self, id: Option<NodeId>, factor: f64) {
+        match id {
+            Some(id) => self.drain[id.index()] = factor,
+            None => self.drain.fill(factor),
+        }
+    }
+
+    /// The drain multiplier currently applied to `id`'s energy draws.
+    pub fn drain_multiplier(&self, id: NodeId) -> f64 {
+        self.drain[id.index()]
+    }
+
+    /// Replace the link model mid-run (fault injection).
+    pub fn set_link_model(&mut self, link: LinkModel) {
+        self.link = link;
+    }
+
+    /// The link model in force.
+    pub fn link_model(&self) -> &LinkModel {
+        &self.link
+    }
+
+    /// Attach a fault timeline: due events apply at each subsequent
+    /// tick boundary inside [`Network::deliver`]. `random` targets
+    /// resolve from a dedicated RNG stream derived from the network
+    /// seed, so the timeline replays identically on every run.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultSchedule::new(plan, derive_seed(self.seed, 0xFA_017)));
+    }
+
+    /// The compiled fault schedule, when one is attached.
+    pub fn fault_schedule(&self) -> Option<&FaultSchedule> {
+        self.faults.as_ref()
+    }
+
+    /// Apply every fault event and outage recovery due at the current
+    /// round. Recoveries process first (in node-id order), then due
+    /// events in schedule order, so a fault and a recovery landing on
+    /// the same tick leave the node dead.
+    fn apply_due_faults(&mut self) {
+        let Some(mut sched) = self.faults.take() else {
+            return;
+        };
+        let tick = self.round;
+        for node in sched.take_due_recoveries(tick) {
+            self.revive(NodeId(node));
+        }
+        for event in sched.take_due(tick) {
+            self.apply_fault(&mut sched, tick, event.kind);
+        }
+        self.faults = Some(sched);
+    }
+
+    fn apply_fault(&mut self, sched: &mut FaultSchedule, tick: u64, kind: FaultKind) {
+        use snapshot_telemetry::FaultTag;
+        match kind {
+            FaultKind::Crash { target } => {
+                let alive: Vec<NodeId> = self.node_ids().filter(|&id| self.is_alive(id)).collect();
+                if let Some(id) = sched.resolve_target(target, &alive) {
+                    if id.index() < self.len() && self.is_alive(id) {
+                        self.kill(id);
+                        sched.cancel_recovery(id.0);
+                        self.emit(Event::FaultInjected {
+                            tick,
+                            fault: FaultTag::Crash,
+                            node: id.0,
+                        });
+                    }
+                }
+            }
+            FaultKind::Outage { target, down_for } => {
+                let alive: Vec<NodeId> = self.node_ids().filter(|&id| self.is_alive(id)).collect();
+                if let Some(id) = sched.resolve_target(target, &alive) {
+                    if id.index() >= self.len() {
+                        return;
+                    }
+                    if self.is_alive(id) {
+                        self.kill(id);
+                        sched.schedule_recovery(id.0, tick + down_for);
+                        self.emit(Event::FaultInjected {
+                            tick,
+                            fault: FaultTag::Outage,
+                            node: id.0,
+                        });
+                    } else if sched.has_pending_recovery(id.0) {
+                        // Overlapping outages extend to the later
+                        // recovery; a permanently-dead node stays dead.
+                        sched.schedule_recovery(id.0, tick + down_for);
+                    }
+                }
+            }
+            FaultKind::Blackout { center, radius } => {
+                let in_disc: Vec<NodeId> = self
+                    .node_ids()
+                    .filter(|&id| self.topology.position(id).distance(&center) <= radius)
+                    .collect();
+                for id in in_disc {
+                    // Blacked-out ground stays dark: a node merely
+                    // down from an outage loses its pending recovery
+                    // too, even though its own kill is a no-op.
+                    sched.cancel_recovery(id.0);
+                    if self.is_alive(id) {
+                        self.kill(id);
+                        self.emit(Event::FaultInjected {
+                            tick,
+                            fault: FaultTag::Blackout,
+                            node: id.0,
+                        });
+                    }
+                }
+            }
+            FaultKind::Drain { node, factor } => {
+                let target = node.map(NodeId);
+                if let Some(id) = target {
+                    if id.index() >= self.len() {
+                        return;
+                    }
+                }
+                self.set_drain_multiplier(target, factor);
+                self.emit(Event::FaultInjected {
+                    tick,
+                    fault: FaultTag::Drain,
+                    node: node.unwrap_or(u32::MAX),
+                });
+            }
+            FaultKind::LinkIid { p_loss } => {
+                self.set_link_model(LinkModel::iid_loss(p_loss));
+                self.emit(Event::FaultInjected {
+                    tick,
+                    fault: FaultTag::LinkChange,
+                    node: u32::MAX,
+                });
+            }
+            FaultKind::LinkBurst { params } => {
+                self.set_link_model(LinkModel::gilbert_elliott(self.len(), params));
+                self.emit(Event::FaultInjected {
+                    tick,
+                    fault: FaultTag::LinkChange,
+                    node: u32::MAX,
+                });
+            }
         }
     }
 
@@ -233,6 +432,7 @@ impl<P: Clone> Network<P> {
         draw_energy_raw(
             &mut self.batteries,
             &mut self.telemetry,
+            &self.drain,
             self.round,
             id,
             amount,
@@ -292,6 +492,13 @@ impl<P: Clone> Network<P> {
     /// payload clones — the last receiver takes the payload by move.
     pub fn deliver(&mut self) -> usize {
         self.round += 1;
+        // Tick boundary: apply scheduled faults before any of this
+        // round's traffic moves, so a node crashed at tick `t` misses
+        // round-`t` receptions. One branch when no plan is attached —
+        // the zero-allocation hot path below is untouched.
+        if self.faults.is_some() {
+            self.apply_due_faults();
+        }
         // Swap the queued envelopes into the recycled scratch buffer:
         // draining it leaves its capacity for the next round, and the
         // outbox keeps the capacity it grew while enqueueing.
@@ -312,6 +519,7 @@ impl<P: Clone> Network<P> {
             stats,
             telemetry,
             inboxes,
+            drain,
             round,
             ..
         } = self;
@@ -330,9 +538,22 @@ impl<P: Clone> Network<P> {
                     continue;
                 }
                 let dist_frac = topology.distance(env.src, dst) / range;
-                if link.delivered(rng, env.src, dst, dist_frac) {
+                let (ok, flip) = link.delivered_tracked(rng, env.src, dst, dist_frac);
+                if let Some(bad) = flip {
+                    if telemetry.enabled() {
+                        telemetry.record(&Event::LinkStateFlipped {
+                            tick: round,
+                            src: env.src.0,
+                            dst: dst.0,
+                            bad,
+                        });
+                    }
+                }
+                if ok {
                     if rx_cost > 0.0 {
-                        draw_energy_raw(batteries, telemetry, round, dst, rx_cost, env.phase);
+                        draw_energy_raw(
+                            batteries, telemetry, drain, round, dst, rx_cost, env.phase,
+                        );
                     }
                     stats.record_receive(dst);
                     if let Some(prev) = last_hit.replace(dst) {
@@ -415,15 +636,19 @@ impl<P: Clone> Network<P> {
 
 /// Field-level body of [`Network::draw_energy`], callable while the
 /// rest of the struct is split into disjoint borrows (the delivery
-/// loop iterates the topology's neighbor slices in place).
+/// loop iterates the topology's neighbor slices in place). `drain`
+/// scales the nominal amount by the node's fault-injected battery
+/// drain multiplier; the telemetry stream records the scaled draw.
 fn draw_energy_raw(
     batteries: &mut [Battery],
     telemetry: &mut Telemetry,
+    drain: &[f64],
     round: u64,
     id: NodeId,
     amount: f64,
     phase: Phase,
 ) -> bool {
+    let amount = amount * drain[id.index()];
     if !batteries[id.index()].draw(amount) {
         return false;
     }
@@ -756,6 +981,167 @@ mod tests {
         };
         assert_eq!(run(11), run(11), "same seed, byte-identical JSONL");
         assert_ne!(run(11), run(12), "different seed, different trace");
+    }
+
+    #[test]
+    fn clones_share_reseeded_loss_stream() {
+        // The documented Clone contract: sibling clones taken at the
+        // same round replay identical loss streams, but each diverges
+        // from the parent's own continuation.
+        let topo = line_topology(2, 0.1, 1.0);
+        let mut parent: Network<u8> =
+            Network::new(topo, LinkModel::iid_loss(0.5), EnergyModel::default(), 9);
+        for _ in 0..10 {
+            parent.broadcast(NodeId(0), 1, 4, Phase::Test);
+            parent.deliver();
+        }
+        let drive = |net: &mut Network<u8>| {
+            let before = net.stats().total_received();
+            for _ in 0..50 {
+                net.broadcast(NodeId(0), 1, 4, Phase::Test);
+                net.deliver();
+                net.clear_inbox(NodeId(1));
+            }
+            net.stats().total_received() - before
+        };
+        let mut a = parent.clone();
+        let mut b = parent.clone();
+        assert_eq!(drive(&mut a), drive(&mut b), "siblings share the stream");
+    }
+
+    #[test]
+    fn revive_restores_only_killed_nodes() {
+        let topo = line_topology(3, 0.1, 1.0);
+        let mut net: Network<u8> =
+            Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
+        net.set_telemetry(Telemetry::with_ring(64));
+        net.kill(NodeId(1));
+        assert!(!net.is_alive(NodeId(1)));
+        net.revive(NodeId(1));
+        assert!(net.is_alive(NodeId(1)));
+        // Reviving an alive node is a no-op with no event.
+        net.revive(NodeId(2));
+        let events = net.telemetry().ring().expect("ring").events();
+        let recoveries = events
+            .iter()
+            .filter(|e| matches!(e, Event::NodeRecovered { .. }))
+            .count();
+        assert_eq!(recoveries, 1);
+    }
+
+    #[test]
+    fn revive_cannot_raise_a_depleted_battery() {
+        let topo = line_topology(2, 0.1, 1.0);
+        let mut net: Network<u8> = Network::with_finite_batteries(
+            topo,
+            LinkModel::Perfect,
+            EnergyModel::default(),
+            1.0,
+            1,
+        );
+        net.broadcast(NodeId(0), 1, 4, Phase::Test); // drains to zero
+        assert!(!net.is_alive(NodeId(0)));
+        net.revive(NodeId(0));
+        assert!(!net.is_alive(NodeId(0)), "a drained battery stays dead");
+    }
+
+    #[test]
+    fn drain_multiplier_scales_energy_draws() {
+        let topo = line_topology(2, 0.1, 1.0);
+        let mut net: Network<u8> = Network::with_finite_batteries(
+            topo,
+            LinkModel::Perfect,
+            EnergyModel::default(),
+            10.0,
+            1,
+        );
+        net.set_drain_multiplier(Some(NodeId(0)), 3.0);
+        net.broadcast(NodeId(0), 1, 4, Phase::Test); // 1 tx * 3.0
+        assert!((net.battery(NodeId(0)).remaining() - 7.0).abs() < 1e-12);
+        assert_eq!(net.drain_multiplier(NodeId(0)), 3.0);
+        assert_eq!(net.drain_multiplier(NodeId(1)), 1.0);
+    }
+
+    #[test]
+    fn fault_plan_crash_applies_at_tick_boundary() {
+        let topo = line_topology(3, 0.1, 1.0);
+        let mut net: Network<u8> =
+            Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
+        net.set_telemetry(Telemetry::with_ring(256));
+        net.set_fault_plan(FaultPlan::parse("2 crash 1\n").expect("parses"));
+        net.deliver(); // round 1: nothing due
+        assert!(net.is_alive(NodeId(1)));
+        // Round 2: the crash applies before traffic moves, so node 1
+        // misses this round's broadcast.
+        net.broadcast(NodeId(0), 7, 4, Phase::Test);
+        net.deliver();
+        assert!(!net.is_alive(NodeId(1)));
+        assert!(net.take_inbox(NodeId(1)).is_empty());
+        assert_eq!(net.take_inbox(NodeId(2)).len(), 1);
+        let events = net.telemetry().ring().expect("ring").events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::FaultInjected { node: 1, .. })));
+    }
+
+    #[test]
+    fn fault_plan_outage_recovers_on_schedule() {
+        let topo = line_topology(2, 0.1, 1.0);
+        let mut net: Network<u8> =
+            Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
+        net.set_telemetry(Telemetry::with_ring(256));
+        net.set_fault_plan(FaultPlan::parse("1 outage 1 for 3\n").expect("parses"));
+        net.deliver(); // round 1: outage applies
+        assert!(!net.is_alive(NodeId(1)));
+        net.deliver(); // round 2
+        net.deliver(); // round 3
+        assert!(!net.is_alive(NodeId(1)));
+        net.deliver(); // round 4 = 1 + 3: recovery
+        assert!(net.is_alive(NodeId(1)));
+        let events = net.telemetry().ring().expect("ring").events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::NodeRecovered { node: 1, tick: 4 })));
+        assert!(net.fault_schedule().expect("attached").exhausted());
+    }
+
+    #[test]
+    fn fault_plan_link_change_swaps_models() {
+        let topo = line_topology(2, 0.1, 1.0);
+        let mut net: Network<u8> =
+            Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
+        net.set_fault_plan(FaultPlan::parse("1 link iid 1.0\n").expect("parses"));
+        net.broadcast(NodeId(0), 1, 4, Phase::Test);
+        net.deliver();
+        // The swap happened before this round's traffic moved.
+        assert!(net.take_inbox(NodeId(1)).is_empty());
+        assert!(matches!(net.link_model(), LinkModel::Iid { .. }));
+    }
+
+    #[test]
+    fn fault_timeline_is_deterministic_in_seed() {
+        let run = |seed: u64| {
+            let topo = line_topology(8, 0.05, 1.0);
+            let mut net: Network<u32> =
+                Network::new(topo, LinkModel::iid_loss(0.2), EnergyModel::default(), seed);
+            net.set_telemetry(Telemetry::with_ring(1 << 14));
+            net.set_fault_plan(
+                FaultPlan::parse(
+                    "3 outage random for 5\n6 crash random\n10 link burst 0.1 0.3 0.0 0.9\n",
+                )
+                .expect("parses"),
+            );
+            for t in 0..30u32 {
+                net.broadcast(NodeId(t % 8), t, 4, Phase::Data);
+                net.deliver();
+                for id in 0..8u32 {
+                    net.clear_inbox(NodeId(id));
+                }
+            }
+            net.telemetry().export_jsonl().expect("ring attached")
+        };
+        assert_eq!(run(4), run(4), "same seed, byte-identical trace");
+        assert_ne!(run(4), run(5), "random targets follow the seed");
     }
 
     #[test]

@@ -55,6 +55,48 @@ impl CacheOutcome {
     }
 }
 
+/// Which fault-injection action a [`Event::FaultInjected`] records
+/// (mirrors the simulator's `FaultKind`, flattened for the trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTag {
+    /// Permanent node crash.
+    Crash,
+    /// Transient node outage (a recovery is scheduled).
+    Outage,
+    /// Region blackout: every node inside a disc was killed.
+    Blackout,
+    /// Battery drain multiplier changed.
+    Drain,
+    /// The link-loss model was swapped at runtime.
+    LinkChange,
+}
+
+impl FaultTag {
+    /// Canonical trace label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultTag::Crash => "crash",
+            FaultTag::Outage => "outage",
+            FaultTag::Blackout => "blackout",
+            FaultTag::Drain => "drain",
+            FaultTag::LinkChange => "link_change",
+        }
+    }
+
+    /// Parse a canonical label.
+    pub fn parse(s: &str) -> Option<FaultTag> {
+        [
+            FaultTag::Crash,
+            FaultTag::Outage,
+            FaultTag::Blackout,
+            FaultTag::Drain,
+            FaultTag::LinkChange,
+        ]
+        .into_iter()
+        .find(|t| t.as_str() == s)
+    }
+}
+
 /// How a query span ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueryStatus {
@@ -236,6 +278,37 @@ pub enum Event {
         /// Participants charged (responders + routers).
         participants: u32,
     },
+    /// The fault engine applied one scheduled fault.
+    ///
+    /// Per-node faults stamp the affected node; a blackout emits one
+    /// event per node it kills. Network-wide faults (link-model change,
+    /// global drain) use `u32::MAX` as the node id.
+    FaultInjected {
+        /// Simulation tick.
+        tick: u64,
+        /// Which fault kind fired.
+        fault: FaultTag,
+        /// Affected node, or `u32::MAX` for network-wide faults.
+        node: u32,
+    },
+    /// A transient outage ended and the node came back alive.
+    NodeRecovered {
+        /// Simulation tick.
+        tick: u64,
+        /// The recovered node.
+        node: u32,
+    },
+    /// A bursty (Gilbert–Elliott) directed link changed state.
+    LinkStateFlipped {
+        /// Simulation tick.
+        tick: u64,
+        /// Sender side of the directed link.
+        src: u32,
+        /// Receiver side of the directed link.
+        dst: u32,
+        /// True when the link entered the bad (bursty-loss) state.
+        bad: bool,
+    },
 }
 
 impl Event {
@@ -254,7 +327,10 @@ impl Event {
             | Event::ModelRefit { tick, .. }
             | Event::HandoffTriggered { tick, .. }
             | Event::QueryBegin { tick, .. }
-            | Event::QueryEnd { tick, .. } => tick,
+            | Event::QueryEnd { tick, .. }
+            | Event::FaultInjected { tick, .. }
+            | Event::NodeRecovered { tick, .. }
+            | Event::LinkStateFlipped { tick, .. } => tick,
         }
     }
 
@@ -274,6 +350,9 @@ impl Event {
             Event::HandoffTriggered { .. } => "handoff",
             Event::QueryBegin { .. } => "query_begin",
             Event::QueryEnd { .. } => "query_end",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::NodeRecovered { .. } => "node_recovered",
+            Event::LinkStateFlipped { .. } => "link_state",
         }
     }
 }
@@ -298,11 +377,37 @@ mod tests {
                 status: QueryStatus::Ok,
                 participants: 4,
             },
+            Event::FaultInjected {
+                tick: 4,
+                fault: FaultTag::Crash,
+                node: 7,
+            },
+            Event::NodeRecovered { tick: 5, node: 7 },
+            Event::LinkStateFlipped {
+                tick: 6,
+                src: 1,
+                dst: 2,
+                bad: true,
+            },
         ];
         assert_eq!(
             events.iter().map(Event::tick).collect::<Vec<_>>(),
-            vec![1, 2, 3]
+            vec![1, 2, 3, 4, 5, 6]
         );
+    }
+
+    #[test]
+    fn fault_tag_labels_round_trip() {
+        for t in [
+            FaultTag::Crash,
+            FaultTag::Outage,
+            FaultTag::Blackout,
+            FaultTag::Drain,
+            FaultTag::LinkChange,
+        ] {
+            assert_eq!(FaultTag::parse(t.as_str()), Some(t));
+        }
+        assert_eq!(FaultTag::parse("meteor"), None);
     }
 
     #[test]

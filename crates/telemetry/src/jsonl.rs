@@ -8,7 +8,7 @@
 //! trace files. The parser accepts exactly the writer's dialect:
 //! flat objects of string / number / bool values.
 
-use crate::event::{CacheOutcome, Event, QueryStatus};
+use crate::event::{CacheOutcome, Event, FaultTag, QueryStatus};
 use crate::phase::Phase;
 use core::fmt::Write as _;
 
@@ -167,6 +167,18 @@ pub fn write_event(out: &mut String, ev: &Event) {
             push_u64(out, "id", id);
             push_str(out, "status", status.as_str());
             push_u64(out, "participants", u64::from(participants));
+        }
+        Event::FaultInjected { fault, node, .. } => {
+            push_str(out, "fault", fault.as_str());
+            push_u64(out, "node", u64::from(node));
+        }
+        Event::NodeRecovered { node, .. } => {
+            push_u64(out, "node", u64::from(node));
+        }
+        Event::LinkStateFlipped { src, dst, bad, .. } => {
+            push_u64(out, "src", u64::from(src));
+            push_u64(out, "dst", u64::from(dst));
+            push_bool(out, "bad", bad);
         }
     }
     out.push('}');
@@ -373,6 +385,21 @@ pub fn parse_line(line: &str) -> Result<Event, ParseError> {
             status: QueryStatus::parse(f.str("status")?).ok_or(ParseError::BadValue("status"))?,
             participants: f.u32("participants")?,
         },
+        "fault_injected" => Event::FaultInjected {
+            tick,
+            fault: FaultTag::parse(f.str("fault")?).ok_or(ParseError::BadValue("fault"))?,
+            node: f.u32("node")?,
+        },
+        "node_recovered" => Event::NodeRecovered {
+            tick,
+            node: f.u32("node")?,
+        },
+        "link_state" => Event::LinkStateFlipped {
+            tick,
+            src: f.u32("src")?,
+            dst: f.u32("dst")?,
+            bad: f.bool("bad")?,
+        },
         other => return Err(ParseError::UnknownKind(other.to_owned())),
     })
 }
@@ -463,6 +490,18 @@ mod tests {
                 id: 1,
                 status: QueryStatus::Ok,
                 participants: 14,
+            },
+            Event::FaultInjected {
+                tick: 11,
+                fault: FaultTag::Blackout,
+                node: 4,
+            },
+            Event::NodeRecovered { tick: 12, node: 4 },
+            Event::LinkStateFlipped {
+                tick: 13,
+                src: 4,
+                dst: 5,
+                bad: false,
             },
         ]
     }

@@ -44,7 +44,7 @@ pub mod recorder;
 pub mod registry;
 pub mod replay;
 
-pub use event::{CacheOutcome, Event, QueryStatus};
+pub use event::{CacheOutcome, Event, FaultTag, QueryStatus};
 pub use phase::Phase;
 pub use recorder::{NullRecorder, Recorder, RingRecorder, Telemetry};
 pub use registry::{Histogram, MetricsRegistry, PerNodePhase};

@@ -326,6 +326,9 @@ impl Recorder for MetricsRegistry {
                 self.inc("query_end", 1);
                 self.inc("query_participants", u64::from(participants));
             }
+            Event::FaultInjected { .. } => self.inc("fault_injected", 1),
+            Event::NodeRecovered { .. } => self.inc("node_recovered", 1),
+            Event::LinkStateFlipped { .. } => self.inc("link_state_flip", 1),
         }
     }
 }

@@ -112,6 +112,13 @@ pub struct TraceSummary {
     pub handoffs: Vec<(u64, u32, f64)>,
     /// Node failures `(tick, node)`.
     pub failures: Vec<(u64, u32)>,
+    /// Injected faults `(tick, kind label, node)` — node is
+    /// `u32::MAX` for network-wide faults.
+    pub faults: Vec<(u64, &'static str, u32)>,
+    /// Transient-outage recoveries `(tick, node)`.
+    pub recoveries: Vec<(u64, u32)>,
+    /// Gilbert–Elliott link-state flips observed in the trace.
+    pub link_flips: u64,
 }
 
 impl TraceSummary {
@@ -214,6 +221,11 @@ impl TraceSummary {
                         span.participants = participants;
                     }
                 }
+                Event::FaultInjected { tick, fault, node } => {
+                    s.faults.push((tick, fault.as_str(), node));
+                }
+                Event::NodeRecovered { tick, node } => s.recoveries.push((tick, node)),
+                Event::LinkStateFlipped { .. } => s.link_flips += 1,
                 Event::CacheAdmit { .. } | Event::CacheEvict { .. } | Event::ModelRefit { .. } => {}
             }
         }
@@ -343,6 +355,28 @@ impl TraceSummary {
             }
         }
 
+        if !self.faults.is_empty() {
+            let _ = writeln!(out, "\ninjected faults: {}", self.faults.len());
+            for (tick, kind, node) in &self.faults {
+                if *node == u32::MAX {
+                    let _ = writeln!(out, "  tick {tick:<6} {kind:<12} network-wide");
+                } else {
+                    let _ = writeln!(out, "  tick {tick:<6} {kind:<12} node {node}");
+                }
+            }
+        }
+
+        if !self.recoveries.is_empty() {
+            let _ = writeln!(out, "\nrecoveries: {}", self.recoveries.len());
+            for (tick, node) in &self.recoveries {
+                let _ = writeln!(out, "  tick {tick:<6} node {node}");
+            }
+        }
+
+        if self.link_flips > 0 {
+            let _ = writeln!(out, "\nlink-state flips: {}", self.link_flips);
+        }
+
         out
     }
 }
@@ -430,6 +464,49 @@ mod tests {
         assert_eq!(s.queries[0].status, Some(QueryStatus::Ok));
         assert_eq!(s.queries[0].participants, 9);
         assert_eq!(s.queries[1].end_tick, None, "unclosed span stays open");
+    }
+
+    #[test]
+    fn fault_events_are_summarized() {
+        use crate::event::FaultTag;
+        let evs = vec![
+            Event::FaultInjected {
+                tick: 3,
+                fault: FaultTag::Outage,
+                node: 2,
+            },
+            Event::NodeFailed { tick: 3, node: 2 },
+            Event::NodeRecovered { tick: 9, node: 2 },
+            Event::FaultInjected {
+                tick: 12,
+                fault: FaultTag::LinkChange,
+                node: u32::MAX,
+            },
+            Event::LinkStateFlipped {
+                tick: 13,
+                src: 0,
+                dst: 1,
+                bad: true,
+            },
+            Event::LinkStateFlipped {
+                tick: 14,
+                src: 0,
+                dst: 1,
+                bad: false,
+            },
+        ];
+        let s = TraceSummary::from_events(&evs);
+        assert_eq!(
+            s.faults,
+            vec![(3, "outage", 2), (12, "link_change", u32::MAX)]
+        );
+        assert_eq!(s.recoveries, vec![(9, 2)]);
+        assert_eq!(s.link_flips, 2);
+        let report = s.render();
+        assert!(report.contains("injected faults: 2"));
+        assert!(report.contains("network-wide"));
+        assert!(report.contains("recoveries: 1"));
+        assert!(report.contains("link-state flips: 2"));
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!    that (transitively) sends must take the energy-accounted
 //!    [`Network`] as a parameter, keeping the paper's ≤6-messages/node
 //!    budget auditable via `NetStats::sent_in_phase`.
+//! 4. **Fault/telemetry coverage** — every variant of the simulator's
+//!    `FaultKind` enum must be applied somewhere that also emits the
+//!    `FaultInjected` telemetry event, so no injectable fault can slip
+//!    through a trace unrecorded (cross-file; see
+//!    [`lints::FaultCoverage`]).
 //!
 //! Escape hatch: `// xtask-allow(lint_name): reason` on the same line
 //! or the line above suppresses one lint at one site. Allows must name
@@ -100,6 +105,7 @@ pub const LINT_NAMES: &[&str] = &[
     "no_wall_clock",
     "unaccounted_send",
     "unthreaded_network",
+    "fault_event_coverage",
     "bad_allow",
     "unused_allow",
 ];
@@ -144,8 +150,23 @@ impl Report {
 /// `protocol_dir` enables the energy-accounting lints (used for
 /// `election/` and `maintenance/` sources).
 pub fn analyze_source(path: &Path, src: &str, protocol_dir: bool) -> (Vec<Diagnostic>, usize) {
+    analyze_source_with(path, src, protocol_dir, None)
+}
+
+/// [`analyze_source`], additionally feeding the cross-file fault
+/// coverage accumulator when one is threaded through (the full
+/// `analyze_paths` walk does; single-file callers may pass `None`).
+fn analyze_source_with(
+    path: &Path,
+    src: &str,
+    protocol_dir: bool,
+    coverage: Option<&mut lints::FaultCoverage>,
+) -> (Vec<Diagnostic>, usize) {
     let lexed = lexer::lex(src);
     let excluded = lints::test_regions(&lexed.tokens);
+    if let Some(cov) = coverage {
+        cov.scan(path, &lexed.tokens, &excluded);
+    }
 
     let mut diags = Vec::new();
     lints::panic_freedom(path, &lexed.tokens, &excluded, &mut diags);
@@ -266,20 +287,24 @@ pub fn collect_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()>
     Ok(())
 }
 
-/// Analyze every `.rs` file under the given roots.
+/// Analyze every `.rs` file under the given roots, including the
+/// cross-file fault/telemetry coverage pass.
 pub fn analyze_paths(roots: &[PathBuf]) -> std::io::Result<Report> {
     let mut files = Vec::new();
     for root in roots {
         collect_files(root, &mut files)?;
     }
     let mut report = Report::default();
+    let mut coverage = lints::FaultCoverage::default();
     for file in files {
         let src = std::fs::read_to_string(&file)?;
-        let (diags, honored) = analyze_source(&file, &src, is_protocol_dir(&file));
+        let (diags, honored) =
+            analyze_source_with(&file, &src, is_protocol_dir(&file), Some(&mut coverage));
         report.diagnostics.extend(diags);
         report.allows_honored += honored;
         report.files_scanned += 1;
     }
+    coverage.finish(&mut report.diagnostics);
     Ok(report)
 }
 

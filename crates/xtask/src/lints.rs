@@ -1,8 +1,10 @@
-//! Token-pattern lints: panic-freedom and determinism.
+//! Token-pattern lints: panic-freedom, determinism, and the
+//! cross-file fault/telemetry coverage check.
 
 use crate::lexer::{Token, TokenKind};
 use crate::{Diagnostic, Level};
-use std::path::Path;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 
 /// Compute which token indices sit inside test-only regions:
 /// `#[cfg(test)]`-gated items and `#[test]` functions. Lints skip
@@ -282,6 +284,146 @@ pub fn determinism(path: &Path, tokens: &[Token], excluded: &[bool], diags: &mut
     }
 }
 
+/// Cross-file fault/telemetry coverage (`fault_event_coverage`).
+///
+/// The fault-injection engine is only auditable if every fault the
+/// scenario engine can apply leaves a mark in the telemetry trace.
+/// This pass collects the variants of the simulator's `FaultKind`
+/// enum wherever it is declared, then checks that each variant is
+/// matched (as `FaultKind::Variant`) in non-test code of at least one
+/// file that also references the `FaultInjected` telemetry event —
+/// i.e. fault-*application* code, not the scenario parser. A variant
+/// that is applied without an emission site makes traces lie by
+/// omission, so uncovered variants are deny-level.
+///
+/// Unlike the token lints above, this check spans files and therefore
+/// runs once per analysis pass; `xtask-allow` cannot suppress it —
+/// the fix is always to emit the event.
+#[derive(Debug, Default)]
+pub struct FaultCoverage {
+    /// Declared variants: name plus declaration site.
+    variants: Vec<(String, PathBuf, u32, u32)>,
+    /// Variants seen as `FaultKind::V` in emitting, non-test code.
+    covered: BTreeSet<String>,
+}
+
+impl FaultCoverage {
+    /// Feed one file's tokens into the accumulator.
+    pub fn scan(&mut self, path: &Path, tokens: &[Token], excluded: &[bool]) {
+        for i in 0..tokens.len() {
+            if excluded[i] {
+                continue;
+            }
+            if tokens[i].kind.ident() == Some("enum")
+                && tokens.get(i + 1).and_then(|t| t.kind.ident()) == Some("FaultKind")
+                && tokens.get(i + 2).is_some_and(|t| t.kind.is_punct('{'))
+            {
+                self.collect_variants(path, tokens, i + 2);
+            }
+        }
+
+        // Usages only count in files whose non-test code references the
+        // `FaultInjected` event — the application path, not the parser.
+        let emits = tokens
+            .iter()
+            .zip(excluded)
+            .any(|(t, &ex)| !ex && t.kind.ident() == Some("FaultInjected"));
+        if !emits {
+            return;
+        }
+        for i in 0..tokens.len() {
+            if excluded[i] {
+                continue;
+            }
+            if tokens[i].kind.ident() == Some("FaultKind")
+                && tokens.get(i + 1).is_some_and(|t| t.kind.is_punct(':'))
+                && tokens.get(i + 2).is_some_and(|t| t.kind.is_punct(':'))
+            {
+                if let Some(v) = tokens.get(i + 3).and_then(|t| t.kind.ident()) {
+                    self.covered.insert(v.to_string());
+                }
+            }
+        }
+    }
+
+    /// Walk the enum body starting at its opening `{`, recording each
+    /// variant name (skipping attributes, field blocks and tuple
+    /// payloads).
+    fn collect_variants(&mut self, path: &Path, tokens: &[Token], open: usize) {
+        let mut depth = 0usize;
+        let mut expecting = false;
+        let mut i = open;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            match &t.kind {
+                TokenKind::Punct('{') => {
+                    depth += 1;
+                    if depth == 1 {
+                        expecting = true;
+                    }
+                }
+                TokenKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                TokenKind::Punct(',') if depth == 1 => expecting = true,
+                TokenKind::Punct('#')
+                    if depth == 1
+                        && expecting
+                        && tokens.get(i + 1).is_some_and(|t| t.kind.is_punct('[')) =>
+                {
+                    let mut brackets = 0usize;
+                    i += 1;
+                    while i < tokens.len() {
+                        if tokens[i].kind.is_punct('[') {
+                            brackets += 1;
+                        } else if tokens[i].kind.is_punct(']') {
+                            brackets -= 1;
+                            if brackets == 0 {
+                                break;
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+                TokenKind::Ident(name) if depth == 1 && expecting => {
+                    self.variants
+                        .push((name.clone(), path.to_path_buf(), t.line, t.col));
+                    expecting = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    /// Emit a deny-level diagnostic for every declared variant that no
+    /// emitting file applies.
+    pub fn finish(self, diags: &mut Vec<Diagnostic>) {
+        let FaultCoverage { variants, covered } = self;
+        for (name, path, line, col) in variants {
+            if covered.contains(&name) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                lint: "fault_event_coverage",
+                level: Level::Deny,
+                path,
+                line,
+                col,
+                message: format!(
+                    "`FaultKind::{name}` is never applied in code that emits the \
+                     `FaultInjected` telemetry event"
+                ),
+                suggestion: "handle the variant in the simulator's fault-application path and \
+                             emit `Event::FaultInjected` there (see `netsim/src/sim.rs`)",
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,5 +527,75 @@ mod tests {
             fn f() { let s = "thread_rng Instant::now"; let _ = s; }
         "#;
         assert!(lint_names(src).is_empty());
+    }
+
+    fn coverage(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let mut cov = FaultCoverage::default();
+        for (name, src) in files {
+            let lexed = lex(src);
+            let excluded = test_regions(&lexed.tokens);
+            cov.scan(Path::new(name), &lexed.tokens, &excluded);
+        }
+        let mut diags = Vec::new();
+        cov.finish(&mut diags);
+        diags
+    }
+
+    const FAULT_DECL: &str = "pub enum FaultKind { Crash { target: u32 }, Drain(f64) }";
+
+    #[test]
+    fn fault_variants_applied_by_emitting_file_are_clean() {
+        let apply = "fn apply(k: FaultKind) { match k { \
+                     FaultKind::Crash { .. } => emit(Event::FaultInjected {}), \
+                     FaultKind::Drain(_) => emit(Event::FaultInjected {}), } }";
+        let d = coverage(&[("fault.rs", FAULT_DECL), ("sim.rs", apply)]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn uncovered_fault_variant_is_denied() {
+        let apply = "fn apply(k: FaultKind) { \
+                     if let FaultKind::Crash { .. } = k { emit(Event::FaultInjected {}) } }";
+        let d = coverage(&[("fault.rs", FAULT_DECL), ("sim.rs", apply)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].lint, "fault_event_coverage");
+        assert_eq!(d[0].level, Level::Deny);
+        assert!(d[0].message.contains("Drain"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn usage_in_non_emitting_file_does_not_count_as_coverage() {
+        // The scenario parser constructs every variant but emits no
+        // telemetry — that must not satisfy the lint.
+        let parser = "fn parse() -> FaultKind { FaultKind::Crash { target: 0 } } \
+                      fn mk() -> FaultKind { FaultKind::Drain(1.0) }";
+        let d = coverage(&[("fault.rs", FAULT_DECL), ("parse.rs", parser)]);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn test_region_usage_does_not_count_as_coverage() {
+        let apply = "#[cfg(test)] mod tests { fn t() { let _ = (\
+                     FaultKind::Crash { target: 0 }, FaultKind::Drain(0.0), \
+                     Event::FaultInjected {}); } }";
+        assert_eq!(
+            coverage(&[("fault.rs", FAULT_DECL), ("sim.rs", apply)]).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn no_fault_enum_means_no_coverage_findings() {
+        assert!(coverage(&[("other.rs", "fn f() { let x = 1; }")]).is_empty());
+    }
+
+    #[test]
+    fn variant_attributes_and_field_blocks_parse_correctly() {
+        let decl = "enum FaultKind { #[doc = \"boom\"] Crash { target: u32, down: u64 }, \
+                    Blackout { x: f64, y: f64 } }";
+        let d = coverage(&[("fault.rs", decl)]);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("Crash"));
+        assert!(d[1].message.contains("Blackout"));
     }
 }

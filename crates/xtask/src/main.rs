@@ -29,6 +29,8 @@ lints:
   no_wall_clock (deny)                    determinism
   unaccounted_send, unthreaded_network
   (deny, election/ + maintenance/ only)   energy accounting
+  fault_event_coverage (deny, cross-file) every FaultKind variant must
+                                          emit FaultInjected telemetry
   bad_allow, unused_allow (deny)          escape-hatch hygiene
 
 Suppress a single finding with `// xtask-allow(lint): reason` on the

@@ -1,0 +1,225 @@
+//! Fault-injection scenario engine, end to end: the edge-case
+//! semantics `FAULTS.md` promises (idempotent crashes, overlapping
+//! outages, total blackouts) and the handbook's own grammar examples.
+
+use snapshot_queries::core::{
+    Aggregate, CoreError, QueryMode, SensorNetwork, SnapshotConfig, SnapshotQuery, SpatialPredicate,
+};
+use snapshot_queries::datagen::{random_walk, RandomWalkConfig};
+use snapshot_queries::netsim::{
+    EnergyModel, Event, FaultPlan, LinkModel, Network, NodeId, Telemetry, Topology,
+};
+
+/// A tiny traced network with a fault plan attached.
+fn small_net(n: usize, plan: &str) -> Network<u8> {
+    let topo = Topology::random_uniform(n, 2.0, 5);
+    let mut net = Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 5);
+    net.set_telemetry(Telemetry::with_ring(1024));
+    net.set_fault_plan(FaultPlan::parse(plan).expect("test plan parses"));
+    net
+}
+
+fn count(net: &Network<u8>, pred: impl Fn(&Event) -> bool) -> usize {
+    net.telemetry()
+        .ring()
+        .expect("ring recorder attached")
+        .events()
+        .iter()
+        .filter(|e| pred(e))
+        .count()
+}
+
+/// The canonical full-stack deployment from the self-healing suite.
+fn build_sensor_network(seed: u64) -> SensorNetwork {
+    let data = random_walk(&RandomWalkConfig {
+        steps: 1000,
+        ..RandomWalkConfig::paper_defaults(1, seed)
+    })
+    .unwrap();
+    let topo = Topology::random_uniform(100, 2.0, seed);
+    let mut sn = SensorNetwork::new(
+        topo,
+        LinkModel::Perfect,
+        EnergyModel::default(),
+        SnapshotConfig::paper(1.0, 2048, seed),
+        data.trace,
+    );
+    sn.train(0, 10);
+    sn.set_time(99);
+    let _ = sn.elect();
+    sn
+}
+
+#[test]
+fn crashing_an_already_dead_node_is_a_no_op_with_no_duplicate_telemetry() {
+    // Crash node 1 twice, then drop a transient outage on the corpse.
+    let mut net = small_net(4, "2 crash 1\n3 crash 1\n4 outage 1 for 2\n");
+    for _ in 0..8 {
+        net.deliver();
+    }
+    assert!(!net.is_alive(NodeId(1)));
+    assert_eq!(
+        count(&net, |e| matches!(e, Event::FaultInjected { node: 1, .. })),
+        1,
+        "only the first crash is recorded"
+    );
+    assert_eq!(
+        count(&net, |e| matches!(e, Event::NodeFailed { node: 1, .. })),
+        1
+    );
+    assert_eq!(
+        count(&net, |e| matches!(e, Event::NodeRecovered { node: 1, .. })),
+        0,
+        "an outage on a permanently-dead node neither revives nor re-records it"
+    );
+
+    // A direct kill of the corpse is equally silent.
+    net.kill(NodeId(1));
+    assert_eq!(
+        count(&net, |e| matches!(e, Event::NodeFailed { node: 1, .. })),
+        1
+    );
+}
+
+#[test]
+fn overlapping_transient_outages_resolve_to_the_later_recovery_tick() {
+    // The first outage schedules recovery at 1 + 10 = 11; the second,
+    // landing while the node is down, would recover at 3 + 2 = 5 but
+    // must extend, never shorten.
+    let mut net = small_net(4, "1 outage 1 for 10\n3 outage 1 for 2\n");
+    for _ in 0..10 {
+        net.deliver(); // rounds 1..=10
+    }
+    assert!(
+        !net.is_alive(NodeId(1)),
+        "recovery must not happen before tick 11"
+    );
+    net.deliver(); // round 11
+    assert!(net.is_alive(NodeId(1)));
+    assert_eq!(
+        count(&net, |e| matches!(
+            e,
+            Event::NodeRecovered { node: 1, tick: 11 }
+        )),
+        1
+    );
+    assert_eq!(
+        count(&net, |e| matches!(e, Event::FaultInjected { node: 1, .. })),
+        1,
+        "the overlapping outage extends silently — no second injection event"
+    );
+
+    // Mirror case: the later outage is the longer one.
+    let mut net = small_net(4, "1 outage 2 for 2\n2 outage 2 for 10\n");
+    for _ in 0..11 {
+        net.deliver(); // rounds 1..=11
+    }
+    assert!(!net.is_alive(NodeId(2)), "extended to 2 + 10 = 12");
+    net.deliver(); // round 12
+    assert!(net.is_alive(NodeId(2)));
+}
+
+#[test]
+fn blackout_cancels_pending_recoveries_inside_the_disc() {
+    // Node 1 goes dark at tick 1 (recovery due at 9); the tick-3
+    // blackout covers the whole field, so that recovery must never
+    // fire: blacked-out ground stays dark.
+    let mut net = small_net(4, "1 outage 1 for 8\n3 blackout 0.5 0.5 10\n");
+    for _ in 0..12 {
+        net.deliver();
+    }
+    assert_eq!(net.alive_count(), 0);
+    assert_eq!(
+        count(&net, |e| matches!(e, Event::NodeRecovered { .. })),
+        0,
+        "no node may revive after a blackout swallowed its recovery"
+    );
+    assert!(net.fault_schedule().expect("plan attached").exhausted());
+}
+
+#[test]
+fn blackout_that_empties_the_network_leaves_queries_erroring_not_panicking() {
+    let mut sn = build_sensor_network(11);
+    sn.enable_telemetry(1 << 14);
+    // A disc wider than the unit field kills every node at once.
+    sn.net_mut()
+        .set_fault_plan(FaultPlan::parse("1 blackout 0.5 0.5 10\n").expect("parses"));
+    sn.net_mut().deliver();
+    assert_eq!(sn.net().alive_count(), 0);
+
+    let q = SnapshotQuery::aggregate(SpatialPredicate::All, Aggregate::Avg, QueryMode::Snapshot);
+    let err = sn
+        .try_query(&q, NodeId(0))
+        .expect_err("an empty network cannot answer");
+    assert!(
+        matches!(err, CoreError::NetworkUnavailable { alive: 0 }),
+        "expected NetworkUnavailable {{ alive: 0 }}, got {err:?}"
+    );
+
+    // Maintenance over the graveyard must not panic either, and the
+    // failed query leaves a typed error span in the trace.
+    let _ = sn.maintain();
+    let trace = sn.export_trace_jsonl();
+    assert!(trace.contains("\"status\":\"error\""), "trace: {trace}");
+}
+
+#[test]
+fn fault_plans_replay_identically_for_the_same_seed() {
+    // `random` targets resolve from the network-seed-derived stream,
+    // so the whole timeline is a pure function of (plan, seed).
+    let run = || {
+        let mut net = small_net(8, "1 crash random\n2 outage random for 3\n4 crash random\n");
+        for _ in 0..8 {
+            net.deliver();
+        }
+        let alive: Vec<bool> = net.node_ids().map(|id| net.is_alive(id)).collect();
+        alive
+    };
+    assert_eq!(run(), run());
+}
+
+/// Every ```fault fenced block in the FAULTS.md handbook must parse:
+/// the handbook and the parser may not drift apart.
+#[test]
+fn every_fault_grammar_example_in_the_handbook_parses() {
+    let handbook = include_str!("../FAULTS.md");
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in handbook.lines() {
+        match &mut current {
+            Some(block) => {
+                if line.trim_end() == "```" {
+                    blocks.push(current.take().expect("block in progress"));
+                } else {
+                    block.push_str(line);
+                    block.push('\n');
+                }
+            }
+            None => {
+                if line.trim_end() == "```fault" {
+                    current = Some(String::new());
+                }
+            }
+        }
+    }
+    assert!(
+        blocks.len() >= 3,
+        "FAULTS.md should carry several ```fault examples, found {}",
+        blocks.len()
+    );
+    for (i, block) in blocks.iter().enumerate() {
+        if let Err(e) = FaultPlan::parse(block) {
+            panic!(
+                "FAULTS.md ```fault block #{} does not parse: {e}\n{block}",
+                i + 1
+            );
+        }
+    }
+}
+
+/// The checked-in demo scenario stays valid.
+#[test]
+fn the_demo_fault_file_parses() {
+    let plan = FaultPlan::parse(include_str!("../faults/demo.fault")).expect("demo parses");
+    assert!(!plan.is_empty());
+}
