@@ -1,0 +1,12 @@
+//! Micro-benchmarks for the grid-indexed topology: construction at 1k
+//! and 10k nodes plus the zero-allocation single-node mobility update.
+
+use snapshot_bench::microbenches;
+use snapshot_microbench::{counting_alloc::CountingAllocator, Criterion};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn main() {
+    microbenches::topology::benches(&mut Criterion::default());
+}

@@ -305,7 +305,8 @@ pub fn run_periodic(ctx: &RunContext) -> ExperimentOutput {
         .expect("valid periodic config");
         let shifted = data.shifted.clone();
         let trace = data.trace.clone();
-        let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, seed);
+        let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, seed)
+            .expect("valid deployment");
         let mut sn = SensorNetwork::new(
             topo,
             LinkModel::Perfect,
@@ -389,7 +390,8 @@ pub fn run_proximity(ctx: &RunContext) -> ExperimentOutput {
     // Two workloads: class-correlated random walks, spatial field.
     let run_workload = |ctx: &RunContext, spatial: bool| {
         run_reps(ctx.reps, ctx.seed, move |seed| {
-            let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, seed);
+            let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, seed)
+                .expect("valid deployment");
             let (trace, threshold): (Trace, f64) = if spatial {
                 let positions: Vec<_> = topo.node_ids().map(|id| topo.position(id)).collect();
                 (

@@ -18,6 +18,7 @@
 //! | `heal`   | —         | time-to-repair after a representative crash (faults) |
 //! | `burst-loss` | —     | i.i.d. vs Gilbert–Elliott loss at equal average rate |
 //! | `trace`  | —         | instrumented run exported as a JSONL protocol trace  |
+//! | `scale`  | —         | election at N ∈ {1k, 10k, 100k} on the grid topology |
 
 pub mod ablations;
 pub mod burst_loss;
@@ -32,6 +33,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod heal;
 pub mod maintenance_over_time;
+pub mod scale;
 pub mod table2;
 pub mod table3;
 pub mod trace;
@@ -63,6 +65,7 @@ pub const ALL: &[&str] = &[
     "heal",
     "burst-loss",
     "trace",
+    "scale",
 ];
 
 /// Run one experiment by id.
@@ -90,6 +93,7 @@ pub fn run(id: &str, ctx: &RunContext) -> Option<ExperimentOutput> {
         "heal" => heal::run(ctx),
         "burst-loss" => burst_loss::run(ctx),
         "trace" => trace::run(ctx),
+        "scale" => scale::run(ctx),
         _ => return None,
     })
 }

@@ -1,0 +1,245 @@
+//! `scale`: the paper's §6 sensitivity analysis pushed to 10k–100k
+//! nodes — the sweep the grid-indexed topology exists for.
+//!
+//! The paper evaluates at N = 100 and stops: the original simulator's
+//! all-pairs neighbor construction made anything bigger quadratic.
+//! With `Topology` backed by the uniform-grid spatial index (see
+//! DESIGN.md §14) the deployment builds in O(N·d), so this experiment
+//! sweeps N ∈ {1k, 10k, 100k} (quick mode: {200, 1k}), keeping the
+//! radio range on the connectivity threshold `r(N) = sqrt(2 ln N /
+//! (π N))` (mean degree ≈ 2 ln N — the classic random-geometric-graph
+//! connectivity regime), and reports how the snapshot election
+//! behaves as the network grows: snapshot size, messages per node,
+//! the per-node election bound, and per-phase energy from the
+//! telemetry registry.
+//!
+//! The repetition-0 cell at N = 1000 additionally records a full
+//! telemetry ring and exports it as `scale_trace.jsonl`; the
+//! parallel-identity suite asserts the artifact is byte-identical
+//! across `--jobs` settings.
+
+use crate::runner::parallel_map;
+use crate::setup::RandomWalkSetup;
+use crate::stats::mean;
+use crate::table::{fmt, Table};
+use crate::{ExperimentOutput, RunContext};
+use snapshot_netsim::rng::derive_seed;
+use snapshot_netsim::{Phase, Telemetry};
+
+/// Node counts swept in the full run.
+const FULL_NS: &[usize] = &[1_000, 10_000, 100_000];
+/// Node counts swept in `--quick` mode (integration smoke + CI).
+const QUICK_NS: &[usize] = &[200, 1_000];
+/// The cell whose repetition 0 exports the golden JSONL trace.
+const TRACED_N: usize = 1_000;
+
+/// Radio range keeping a uniform random deployment of `n` nodes at
+/// the connectivity threshold: mean degree `π r² n ≈ 2 ln n`, the
+/// regime where a random geometric graph is connected with high
+/// probability without being dense.
+pub fn connectivity_range(n: usize) -> f64 {
+    let n_f = n as f64;
+    (2.0 * n_f.ln() / (std::f64::consts::PI * n_f)).sqrt()
+}
+
+/// One repetition's measurements for one N.
+struct ScaleOutcome {
+    snapshot_size: usize,
+    mean_degree: f64,
+    msgs_per_node: f64,
+    max_msgs_per_node: u64,
+    /// Mean per-node energy per election phase, in tx-equivalents:
+    /// (invitation, candidates, accept, refinement).
+    phase_energy: [f64; 4],
+    /// JSONL trace, recorded only on the designated golden cell.
+    trace: Option<String>,
+}
+
+/// Run one scale cell. Deterministic in `(n, seed)`.
+fn simulate(n: usize, seed: u64, record_trace: bool) -> ScaleOutcome {
+    let mut sn = RandomWalkSetup {
+        n_nodes: n,
+        k: 10,
+        range: connectivity_range(n),
+        // A shorter trace than the paper's 100 steps: datagen and
+        // training are O(N · steps) and the election at the end is
+        // what this experiment measures.
+        steps: 30,
+        train_until: 5,
+        elect_at: 29,
+        ..RandomWalkSetup::default()
+    }
+    .build(seed);
+
+    if record_trace {
+        // Full ring: the N=1000 election fits comfortably in 2^19
+        // events; larger cells use the registry-only recorder to keep
+        // memory flat.
+        sn.net_mut().set_telemetry(Telemetry::full(1 << 19));
+    } else {
+        sn.net_mut().set_telemetry(Telemetry::with_registry());
+    }
+    sn.net_mut().stats_mut().reset();
+    let _ = sn.elect();
+
+    let nodes = sn.len() as f64;
+    let phase_energy = sn.net().telemetry().registry().map_or([0.0; 4], |m| {
+        [
+            m.phase_energy(Phase::Invitation) / nodes,
+            m.phase_energy(Phase::Candidates) / nodes,
+            m.phase_energy(Phase::Accept) / nodes,
+            m.phase_energy(Phase::Refinement) / nodes,
+        ]
+    });
+    let trace = record_trace.then(|| sn.export_trace_jsonl());
+    ScaleOutcome {
+        snapshot_size: sn.snapshot().representatives().len(),
+        mean_degree: sn.net().topology().mean_degree(),
+        msgs_per_node: sn.stats().total_sent() as f64 / nodes,
+        max_msgs_per_node: sn.stats().max_sent_per_node(),
+        phase_energy,
+        trace,
+    }
+}
+
+/// Run the experiment.
+pub fn run(ctx: &RunContext) -> ExperimentOutput {
+    let ns = if ctx.quick { QUICK_NS } else { FULL_NS };
+
+    let mut table = Table::new([
+        "N",
+        "range",
+        "mean degree",
+        "reps",
+        "snapshot size",
+        "snapshot %",
+        "msgs/node",
+        "max msgs/node",
+        "inv E/node",
+        "cand E/node",
+        "acc E/node",
+        "ref E/node",
+    ]);
+    let mut golden_trace: Option<String> = None;
+    let mut worst_max = 0u64;
+
+    for &n in ns {
+        // The 100k cell costs minutes per repetition; cap it so the
+        // full sweep stays a laptop-scale run. The cap is a pure
+        // function of `ctx`, so artifacts stay deterministic.
+        let reps = if n >= 10_000 {
+            ctx.reps.min(3)
+        } else {
+            ctx.reps
+        };
+        let outcomes = parallel_map(reps as usize, |r| {
+            simulate(n, derive_seed(ctx.seed, r as u64), n == TRACED_N && r == 0)
+        });
+        if let Some(t) = outcomes.iter().find_map(|o| o.trace.clone()) {
+            golden_trace = Some(t);
+        }
+
+        let sizes: Vec<f64> = outcomes.iter().map(|o| o.snapshot_size as f64).collect();
+        let degrees: Vec<f64> = outcomes.iter().map(|o| o.mean_degree).collect();
+        let msgs: Vec<f64> = outcomes.iter().map(|o| o.msgs_per_node).collect();
+        let max_msgs = outcomes
+            .iter()
+            .map(|o| o.max_msgs_per_node)
+            .max()
+            .unwrap_or(0);
+        worst_max = worst_max.max(max_msgs);
+        let energy = |i: usize| {
+            mean(
+                &outcomes
+                    .iter()
+                    .map(|o| o.phase_energy[i])
+                    .collect::<Vec<_>>(),
+            )
+        };
+
+        table.push([
+            n.to_string(),
+            fmt(connectivity_range(n), 4),
+            fmt(mean(&degrees), 1),
+            reps.to_string(),
+            fmt(mean(&sizes), 1),
+            fmt(100.0 * mean(&sizes) / n as f64, 1),
+            fmt(mean(&msgs), 2),
+            max_msgs.to_string(),
+            fmt(energy(0), 3),
+            fmt(energy(1), 3),
+            fmt(energy(2), 3),
+            fmt(energy(3), 3),
+        ]);
+    }
+
+    ctx.write_csv("scale.csv", &table.to_csv());
+    if let Some(trace) = &golden_trace {
+        ctx.write_csv("scale_trace.jsonl", trace);
+    }
+
+    ExperimentOutput {
+        id: "scale",
+        title: "Snapshot election at scale (grid-indexed topology)",
+        rendered: table.render(),
+        notes: format!(
+            "Range follows the connectivity threshold r(N) = sqrt(2 ln N / (pi N)), so the mean \
+             degree grows only as 2 ln N while N spans three orders of magnitude. Worst per-node \
+             election total across all cells: {worst_max} message(s). The N={TRACED_N} rep-0 cell \
+             exports scale_trace.jsonl for the parallel-identity gate."
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connectivity_range_tracks_two_log_n_degree() {
+        for &n in &[100usize, 1_000, 10_000] {
+            let r = connectivity_range(n);
+            let expected_degree = std::f64::consts::PI * r * r * n as f64;
+            let target = 2.0 * (n as f64).ln();
+            assert!(
+                (expected_degree - target).abs() < 1e-9,
+                "n={n}: degree {expected_degree} vs {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_cell_is_deterministic_and_bounded() {
+        let a = simulate(300, 11, false);
+        let b = simulate(300, 11, false);
+        assert_eq!(a.snapshot_size, b.snapshot_size);
+        assert_eq!(a.msgs_per_node, b.msgs_per_node);
+        assert!(a.snapshot_size > 0);
+        assert!(
+            a.max_msgs_per_node <= 6,
+            "election budget busted: {}",
+            a.max_msgs_per_node
+        );
+    }
+
+    #[test]
+    fn traced_cell_records_a_nonempty_trace() {
+        let o = simulate(300, 7, true);
+        let trace = o.trace.expect("trace requested");
+        assert!(trace.contains("\"msg_sent\""));
+    }
+
+    #[test]
+    fn quick_run_produces_the_table_and_artifacts() {
+        // One repetition: the N=1000 traced cell alone is the bulk of
+        // the cost in debug builds.
+        let ctx = RunContext {
+            reps: 1,
+            ..RunContext::quick(5)
+        };
+        let out = run(&ctx);
+        assert!(out.rendered.contains("200"));
+        assert!(out.rendered.contains("1000"));
+        assert!(out.notes.contains("scale_trace.jsonl"));
+    }
+}

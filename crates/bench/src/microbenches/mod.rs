@@ -18,6 +18,7 @@ pub mod netsim_deliver;
 pub mod parser;
 pub mod query_exec;
 pub mod tag_aggregation;
+pub mod topology;
 
 use snapshot_microbench::Criterion;
 
@@ -35,6 +36,7 @@ pub const REGISTRY: &[(&str, BenchFn)] = &[
     ("maintenance", maintenance::benches),
     ("tag_aggregation", tag_aggregation::benches),
     ("netsim_deliver", netsim_deliver::benches),
+    ("topology", topology::benches),
     ("fault", fault::benches),
     ("experiment_cell", experiment_cell::benches),
 ];

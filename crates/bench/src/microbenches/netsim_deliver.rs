@@ -13,7 +13,8 @@ use std::hint::black_box;
 const N: u32 = 100;
 
 fn dense_network(link: LinkModel) -> Network<u64> {
-    let topo = Topology::random_uniform(N as usize, std::f64::consts::SQRT_2, 7);
+    let topo = Topology::random_uniform(N as usize, std::f64::consts::SQRT_2, 7)
+        .expect("valid deployment");
     Network::new(topo, link, EnergyModel::default(), 11)
 }
 

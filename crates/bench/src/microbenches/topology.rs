@@ -1,0 +1,56 @@
+//! Micro-benchmarks for the grid-indexed topology: full construction
+//! at 1k and 10k nodes and a single-node mobility update at 10k.
+//!
+//! Construction allocates a deterministic number of times (the grid
+//! buckets plus one neighbor `Vec` per node), so `allocs_per_iter` is
+//! an exact regression tripwire for the build path. The mobility
+//! update must be **zero-allocation in steady state**: the moved
+//! node's list is recycled via `mem::take` and the grid buckets keep
+//! their capacity, so after a warm-up move-pair the counting
+//! allocator must read 0 — the whole point of the incremental update
+//! is that mobility no longer churns memory at scale.
+
+use crate::experiments::scale::connectivity_range;
+use snapshot_microbench::Criterion;
+use snapshot_netsim::{NodeId, Position, Topology};
+use std::hint::black_box;
+
+/// Deterministic positions for `n` nodes at the connectivity-threshold
+/// range (mean degree ≈ 2 ln n, as in the `scale` experiment).
+fn build(n: usize) -> Topology {
+    Topology::random_uniform(n, connectivity_range(n), 7).expect("valid deployment")
+}
+
+fn bench_build(c: &mut Criterion) {
+    for (name, n) in [
+        ("topology_build_grid_1k", 1_000usize),
+        ("topology_build_grid_10k", 10_000),
+    ] {
+        c.bench_function(name, |b| b.iter(|| black_box(build(n))));
+    }
+}
+
+fn bench_move(c: &mut Criterion) {
+    let mut topo = build(10_000);
+    let id = NodeId(0);
+    let a = topo.position(id);
+    let b_pos = Position::new((a.x + 0.4).fract(), (a.y + 0.4).fract());
+    // Warm both endpoints so every affected neighbor list has grown to
+    // its steady-state capacity; afterwards the update path must not
+    // touch the heap.
+    topo.set_position(id, b_pos);
+    topo.set_position(id, a);
+    c.bench_function("topology_move_node_10k", |bch| {
+        bch.iter(|| {
+            topo.set_position(id, b_pos);
+            topo.set_position(id, a);
+            black_box(topo.neighbors(id).len())
+        })
+    });
+}
+
+/// Run the suite.
+pub fn benches(c: &mut Criterion) {
+    bench_build(c);
+    bench_move(c);
+}

@@ -73,7 +73,8 @@ impl RandomWalkSetup {
             ..RandomWalkConfig::paper_defaults(self.k, seed)
         })
         .expect("valid random-walk configuration");
-        let topo = Topology::random_uniform(self.n_nodes, self.range, seed);
+        let topo =
+            Topology::random_uniform(self.n_nodes, self.range, seed).expect("valid deployment");
         let mut cfg = SnapshotConfig::paper(self.threshold, self.cache_bytes, seed);
         cfg.cache.policy = self.policy;
         let mut sn = SensorNetwork::new(topo, self.link(), EnergyModel::default(), cfg, data.trace);
@@ -92,7 +93,8 @@ impl RandomWalkSetup {
             ..RandomWalkConfig::paper_defaults(self.k, seed)
         })
         .expect("valid random-walk configuration");
-        let topo = Topology::random_uniform(self.n_nodes, self.range, seed);
+        let topo =
+            Topology::random_uniform(self.n_nodes, self.range, seed).expect("valid deployment");
         let mut cfg = SnapshotConfig::paper(self.threshold, self.cache_bytes, seed);
         cfg.cache.policy = self.policy;
         SensorNetwork::with_battery_capacity(
@@ -153,7 +155,8 @@ impl WeatherSetup {
             ..WeatherConfig::paper_defaults(seed)
         })
         .expect("valid weather configuration");
-        let topo = Topology::random_uniform(self.n_nodes, self.range, seed);
+        let topo =
+            Topology::random_uniform(self.n_nodes, self.range, seed).expect("valid deployment");
         let cfg = SnapshotConfig::paper(self.threshold, self.cache_bytes, seed);
         let mut sn = SensorNetwork::new(
             topo,

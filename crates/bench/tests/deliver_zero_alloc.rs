@@ -26,7 +26,8 @@ fn round(net: &mut Network<u64>, buf: &mut Vec<Delivery<u64>>, n: u32) -> usize 
 fn warm_deliver_round_makes_zero_heap_allocations() {
     const N: u32 = 50;
     for link in [LinkModel::Perfect, LinkModel::iid_loss(0.3)] {
-        let topo = Topology::random_uniform(N as usize, std::f64::consts::SQRT_2, 7);
+        let topo = Topology::random_uniform(N as usize, std::f64::consts::SQRT_2, 7)
+            .expect("valid deployment");
         let mut net: Network<u64> = Network::new(topo, link, EnergyModel::default(), 11);
         let mut buf = Vec::new();
         // Warm rounds grow the outbox, the scratch buffer, every

@@ -80,3 +80,40 @@ fn jobs4_matches_jobs1_byte_for_byte_across_seeds() {
         let _ = std::fs::remove_dir_all(&d4);
     }
 }
+
+#[test]
+fn scale_golden_trace_is_identical_across_jobs() {
+    // The `scale` experiment records a full telemetry ring on its
+    // repetition-0 cell at N=1000 and exports it as
+    // `scale_trace.jsonl`. The cell runs inside `parallel_map`, so
+    // this is the sharpest determinism probe we have: thousands of
+    // ordered protocol events on a grid-built topology must come out
+    // byte-identical no matter how the cells were scheduled.
+    let d1 = fresh_dir("scale-j1");
+    let d4 = fresh_dir("scale-j4");
+    let args = ["scale", "--quick", "--seed", "7", "--reps", "2"];
+    let (out1, csv1) = run(&[&args[..], &["--jobs", "1"]].concat(), &d1);
+    let (out4, csv4) = run(&[&args[..], &["--jobs", "4"]].concat(), &d4);
+    assert_eq!(out1, out4, "scale stdout diverged between jobs settings");
+    let trace1 = csv1
+        .get("scale_trace.jsonl")
+        .expect("scale must export its golden trace");
+    let trace4 = csv4
+        .get("scale_trace.jsonl")
+        .expect("scale must export its golden trace");
+    assert!(
+        trace1.windows(10).any(|w| w == b"\"msg_sent\""),
+        "golden trace looks empty"
+    );
+    assert_eq!(
+        trace1, trace4,
+        "scale_trace.jsonl not byte-identical between --jobs 1 and --jobs 4"
+    );
+    assert_eq!(
+        csv1.get("scale.csv"),
+        csv4.get("scale.csv"),
+        "scale.csv not byte-identical between --jobs 1 and --jobs 4"
+    );
+    let _ = std::fs::remove_dir_all(&d1);
+    let _ = std::fs::remove_dir_all(&d4);
+}

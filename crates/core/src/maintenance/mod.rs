@@ -353,7 +353,7 @@ mod tests {
     use snapshot_netsim::prelude::*;
 
     fn setup(n: usize, loss: f64) -> (Network<ProtocolMsg>, Vec<SensorNode>, SnapshotConfig) {
-        let topo = Topology::random_uniform(n, 2.0, 5);
+        let topo = Topology::random_uniform(n, 2.0, 5).expect("valid deployment");
         let net = Network::new(topo, LinkModel::iid_loss(loss), EnergyModel::default(), 7);
         let cfg = SnapshotConfig::default();
         let nodes: Vec<SensorNode> = (0..n)
@@ -458,7 +458,7 @@ mod tests {
         let (topo_net, mut nodes, mut cfg) = setup(3, 0.0);
         drop(topo_net);
         cfg.energy_handoff_fraction = 0.5;
-        let topo = Topology::random_uniform(3, 2.0, 5);
+        let topo = Topology::random_uniform(3, 2.0, 5).expect("valid deployment");
         let mut net: Network<ProtocolMsg> = Network::with_finite_batteries(
             topo,
             LinkModel::Perfect,

@@ -117,7 +117,7 @@ mod tests {
     use snapshot_netsim::prelude::*;
 
     fn setup(n: usize, loss: f64) -> (Network<ProtocolMsg>, Vec<SensorNode>) {
-        let topo = Topology::random_uniform(n, 2.0, 3);
+        let topo = Topology::random_uniform(n, 2.0, 3).expect("valid deployment");
         let net = Network::new(topo, LinkModel::iid_loss(loss), EnergyModel::default(), 11);
         let nodes = (0..n)
             .map(|i| SensorNode::new(NodeId::from_index(i), CacheConfig::default()))

@@ -127,7 +127,7 @@ mod tests {
 
     #[test]
     fn rotation_moves_the_role() {
-        let topo = Topology::random_uniform(3, 2.0, 1);
+        let topo = Topology::random_uniform(3, 2.0, 1).expect("valid deployment");
         let mut net: Network<ProtocolMsg> =
             Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 2);
         let cfg = SnapshotConfig::default();
@@ -152,7 +152,7 @@ mod tests {
 
     #[test]
     fn zero_probability_rotates_nothing() {
-        let topo = Topology::random_uniform(2, 2.0, 1);
+        let topo = Topology::random_uniform(2, 2.0, 1).expect("valid deployment");
         let mut net: Network<ProtocolMsg> =
             Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 2);
         let cfg = SnapshotConfig::default();
@@ -173,7 +173,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "probability")]
     fn invalid_probability_is_rejected() {
-        let topo = Topology::random_uniform(1, 2.0, 1);
+        let topo = Topology::random_uniform(1, 2.0, 1).expect("valid deployment");
         let mut net: Network<ProtocolMsg> =
             Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 2);
         let cfg = SnapshotConfig::default();

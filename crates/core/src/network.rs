@@ -616,7 +616,8 @@ mod tests {
     /// elect at t = 100.
     fn paper_setup(k: usize, seed: u64) -> SensorNetwork {
         let data = random_walk(&RandomWalkConfig::paper_defaults(k, seed)).unwrap();
-        let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, seed);
+        let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, seed)
+            .expect("valid deployment");
         let cfg = SnapshotConfig::paper(1.0, 2048, seed);
         let mut sn = SensorNetwork::new(
             topo,
@@ -853,7 +854,7 @@ mod tests {
             ..RandomWalkConfig::paper_defaults(1, 1)
         })
         .unwrap();
-        let topo = Topology::random_uniform(10, 1.0, 1);
+        let topo = Topology::random_uniform(10, 1.0, 1).expect("valid deployment");
         let _ = SensorNetwork::new(
             topo,
             LinkModel::Perfect,

@@ -260,7 +260,7 @@ mod tests {
     /// Fully connected 4-node network with node 0 representing 1 and 2
     /// via the models y = x (trained on three exact pairs).
     fn setup() -> (Network<ProtocolMsg>, Vec<SensorNode>, Vec<f64>) {
-        let topo = Topology::random_uniform(4, 2.0, 21);
+        let topo = Topology::random_uniform(4, 2.0, 21).expect("valid deployment");
         let net = Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 3);
         let mut nodes: Vec<SensorNode> = (0..4)
             .map(|i| SensorNode::new(NodeId::from_index(i), CacheConfig::default()))
@@ -346,7 +346,7 @@ mod tests {
 
     #[test]
     fn participants_are_charged_energy() {
-        let topo = Topology::random_uniform(3, 2.0, 4);
+        let topo = Topology::random_uniform(3, 2.0, 4).expect("valid deployment");
         let mut net: Network<ProtocolMsg> = Network::with_finite_batteries(
             topo,
             LinkModel::Perfect,

@@ -236,7 +236,7 @@ mod tests {
         loss: f64,
         seed: u64,
     ) -> (Network<ProtocolMsg>, Vec<SensorNode>, Vec<f64>) {
-        let topo = Topology::random_uniform(n, range, seed);
+        let topo = Topology::random_uniform(n, range, seed).expect("valid deployment");
         let net = Network::new(
             topo,
             LinkModel::iid_loss(loss),

@@ -32,7 +32,7 @@
 //! use snapshot_netsim::prelude::*;
 //!
 //! // 25 nodes uniformly placed in the unit square, radio range 0.5.
-//! let topo = Topology::random_uniform(25, 0.5, 42);
+//! let topo = Topology::random_uniform(25, 0.5, 42).expect("valid deployment");
 //! let mut net: Network<&'static str> =
 //!     Network::new(topo, LinkModel::iid_loss(0.0), EnergyModel::default(), 7);
 //!
@@ -55,6 +55,7 @@ pub mod energy;
 pub mod error;
 pub mod fault;
 pub mod flood;
+pub mod grid;
 pub mod link;
 pub mod message;
 pub mod mobility;
@@ -70,6 +71,7 @@ pub use energy::{Battery, EnergyModel};
 pub use error::NetsimError;
 pub use fault::{FaultEvent, FaultKind, FaultParseError, FaultPlan, FaultSchedule, FaultTarget};
 pub use flood::FloodOutcome;
+pub use grid::GridIndex;
 pub use link::{GilbertElliott, LinkModel};
 pub use message::{Delivery, Destination, Envelope};
 pub use mobility::RandomWaypoint;

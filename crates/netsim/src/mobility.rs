@@ -7,6 +7,12 @@
 //! snapshot's self-healing under movement: each node walks toward a
 //! uniformly random waypoint in the unit square at a fixed speed and
 //! picks a new waypoint on arrival.
+//!
+//! Each move is an O(d) incremental update of the grid-indexed
+//! topology (`Topology::set_position`, DESIGN.md §14) — a mobility
+//! tick costs O(N·d), not the O(N²) the pre-grid per-move re-scan
+//! implied, which is what lets the `scale` experiment run mobility at
+//! 10k+ nodes.
 
 use crate::node::NodeId;
 use crate::rng::derive_seed;
@@ -89,7 +95,7 @@ mod tests {
     use crate::topology::Topology;
 
     fn net(n: usize, seed: u64) -> Network<u8> {
-        let topo = Topology::random_uniform(n, 0.3, seed);
+        let topo = Topology::random_uniform(n, 0.3, seed).expect("valid deployment");
         Network::new(topo, LinkModel::Perfect, EnergyModel::default(), seed)
     }
 

@@ -8,6 +8,7 @@
 //! simulator keeps per-link asymmetry in the loss model instead.
 
 use crate::error::NetsimError;
+use crate::grid::GridIndex;
 use crate::node::NodeId;
 use crate::rng::derive_seed;
 use crate::rng::DetRng;
@@ -47,16 +48,29 @@ impl Position {
 
 /// Static deployment: node positions plus the radio's transmission range.
 ///
-/// Neighbor lists are precomputed; for the paper's scale (hundreds of
-/// nodes) the O(N^2) construction is irrelevant, and lookups during the
-/// protocols are O(1) per neighbor.
+/// Neighbor lists are precomputed through a uniform-grid spatial index
+/// ([`GridIndex`], cell side = range): construction scans only the
+/// 3×3 cell neighborhood of each node — O(N·d) for mean degree d
+/// instead of the old all-pairs O(N²) — which is what lets the `scale`
+/// experiment sweep the paper's §6 sensitivity analysis at 10k–100k
+/// nodes. Lookups during the protocols stay O(1) per neighbor.
+///
+/// **Ordering contract:** each freshly built neighbor slice is sorted
+/// ascending by [`NodeId`] (exactly the order the all-pairs scan
+/// produced), and [`Topology::set_position`] preserves the historical
+/// incremental semantics — the moved node's own slice is rebuilt
+/// sorted, while in every *other* affected slice the moved node is
+/// appended on entry and spliced out on exit, leaving the survivors'
+/// relative order untouched. Experiment traces and CSVs are
+/// byte-identical to the pre-grid implementation.
 ///
 /// ```
 /// use snapshot_netsim::Topology;
 ///
 /// // The paper's deployment: 100 nodes in the unit square; range
 /// // sqrt(2) makes the radio graph complete.
-/// let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, 42);
+/// let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, 42)
+///     .expect("valid deployment");
 /// assert!(topo.is_connected());
 /// assert_eq!(topo.neighbors(snapshot_netsim::NodeId(0)).len(), 99);
 /// ```
@@ -65,6 +79,10 @@ pub struct Topology {
     positions: Vec<Position>,
     range: f64,
     neighbors: Vec<Vec<NodeId>>,
+    grid: GridIndex,
+    /// Reused candidate buffer: keeps [`Topology::set_position`]
+    /// allocation-free in steady state (mobility runs every tick).
+    scratch: Vec<NodeId>,
 }
 
 impl Topology {
@@ -86,28 +104,37 @@ impl Topology {
                 reason: "at least one node is required".into(),
             });
         }
-        let neighbors = Self::compute_neighbors(&positions, range);
+        let grid = GridIndex::build(&positions, range);
+        let neighbors = Self::compute_neighbors(&positions, &grid, range);
         Ok(Topology {
             positions,
             range,
             neighbors,
+            grid,
+            scratch: Vec::new(),
         })
     }
 
     /// Place `n` nodes uniformly at random in `[0,1) x [0,1)`,
     /// reproducing the paper's deployment. Deterministic in `seed`.
     ///
-    /// # Panics
-    /// Panics if `n == 0` or `range <= 0` (programmer error in an
-    /// experiment definition).
-    #[allow(clippy::expect_used)] // documented fail-fast, see xtask-allow below
-    pub fn random_uniform(n: usize, range: f64, seed: u64) -> Self {
+    /// # Errors
+    /// Returns [`NetsimError::InvalidParameter`] if `n == 0` or the
+    /// range is not strictly positive — an empty or rangeless
+    /// deployment would only panic later (e.g. in `tree.rs`), so it is
+    /// rejected up front with a typed error instead.
+    pub fn random_uniform(n: usize, range: f64, seed: u64) -> Result<Self, NetsimError> {
+        if n == 0 {
+            return Err(NetsimError::InvalidParameter {
+                name: "n",
+                reason: "at least one node is required".into(),
+            });
+        }
         let mut rng = DetRng::seed_from_u64(derive_seed(seed, 0xB10C));
         let positions = (0..n)
             .map(|_| Position::new(rng.random_f64(), rng.random_f64()))
             .collect();
-        // xtask-allow(no_expect): documented fail-fast on an invalid experiment definition
-        Self::new(positions, range).expect("invalid parameters for random_uniform")
+        Self::new(positions, range)
     }
 
     /// Place `side * side` nodes on a regular grid covering the unit
@@ -129,15 +156,22 @@ impl Topology {
         Self::new(positions, range).expect("invalid parameters for grid")
     }
 
-    fn compute_neighbors(positions: &[Position], range: f64) -> Vec<Vec<NodeId>> {
-        let n = positions.len();
-        let mut neighbors = vec![Vec::new(); n];
-        for i in 0..n {
-            for j in 0..n {
-                if i != j && positions[i].distance(&positions[j]) <= range {
-                    neighbors[i].push(NodeId::from_index(j));
+    /// Build every neighbor slice from the grid: scan the 3×3 cell
+    /// block around each node, keep the candidates that pass the exact
+    /// distance predicate, and sort ascending by id — byte-identical
+    /// to the retired all-pairs scan.
+    fn compute_neighbors(positions: &[Position], grid: &GridIndex, range: f64) -> Vec<Vec<NodeId>> {
+        let mut neighbors = vec![Vec::new(); positions.len()];
+        let mut candidates: Vec<NodeId> = Vec::new();
+        for (i, (p, own)) in positions.iter().zip(neighbors.iter_mut()).enumerate() {
+            candidates.clear();
+            grid.candidates_around(p, &mut candidates);
+            for &j in &candidates {
+                if j.index() != i && p.distance(&positions[j.index()]) <= range {
+                    own.push(j);
                 }
             }
+            own.sort_unstable();
         }
         neighbors
     }
@@ -223,22 +257,41 @@ impl Topology {
             .collect()
     }
 
-    /// Move a node to a new position, updating the affected neighbor
-    /// lists (O(N) — mobility is per-node, not per-pair).
+    /// Move a node to a new position, incrementally updating the
+    /// affected neighbor lists through the grid index — O(d) for mean
+    /// degree d, not O(N): only the 3×3 cell blocks around the old and
+    /// new positions are visited.
+    ///
+    /// Every node whose list mentions `id` is within range of the old
+    /// position (hence inside the old 3×3 block), and every node that
+    /// must gain `id` is within range of the new position (hence inside
+    /// the new block), so the union of the two scans covers every list
+    /// that can change. Per the ordering contract, `id`'s own slice is
+    /// rebuilt sorted while other slices get `id` appended on entry and
+    /// spliced out on exit.
     pub fn set_position(&mut self, id: NodeId, pos: Position) {
+        let old = self.positions[id.index()];
+        let mut candidates = std::mem::take(&mut self.scratch);
+        candidates.clear();
+        self.grid.candidates_around(&old, &mut candidates);
+        if self.grid.cell_of(&pos) != self.grid.cell_of(&old) {
+            self.grid.candidates_around(&pos, &mut candidates);
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
         self.positions[id.index()] = pos;
-        // Rebuild id's own list and id's presence in everyone else's.
-        let mut own = Vec::new();
-        for j in 0..self.positions.len() {
-            if j == id.index() {
+        self.grid.relocate(id, &old, &pos);
+        let mut own = std::mem::take(&mut self.neighbors[id.index()]);
+        own.clear();
+        for &j in &candidates {
+            if j == id {
                 continue;
             }
-            let jid = NodeId::from_index(j);
-            let in_range = self.positions[id.index()].distance(&self.positions[j]) <= self.range;
+            let in_range = pos.distance(&self.positions[j.index()]) <= self.range;
             if in_range {
-                own.push(jid);
+                own.push(j);
             }
-            let list = &mut self.neighbors[j];
+            let list = &mut self.neighbors[j.index()];
             let present = list.contains(&id);
             if in_range && !present {
                 list.push(id);
@@ -247,6 +300,7 @@ impl Topology {
             }
         }
         self.neighbors[id.index()] = own;
+        self.scratch = candidates;
     }
 
     /// Average neighborhood size — a density diagnostic used when
@@ -310,7 +364,8 @@ mod tests {
     fn full_range_makes_everyone_neighbors() {
         // sqrt(2) covers the whole unit square, as in the paper's
         // first experiment.
-        let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, 1);
+        let topo =
+            Topology::random_uniform(100, std::f64::consts::SQRT_2, 1).expect("valid deployment");
         for id in topo.node_ids() {
             assert_eq!(topo.neighbors(id).len(), 99);
         }
@@ -320,19 +375,19 @@ mod tests {
 
     #[test]
     fn placement_is_deterministic_in_seed() {
-        let a = Topology::random_uniform(50, 0.3, 9);
-        let b = Topology::random_uniform(50, 0.3, 9);
+        let a = Topology::random_uniform(50, 0.3, 9).expect("valid deployment");
+        let b = Topology::random_uniform(50, 0.3, 9).expect("valid deployment");
         for id in a.node_ids() {
             assert_eq!(a.position(id), b.position(id));
         }
-        let c = Topology::random_uniform(50, 0.3, 10);
+        let c = Topology::random_uniform(50, 0.3, 10).expect("valid deployment");
         let same = a.node_ids().all(|id| a.position(id) == c.position(id));
         assert!(!same, "different seeds should give different placements");
     }
 
     #[test]
     fn placement_stays_in_unit_square() {
-        let topo = Topology::random_uniform(200, 0.3, 3);
+        let topo = Topology::random_uniform(200, 0.3, 3).expect("valid deployment");
         for id in topo.node_ids() {
             let p = topo.position(id);
             assert!((0.0..1.0).contains(&p.x));
@@ -353,7 +408,7 @@ mod tests {
 
     #[test]
     fn in_range_is_symmetric_and_irreflexive() {
-        let topo = Topology::random_uniform(40, 0.4, 5);
+        let topo = Topology::random_uniform(40, 0.4, 5).expect("valid deployment");
         for a in topo.node_ids() {
             assert!(!topo.in_range(a, a));
             for b in topo.node_ids() {
@@ -366,7 +421,7 @@ mod tests {
     fn disconnection_detected_at_tiny_range() {
         // With a tiny range and a few nodes, the graph is almost
         // surely disconnected.
-        let topo = Topology::random_uniform(10, 0.01, 2);
+        let topo = Topology::random_uniform(10, 0.01, 2).expect("valid deployment");
         assert!(!topo.is_connected());
     }
 

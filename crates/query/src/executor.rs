@@ -108,7 +108,7 @@ mod tests {
             ..RandomWalkConfig::paper_defaults(2, seed)
         })
         .unwrap();
-        let topo = Topology::random_uniform(20, 2.0, seed);
+        let topo = Topology::random_uniform(20, 2.0, seed).expect("valid deployment");
         let mut sn = SensorNetwork::new(
             topo,
             LinkModel::Perfect,

@@ -118,6 +118,40 @@ fn fixture_run_exits_nonzero_and_workspace_run_exits_zero() {
 }
 
 #[test]
+fn grid_module_is_scanned_and_clean() {
+    // The grid spatial index is protocol-critical state (neighbor
+    // lists feed every election), so it must sit inside the default
+    // scan roots and hold the full deny-level invariant set —
+    // including `no_hash_collections`, the lint that forced its
+    // buckets into a BTreeMap.
+    let repo_root = manifest_dir()
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .expect("repo root");
+    let grid = repo_root.join("crates/netsim/src/grid.rs");
+    let src = std::fs::read_to_string(&grid).expect("grid module exists and is readable");
+
+    let roots = xtask::default_roots(&repo_root);
+    assert!(
+        roots.iter().any(|r| grid.starts_with(r)),
+        "grid.rs must live under a default analyzer root"
+    );
+
+    let (diags, _) = analyze_source(&grid, &src, false);
+    let denies: Vec<String> = diags
+        .iter()
+        .filter(|d| d.level == Level::Deny)
+        .map(|d| d.render())
+        .collect();
+    assert!(
+        denies.is_empty(),
+        "grid.rs must be free of deny-level findings:\n{}",
+        denies.join("\n")
+    );
+}
+
+#[test]
 fn json_report_is_well_formed() {
     let fixtures = manifest_dir().join("tests/fixtures");
     let report = xtask::analyze_paths(&[fixtures]).expect("fixtures scan");

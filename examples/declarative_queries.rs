@@ -17,7 +17,7 @@ use snapshot_queries::query::{execute_plan, parse, plan, RegionCatalog};
 
 fn main() {
     let seed = 11;
-    let topology = Topology::random_uniform(60, 0.8, seed);
+    let topology = Topology::random_uniform(60, 0.8, seed).expect("valid deployment");
 
     // A spatially-correlated temperature field: nearby nodes read
     // similar values (the scenario from the paper's introduction).

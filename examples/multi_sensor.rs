@@ -24,7 +24,7 @@ const HUMIDITY: MeasurementId = MeasurementId(1);
 
 fn main() {
     let seed = 8;
-    let topology = Topology::random_uniform(30, 0.6, seed);
+    let topology = Topology::random_uniform(30, 0.6, seed).expect("valid deployment");
     let positions: Vec<_> = topology
         .node_ids()
         .map(|id| topology.position(id))

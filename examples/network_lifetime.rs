@@ -38,7 +38,7 @@ fn build(seed: u64) -> SensorNetwork {
         ..RandomWalkConfig::paper_defaults(1, seed)
     })
     .expect("valid config");
-    let topology = Topology::random_uniform(100, 0.7, seed);
+    let topology = Topology::random_uniform(100, 0.7, seed).expect("valid deployment");
     SensorNetwork::with_battery_capacity(
         topology,
         LinkModel::Perfect,

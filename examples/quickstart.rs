@@ -16,7 +16,8 @@ fn main() {
     // 1. A 100-node deployment in the unit square: the paper's
     //    canonical setup (range sqrt(2) = full connectivity, no loss).
     let seed = 42;
-    let topology = Topology::random_uniform(100, std::f64::consts::SQRT_2, seed);
+    let topology =
+        Topology::random_uniform(100, std::f64::consts::SQRT_2, seed).expect("valid deployment");
 
     // 2. Synthetic measurements: 5 behavior classes of correlated
     //    random walks (Section 6.1 of the paper).

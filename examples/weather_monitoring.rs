@@ -29,7 +29,7 @@ fn main() {
     })
     .expect("valid weather config");
 
-    let topology = Topology::random_uniform(100, 0.7, seed);
+    let topology = Topology::random_uniform(100, 0.7, seed).expect("valid deployment");
     let config = SnapshotConfig::paper(0.1, 2048, seed); // tight threshold T = 0.1
     let mut network = SensorNetwork::new(
         topology,

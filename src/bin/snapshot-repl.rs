@@ -120,7 +120,8 @@ fn build(o: &Options) -> SensorNetwork {
         .unwrap_or_else(|e| die(&format!("workload generation failed: {e}")))
         .trace
     };
-    let topology = Topology::random_uniform(o.nodes, o.range, o.seed);
+    let topology = Topology::random_uniform(o.nodes, o.range, o.seed)
+        .unwrap_or_else(|e| die(&format!("invalid deployment: {e}")));
     let mut sn = SensorNetwork::new(
         topology,
         LinkModel::iid_loss(o.loss),

@@ -10,7 +10,7 @@ use snapshot_queries::netsim::{EnergyModel, LinkModel, NodeId, Topology};
 
 fn build_rw(k: usize, seed: u64, loss: f64, range: f64) -> SensorNetwork {
     let data = random_walk(&RandomWalkConfig::paper_defaults(k, seed)).unwrap();
-    let topo = Topology::random_uniform(100, range, seed);
+    let topo = Topology::random_uniform(100, range, seed).expect("valid deployment");
     let mut sn = SensorNetwork::new(
         topo,
         LinkModel::iid_loss(loss),
@@ -131,7 +131,8 @@ fn maintenance_keeps_the_network_consistent_as_nodes_die() {
 #[test]
 fn weather_pipeline_elects_under_tight_thresholds() {
     let trace = weather(&WeatherConfig::paper_defaults(3)).unwrap();
-    let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, 3);
+    let topo =
+        Topology::random_uniform(100, std::f64::consts::SQRT_2, 3).expect("valid deployment");
     let mut sn = SensorNetwork::new(
         topo,
         LinkModel::Perfect,
@@ -225,7 +226,8 @@ fn regular_and_snapshot_agree_when_everyone_represents_themselves() {
     // Without an election every node is self-represented and ACTIVE:
     // the two modes must coincide exactly.
     let data = random_walk(&RandomWalkConfig::paper_defaults(4, 31)).unwrap();
-    let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, 31);
+    let topo =
+        Topology::random_uniform(100, std::f64::consts::SQRT_2, 31).expect("valid deployment");
     let mut sn = SensorNetwork::new(
         topo,
         LinkModel::Perfect,

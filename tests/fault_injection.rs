@@ -12,7 +12,7 @@ use snapshot_queries::netsim::{
 
 /// A tiny traced network with a fault plan attached.
 fn small_net(n: usize, plan: &str) -> Network<u8> {
-    let topo = Topology::random_uniform(n, 2.0, 5);
+    let topo = Topology::random_uniform(n, 2.0, 5).expect("valid deployment");
     let mut net = Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 5);
     net.set_telemetry(Telemetry::with_ring(1024));
     net.set_fault_plan(FaultPlan::parse(plan).expect("test plan parses"));
@@ -36,7 +36,7 @@ fn build_sensor_network(seed: u64) -> SensorNetwork {
         ..RandomWalkConfig::paper_defaults(1, seed)
     })
     .unwrap();
-    let topo = Topology::random_uniform(100, 2.0, seed);
+    let topo = Topology::random_uniform(100, 2.0, seed).expect("valid deployment");
     let mut sn = SensorNetwork::new(
         topo,
         LinkModel::Perfect,

@@ -169,7 +169,8 @@ fn section_3_1_example_query_parses_plans_and_runs() {
         ..RandomWalkConfig::paper_defaults(3, 5)
     })
     .unwrap();
-    let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, 5);
+    let topo =
+        Topology::random_uniform(100, std::f64::consts::SQRT_2, 5).expect("valid deployment");
     let mut sn = SensorNetwork::new(
         topo,
         LinkModel::Perfect,
@@ -199,7 +200,8 @@ fn table_1_symbols_are_what_the_api_exposes() {
     use snapshot_queries::datagen::{random_walk, RandomWalkConfig};
 
     let data = random_walk(&RandomWalkConfig::paper_defaults(1, 2)).unwrap();
-    let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, 2);
+    let topo =
+        Topology::random_uniform(100, std::f64::consts::SQRT_2, 2).expect("valid deployment");
     let mut sn = SensorNetwork::new(
         topo,
         LinkModel::Perfect,

@@ -353,7 +353,7 @@ fn elections_settle_on_arbitrary_small_networks() {
             ..RandomWalkConfig::paper_defaults(k, seed)
         })
         .unwrap();
-        let topo = Topology::random_uniform(n, range, seed);
+        let topo = Topology::random_uniform(n, range, seed).expect("valid deployment");
         let mut sn = SensorNetwork::new(
             topo,
             LinkModel::iid_loss(loss),
@@ -453,4 +453,188 @@ fn generated_window_queries_parse() {
         let q = parse(&sql).unwrap();
         assert!(!q.conditions.is_empty());
     }
+}
+
+// ---- Grid-indexed topology (oracle-backed) ----------------------------
+//
+// `Topology` builds neighbor lists through a uniform-grid spatial
+// index (DESIGN.md §14). These tests pit it against the retired
+// all-pairs construction, kept here as a brute-force oracle, across
+// hundreds of randomized deployments including the degenerate corners
+// the grid must survive: every node in one cell, ranges wider than
+// the whole field, and exactly duplicated positions.
+
+use snapshot_queries::netsim::grid::GridIndex;
+use snapshot_queries::netsim::{Position, Topology as Topo};
+
+/// The retired O(N²) all-pairs neighbor construction. Pushing both
+/// directions of each `i < j` pair emits every list already sorted
+/// ascending by id — the ordering contract the grid build must match
+/// byte for byte.
+fn oracle_neighbors(positions: &[Position], range: f64) -> Vec<Vec<NodeId>> {
+    let n = positions.len();
+    let mut neighbors = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if positions[i].distance(&positions[j]) <= range {
+                neighbors[i].push(NodeId::from_index(j));
+                neighbors[j].push(NodeId::from_index(i));
+            }
+        }
+    }
+    neighbors
+}
+
+/// A randomized deployment: mixes in-square points, duplicates of
+/// earlier points, and (occasionally) points far outside the unit
+/// square, under a range drawn from one of three regimes — sparse,
+/// paper-like, and "one cell covers everything".
+fn random_deployment(rng: &mut DetRng) -> (Vec<Position>, f64) {
+    let n = rng.random_range(1..90usize);
+    let mut positions: Vec<Position> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let roll = rng.random_range(0..10u32);
+        let p = if roll == 0 && !positions.is_empty() {
+            // Exact duplicate of an earlier node.
+            positions[rng.random_range(0..positions.len())]
+        } else if roll == 1 {
+            // Outside the unit square (mobility can do this).
+            Position::new(rng.random_range(-3.0..4.0), rng.random_range(-3.0..4.0))
+        } else {
+            Position::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0))
+        };
+        positions.push(p);
+    }
+    let range = match rng.random_range(0..3u32) {
+        0 => rng.random_range(0.01..0.08), // sparse: most cells empty
+        1 => rng.random_range(0.08..0.6),  // the paper's regime
+        _ => rng.random_range(1.5..12.0),  // everything in one cell
+    };
+    (positions, range)
+}
+
+#[test]
+fn grid_topology_matches_the_all_pairs_oracle() {
+    let mut rng = DetRng::seed_from_u64(0x6121D);
+    for case in 0..CASES {
+        let (positions, range) = random_deployment(&mut rng);
+        let topo = Topo::new(positions.clone(), range).expect("valid deployment");
+        let oracle = oracle_neighbors(&positions, range);
+        for (i, expect) in oracle.iter().enumerate() {
+            assert_eq!(
+                topo.neighbors(NodeId::from_index(i)),
+                expect.as_slice(),
+                "case {case}: node {i} of {} (range {range})",
+                positions.len(),
+            );
+        }
+    }
+}
+
+#[test]
+fn grid_index_stays_consistent_on_random_deployments() {
+    let mut rng = DetRng::seed_from_u64(0x6121E);
+    for _ in 0..CASES {
+        let (positions, range) = random_deployment(&mut rng);
+        let grid = GridIndex::build(&positions, range);
+        grid.check_consistency(&positions)
+            .expect("consistent index");
+        // The 3×3 candidate scan is conservative, never lossy.
+        let mut cand = Vec::new();
+        for (i, p) in positions.iter().enumerate() {
+            cand.clear();
+            grid.candidates_around(p, &mut cand);
+            for (j, q) in positions.iter().enumerate() {
+                if i != j && p.distance(q) <= range {
+                    assert!(
+                        cand.contains(&NodeId::from_index(j)),
+                        "in-range node {j} missing from candidates of {i}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_moves_match_a_from_scratch_rebuild() {
+    let mut rng = DetRng::seed_from_u64(0x307E5);
+    for _ in 0..40 {
+        let (mut positions, range) = random_deployment(&mut rng);
+        let mut topo = Topo::new(positions.clone(), range).expect("valid deployment");
+        for _ in 0..12 {
+            let mover = rng.random_range(0..positions.len());
+            // Mix local jitter (usually same cell), fresh in-square
+            // placements, and jumps far outside the square.
+            let new_pos = match rng.random_range(0..3u32) {
+                0 => {
+                    let p = positions[mover];
+                    Position::new(p.x + range * 0.05, p.y - range * 0.05)
+                }
+                1 => Position::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)),
+                _ => Position::new(rng.random_range(-4.0..5.0), rng.random_range(-4.0..5.0)),
+            };
+            positions[mover] = new_pos;
+            topo.set_position(NodeId::from_index(mover), new_pos);
+
+            let rebuilt = Topo::new(positions.clone(), range).expect("valid deployment");
+            for i in 0..positions.len() {
+                let id = NodeId::from_index(i);
+                // The incremental update preserves the *historical*
+                // ordering (appends on entry), so compare as sets.
+                let mut got: Vec<NodeId> = topo.neighbors(id).to_vec();
+                got.sort_unstable();
+                assert_eq!(
+                    got,
+                    rebuilt.neighbors(id),
+                    "node {i} diverged after moving {mover}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn random_uniform_rejects_an_empty_network_with_a_typed_error() {
+    use snapshot_queries::netsim::NetsimError;
+    let err = Topo::random_uniform(0, 0.5, 1).unwrap_err();
+    assert!(matches!(
+        err,
+        NetsimError::InvalidParameter { name: "n", .. }
+    ));
+}
+
+#[test]
+fn election_budget_holds_on_a_grid_built_2k_topology() {
+    // The paper's six-messages-per-node election bound, checked on a
+    // network twenty times the paper's size — buildable at all only
+    // because of the grid index. Connectivity-threshold range keeps
+    // the degree at ~2 ln N, as in the `scale` experiment.
+    let n = 2_000usize;
+    let seed = 77;
+    let range = (2.0 * (n as f64).ln() / (std::f64::consts::PI * n as f64)).sqrt();
+    let data = random_walk(&RandomWalkConfig {
+        n_nodes: n,
+        steps: 20,
+        ..RandomWalkConfig::paper_defaults(10, seed)
+    })
+    .unwrap();
+    let topo = Topo::random_uniform(n, range, seed).expect("valid deployment");
+    let mut sn = SensorNetwork::new(
+        topo,
+        LinkModel::Perfect,
+        EnergyModel::default(),
+        SnapshotConfig::paper(1.0, 2048, seed),
+        data.trace,
+    );
+    sn.train(0, 4);
+    sn.set_time(19);
+    sn.net_mut().stats_mut().reset();
+    let outcome = sn.elect();
+    assert!(outcome.snapshot_size > 0);
+    let max = sn.stats().max_sent_per_node();
+    assert!(
+        max <= 6,
+        "election budget busted at N=2000: {max} msgs/node"
+    );
 }

@@ -9,7 +9,7 @@ use snapshot_queries::netsim::{EnergyModel, LinkModel, NodeId, Phase, Topology};
 
 fn elected_network(seed: u64, loss: f64, range: f64, k: usize) -> SensorNetwork {
     let data = random_walk(&RandomWalkConfig::paper_defaults(k, seed)).unwrap();
-    let topo = Topology::random_uniform(100, range, seed);
+    let topo = Topology::random_uniform(100, range, seed).expect("valid deployment");
     let mut sn = SensorNetwork::new(
         topo,
         LinkModel::iid_loss(loss),
@@ -132,7 +132,7 @@ fn representatives_of_passive_nodes_are_within_radio_range() {
 fn per_phase_message_bounds_hold_regardless_of_loss() {
     for (seed, loss, range, k) in scenarios() {
         let data = random_walk(&RandomWalkConfig::paper_defaults(k, seed)).unwrap();
-        let topo = Topology::random_uniform(100, range, seed);
+        let topo = Topology::random_uniform(100, range, seed).expect("valid deployment");
         let mut sn = SensorNetwork::new(
             topo,
             LinkModel::iid_loss(loss),

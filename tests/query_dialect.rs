@@ -10,7 +10,8 @@ use snapshot_queries::query::{execute_plan, parse, plan, RegionCatalog};
 
 fn network(seed: u64) -> SensorNetwork {
     let data = random_walk(&RandomWalkConfig::paper_defaults(3, seed)).unwrap();
-    let topo = Topology::random_uniform(100, std::f64::consts::SQRT_2, seed);
+    let topo =
+        Topology::random_uniform(100, std::f64::consts::SQRT_2, seed).expect("valid deployment");
     let mut sn = SensorNetwork::new(
         topo,
         LinkModel::Perfect,

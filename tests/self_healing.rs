@@ -16,7 +16,7 @@ fn build(seed: u64, k: usize, range: f64, link: LinkModel) -> SensorNetwork {
         ..RandomWalkConfig::paper_defaults(k, seed)
     })
     .unwrap();
-    let topo = Topology::random_uniform(100, range, seed);
+    let topo = Topology::random_uniform(100, range, seed).expect("valid deployment");
     let mut sn = SensorNetwork::new(
         topo,
         link,
@@ -135,7 +135,7 @@ fn battery_exhaustion_mid_operation_degrades_gracefully() {
         ..RandomWalkConfig::paper_defaults(1, 4)
     })
     .unwrap();
-    let topo = Topology::random_uniform(100, 0.7, 4);
+    let topo = Topology::random_uniform(100, 0.7, 4).expect("valid deployment");
     let mut sn = SensorNetwork::with_battery_capacity(
         topo,
         LinkModel::Perfect,
