@@ -32,6 +32,7 @@ pub struct ReconcileReport {
 
 /// Run one announce/objection/correction pass. Message loss can leave
 /// residual stale claims; repeated passes converge.
+// xtask-contract(deterministic)
 pub fn reconcile(net: &mut Network<ProtocolMsg>, nodes: &mut [SensorNode]) -> ReconcileReport {
     let ids: Vec<NodeId> = net.node_ids().collect();
     let mut report = ReconcileReport {

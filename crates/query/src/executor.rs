@@ -76,6 +76,7 @@ impl PlannedExecution {
 
 /// Execute a plan against the network, collecting results at `sink`.
 /// Advances the network's clock by `interval_ticks` between epochs.
+// xtask-contract(deterministic)
 pub fn execute_plan(sn: &mut SensorNetwork, plan: &QueryPlan, sink: NodeId) -> PlannedExecution {
     let mut epochs = Vec::with_capacity(plan.epochs as usize);
     for e in 0..plan.epochs {

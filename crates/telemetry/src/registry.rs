@@ -264,6 +264,7 @@ impl MetricsRegistry {
     /// private registry, and the harness folds them in canonical
     /// repetition order, so the merged aggregate is byte-identical no
     /// matter which worker thread finished first.
+    // xtask-contract(deterministic)
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (name, v) in &other.counters {
             *self.counters.entry(name).or_insert(0) += v;
@@ -286,6 +287,7 @@ impl MetricsRegistry {
 }
 
 impl Recorder for MetricsRegistry {
+    // xtask-contract(alloc_cold): metrics sink reached only behind `enabled()`; BTreeMap counter nodes allocate on first touch, and the bench contract measures telemetry off
     fn record(&mut self, ev: &Event) {
         match *ev {
             Event::MsgSent {

@@ -64,6 +64,21 @@ pub struct Allow {
     pub line: u32,
 }
 
+/// An `// xtask-contract(kind): reason` annotation found in a comment.
+/// Contracts attach to the next `fn` declaration below them (see
+/// [`crate::contracts`]); the reason is optional for the checked
+/// kinds and mandatory for `alloc_cold`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContractAnn {
+    /// The contract kind inside the parentheses (`zero_alloc`,
+    /// `deterministic`, `alloc_cold`).
+    pub kind: String,
+    /// The justification after the colon, when present.
+    pub reason: String,
+    /// 1-based line the annotation sits on.
+    pub line: u32,
+}
+
 /// Lexer output: the token stream plus any escape-hatch annotations.
 #[derive(Debug, Default)]
 pub struct Lexed {
@@ -71,20 +86,37 @@ pub struct Lexed {
     pub tokens: Vec<Token>,
     /// `xtask-allow` annotations in source order.
     pub allows: Vec<Allow>,
+    /// `xtask-contract` annotations in source order.
+    pub contracts: Vec<ContractAnn>,
 }
 
-/// Parse an `xtask-allow(lint): reason` annotation out of comment text.
-fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
-    let idx = comment.find("xtask-allow(")?;
-    let rest = &comment[idx + "xtask-allow(".len()..];
+/// Parse a `marker(name): reason` annotation out of comment text.
+/// Returns `(name, reason)`; the reason is empty when the colon is
+/// missing.
+fn parse_marker(comment: &str, marker: &str) -> Option<(String, String)> {
+    let idx = comment.find(marker)?;
+    let rest = &comment[idx + marker.len()..];
     let close = rest.find(')')?;
-    let lint = rest[..close].trim().to_string();
+    let name = rest[..close].trim().to_string();
     let after = &rest[close + 1..];
     let reason = after
         .strip_prefix(':')
         .map(|r| r.trim().to_string())
         .unwrap_or_default();
+    Some((name, reason))
+}
+
+/// Parse an `xtask-allow(lint): reason` annotation out of comment text.
+fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
+    let (lint, reason) = parse_marker(comment, "xtask-allow(")?;
     Some(Allow { lint, reason, line })
+}
+
+/// Parse an `xtask-contract(kind): reason` annotation out of comment
+/// text.
+fn parse_contract(comment: &str, line: u32) -> Option<ContractAnn> {
+    let (kind, reason) = parse_marker(comment, "xtask-contract(")?;
+    Some(ContractAnn { kind, reason, line })
 }
 
 /// Tokenize `src`, stripping comments and literal contents.
@@ -122,6 +154,9 @@ pub fn lex(src: &str) -> Lexed {
             if let Some(allow) = parse_allow(&text, start_line) {
                 out.allows.push(allow);
             }
+            if let Some(contract) = parse_contract(&text, start_line) {
+                out.contracts.push(contract);
+            }
             continue;
         }
 
@@ -150,6 +185,9 @@ pub fn lex(src: &str) -> Lexed {
             }
             if let Some(allow) = parse_allow(&text, start_line) {
                 out.allows.push(allow);
+            }
+            if let Some(contract) = parse_contract(&text, start_line) {
+                out.contracts.push(contract);
             }
             continue;
         }
@@ -392,6 +430,20 @@ mod tests {
         let ids = idents(src);
         assert!(!ids.contains(&"unwrap".to_string()));
         assert!(ids.contains(&"len".to_string()));
+    }
+
+    #[test]
+    fn extracts_contract_annotations() {
+        let src = "// xtask-contract(zero_alloc)\npub fn hot() {}\n\
+                   // xtask-contract(alloc_cold): gated off the hot path\nfn cold() {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.contracts.len(), 2);
+        assert_eq!(lexed.contracts[0].kind, "zero_alloc");
+        assert!(lexed.contracts[0].reason.is_empty());
+        assert_eq!(lexed.contracts[0].line, 1);
+        assert_eq!(lexed.contracts[1].kind, "alloc_cold");
+        assert_eq!(lexed.contracts[1].reason, "gated off the hot path");
+        assert_eq!(lexed.contracts[1].line, 3);
     }
 
     #[test]

@@ -32,11 +32,16 @@
 //! a real lint and carry a non-empty reason; stale or malformed allows
 //! are themselves deny-level diagnostics.
 
+pub mod audit;
 pub mod benchcmp;
 pub mod callgraph;
+pub mod contracts;
 pub mod lexer;
 pub mod lints;
+pub mod sarif;
+pub mod symbols;
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -103,12 +108,141 @@ pub const LINT_NAMES: &[&str] = &[
     "no_hash_collections",
     "no_ambient_rng",
     "no_wall_clock",
+    "no_thread_spawn",
     "unaccounted_send",
     "unthreaded_network",
     "fault_event_coverage",
+    "contract_zero_alloc",
+    "contract_deterministic",
+    "bad_contract",
     "bad_allow",
     "unused_allow",
 ];
+
+/// One row of the lint catalog (`--list-lints`, DESIGN.md §15 table).
+#[derive(Debug, Clone, Copy)]
+pub struct LintInfo {
+    /// Lint name as it appears in diagnostics and allows.
+    pub name: &'static str,
+    /// Default severity (`deny` or `warn`).
+    pub level: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// The full lint catalog, in [`LINT_NAMES`] order. The doc-sync test
+/// asserts this table and the DESIGN.md §15 reference table agree.
+pub fn lint_infos() -> Vec<LintInfo> {
+    vec![
+        LintInfo {
+            name: "no_unwrap",
+            level: "deny",
+            summary: "`.unwrap()` can panic under fault injection",
+        },
+        LintInfo {
+            name: "no_expect",
+            level: "deny",
+            summary: "`.expect(…)` can panic under fault injection",
+        },
+        LintInfo {
+            name: "no_panic",
+            level: "deny",
+            summary: "panic-family macros abort instead of degrading",
+        },
+        LintInfo {
+            name: "slice_index",
+            level: "warn",
+            summary: "slice-index expressions can panic on out-of-bounds",
+        },
+        LintInfo {
+            name: "no_hash_collections",
+            level: "deny",
+            summary: "HashMap/HashSet iteration order is nondeterministic",
+        },
+        LintInfo {
+            name: "no_ambient_rng",
+            level: "deny",
+            summary: "ambient RNG makes runs unreproducible",
+        },
+        LintInfo {
+            name: "no_wall_clock",
+            level: "deny",
+            summary: "wall-clock reads leak real time into simulated state",
+        },
+        LintInfo {
+            name: "no_thread_spawn",
+            level: "deny",
+            summary: "unmanaged threads leak interleaving into results",
+        },
+        LintInfo {
+            name: "unaccounted_send",
+            level: "deny",
+            summary: "protocol sends must carry a static phase tag",
+        },
+        LintInfo {
+            name: "unthreaded_network",
+            level: "deny",
+            summary: "sending pub fns must take the energy-accounted Network",
+        },
+        LintInfo {
+            name: "fault_event_coverage",
+            level: "deny",
+            summary: "every FaultKind variant must be applied where FaultInjected is emitted",
+        },
+        LintInfo {
+            name: "contract_zero_alloc",
+            level: "deny",
+            summary: "zero_alloc fns must not reach an allocation site through any call chain",
+        },
+        LintInfo {
+            name: "contract_deterministic",
+            level: "deny",
+            summary: "deterministic fns must not reach a nondeterminism source",
+        },
+        LintInfo {
+            name: "bad_contract",
+            level: "deny",
+            summary: "malformed or dangling xtask-contract annotation",
+        },
+        LintInfo {
+            name: "bad_allow",
+            level: "deny",
+            summary: "malformed xtask-allow annotation",
+        },
+        LintInfo {
+            name: "unused_allow",
+            level: "deny",
+            summary: "xtask-allow that suppresses nothing",
+        },
+    ]
+}
+
+/// Render the lint catalog, one `name | level | summary` row per lint.
+pub fn render_lint_list() -> String {
+    let mut out = String::new();
+    for info in lint_infos() {
+        out.push_str(&format!(
+            "{} | {} | {}\n",
+            info.name, info.level, info.summary
+        ));
+    }
+    out
+}
+
+/// One contract attachment, summarized for the report (the self-check
+/// test asserts the annotated hot paths actually carry their
+/// contracts — a deleted annotation must not pass silently).
+#[derive(Debug, Clone)]
+pub struct ContractSummary {
+    /// Contract kind (`zero_alloc`, `deterministic`, `alloc_cold`).
+    pub kind: String,
+    /// Contracted function name.
+    pub function: String,
+    /// File the function is declared in.
+    pub path: PathBuf,
+    /// 1-based declaration line.
+    pub line: u32,
+}
 
 /// Outcome of analyzing a set of files.
 #[derive(Debug, Default)]
@@ -118,6 +252,10 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `xtask-allow` annotations that suppressed a finding.
     pub allows_honored: usize,
+    /// Honored suppressions per lint name (the `--allow-audit` input).
+    pub allow_counts: BTreeMap<String, usize>,
+    /// Contracts attached across the scanned set, in file order.
+    pub contracts: Vec<ContractSummary>,
     /// Number of files scanned.
     pub files_scanned: usize,
 }
@@ -139,51 +277,149 @@ impl Report {
             .count()
     }
 
+    /// Number of `alloc_cold` propagation barriers (they budget like
+    /// allows in `--allow-audit`).
+    pub fn cold_count(&self) -> usize {
+        self.contracts
+            .iter()
+            .filter(|c| c.kind == "alloc_cold")
+            .count()
+    }
+
     /// True when the run should exit non-zero.
     pub fn failed(&self, strict: bool) -> bool {
         self.deny_count() > 0 || (strict && self.warn_count() > 0)
     }
 }
 
-/// Analyze one source file.
+/// Analyze one source file (token lints only — the contract passes
+/// need the whole file set; see [`analyze_sources`]).
 ///
 /// `protocol_dir` enables the energy-accounting lints (used for
 /// `election/` and `maintenance/` sources).
 pub fn analyze_source(path: &Path, src: &str, protocol_dir: bool) -> (Vec<Diagnostic>, usize) {
-    analyze_source_with(path, src, protocol_dir, None)
+    let report = analyze_sources(
+        vec![SourceFile {
+            path: path.to_path_buf(),
+            src: src.to_string(),
+            lint: protocol_dir_mode(protocol_dir),
+        }],
+        None,
+    );
+    (report.diagnostics, report.allows_honored)
 }
 
-/// [`analyze_source`], additionally feeding the cross-file fault
-/// coverage accumulator when one is threaded through (the full
-/// `analyze_paths` walk does; single-file callers may pass `None`).
-fn analyze_source_with(
-    path: &Path,
-    src: &str,
-    protocol_dir: bool,
-    coverage: Option<&mut lints::FaultCoverage>,
-) -> (Vec<Diagnostic>, usize) {
-    let lexed = lexer::lex(src);
-    let excluded = lints::test_regions(&lexed.tokens);
-    if let Some(cov) = coverage {
-        cov.scan(path, &lexed.tokens, &excluded);
-    }
-
-    let mut diags = Vec::new();
-    lints::panic_freedom(path, &lexed.tokens, &excluded, &mut diags);
-    lints::determinism(path, &lexed.tokens, &excluded, &mut diags);
+fn protocol_dir_mode(protocol_dir: bool) -> LintMode {
     if protocol_dir {
-        callgraph::energy_accounting(path, &lexed.tokens, &excluded, &mut diags);
+        LintMode::Protocol
+    } else {
+        LintMode::Lint
     }
+}
 
-    apply_allows(path, &lexed.allows, diags)
+/// How a file participates in the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintMode {
+    /// Token lints plus the energy-accounting call-graph lints.
+    Protocol,
+    /// Token lints only.
+    Lint,
+    /// Symbol/contract scanning only: the file feeds the call graph
+    /// (and can receive contract diagnostics), but its own tokens are
+    /// not linted and stale allows in it are not policed.
+    SymbolsOnly,
+}
+
+/// One file in an analysis set.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// File path (used for crate attribution and diagnostics).
+    pub path: PathBuf,
+    /// File contents.
+    pub src: String,
+    /// Participation mode.
+    pub lint: LintMode,
+}
+
+/// Analyze a set of files as one unit: per-file token lints, the
+/// cross-file fault-coverage pass, and the workspace contract passes
+/// (symbol table → call graph → contract propagation). `repo_root`,
+/// when known, supplies Cargo manifests for the dependency-direction
+/// edge filter; without it, calls bind across all scanned crates.
+pub fn analyze_sources(files: Vec<SourceFile>, repo_root: Option<&Path>) -> Report {
+    // Pass 1: lex everything once; feed the symbol table.
+    let mut table = symbols::SymbolTable::default();
+    let lexed: Vec<(SourceFile, lexer::Lexed, Vec<bool>)> = files
+        .into_iter()
+        .map(|f| {
+            let lx = lexer::lex(&f.src);
+            let excluded = lints::test_regions(&lx.tokens);
+            table.add_file(&f.path, &lx, &excluded);
+            (f, lx, excluded)
+        })
+        .collect();
+    if let Some(root) = repo_root {
+        symbols::load_workspace_deps(root, &mut table);
+    }
+    table.finish();
+
+    // Pass 2: contracts — attach across all files, then propagate.
+    let mut set = contracts::ContractSet::default();
+    let mut contract_diags = Vec::new();
+    for (f, lx, _) in &lexed {
+        contracts::attach(&f.path, lx, &table, &mut set, &mut contract_diags);
+    }
+    contracts::check(&table, &set, &mut contract_diags);
+
+    // Pass 3: per-file token lints, then allow filtering over the
+    // union of that file's token findings and any contract findings
+    // whose site lands in it — so one site-level allow covers every
+    // contracted root that reaches the site.
+    let mut report = Report::default();
+    let mut coverage = lints::FaultCoverage::default();
+    for (f, lx, excluded) in &lexed {
+        let mut diags = Vec::new();
+        if f.lint != LintMode::SymbolsOnly {
+            coverage.scan(&f.path, &lx.tokens, excluded);
+            lints::panic_freedom(&f.path, &lx.tokens, excluded, &mut diags);
+            lints::determinism(&f.path, &lx.tokens, excluded, &mut diags);
+            if f.lint == LintMode::Protocol {
+                callgraph::energy_accounting(&f.path, &lx.tokens, excluded, &mut diags);
+            }
+        }
+        diags.extend(contract_diags.iter().filter(|d| d.path == f.path).cloned());
+        let police = f.lint != LintMode::SymbolsOnly;
+        let (kept, honored) =
+            apply_allows(&f.path, &lx.allows, diags, police, &mut report.allow_counts);
+        report.diagnostics.extend(kept);
+        report.allows_honored += honored;
+        report.files_scanned += 1;
+    }
+    coverage.finish(&mut report.diagnostics);
+
+    report.contracts = set
+        .attached
+        .iter()
+        .map(|c| ContractSummary {
+            kind: c.kind.clone(),
+            function: table.fns[c.fn_index].name.clone(),
+            path: table.fns[c.fn_index].path.clone(),
+            line: table.fns[c.fn_index].line,
+        })
+        .collect();
+    report
 }
 
 /// Filter diagnostics through the file's `xtask-allow` annotations and
-/// append diagnostics for malformed or stale annotations.
+/// append diagnostics for malformed or stale annotations. Staleness
+/// (`bad_allow`/`unused_allow`) is only policed when `police` is set —
+/// symbol-only files get suppression without the audit trail.
 fn apply_allows(
     path: &Path,
     allows: &[lexer::Allow],
     diags: Vec<Diagnostic>,
+    police: bool,
+    counts: &mut BTreeMap<String, usize>,
 ) -> (Vec<Diagnostic>, usize) {
     let mut used = vec![false; allows.len()];
     let mut kept = Vec::new();
@@ -197,7 +433,13 @@ fn apply_allows(
                 && !a.reason.is_empty()
                 && (a.line == d.line || a.line + 1 == d.line)
             {
-                used[i] = true;
+                // Budget by allow *site*, not by suppressed finding: a
+                // single site-level allow legitimately covers every
+                // contracted root that reaches the site.
+                if !used[i] {
+                    used[i] = true;
+                    *counts.entry(a.lint.clone()).or_default() += 1;
+                }
                 suppressed = true;
                 break;
             }
@@ -208,40 +450,42 @@ fn apply_allows(
     }
 
     let allows_honored = used.iter().filter(|u| **u).count();
-    for (i, a) in allows.iter().enumerate() {
-        if !LINT_NAMES.contains(&a.lint.as_str()) {
-            kept.push(Diagnostic {
-                lint: "bad_allow",
-                level: Level::Deny,
-                path: path.to_path_buf(),
-                line: a.line,
-                col: 1,
-                message: format!("xtask-allow names unknown lint `{}`", a.lint),
-                suggestion: "use one of the lints listed by `cargo xtask analyze --help`",
-            });
-        } else if a.reason.is_empty() {
-            kept.push(Diagnostic {
-                lint: "bad_allow",
-                level: Level::Deny,
-                path: path.to_path_buf(),
-                line: a.line,
-                col: 1,
-                message: format!("xtask-allow({}) is missing a justification", a.lint),
-                suggestion: "write `// xtask-allow(lint): why this site is safe`",
-            });
-        } else if !used[i] {
-            kept.push(Diagnostic {
-                lint: "unused_allow",
-                level: Level::Deny,
-                path: path.to_path_buf(),
-                line: a.line,
-                col: 1,
-                message: format!(
-                    "xtask-allow({}) suppresses nothing on this or the next line",
-                    a.lint
-                ),
-                suggestion: "remove the stale annotation or move it next to the violation",
-            });
+    if police {
+        for (i, a) in allows.iter().enumerate() {
+            if !LINT_NAMES.contains(&a.lint.as_str()) {
+                kept.push(Diagnostic {
+                    lint: "bad_allow",
+                    level: Level::Deny,
+                    path: path.to_path_buf(),
+                    line: a.line,
+                    col: 1,
+                    message: format!("xtask-allow names unknown lint `{}`", a.lint),
+                    suggestion: "use one of the lints listed by `cargo xtask analyze --list-lints`",
+                });
+            } else if a.reason.is_empty() {
+                kept.push(Diagnostic {
+                    lint: "bad_allow",
+                    level: Level::Deny,
+                    path: path.to_path_buf(),
+                    line: a.line,
+                    col: 1,
+                    message: format!("xtask-allow({}) is missing a justification", a.lint),
+                    suggestion: "write `// xtask-allow(lint): why this site is safe`",
+                });
+            } else if !used[i] {
+                kept.push(Diagnostic {
+                    lint: "unused_allow",
+                    level: Level::Deny,
+                    path: path.to_path_buf(),
+                    line: a.line,
+                    col: 1,
+                    message: format!(
+                        "xtask-allow({}) suppresses nothing on this or the next line",
+                        a.lint
+                    ),
+                    suggestion: "remove the stale annotation or move it next to the violation",
+                });
+            }
         }
     }
     kept.sort_by_key(|d| (d.line, d.col));
@@ -287,25 +531,93 @@ pub fn collect_files(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()>
     Ok(())
 }
 
-/// Analyze every `.rs` file under the given roots, including the
-/// cross-file fault/telemetry coverage pass.
+/// Walk up from `start` to the workspace root (the ancestor holding
+/// both `Cargo.toml` and `crates/`), so the dependency-direction edge
+/// filter can read manifests.
+pub fn find_repo_root(start: &Path) -> Option<PathBuf> {
+    start
+        .ancestors()
+        .find(|a| a.join("Cargo.toml").is_file() && a.join("crates").is_dir())
+        .map(Path::to_path_buf)
+}
+
+/// Analyze every `.rs` file under the given roots: token lints, the
+/// cross-file fault/telemetry coverage pass, and the contract passes
+/// over the same set.
 pub fn analyze_paths(roots: &[PathBuf]) -> std::io::Result<Report> {
     let mut files = Vec::new();
     for root in roots {
         collect_files(root, &mut files)?;
     }
-    let mut report = Report::default();
-    let mut coverage = lints::FaultCoverage::default();
+    let mut sources = Vec::new();
     for file in files {
         let src = std::fs::read_to_string(&file)?;
-        let (diags, honored) =
-            analyze_source_with(&file, &src, is_protocol_dir(&file), Some(&mut coverage));
-        report.diagnostics.extend(diags);
-        report.allows_honored += honored;
-        report.files_scanned += 1;
+        let lint = protocol_dir_mode(is_protocol_dir(&file));
+        sources.push(SourceFile {
+            path: file,
+            src,
+            lint,
+        });
     }
-    coverage.finish(&mut report.diagnostics);
-    Ok(report)
+    let repo_root = roots.first().and_then(|r| find_repo_root(r));
+    Ok(analyze_sources(sources, repo_root.as_deref()))
+}
+
+/// Analyze the whole workspace: the lint roots ([`default_roots`] plus
+/// the sanctioned bench runner), with every other library source —
+/// the rest of `crates/bench`, `crates/microbench`, and the repo-root
+/// `src/` — scanned for symbols so contract propagation sees the full
+/// call graph even where token lints do not apply.
+pub fn analyze_workspace(repo_root: &Path) -> std::io::Result<Report> {
+    let mut lint_files = Vec::new();
+    for root in default_roots(repo_root) {
+        collect_files(&root, &mut lint_files)?;
+    }
+    let runner = repo_root.join("crates/bench/src/runner.rs");
+    if runner.is_file() {
+        lint_files.push(runner);
+    }
+
+    let mut symbol_files = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(repo_root.join("crates")) {
+        let mut dirs: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        dirs.sort();
+        for dir in dirs {
+            // xtask analyzes, it is not analyzed: its own sources are
+            // full of lint-pattern string fragments.
+            if dir.file_name().is_some_and(|n| n == "xtask") {
+                continue;
+            }
+            let src = dir.join("src");
+            if src.is_dir() {
+                collect_files(&src, &mut symbol_files)?;
+            }
+        }
+    }
+    let root_src = repo_root.join("src");
+    if root_src.is_dir() {
+        collect_files(&root_src, &mut symbol_files)?;
+    }
+
+    let mut sources = Vec::new();
+    for file in &lint_files {
+        sources.push(SourceFile {
+            path: file.clone(),
+            src: std::fs::read_to_string(file)?,
+            lint: protocol_dir_mode(is_protocol_dir(file)),
+        });
+    }
+    for file in symbol_files {
+        if lint_files.contains(&file) {
+            continue;
+        }
+        sources.push(SourceFile {
+            path: file.clone(),
+            src: std::fs::read_to_string(&file)?,
+            lint: LintMode::SymbolsOnly,
+        });
+    }
+    Ok(analyze_sources(sources, Some(repo_root)))
 }
 
 /// The workspace's default scan roots, relative to the repo root: the
@@ -350,6 +662,30 @@ pub fn to_json(report: &Report) -> String {
             json_escape(&d.message),
             json_escape(d.suggestion),
             if i + 1 < report.diagnostics.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"allow_counts\": {");
+    for (i, (lint, n)) in report.allow_counts.iter().enumerate() {
+        out.push_str(&format!(
+            "{}\"{}\": {}",
+            if i == 0 { "" } else { ", " },
+            json_escape(lint),
+            n
+        ));
+    }
+    out.push_str("},\n  \"contracts\": [\n");
+    for (i, c) in report.contracts.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kind\": \"{}\", \"function\": \"{}\", \"file\": \"{}\", \"line\": {}}}{}\n",
+            json_escape(&c.kind),
+            json_escape(&c.function),
+            json_escape(&c.path.display().to_string()),
+            c.line,
+            if i + 1 < report.contracts.len() {
+                ","
+            } else {
+                ""
+            }
         ));
     }
     out.push_str(&format!(

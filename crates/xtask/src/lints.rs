@@ -279,6 +279,25 @@ pub fn determinism(path: &Path, tokens: &[Token], excluded: &[bool], diags: &mut
                      belongs only in `crates/bench`",
                 ));
             }
+            // Only the qualified form is denied: the sanctioned bench
+            // pool spawns through `std::thread::scope`'s `scope.spawn`,
+            // a *method* call this pattern deliberately does not match.
+            "thread"
+                if tokens.get(i + 1).is_some_and(|c| c.kind.is_punct(':'))
+                    && tokens.get(i + 2).is_some_and(|c| c.kind.is_punct(':'))
+                    && tokens.get(i + 3).and_then(|n| n.kind.ident()) == Some("spawn") =>
+            {
+                diags.push(diag(
+                    path,
+                    t,
+                    "no_thread_spawn",
+                    Level::Deny,
+                    "`thread::spawn` creates an unmanaged thread; interleaving leaks into results"
+                        .into(),
+                    "use the permit-bounded pool in `bench::runner` (scoped spawns), or keep the \
+                     code single-threaded",
+                ));
+            }
             _ => {}
         }
     }
@@ -513,6 +532,16 @@ mod tests {
             lint_names("fn f() { let t = Instant::now(); let s = SystemTime::now(); }"),
             vec!["no_wall_clock", "no_wall_clock"]
         );
+    }
+
+    #[test]
+    fn qualified_thread_spawn_is_denied_but_scoped_spawn_is_not() {
+        assert_eq!(
+            lint_names("fn f() { thread::spawn(|| {}); std::thread::spawn(|| {}); }"),
+            vec!["no_thread_spawn", "no_thread_spawn"]
+        );
+        // The sanctioned pool spawns through a scope handle.
+        assert!(lint_names("fn f(s: &Scope) { s.spawn(|| {}); scope.spawn(|| {}); }").is_empty());
     }
 
     #[test]

@@ -10,31 +10,34 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: cargo xtask analyze [--json] [--strict] [paths…]
+usage: cargo xtask analyze [--json] [--sarif FILE] [--github] [--strict]
+                           [--allow-audit] [--list-lints] [paths…]
        cargo xtask benchcmp <baseline.json> <current.json> [--tolerance F]
 
-Scans workspace sources for determinism, panic-freedom and
-energy-accounting violations. With no paths, scans the four protocol
-crates (core, netsim, query, datagen).
+Scans workspace sources for determinism, panic-freedom,
+energy-accounting and contract violations. With no paths, scans the
+lint roots (core, netsim, query, datagen, telemetry, plus the
+sanctioned bench runner) and feeds every other library source into the
+workspace call graph for contract propagation.
 
 options:
-  --json     emit a machine-readable JSON report on stdout
-  --strict   promote warn-level lints (slice_index) to failures
-  --help     show this message, including the lint list
+  --json         emit a machine-readable JSON report on stdout
+  --sarif FILE   additionally write a SARIF 2.1.0 log to FILE
+  --github       additionally emit GitHub Actions ::error/::warning
+                 annotations on stdout
+  --strict       promote warn-level lints (slice_index) to failures
+  --allow-audit  audit suppression counts against the [allow-budget]
+                 section of xtask.toml; over-budget fails the run
+  --list-lints   print the lint catalog (name | level | summary) and
+                 exit
+  --help         show this message
 
-lints:
-  no_unwrap, no_expect, no_panic (deny)   panic-freedom
-  slice_index (warn)                      auditable indexing
-  no_hash_collections, no_ambient_rng,
-  no_wall_clock (deny)                    determinism
-  unaccounted_send, unthreaded_network
-  (deny, election/ + maintenance/ only)   energy accounting
-  fault_event_coverage (deny, cross-file) every FaultKind variant must
-                                          emit FaultInjected telemetry
-  bad_allow, unused_allow (deny)          escape-hatch hygiene
-
-Suppress a single finding with `// xtask-allow(lint): reason` on the
-same line or the line above.
+Run `cargo xtask analyze --list-lints` for the full lint catalog; the
+same table lives in DESIGN.md §15. Suppress a single finding with
+`// xtask-allow(lint): reason` on the same line or the line above.
+Contract functions with `// xtask-contract(zero_alloc)`,
+`// xtask-contract(deterministic)`, or mark a dynamically-gated cold
+path with `// xtask-contract(alloc_cold): reason`.
 
 benchcmp compares two MICROBENCH_JSON files (one JSON record per
 bench). Deterministic allocation counters gate hard beyond the
@@ -59,11 +62,28 @@ fn main() -> ExitCode {
 
     let mut json = false;
     let mut strict = false;
+    let mut github = false;
+    let mut allow_audit = false;
+    let mut sarif_path: Option<PathBuf> = None;
     let mut roots: Vec<PathBuf> = Vec::new();
-    for arg in args {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--strict" => strict = true,
+            "--github" => github = true,
+            "--allow-audit" => allow_audit = true,
+            "--list-lints" => {
+                print!("{}", xtask::render_lint_list());
+                return ExitCode::SUCCESS;
+            }
+            "--sarif" => {
+                sarif_path = args.next().map(PathBuf::from);
+                if sarif_path.is_none() {
+                    eprintln!("--sarif needs an output file\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            }
             "--help" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -76,17 +96,19 @@ fn main() -> ExitCode {
         }
     }
 
-    if roots.is_empty() {
-        // CARGO_MANIFEST_DIR is crates/xtask; the repo root is two up.
-        let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-            .ancestors()
-            .nth(2)
-            .map(PathBuf::from)
-            .unwrap_or_else(|| PathBuf::from("."));
-        roots = xtask::default_roots(&repo_root);
-    }
+    // CARGO_MANIFEST_DIR is crates/xtask; the repo root is two up.
+    let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
 
-    let report = match xtask::analyze_paths(&roots) {
+    let report = if roots.is_empty() {
+        xtask::analyze_workspace(&repo_root)
+    } else {
+        xtask::analyze_paths(&roots)
+    };
+    let report = match report {
         Ok(r) => r,
         Err(e) => {
             eprintln!("xtask analyze: {e}");
@@ -101,15 +123,47 @@ fn main() -> ExitCode {
             println!("{}\n", d.render());
         }
         println!(
-            "xtask analyze: {} file(s), {} error(s), {} warning(s), {} allow(s) honored",
+            "xtask analyze: {} file(s), {} error(s), {} warning(s), {} allow(s) honored, {} contract(s)",
             report.files_scanned,
             report.deny_count(),
             report.warn_count(),
-            report.allows_honored
+            report.allows_honored,
+            report.contracts.len()
         );
     }
+    if github && !report.diagnostics.is_empty() {
+        println!("{}", xtask::sarif::to_github_annotations(&report));
+    }
+    if let Some(path) = sarif_path {
+        if let Err(e) = std::fs::write(&path, xtask::sarif::to_sarif(&report)) {
+            eprintln!("xtask analyze: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
-    if report.failed(strict) {
+    let mut audit_failed = false;
+    if allow_audit {
+        let budget_path = repo_root.join("xtask.toml");
+        let budget = std::fs::read_to_string(&budget_path)
+            .ok()
+            .and_then(|t| xtask::audit::parse_budget(&t));
+        match budget {
+            Some(budget) => {
+                let outcome = xtask::audit::audit(&report, &budget);
+                print!("{}", outcome.rendered);
+                audit_failed = outcome.failed;
+            }
+            None => {
+                eprintln!(
+                    "xtask analyze: --allow-audit needs an [allow-budget] section in {}",
+                    budget_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if report.failed(strict) || audit_failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

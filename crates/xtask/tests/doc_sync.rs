@@ -1,0 +1,98 @@
+//! Doc-sync: the lint reference table in DESIGN.md §15 must match
+//! `cargo xtask analyze --list-lints` exactly — name, level, and
+//! summary — so the docs cannot drift from the analyzer.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .expect("repo root")
+}
+
+/// Parse `name | level | summary` rows from `--list-lints` output.
+fn parse_list_lints(out: &str) -> Vec<(String, String, String)> {
+    out.lines()
+        .filter_map(|line| {
+            let mut parts = line.splitn(3, " | ");
+            Some((
+                parts.next()?.trim().to_string(),
+                parts.next()?.trim().to_string(),
+                parts.next()?.trim().to_string(),
+            ))
+        })
+        .collect()
+}
+
+/// Parse the DESIGN.md §15 markdown table: `| `name` | level | summary |`.
+fn parse_design_table(design: &str) -> Vec<(String, String, String)> {
+    // Scope to §15 so tables in other sections can never alias in.
+    let section = design
+        .split("## 15.")
+        .nth(1)
+        .expect("DESIGN.md must have a §15");
+    let section = section.split("\n## ").next().unwrap_or(section);
+    section
+        .lines()
+        .filter(|l| l.trim_start().starts_with("| `"))
+        .filter_map(|line| {
+            let cells: Vec<&str> = line.trim().trim_matches('|').split('|').collect();
+            if cells.len() != 3 {
+                return None;
+            }
+            Some((
+                cells[0].trim().trim_matches('`').to_string(),
+                cells[1].trim().to_string(),
+                cells[2].trim().to_string(),
+            ))
+        })
+        .collect()
+}
+
+#[test]
+fn design_lint_table_matches_list_lints_output() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["analyze", "--list-lints"])
+        .output()
+        .expect("xtask binary runs");
+    assert!(out.status.success(), "--list-lints must exit 0");
+    let listed = parse_list_lints(&String::from_utf8_lossy(&out.stdout));
+
+    let design_path = repo_root().join("DESIGN.md");
+    let design = std::fs::read_to_string(&design_path).expect("DESIGN.md readable");
+    let documented = parse_design_table(&design);
+
+    assert_eq!(
+        listed.len(),
+        xtask::lint_infos().len(),
+        "--list-lints must print every lint"
+    );
+    assert_eq!(
+        documented, listed,
+        "DESIGN.md §15 lint table and `analyze --list-lints` disagree \
+         (left: docs, right: analyzer) — update whichever is stale"
+    );
+}
+
+#[test]
+fn design_documents_the_contract_workflow() {
+    let design =
+        std::fs::read_to_string(repo_root().join("DESIGN.md")).expect("DESIGN.md readable");
+    // The §15 prose must cover the annotation grammar and the audit
+    // knobs a contributor needs to interact with the analyzer.
+    for needle in [
+        "xtask-contract(zero_alloc)",
+        "alloc_cold",
+        "--allow-audit",
+        "--sarif",
+        "[allow-budget]",
+    ] {
+        assert!(
+            design.contains(needle),
+            "DESIGN.md must document `{needle}`"
+        );
+    }
+}

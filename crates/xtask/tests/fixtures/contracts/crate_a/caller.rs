@@ -1,0 +1,7 @@
+//! Contract fixture (crate_a): a deterministic contract whose
+//! violation lives in a different crate.
+
+// xtask-contract(deterministic)
+pub fn tick_all(n: u64) -> u64 {
+    shuffle_seed(n)
+}

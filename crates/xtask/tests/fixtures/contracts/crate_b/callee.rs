@@ -1,0 +1,7 @@
+//! Contract fixture (crate_b): the nondeterminism source reached by
+//! crate_a's contracted entry point.
+
+pub fn shuffle_seed(n: u64) -> u64 {
+    let r: u64 = rand::random();
+    n ^ r
+}

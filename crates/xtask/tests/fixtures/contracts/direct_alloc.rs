@@ -1,0 +1,8 @@
+//! Contract fixture: a `zero_alloc` function that allocates directly
+//! in its own body.
+
+// xtask-contract(zero_alloc)
+pub fn hot_path(x: u32) -> usize {
+    let s = format!("{x}");
+    s.len()
+}

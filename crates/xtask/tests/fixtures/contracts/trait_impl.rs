@@ -1,0 +1,17 @@
+//! Contract fixture: the contract is attached to a trait-method
+//! *impl* (the trait declaration itself has no body to check).
+
+pub trait Sink {
+    fn record_sample(&mut self, v: u64);
+}
+
+pub struct Buffered {
+    vals: Vec<u64>,
+}
+
+impl Sink for Buffered {
+    // xtask-contract(zero_alloc)
+    fn record_sample(&mut self, v: u64) {
+        self.vals.push(v);
+    }
+}

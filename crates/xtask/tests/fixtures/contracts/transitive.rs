@@ -1,0 +1,15 @@
+//! Contract fixture: the allocation sits two calls below the
+//! contracted root, so the diagnostic must carry the full chain.
+
+// xtask-contract(zero_alloc)
+pub fn entry(v: &mut Vec<u32>) {
+    middle(v);
+}
+
+fn middle(v: &mut Vec<u32>) {
+    leaf(v);
+}
+
+fn leaf(v: &mut Vec<u32>) {
+    v.push(1);
+}
