@@ -1,28 +1,52 @@
 //! Inspect a recorded protocol trace.
 //!
 //! ```text
-//! snapshot-trace <trace.jsonl> [--assert] [--max-election-msgs N]
+//! snapshot-trace <trace.jsonl> [flame|report] [options]
 //!
 //!   <trace.jsonl>        a JSONL trace exported by the telemetry ring
 //!                        (e.g. the `trace` experiment's artifact)
+//!
+//! subcommands:
+//!   (none)               replay into per-phase message/energy tables,
+//!                        election segments, query spans and the span
+//!                        tree, and print the summary
+//!   flame                emit folded stacks (`path;to;span ticks`) for
+//!                        flamegraph tooling (inferno, speedscope)
+//!   report               per-span-kind profile: count, total ticks,
+//!                        p50/p90/p99/max durations, wall time
+//!
+//! options:
+//!   --out FILE           write the subcommand's output to FILE instead
+//!                        of stdout
 //!   --assert             exit non-zero unless every node stayed within
 //!                        the per-node election message budget
 //!   --max-election-msgs  the budget --assert checks (default 6: the
 //!                        paper's nominal 5 plus one cascade corner)
+//!   --assert-budget FILE check the trace against a PERF_BUDGET.toml
+//!                        span budget; exit non-zero on any violation
 //! ```
 //!
-//! Without `--assert` the tool replays the trace into per-phase
-//! message/energy tables, election segments and query spans and prints
-//! the summary. With it, the tool is a CI gate for the paper's
-//! Table 2 bound.
+//! With `--assert` / `--assert-budget` the tool is a CI gate: the
+//! former enforces the paper's Table 2 bound, the latter pins
+//! causality-level behavior (election counts, query latencies) the way
+//! `benchcmp` pins allocations.
 
-use snapshot_telemetry::{jsonl, TraceSummary};
+use snapshot_telemetry::{jsonl, PerfBudget, TraceSummary};
+
+enum Mode {
+    Summary,
+    Flame,
+    Report,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<String> = None;
+    let mut mode = Mode::Summary;
+    let mut out: Option<String> = None;
     let mut do_assert = false;
     let mut budget: u64 = 6;
+    let mut budget_file: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -35,6 +59,24 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--max-election-msgs needs a positive integer"));
             }
+            "--assert-budget" => {
+                i += 1;
+                budget_file = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--assert-budget needs a file path")),
+                );
+            }
+            "--out" => {
+                i += 1;
+                out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--out needs a file path")),
+                );
+            }
+            "flame" if path.is_some() => mode = Mode::Flame,
+            "report" if path.is_some() => mode = Mode::Report,
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -54,8 +96,19 @@ fn main() {
     let events =
         jsonl::parse(&text).unwrap_or_else(|e| die(&format!("cannot parse `{path}`: {e}")));
     let summary = TraceSummary::from_events(&events);
-    println!("{}", summary.render());
 
+    let rendered = match mode {
+        Mode::Summary => summary.render(),
+        Mode::Flame => summary.folded_stacks(),
+        Mode::Report => render_report(&summary),
+    };
+    match &out {
+        Some(file) => std::fs::write(file, &rendered)
+            .unwrap_or_else(|e| die(&format!("cannot write `{file}`: {e}"))),
+        None => print!("{rendered}"),
+    }
+
+    let mut failed = false;
     if do_assert {
         let violations = summary.election_message_violations(budget);
         if violations.is_empty() {
@@ -70,13 +123,64 @@ fn main() {
                     v.epoch, v.node, v.sent, v.budget
                 );
             }
-            std::process::exit(1);
+            failed = true;
         }
+    }
+    if let Some(file) = budget_file {
+        let toml = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| die(&format!("cannot read `{file}`: {e}")));
+        let perf = PerfBudget::parse(&toml)
+            .unwrap_or_else(|e| die(&format!("cannot parse `{file}`: {e}")));
+        let violations = perf.check(&summary);
+        if violations.is_empty() {
+            println!(
+                "OK: trace within all {} span budget rule(s) of {file}",
+                perf.rules().len()
+            );
+        } else {
+            for v in &violations {
+                eprintln!("VIOLATION: {v}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }
 
+/// The per-phase profile table: one row per span kind that closed at
+/// least once, plus the root-coverage line the acceptance gate checks.
+fn render_report(summary: &TraceSummary) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "span kind             count  total_ticks    p50    p90    p99    max   wall_ms\n",
+    );
+    for st in summary.span_stats() {
+        out.push_str(&format!(
+            "{:<20} {:>6} {:>12} {:>6} {:>6} {:>6} {:>6} {:>9.3}\n",
+            st.kind.as_str(),
+            st.count,
+            st.total_ticks,
+            st.p50,
+            st.p90,
+            st.p99,
+            st.max,
+            st.wall_ns as f64 / 1e6,
+        ));
+    }
+    out.push_str(&format!(
+        "root span tick coverage: {:.1}%\n",
+        summary.root_tick_coverage() * 100.0
+    ));
+    out
+}
+
 fn print_usage() {
-    println!("usage: snapshot-trace <trace.jsonl> [--assert] [--max-election-msgs N]");
+    println!(
+        "usage: snapshot-trace <trace.jsonl> [flame|report] [--out FILE] [--assert] \
+         [--max-election-msgs N] [--assert-budget FILE]"
+    );
 }
 
 fn die(msg: &str) -> ! {

@@ -12,9 +12,10 @@
 
 use crate::setup::RandomWalkSetup;
 use crate::{ExperimentOutput, RunContext};
-use snapshot_core::{Aggregate, QueryMode, SnapshotQuery, SpatialPredicate};
+use snapshot_core::{Aggregate, QueryMode, SensorNetwork, SnapshotQuery, SpatialPredicate};
 use snapshot_netsim::{FaultPlan, NodeId};
-use snapshot_telemetry::{jsonl, TraceSummary};
+use snapshot_query::{execute_plan, executor::plan_traced, parse, RegionCatalog};
+use snapshot_telemetry::{jsonl, TraceSummary, HOP_LATENCY_HIST};
 
 /// Ring capacity for recorded runs: large enough that the 100-node
 /// workload never wraps (a full election on 100 nodes emits a few
@@ -43,6 +44,13 @@ pub fn record_election_trace_with_plan(
     n_nodes: usize,
     plan: Option<&FaultPlan>,
 ) -> String {
+    record_instrumented_run(seed, n_nodes, plan).export_trace_jsonl()
+}
+
+/// Run the instrumented workload and hand back the whole network, so
+/// callers can read the live metrics registry (hop-latency histogram,
+/// span counters) in addition to exporting the event trace.
+fn record_instrumented_run(seed: u64, n_nodes: usize, plan: Option<&FaultPlan>) -> SensorNetwork {
     let mut sn = RandomWalkSetup {
         n_nodes,
         k: 10,
@@ -66,16 +74,44 @@ pub fn record_election_trace_with_plan(
         &SnapshotQuery::aggregate(pred, Aggregate::Avg, QueryMode::Snapshot),
         sink,
     );
-    sn.export_trace_jsonl()
+    // One SQL round through the front end, so the artifact carries
+    // `query_plan` / `query_exec` spans alongside the core `query`
+    // span (the causal chain the profiler report groups by).
+    let q = parse("SELECT AVG(value) FROM sensors USE SNAPSHOT").expect("canonical SQL parses");
+    let qp =
+        plan_traced(&mut sn, &q, &RegionCatalog::with_quadrants()).expect("canonical SQL plans");
+    let _ = execute_plan(&mut sn, &qp, sink);
+    sn
 }
 
 /// Run the experiment.
 pub fn run(ctx: &RunContext) -> ExperimentOutput {
     let n_nodes = if ctx.quick { 40 } else { 100 };
-    let jsonl_text = record_election_trace_with_plan(ctx.seed, n_nodes, ctx.fault_plan.as_ref());
+    let sn = record_instrumented_run(ctx.seed, n_nodes, ctx.fault_plan.as_ref());
+    let jsonl_text = sn.export_trace_jsonl();
     let events = jsonl::parse(&jsonl_text).expect("self-produced trace must parse");
     let summary = TraceSummary::from_events(&events);
     let violations = summary.election_message_violations(ELECTION_MSG_BUDGET);
+
+    // The per-hop latency histogram lives only in the live registry
+    // (it is an aggregate, not an event), so render it here rather
+    // than from the replayed trace.
+    let mut rendered = summary.render();
+    if let Some(h) = sn
+        .net()
+        .telemetry()
+        .registry()
+        .and_then(|r| r.histogram(HOP_LATENCY_HIST))
+    {
+        rendered.push_str(&format!(
+            "\nper-hop message latency (ticks): {} hops, p50 {} p90 {} p99 {} max {}\n",
+            h.total(),
+            h.quantile(0.50).unwrap_or(0),
+            h.quantile(0.90).unwrap_or(0),
+            h.quantile(0.99).unwrap_or(0),
+            h.max_bound().unwrap_or(0),
+        ));
+    }
 
     ctx.write_csv("trace_election.jsonl", &jsonl_text);
 
@@ -98,7 +134,7 @@ pub fn run(ctx: &RunContext) -> ExperimentOutput {
     ExperimentOutput {
         id: "trace",
         title: "Recorded protocol trace (telemetry ring -> JSONL)",
-        rendered: summary.render(),
+        rendered,
         notes,
     }
 }

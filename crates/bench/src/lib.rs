@@ -27,6 +27,24 @@ pub use table::Table;
 use snapshot_netsim::FaultPlan;
 use std::path::PathBuf;
 
+/// Nanoseconds since the first call, read from the process monotonic
+/// clock.
+///
+/// This is the workspace's one sanctioned wall-clock source: install
+/// it with [`snapshot_telemetry::Telemetry::set_wall_clock`] to stamp
+/// `span_close` events with real elapsed time for profiling reports.
+/// Default traces never call it — `wall_ns` stays 0 and artifacts
+/// remain byte-identical across machines — so only opt-in profiling
+/// runs (never CI-compared artifacts) should install it.
+#[allow(clippy::disallowed_methods)] // the bench harness is the one sanctioned wall-clock user
+pub fn wall_clock_ns() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
 /// Shared context for experiment runs.
 #[derive(Debug, Clone)]
 pub struct RunContext {

@@ -7,7 +7,7 @@
 //! run (`allocs_per_iter` must stay 0 in steady state).
 
 use snapshot_microbench::Criterion;
-use snapshot_netsim::{EnergyModel, LinkModel, Network, NodeId, Phase, Topology};
+use snapshot_netsim::{EnergyModel, LinkModel, Network, NodeId, Phase, SpanKind, Topology};
 use std::hint::black_box;
 
 const N: u32 = 100;
@@ -47,7 +47,27 @@ fn bench_deliver(c: &mut Criterion) {
     }
 }
 
+/// The disabled-telemetry span fast path: the round is wrapped in an
+/// explicit `open_span`/`close_span` pair (and `deliver` itself opens
+/// a `Deliver` span internally), all of which must collapse to the one
+/// `enabled()` branch when telemetry is off. The 0-allocs/iter pin on
+/// this bench is the profiler's "free when unused" guarantee.
+fn bench_deliver_spans_disabled(c: &mut Criterion) {
+    let mut net = dense_network(LinkModel::Perfect);
+    let mut buf = Vec::new();
+    round(&mut net, &mut buf);
+    c.bench_function("deliver_spans_disabled_100", |b| {
+        b.iter(|| {
+            let span = net.open_span(SpanKind::Election);
+            let delivered = round(&mut net, &mut buf);
+            net.close_span(span);
+            black_box(delivered)
+        })
+    });
+}
+
 /// Run the suite.
 pub fn benches(c: &mut Criterion) {
     bench_deliver(c);
+    bench_deliver_spans_disabled(c);
 }

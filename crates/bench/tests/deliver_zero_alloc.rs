@@ -6,12 +6,17 @@
 //! counter.
 
 use snapshot_microbench::counting_alloc::{self, CountingAllocator};
-use snapshot_netsim::{Delivery, EnergyModel, LinkModel, Network, NodeId, Phase, Topology};
+use snapshot_netsim::{
+    Delivery, EnergyModel, LinkModel, Network, NodeId, Phase, SpanKind, Topology,
+};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
 
 fn round(net: &mut Network<u64>, buf: &mut Vec<Delivery<u64>>, n: u32) -> usize {
+    // With telemetry off the explicit span pair (and the `Deliver`
+    // span `deliver` opens internally) must be allocation-free no-ops.
+    let span = net.open_span(SpanKind::Election);
     for i in 0..n {
         net.broadcast(NodeId(i), u64::from(i), 16, Phase::Data);
     }
@@ -19,6 +24,7 @@ fn round(net: &mut Network<u64>, buf: &mut Vec<Delivery<u64>>, n: u32) -> usize 
     for i in 0..n {
         net.take_inbox_into(NodeId(i), buf);
     }
+    net.close_span(span);
     delivered
 }
 

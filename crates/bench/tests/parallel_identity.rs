@@ -82,6 +82,42 @@ fn jobs4_matches_jobs1_byte_for_byte_across_seeds() {
 }
 
 #[test]
+fn span_instrumented_trace_is_identical_across_jobs() {
+    // The `trace` experiment's artifact now interleaves span_open /
+    // span_close pairs (with monotonically assigned ids) among the
+    // point events; both the ids and the `wall_ns: 0` stamps must be
+    // invariant under scheduling.
+    let d1 = fresh_dir("trace-j1");
+    let d4 = fresh_dir("trace-j4");
+    let args = ["trace", "--quick", "--seed", "3"];
+    let (out1, csv1) = run(&[&args[..], &["--jobs", "1"]].concat(), &d1);
+    let (out4, csv4) = run(&[&args[..], &["--jobs", "4"]].concat(), &d4);
+    assert_eq!(out1, out4, "trace stdout diverged between jobs settings");
+    let trace1 = csv1
+        .get("trace_election.jsonl")
+        .expect("trace must export its artifact");
+    let text = std::str::from_utf8(trace1).expect("artifact is utf-8");
+    assert!(
+        text.contains("\"span_open\""),
+        "trace artifact records no spans"
+    );
+    assert!(
+        text.lines()
+            .filter(|l| l.contains("\"wall_ns\":"))
+            .all(|l| l.ends_with("\"wall_ns\":0}")),
+        "deterministic artifact must never stamp real wall time"
+    );
+    assert_eq!(
+        trace1,
+        csv4.get("trace_election.jsonl")
+            .expect("trace must export its artifact"),
+        "trace_election.jsonl not byte-identical between --jobs 1 and --jobs 4"
+    );
+    let _ = std::fs::remove_dir_all(&d1);
+    let _ = std::fs::remove_dir_all(&d4);
+}
+
+#[test]
 fn scale_golden_trace_is_identical_across_jobs() {
     // The `scale` experiment records a full telemetry ring on its
     // repetition-0 cell at N=1000 and exports it as

@@ -1,0 +1,78 @@
+//! End-to-end contract of the span profiler on a real recorded run:
+//! the `trace` experiment's artifact must replay into a span tree
+//! whose root spans cover (nearly) the whole trace, export non-empty
+//! folded stacks for flamegraph tooling, and stay inside the
+//! committed `PERF_BUDGET.toml`.
+
+use snapshot_bench::experiments::trace::record_election_trace;
+use snapshot_telemetry::{jsonl, PerfBudget, SpanKind, TraceSummary};
+
+fn recorded_summary() -> TraceSummary {
+    let text = record_election_trace(1, 40);
+    let events = jsonl::parse(&text).expect("recorded trace parses");
+    TraceSummary::from_events(&events)
+}
+
+#[test]
+fn root_spans_cover_the_recorded_trace() {
+    let summary = recorded_summary();
+    let coverage = summary.root_tick_coverage();
+    assert!(
+        coverage >= 0.95,
+        "root spans cover only {:.1}% of trace ticks",
+        coverage * 100.0
+    );
+    // Nothing may be left dangling: the workload closes every episode.
+    assert!(
+        summary.spans.iter().all(|s| s.close_tick.is_some()),
+        "recorded workload left spans open"
+    );
+}
+
+#[test]
+fn folded_stacks_expose_the_causal_hierarchy() {
+    let summary = recorded_summary();
+    let folded = summary.folded_stacks();
+    assert!(!folded.is_empty(), "flame export is empty");
+    // The maintenance cycle nests a full re-election: the folded
+    // stack must show the parent;child path, not a flat list.
+    assert!(
+        folded
+            .lines()
+            .any(|l| l.starts_with("maintenance;election")),
+        "expected a maintenance;election stack in:\n{folded}"
+    );
+    for line in folded.lines() {
+        let (path, ticks) = line.rsplit_once(' ').expect("`path ticks` shape");
+        assert!(!path.is_empty());
+        assert!(ticks.parse::<u64>().is_ok(), "bad self-ticks in `{line}`");
+    }
+}
+
+#[test]
+fn recorded_trace_stays_inside_the_committed_budget() {
+    let toml = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../PERF_BUDGET.toml"
+    ))
+    .expect("PERF_BUDGET.toml is committed at the repo root");
+    let budget = PerfBudget::parse(&toml).expect("committed budget parses");
+    assert!(!budget.is_empty(), "committed budget has no rules");
+    let summary = recorded_summary();
+    let violations = budget.check(&summary);
+    assert!(violations.is_empty(), "budget violations: {violations:?}");
+    // The gate is alive: tightening any one satisfied count bound to
+    // below the observed value must flip it red.
+    let elections = summary
+        .span_stats()
+        .iter()
+        .find(|st| st.kind == SpanKind::Election)
+        .map(|st| st.count)
+        .expect("workload holds elections");
+    let tightened = PerfBudget::parse(&format!(
+        "[span-budget]\nelection_max_count = {}\n",
+        elections - 1
+    ))
+    .expect("tightened budget parses");
+    assert_eq!(tightened.check(&summary).len(), 1);
+}

@@ -24,7 +24,7 @@ use crate::sensor::{Mode, Offer, SensorNode};
 use snapshot_netsim::clock::Epoch;
 use snapshot_netsim::rng::DetRng;
 use snapshot_netsim::rng::RngExt;
-use snapshot_netsim::{Event, Network, NodeId, Phase};
+use snapshot_netsim::{Event, Network, NodeId, Phase, SpanKind};
 
 /// Summary of one election run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +107,7 @@ fn run_election(
     count_already: bool,
 ) -> ElectionOutcome {
     debug_assert_eq!(nodes.len(), values.len());
+    let election_span = net.open_span(SpanKind::Election);
     let ids: Vec<NodeId> = net.node_ids().collect();
 
     // ---- Reset state -------------------------------------------------
@@ -140,6 +141,7 @@ fn run_election(
     }
 
     // ---- Phase 1: invitation ------------------------------------------
+    let invite_span = net.open_span(SpanKind::ElectionInvite);
     let tick = net.round();
     net.emit(Event::ElectionPhase {
         tick,
@@ -160,8 +162,10 @@ fn run_election(
         }
     }
     net.deliver();
+    net.close_span(invite_span);
 
     // ---- Phase 2: model evaluation + candidate lists -------------------
+    let cand_span = net.open_span(SpanKind::ElectionCandidates);
     let tick = net.round();
     net.emit(Event::ElectionPhase {
         tick,
@@ -250,8 +254,10 @@ fn run_election(
         net.broadcast(i, msg, bytes, Phase::Candidates);
     }
     net.deliver();
+    net.close_span(cand_span);
 
     // ---- Phase 3: initial selection ------------------------------------
+    let accept_span = net.open_span(SpanKind::ElectionAccept);
     let tick = net.round();
     net.emit(Event::ElectionPhase {
         tick,
@@ -346,7 +352,10 @@ fn run_election(
         }
     }
 
+    net.close_span(accept_span);
+
     // ---- Phase 4: refinement (Rules 0-4) --------------------------------
+    let refine_span = net.open_span(SpanKind::ElectionRefine);
     let tick = net.round();
     net.emit(Event::ElectionPhase {
         tick,
@@ -527,6 +536,7 @@ fn run_election(
             break;
         }
     }
+    net.close_span(refine_span);
 
     // Safety valve: anything still undefined after the hard cap goes
     // ACTIVE (the conservative choice — it can only improve accuracy).
@@ -575,6 +585,8 @@ fn run_election(
             forced += 1;
         }
     }
+
+    net.close_span(election_span);
 
     ElectionOutcome {
         epoch,

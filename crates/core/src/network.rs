@@ -28,7 +28,7 @@ use snapshot_netsim::rng::DetRng;
 use snapshot_netsim::rng::RngExt;
 use snapshot_netsim::telemetry::QueryStatus;
 use snapshot_netsim::{
-    EnergyModel, Event, LinkModel, NetStats, Network, NodeId, Phase, Telemetry, Topology,
+    EnergyModel, Event, LinkModel, NetStats, Network, NodeId, Phase, SpanKind, Telemetry, Topology,
 };
 
 /// A full sensor-network deployment.
@@ -48,6 +48,10 @@ pub struct SensorNetwork {
     rng: DetRng,
     query_seq: u64,
     repair: RepairTracker,
+    /// Open telemetry span covering the current repair episode
+    /// (0 = none). Opened by [`Self::kill_representative`], closed by
+    /// `observe_repair` when every orphan is re-covered.
+    repair_span: u64,
 }
 
 impl Clone for SensorNetwork {
@@ -62,6 +66,7 @@ impl Clone for SensorNetwork {
             rng: DetRng::seed_from_u64(derive_seed(self.cfg.seed, 0x2_C10 ^ self.epoch.0)),
             query_seq: self.query_seq,
             repair: self.repair.clone(),
+            repair_span: self.repair_span,
         }
     }
 }
@@ -131,6 +136,7 @@ impl SensorNetwork {
             rng,
             query_seq: 0,
             repair: RepairTracker::new(),
+            repair_span: 0,
         }
     }
 
@@ -344,6 +350,7 @@ impl SensorNetwork {
     /// afterwards, closing the episode once everyone is re-covered.
     pub fn maintain(&mut self) -> MaintenanceReport {
         self.epoch = self.epoch.next();
+        let span = self.net.open_span(SpanKind::Maintenance);
         let values = self.values();
         let report = run_maintenance(
             &mut self.net,
@@ -354,6 +361,7 @@ impl SensorNetwork {
             &mut self.rng,
         );
         self.observe_repair();
+        self.net.close_span(span);
         report
     }
 
@@ -362,23 +370,27 @@ impl SensorNetwork {
     /// to fresh nodes. Cheap enough to run every few queries.
     pub fn check_handoffs(&mut self) -> MaintenanceReport {
         self.epoch = self.epoch.next();
+        let span = self.net.open_span(SpanKind::HandoffCheck);
         let values = self.values();
-        run_handoff_check(
+        let report = run_handoff_check(
             &mut self.net,
             &mut self.nodes,
             &values,
             &self.cfg,
             self.epoch,
             &mut self.rng,
-        )
+        );
+        self.net.close_span(span);
+        report
     }
 
     /// LEACH-style rotation: each representative steps down with the
     /// given probability and its members re-elect.
     pub fn rotate(&mut self, rotation_prob: f64) -> RotationReport {
         self.epoch = self.epoch.next();
+        let span = self.net.open_span(SpanKind::Rotation);
         let values = self.values();
-        rotate_representatives(
+        let report = rotate_representatives(
             &mut self.net,
             &mut self.nodes,
             &values,
@@ -386,13 +398,18 @@ impl SensorNetwork {
             self.epoch,
             &mut self.rng,
             rotation_prob,
-        )
+        );
+        self.net.close_span(span);
+        report
     }
 
     /// One spurious-claim reconciliation pass (announce / object /
     /// correct).
     pub fn reconcile(&mut self) -> ReconcileReport {
-        reconcile(&mut self.net, &mut self.nodes)
+        let span = self.net.open_span(SpanKind::Reconcile);
+        let report = reconcile(&mut self.net, &mut self.nodes);
+        self.net.close_span(span);
+        report
     }
 
     // ---- Failure injection & repair measurement ---------------------------
@@ -414,6 +431,9 @@ impl SensorNetwork {
         self.net.kill(rep);
         let tick = self.net.round();
         self.repair.begin(rep, tick, orphans.iter().copied());
+        if self.repair_span == 0 {
+            self.repair_span = self.net.open_span(SpanKind::Repair);
+        }
         orphans.len()
     }
 
@@ -440,6 +460,10 @@ impl SensorNetwork {
             let r = nodes[j.index()].representative().unwrap_or(j);
             net.is_alive(r)
         });
+        if !self.repair.in_repair() && self.repair_span != 0 {
+            self.net.close_span(self.repair_span);
+            self.repair_span = 0;
+        }
     }
 
     /// Execute a query collected at `sink`.
@@ -450,9 +474,11 @@ impl SensorNetwork {
     /// query-error-during-repair metric of the `heal` experiment.
     pub fn query(&mut self, query: &SnapshotQuery, sink: NodeId) -> QueryResult {
         let values = self.values();
+        let qspan = self.net.open_span(SpanKind::Query);
         let span = self.begin_query_span(sink, matches!(query.mode, QueryMode::Snapshot));
         let result = execute(&mut self.net, &self.nodes, &values, query, sink);
         self.end_query_span(span, QueryStatus::Ok, result.participants as u32);
+        self.net.close_span(qspan);
         self.repair.record_query(result.absolute_error());
         result
     }
@@ -472,8 +498,10 @@ impl SensorNetwork {
     ) -> Result<QueryResult, CoreError> {
         let alive = self.net.alive_count();
         if alive == 0 || !self.net.is_alive(sink) {
+            let qspan = self.net.open_span(SpanKind::Query);
             let span = self.begin_query_span(sink, matches!(query.mode, QueryMode::Snapshot));
             self.end_query_span(span, QueryStatus::Error, 0);
+            self.net.close_span(qspan);
             return Err(CoreError::NetworkUnavailable { alive });
         }
         Ok(self.query(query, sink))
@@ -491,6 +519,7 @@ impl SensorNetwork {
         sink: NodeId,
     ) -> Result<TagResult, CoreError> {
         let values = self.values();
+        let qspan = self.net.open_span(SpanKind::Query);
         let span = self.begin_query_span(sink, matches!(query.mode, QueryMode::Snapshot));
         let result = execute_tag(&mut self.net, &self.nodes, &values, query, sink);
         match &result {
@@ -500,6 +529,7 @@ impl SensorNetwork {
             }
             Err(_) => self.end_query_span(span, QueryStatus::Error, 0),
         }
+        self.net.close_span(qspan);
         result
     }
 

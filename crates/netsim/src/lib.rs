@@ -78,7 +78,7 @@ pub use mobility::RandomWaypoint;
 pub use node::NodeId;
 pub use rng::{DetRng, RngCore, RngExt};
 pub use sim::Network;
-pub use snapshot_telemetry::{self as telemetry, Event, Phase, Recorder, Telemetry};
+pub use snapshot_telemetry::{self as telemetry, Event, Phase, Recorder, SpanKind, Telemetry};
 pub use stats::NetStats;
 pub use topology::{Position, Topology};
 pub use tree::AggregationTree;
@@ -99,5 +99,5 @@ pub mod prelude {
     pub use crate::stats::NetStats;
     pub use crate::topology::{Position, Topology};
     pub use crate::tree::AggregationTree;
-    pub use snapshot_telemetry::{Event, Phase, Recorder, Telemetry};
+    pub use snapshot_telemetry::{Event, Phase, Recorder, SpanKind, Telemetry};
 }

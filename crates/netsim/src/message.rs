@@ -45,6 +45,11 @@ pub struct Envelope<P> {
     /// The protocol phase that produced this message
     /// (e.g. [`Phase::Invitation`]); drives per-phase statistics.
     pub phase: Phase,
+    /// Delivery round at which the message was enqueued. Delivery
+    /// stamps the per-hop latency histogram with
+    /// `delivery_round - sent_tick` (exactly 1 in the current
+    /// synchronous model; the event-driven core will let it grow).
+    pub sent_tick: u64,
 }
 
 /// A message as it arrives in a node's inbox.

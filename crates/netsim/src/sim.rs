@@ -26,7 +26,7 @@ use crate::rng::derive_seed;
 use crate::rng::DetRng;
 use crate::stats::NetStats;
 use crate::topology::Topology;
-use snapshot_telemetry::{Event, Phase, Recorder as _, Telemetry};
+use snapshot_telemetry::{Event, Phase, Recorder as _, SpanKind, Telemetry};
 
 /// The simulated network: topology + link model + energy + statistics.
 ///
@@ -209,6 +209,21 @@ impl<P: Clone> Network<P> {
         if self.telemetry.enabled() {
             self.telemetry.record(&event);
         }
+    }
+
+    /// Open a hierarchical telemetry span of `kind` at the current
+    /// round. Returns the span id for [`Network::close_span`], or 0
+    /// when telemetry is off (closing 0 is a no-op, so callers never
+    /// branch).
+    #[inline]
+    pub fn open_span(&mut self, kind: SpanKind) -> u64 {
+        self.telemetry.open_span(self.round, kind)
+    }
+
+    /// Close span `id` at the current round. No-op for id 0.
+    #[inline]
+    pub fn close_span(&mut self, id: u64) {
+        self.telemetry.close_span(self.round, id);
     }
 
     /// The energy model in force.
@@ -478,6 +493,7 @@ impl<P: Clone> Network<P> {
             payload,
             bytes,
             phase,
+            sent_tick: self.round,
         });
     }
 
@@ -503,6 +519,7 @@ impl<P: Clone> Network<P> {
         if self.faults.is_some() {
             self.apply_due_faults();
         }
+        let span = self.telemetry.open_span(self.round, SpanKind::Deliver);
         // Swap the queued envelopes into the recycled scratch buffer:
         // draining it leaves its capacity for the next round, and the
         // outbox keeps the capacity it grew while enqueueing.
@@ -559,6 +576,9 @@ impl<P: Clone> Network<P> {
                             batteries, telemetry, drain, round, dst, rx_cost, env.phase,
                         );
                     }
+                    if let Some(reg) = telemetry.registry_mut() {
+                        reg.observe_hop_latency(round.saturating_sub(env.sent_tick));
+                    }
                     stats.record_receive(dst);
                     if let Some(prev) = last_hit.replace(dst) {
                         // xtask-allow(contract_zero_alloc): inbox push reuses capacity recycled by take_inbox_into/clear_inbox; steady-state growth is zero (bench-gated)
@@ -591,6 +611,7 @@ impl<P: Clone> Network<P> {
                 });
             }
         }
+        telemetry.close_span(round, span);
         self.scratch = envelopes;
         delivered
     }
@@ -960,8 +981,10 @@ mod tests {
             vec![
                 "energy",      // tx draw for the broadcast
                 "msg_sent",    // the broadcast itself
+                "span_open",   // the deliver round's span
                 "msg_dropped", // lost at node 1 (total loss)
                 "msg_dropped", // lost at node 2
+                "span_close",  // deliver span closes
                 "node_failed", // the kill
             ]
         );

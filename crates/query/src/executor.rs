@@ -4,9 +4,12 @@
 //! network's simulated clock by the interval between samples — the
 //! continuous-query semantics of `SAMPLE INTERVAL 1s FOR 5min`.
 
-use crate::planner::QueryPlan;
+use crate::ast::Query;
+use crate::catalog::RegionCatalog;
+use crate::error::QueryError;
+use crate::planner::{plan, QueryPlan};
 use snapshot_core::{QueryResult, SensorNetwork};
-use snapshot_netsim::NodeId;
+use snapshot_netsim::{NodeId, SpanKind};
 
 /// The results of a planned (possibly multi-epoch) execution.
 #[derive(Debug, Clone)]
@@ -74,10 +77,26 @@ impl PlannedExecution {
     }
 }
 
+/// Plan a parsed query under a `query_plan` telemetry span attached to
+/// `sn`'s trace. Identical to [`plan`] otherwise — use it when the
+/// network is tracing and planning time should appear in the span tree
+/// next to execution time.
+pub fn plan_traced(
+    sn: &mut SensorNetwork,
+    q: &Query,
+    catalog: &RegionCatalog,
+) -> Result<QueryPlan, QueryError> {
+    let span = sn.net_mut().open_span(SpanKind::QueryPlan);
+    let result = plan(q, catalog);
+    sn.net_mut().close_span(span);
+    result
+}
+
 /// Execute a plan against the network, collecting results at `sink`.
 /// Advances the network's clock by `interval_ticks` between epochs.
 // xtask-contract(deterministic)
 pub fn execute_plan(sn: &mut SensorNetwork, plan: &QueryPlan, sink: NodeId) -> PlannedExecution {
+    let span = sn.net_mut().open_span(SpanKind::QueryExec);
     let mut epochs = Vec::with_capacity(plan.epochs as usize);
     for e in 0..plan.epochs {
         if e > 0 {
@@ -85,6 +104,7 @@ pub fn execute_plan(sn: &mut SensorNetwork, plan: &QueryPlan, sink: NodeId) -> P
         }
         epochs.push(sn.query(&plan.query, sink));
     }
+    sn.net_mut().close_span(span);
     PlannedExecution {
         epochs,
         project_loc: plan.project_loc,

@@ -43,7 +43,7 @@ pub mod planner;
 pub use ast::Query;
 pub use catalog::RegionCatalog;
 pub use error::QueryError;
-pub use executor::{execute_plan, PlannedExecution};
+pub use executor::{execute_plan, plan_traced, PlannedExecution};
 pub use parser::parse;
 pub use planner::{plan, QueryPlan};
 
@@ -52,7 +52,7 @@ pub mod prelude {
     pub use crate::ast::Query;
     pub use crate::catalog::RegionCatalog;
     pub use crate::error::QueryError;
-    pub use crate::executor::{execute_plan, PlannedExecution};
+    pub use crate::executor::{execute_plan, plan_traced, PlannedExecution};
     pub use crate::parser::parse;
     pub use crate::planner::{plan, QueryPlan};
 }

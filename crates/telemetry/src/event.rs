@@ -7,6 +7,7 @@
 //! the simulator and cannot name its `NodeId` type).
 
 use crate::phase::Phase;
+use crate::span::SpanKind;
 
 /// What the cache manager did with one observation (mirrors the core
 /// crate's `CacheDecision`, flattened for the trace).
@@ -309,6 +310,36 @@ pub enum Event {
         /// True when the link entered the bad (bursty-loss) state.
         bad: bool,
     },
+    /// A hierarchical operation span opened (see [`crate::span`]).
+    SpanOpen {
+        /// Simulation tick at open.
+        tick: u64,
+        /// Span id, unique within the run (never 0).
+        id: u64,
+        /// Id of the span that was innermost-open at open time, or 0
+        /// for a root span.
+        parent: u64,
+        /// What operation the span covers.
+        span: SpanKind,
+    },
+    /// A hierarchical operation span closed.
+    ///
+    /// The close is self-contained — it repeats `open_tick` so a
+    /// replay can compute the duration even when the matching
+    /// [`Event::SpanOpen`] fell off a bounded ring buffer.
+    SpanClose {
+        /// Simulation tick at close.
+        tick: u64,
+        /// Span id matching the `SpanOpen`.
+        id: u64,
+        /// What operation the span covers.
+        span: SpanKind,
+        /// Simulation tick the span opened at.
+        open_tick: u64,
+        /// Wall-clock nanoseconds elapsed, or 0 when no wall clock was
+        /// injected (the default — keeps traces byte-identical).
+        wall_ns: u64,
+    },
 }
 
 impl Event {
@@ -330,7 +361,9 @@ impl Event {
             | Event::QueryEnd { tick, .. }
             | Event::FaultInjected { tick, .. }
             | Event::NodeRecovered { tick, .. }
-            | Event::LinkStateFlipped { tick, .. } => tick,
+            | Event::LinkStateFlipped { tick, .. }
+            | Event::SpanOpen { tick, .. }
+            | Event::SpanClose { tick, .. } => tick,
         }
     }
 
@@ -353,6 +386,8 @@ impl Event {
             Event::FaultInjected { .. } => "fault_injected",
             Event::NodeRecovered { .. } => "node_recovered",
             Event::LinkStateFlipped { .. } => "link_state",
+            Event::SpanOpen { .. } => "span_open",
+            Event::SpanClose { .. } => "span_close",
         }
     }
 }
@@ -389,10 +424,23 @@ mod tests {
                 dst: 2,
                 bad: true,
             },
+            Event::SpanOpen {
+                tick: 7,
+                id: 1,
+                parent: 0,
+                span: SpanKind::Election,
+            },
+            Event::SpanClose {
+                tick: 8,
+                id: 1,
+                span: SpanKind::Election,
+                open_tick: 7,
+                wall_ns: 0,
+            },
         ];
         assert_eq!(
             events.iter().map(Event::tick).collect::<Vec<_>>(),
-            vec![1, 2, 3, 4, 5, 6]
+            vec![1, 2, 3, 4, 5, 6, 7, 8]
         );
     }
 

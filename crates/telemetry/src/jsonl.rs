@@ -10,6 +10,7 @@
 
 use crate::event::{CacheOutcome, Event, FaultTag, QueryStatus};
 use crate::phase::Phase;
+use crate::span::SpanKind;
 use core::fmt::Write as _;
 
 /// Why a trace line failed to parse.
@@ -49,10 +50,30 @@ fn push_f64(out: &mut String, key: &str, value: f64) {
     let _ = write!(out, ",\"{key}\":{value:?}");
 }
 
+/// Append `value` with JSON string escaping. Canonical labels
+/// (lowercase ASCII identifiers) pass through byte-for-byte, so
+/// pre-escaping traces stay byte-identical; arbitrary strings (future
+/// user-supplied span names, query text) survive the round trip.
+fn escape_into(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
 fn push_str(out: &mut String, key: &str, value: &str) {
-    // All values written here are canonical labels (lowercase ASCII
-    // identifiers), so no escaping is ever needed.
-    let _ = write!(out, ",\"{key}\":\"{value}\"");
+    let _ = write!(out, ",\"{key}\":\"");
+    escape_into(out, value);
+    out.push('"');
 }
 
 fn push_bool(out: &mut String, key: &str, value: bool) {
@@ -180,6 +201,25 @@ pub fn write_event(out: &mut String, ev: &Event) {
             push_u64(out, "dst", u64::from(dst));
             push_bool(out, "bad", bad);
         }
+        Event::SpanOpen {
+            id, parent, span, ..
+        } => {
+            push_u64(out, "id", id);
+            push_u64(out, "parent", parent);
+            push_str(out, "span", span.as_str());
+        }
+        Event::SpanClose {
+            id,
+            span,
+            open_tick,
+            wall_ns,
+            ..
+        } => {
+            push_u64(out, "id", id);
+            push_str(out, "span", span.as_str());
+            push_u64(out, "open_tick", open_tick);
+            push_u64(out, "wall_ns", wall_ns);
+        }
     }
     out.push('}');
 }
@@ -252,6 +292,41 @@ impl Fields {
     }
 }
 
+/// Parse the body of a quoted string starting just after the opening
+/// `"`. Returns the unescaped value and the remainder after the
+/// closing quote. Accepts exactly the escapes `escape_into` emits.
+fn parse_string(s: &str) -> Result<(String, &str), ParseError> {
+    let malformed = |detail: &str| ParseError::Malformed(detail.to_owned());
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &s[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((j, 'u')) => {
+                    let hex = s
+                        .get(j + 1..j + 5)
+                        .ok_or_else(|| malformed("truncated \\u escape"))?;
+                    let code = u32::from_str_radix(hex, 16)
+                        .map_err(|_| malformed("bad \\u escape digits"))?;
+                    out.push(char::from_u32(code).ok_or_else(|| malformed("bad \\u code point"))?);
+                    for _ in 0..4 {
+                        chars.next();
+                    }
+                }
+                _ => return Err(malformed("unknown escape")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err(malformed("unterminated string"))
+}
+
 /// Tokenize one flat JSON object `{"k":v,...}` into fields. Accepts
 /// exactly the dialect `write_event` produces.
 fn parse_object(line: &str) -> Result<Fields, ParseError> {
@@ -275,12 +350,10 @@ fn parse_object(line: &str) -> Result<Fields, ParseError> {
         let after_key = after_quote[key_end + 1..]
             .strip_prefix(':')
             .ok_or_else(|| malformed("expected `:` after key"))?;
-        // Value: string, bool, or number (no escapes, no nesting).
+        // Value: string (with escapes), bool, or number (no nesting).
         let (value, after_value) = if let Some(s) = after_key.strip_prefix('"') {
-            let end = s
-                .find('"')
-                .ok_or_else(|| malformed("unterminated string"))?;
-            (Value::Str(s[..end].to_owned()), &s[end + 1..])
+            let (string, rem) = parse_string(s)?;
+            (Value::Str(string), rem)
         } else if let Some(rem) = after_key.strip_prefix("true") {
             (Value::Bool(true), rem)
         } else if let Some(rem) = after_key.strip_prefix("false") {
@@ -400,6 +473,19 @@ pub fn parse_line(line: &str) -> Result<Event, ParseError> {
             dst: f.u32("dst")?,
             bad: f.bool("bad")?,
         },
+        "span_open" => Event::SpanOpen {
+            tick,
+            id: f.u64("id")?,
+            parent: f.u64("parent")?,
+            span: SpanKind::parse(f.str("span")?).ok_or(ParseError::BadValue("span"))?,
+        },
+        "span_close" => Event::SpanClose {
+            tick,
+            id: f.u64("id")?,
+            span: SpanKind::parse(f.str("span")?).ok_or(ParseError::BadValue("span"))?,
+            open_tick: f.u64("open_tick")?,
+            wall_ns: f.u64("wall_ns")?,
+        },
         other => return Err(ParseError::UnknownKind(other.to_owned())),
     })
 }
@@ -503,6 +589,32 @@ mod tests {
                 dst: 5,
                 bad: false,
             },
+            Event::SpanOpen {
+                tick: 14,
+                id: 1,
+                parent: 0,
+                span: SpanKind::Maintenance,
+            },
+            Event::SpanOpen {
+                tick: 14,
+                id: 2,
+                parent: 1,
+                span: SpanKind::Deliver,
+            },
+            Event::SpanClose {
+                tick: 15,
+                id: 2,
+                span: SpanKind::Deliver,
+                open_tick: 14,
+                wall_ns: 0,
+            },
+            Event::SpanClose {
+                tick: 16,
+                id: 1,
+                span: SpanKind::Maintenance,
+                open_tick: 14,
+                wall_ns: 3250,
+            },
         ]
     }
 
@@ -562,6 +674,63 @@ mod tests {
                 "{\"tick\":1,\"kind\":\"msg_sent\",\"node\":1,\"phase\":\"warp\",\"bytes\":1}"
             ),
             Err(ParseError::BadValue("phase"))
+        ));
+    }
+
+    #[test]
+    fn span_line_shape_is_flat_json() {
+        let mut out = String::new();
+        write_event(
+            &mut out,
+            &Event::SpanClose {
+                tick: 9,
+                id: 3,
+                span: SpanKind::QueryExec,
+                open_tick: 4,
+                wall_ns: 120,
+            },
+        );
+        assert_eq!(
+            out,
+            "{\"tick\":9,\"kind\":\"span_close\",\"id\":3,\"span\":\"query_exec\",\
+             \"open_tick\":4,\"wall_ns\":120}"
+        );
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let mut out = String::new();
+        push_str(&mut out, "k", "a\"b\\c\nd\te\rf\u{1}g");
+        assert_eq!(out, ",\"k\":\"a\\\"b\\\\c\\nd\\te\\rf\\u0001g\"");
+        // Strip the leading comma and wrap as an object to re-parse.
+        let line = format!("{{\"tick\":1{out}}}");
+        let fields = parse_object(&line).expect("parse escaped string");
+        assert_eq!(
+            fields.str("k").expect("k present"),
+            "a\"b\\c\nd\te\rf\u{1}g"
+        );
+    }
+
+    #[test]
+    fn canonical_labels_are_untouched_by_escaping() {
+        let mut out = String::new();
+        push_str(&mut out, "kind", "msg_sent");
+        assert_eq!(out, ",\"kind\":\"msg_sent\"");
+    }
+
+    #[test]
+    fn parse_rejects_bad_escapes() {
+        assert!(matches!(
+            parse_object("{\"k\":\"a\\qb\"}"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_object("{\"k\":\"dangling\\\"}"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_object("{\"k\":\"bad\\u00zz\"}"),
+            Err(ParseError::Malformed(_))
         ));
     }
 

@@ -26,9 +26,16 @@
 //!   optional registry behind one `#[inline]` `enabled()` branch, so
 //!   the disabled pipeline costs nothing measurable on hot paths.
 //! * [`jsonl`] — serde-free JSONL export/import of traces.
+//! * [`SpanKind`] / [`SpanGuard`] — hierarchical operation spans
+//!   (`span_open`/`span_close` event pairs with parent links and dual
+//!   sim-tick / optional wall-clock timestamps), the causality layer
+//!   over the point events.
 //! * [`TraceSummary`] — replay a trace into election segments, query
-//!   spans and per-phase totals, and check paper invariants like the
-//!   ≤ 6-messages-per-node election budget.
+//!   spans, a span tree (per-kind latency stats, folded-stack
+//!   flamegraph export) and per-phase totals, and check paper
+//!   invariants like the ≤ 6-messages-per-node election budget.
+//! * [`PerfBudget`] — committed span-level ceilings
+//!   (`PERF_BUDGET.toml`) checked against replayed traces in CI.
 //!
 //! This crate sits at the bottom of the workspace dependency graph
 //! and depends on nothing (not even the simulator — node identities
@@ -37,15 +44,21 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod budget;
 pub mod event;
 pub mod jsonl;
 pub mod phase;
 pub mod recorder;
 pub mod registry;
 pub mod replay;
+pub mod span;
 
+pub use budget::{BudgetMetric, BudgetRule, BudgetViolation, PerfBudget};
 pub use event::{CacheOutcome, Event, FaultTag, QueryStatus};
 pub use phase::Phase;
 pub use recorder::{NullRecorder, Recorder, RingRecorder, Telemetry};
-pub use registry::{Histogram, MetricsRegistry, PerNodePhase};
-pub use replay::{ElectionSegment, ElectionViolation, QuerySpan, TraceSummary};
+pub use registry::{Histogram, MetricsRegistry, PerNodePhase, HOP_LATENCY_HIST};
+pub use replay::{
+    ElectionSegment, ElectionViolation, QuerySpan, Span, SpanKindStats, TraceSummary,
+};
+pub use span::{SpanGuard, SpanKind, LOG2_TICKS_BUCKETS};

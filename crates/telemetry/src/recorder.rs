@@ -8,6 +8,7 @@
 use crate::event::Event;
 use crate::jsonl;
 use crate::registry::MetricsRegistry;
+use crate::span::{SpanGuard, SpanKind};
 
 /// Something that consumes protocol events.
 pub trait Recorder {
@@ -134,10 +135,23 @@ impl Recorder for RingRecorder {
 ///
 /// The default is fully off; `enabled` then folds to `false` and
 /// instrumented hot paths skip event construction.
+///
+/// The hub also tracks **open spans** (see [`crate::span`]): ids are
+/// handed out from a run-local counter, the innermost open span is
+/// the implicit parent of the next open, and closes may arrive out of
+/// LIFO order (a repair span closes from inside a maintenance span).
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
     ring: Option<RingRecorder>,
     registry: Option<MetricsRegistry>,
+    /// Open spans, innermost last: `(id, kind, open_tick, wall_start)`.
+    open_spans: Vec<(u64, SpanKind, u64, u64)>,
+    /// Last span id handed out; ids start at 1 (0 means "no span").
+    next_span_id: u64,
+    /// Injected wall-clock source (monotonic nanoseconds). `None` by
+    /// default — this crate never reads a clock itself, so default
+    /// traces are byte-identical across machines and `--jobs` values.
+    clock: Option<fn() -> u64>,
 }
 
 impl Telemetry {
@@ -152,15 +166,15 @@ impl Telemetry {
     pub fn with_ring(capacity: usize) -> Self {
         Telemetry {
             ring: Some(RingRecorder::new(capacity)),
-            registry: None,
+            ..Telemetry::default()
         }
     }
 
     /// Fold events into a metrics registry only.
     pub fn with_registry() -> Self {
         Telemetry {
-            ring: None,
             registry: Some(MetricsRegistry::new()),
+            ..Telemetry::default()
         }
     }
 
@@ -169,6 +183,7 @@ impl Telemetry {
         Telemetry {
             ring: Some(RingRecorder::new(capacity)),
             registry: Some(MetricsRegistry::new()),
+            ..Telemetry::default()
         }
     }
 
@@ -205,6 +220,76 @@ impl Telemetry {
         self.ring.as_ref().map(RingRecorder::to_jsonl)
     }
 
+    /// Install a monotonic wall-clock source (nanoseconds). Span
+    /// closes then carry real elapsed time in `wall_ns`. Only the
+    /// bench harness — the workspace's one sanctioned wall-clock user —
+    /// should call this; default traces must stay clock-free so they
+    /// are byte-identical.
+    pub fn set_wall_clock(&mut self, clock: fn() -> u64) {
+        self.clock = Some(clock);
+    }
+
+    /// Open a hierarchical span of `kind` at `tick`. Returns the span
+    /// id to later pass to [`Telemetry::close_span`], or 0 when
+    /// telemetry is disabled (a 0 close is a no-op, so callers never
+    /// need their own guard branch).
+    ///
+    /// The parent is whatever span is innermost-open right now — the
+    /// call structure of the instrumented code *is* the hierarchy.
+    // xtask-contract(alloc_cold): span bookkeeping reached only behind `enabled()`; the open-list is a handful of entries that reuse capacity, and the bench contract measures telemetry off
+    pub fn open_span(&mut self, tick: u64, kind: SpanKind) -> u64 {
+        if !self.enabled() {
+            return 0;
+        }
+        self.next_span_id += 1;
+        let id = self.next_span_id;
+        let parent = self.open_spans.last().map_or(0, |s| s.0);
+        let wall_start = self.clock.map_or(0, |now| now());
+        self.open_spans.push((id, kind, tick, wall_start));
+        self.record(&Event::SpanOpen {
+            tick,
+            id,
+            parent,
+            span: kind,
+        });
+        id
+    }
+
+    /// Close the span `id` at `tick`. No-op for id 0 (disabled open)
+    /// or an unknown id. Closes may arrive out of LIFO order — a
+    /// repair span opened at a kill closes from inside a later
+    /// maintenance span — so the open-list is searched by id.
+    // xtask-contract(alloc_cold): span bookkeeping reached only behind `enabled()`; removal from the tiny open-list never allocates, and the bench contract measures telemetry off
+    pub fn close_span(&mut self, tick: u64, id: u64) {
+        if id == 0 {
+            return;
+        }
+        let Some(pos) = self.open_spans.iter().rposition(|s| s.0 == id) else {
+            return;
+        };
+        let (_, kind, open_tick, wall_start) = self.open_spans.remove(pos);
+        let wall_ns = self.clock.map_or(0, |now| now().saturating_sub(wall_start));
+        self.record(&Event::SpanClose {
+            tick,
+            id,
+            span: kind,
+            open_tick,
+            wall_ns,
+        });
+    }
+
+    /// Open a span and return an RAII guard that closes it on drop.
+    /// For callers that hold the hub exclusively; simulator code that
+    /// re-borrows the hub inside the span body uses the id-based API.
+    pub fn span(&mut self, tick: u64, kind: SpanKind) -> SpanGuard<'_> {
+        SpanGuard::open(self, tick, kind)
+    }
+
+    /// Number of spans currently open (instrumentation depth).
+    pub fn open_span_depth(&self) -> usize {
+        self.open_spans.len()
+    }
+
     /// Clear recorded events and metrics, keeping the configuration.
     pub fn clear(&mut self) {
         if let Some(r) = self.ring.as_mut() {
@@ -213,6 +298,8 @@ impl Telemetry {
         if let Some(m) = self.registry.as_mut() {
             *m = MetricsRegistry::new();
         }
+        self.open_spans.clear();
+        self.next_span_id = 0;
     }
 }
 
@@ -316,6 +403,78 @@ mod tests {
         let t = Telemetry::off();
         assert!(!t.enabled());
         assert_eq!(t.export_jsonl(), None);
+    }
+
+    #[test]
+    fn spans_nest_and_close_out_of_order() {
+        let mut t = Telemetry::with_ring(32);
+        let outer = t.open_span(1, SpanKind::Maintenance);
+        let repair = t.open_span(1, SpanKind::Repair);
+        let inner = t.open_span(2, SpanKind::Deliver);
+        assert_eq!(t.open_span_depth(), 3);
+        // Non-LIFO: the deliver closes, then the *outer* maintenance,
+        // then the repair that outlived it.
+        t.close_span(3, inner);
+        t.close_span(4, outer);
+        t.close_span(9, repair);
+        assert_eq!(t.open_span_depth(), 0);
+        let events = t.ring().expect("ring").events();
+        assert!(matches!(
+            events[0],
+            Event::SpanOpen { id, parent: 0, .. } if id == outer
+        ));
+        assert!(matches!(
+            events[1],
+            Event::SpanOpen { id, parent, .. } if id == repair && parent == outer
+        ));
+        assert!(matches!(
+            events[2],
+            Event::SpanOpen { id, parent, .. } if id == inner && parent == repair
+        ));
+        assert!(matches!(
+            events[5],
+            Event::SpanClose { id, open_tick: 1, tick: 9, .. } if id == repair
+        ));
+    }
+
+    #[test]
+    fn disabled_hub_hands_out_id_zero() {
+        let mut t = Telemetry::off();
+        assert_eq!(t.open_span(1, SpanKind::Election), 0);
+        t.close_span(2, 0); // no-op, no panic
+        assert_eq!(t.open_span_depth(), 0);
+    }
+
+    #[test]
+    fn unknown_close_is_ignored() {
+        let mut t = Telemetry::with_ring(8);
+        t.close_span(1, 42);
+        assert!(t.ring().expect("ring").is_empty());
+    }
+
+    #[test]
+    fn clear_resets_span_ids() {
+        let mut t = Telemetry::with_ring(8);
+        let first = t.open_span(1, SpanKind::Query);
+        t.clear();
+        let second = t.open_span(1, SpanKind::Query);
+        assert_eq!(first, second, "id sequence restarts after clear");
+        assert_eq!(t.open_span_depth(), 1, "pre-clear opens were forgotten");
+    }
+
+    #[test]
+    fn injected_clock_stamps_wall_ns() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static FAKE_NOW: AtomicU64 = AtomicU64::new(0);
+        fn fake_clock() -> u64 {
+            FAKE_NOW.fetch_add(500, Ordering::Relaxed)
+        }
+        let mut t = Telemetry::with_ring(8);
+        t.set_wall_clock(fake_clock);
+        let id = t.open_span(1, SpanKind::QueryExec);
+        t.close_span(2, id);
+        let events = t.ring().expect("ring").events();
+        assert!(matches!(events[1], Event::SpanClose { wall_ns: 500, .. }));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use crate::event::Event;
 use crate::phase::Phase;
 use crate::recorder::Recorder;
+use crate::span::LOG2_TICKS_BUCKETS;
 use std::collections::BTreeMap;
 
 /// Per-node, per-phase accumulation table, grown on demand.
@@ -147,10 +148,42 @@ impl Histogram {
             .chain(std::iter::once(u64::MAX))
             .zip(self.counts.iter().copied())
     }
+
+    /// The bucket upper bound at quantile `q` (nearest-rank over
+    /// bucket counts), or `None` when empty. The overflow bucket
+    /// reports as `u64::MAX`. Bucketed quantiles over-estimate by at
+    /// most one bucket width — fine for log2 latency buckets.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (bound, count) in self.buckets() {
+            seen += count;
+            if seen >= rank {
+                return Some(bound);
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// The upper bound of the highest non-empty bucket, or `None` when
+    /// empty (a bucketed stand-in for the max observation).
+    pub fn max_bound(&self) -> Option<u64> {
+        self.buckets()
+            .filter(|&(_, count)| count > 0)
+            .map(|(bound, _)| bound)
+            .last()
+    }
 }
 
 /// Default byte-size buckets for message-size histograms.
 pub const BYTES_BUCKETS: &[u64] = &[4, 8, 16, 32, 64, 128, 256, 1024];
+
+/// Histogram name for per-hop delivery latency (send tick → delivery
+/// tick).
+pub const HOP_LATENCY_HIST: &str = "hop_latency_ticks";
 
 /// The aggregate view of a run.
 #[derive(Debug, Clone, Default)]
@@ -204,6 +237,16 @@ impl MetricsRegistry {
     /// Read a named histogram.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// Record one per-hop delivery latency (in simulation ticks) into
+    /// the [`HOP_LATENCY_HIST`] histogram. In the current synchronous
+    /// model every hop is exactly 1 tick — the histogram is an
+    /// invariant check today and the measurement substrate for the
+    /// event-driven core (ROADMAP item 2), where messages can queue.
+    // xtask-contract(alloc_cold): latency sink reached only when a registry is attached; the histogram allocates once on first touch then updates in place, and the bench contract measures telemetry off
+    pub fn observe_hop_latency(&mut self, ticks: u64) {
+        self.observe_hist(HOP_LATENCY_HIST, LOG2_TICKS_BUCKETS, ticks);
     }
 
     /// Iterate `(name, value)` over counters in name order.
@@ -331,6 +374,25 @@ impl Recorder for MetricsRegistry {
             Event::FaultInjected { .. } => self.inc("fault_injected", 1),
             Event::NodeRecovered { .. } => self.inc("node_recovered", 1),
             Event::LinkStateFlipped { .. } => self.inc("link_state_flip", 1),
+            Event::SpanOpen { .. } => self.inc("span_open", 1),
+            Event::SpanClose {
+                tick,
+                span,
+                open_tick,
+                wall_ns,
+                ..
+            } => {
+                self.inc("span_close", 1);
+                self.inc(span.counter_label(), 1);
+                self.observe_hist(
+                    span.ticks_hist_label(),
+                    LOG2_TICKS_BUCKETS,
+                    tick.saturating_sub(open_tick),
+                );
+                if wall_ns > 0 {
+                    self.inc(span.wall_counter_label(), wall_ns);
+                }
+            }
         }
     }
 }
@@ -476,6 +538,61 @@ mod tests {
         let mut a = Histogram::new(&[1, 2]);
         let b = Histogram::new(&[1, 2, 3]);
         a.merge(&b);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_buckets() {
+        let mut h = Histogram::new(&[1, 2, 4, 8]);
+        for v in [1, 1, 1, 1, 1, 2, 2, 4, 8, 9000] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.5), Some(1));
+        assert_eq!(h.quantile(0.7), Some(2));
+        assert_eq!(h.quantile(0.9), Some(8));
+        assert_eq!(h.quantile(0.99), Some(u64::MAX));
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+        assert_eq!(h.max_bound(), Some(u64::MAX));
+        assert_eq!(Histogram::new(&[1]).quantile(0.5), None);
+    }
+
+    #[test]
+    fn hop_latency_folds_into_named_histogram() {
+        let mut m = MetricsRegistry::new();
+        m.observe_hop_latency(1);
+        m.observe_hop_latency(1);
+        m.observe_hop_latency(3);
+        let h = m.histogram(HOP_LATENCY_HIST).expect("histogram exists");
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.sum(), 5);
+        assert_eq!(h.quantile(0.5), Some(1));
+    }
+
+    #[test]
+    fn span_close_folds_per_kind_latency() {
+        use crate::span::SpanKind;
+        let mut m = MetricsRegistry::new();
+        m.record(&Event::SpanOpen {
+            tick: 10,
+            id: 1,
+            parent: 0,
+            span: SpanKind::Election,
+        });
+        m.record(&Event::SpanClose {
+            tick: 14,
+            id: 1,
+            span: SpanKind::Election,
+            open_tick: 10,
+            wall_ns: 2_500,
+        });
+        assert_eq!(m.counter("span_open"), 1);
+        assert_eq!(m.counter("span_close"), 1);
+        assert_eq!(m.counter(SpanKind::Election.counter_label()), 1);
+        assert_eq!(m.counter(SpanKind::Election.wall_counter_label()), 2_500);
+        let h = m
+            .histogram(SpanKind::Election.ticks_hist_label())
+            .expect("latency histogram exists");
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.sum(), 4);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 use crate::event::{Event, QueryStatus};
 use crate::phase::Phase;
 use crate::registry::PerNodePhase;
+use crate::span::SpanKind;
 use core::fmt::Write as _;
+use std::collections::BTreeMap;
 
 /// One election reconstructed from the trace: the events between an
 /// `ElectionPhase { phase: Invitation }` marker and the next such
@@ -87,6 +89,55 @@ pub struct QuerySpan {
     pub participants: u32,
 }
 
+/// One hierarchical operation span reconstructed from
+/// `span_open`/`span_close` records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Span id (unique within the run, never 0).
+    pub id: u64,
+    /// Parent span id, 0 for a root span. A close whose open fell off
+    /// the ring buffer is reconstructed as a root (parent unknown).
+    pub parent: u64,
+    /// What operation the span covers.
+    pub kind: SpanKind,
+    /// Tick the span opened at.
+    pub open_tick: u64,
+    /// Tick the span closed (`None` when the trace ends mid-span).
+    pub close_tick: Option<u64>,
+    /// Wall-clock nanoseconds elapsed (0 unless a clock was injected).
+    pub wall_ns: u64,
+}
+
+impl Span {
+    /// Simulation ticks the span covered, `None` while open.
+    pub fn duration_ticks(&self) -> Option<u64> {
+        self.close_tick.map(|c| c.saturating_sub(self.open_tick))
+    }
+}
+
+/// Per-kind aggregate over a trace's closed spans, with exact
+/// quantiles (the replay holds every duration, unlike the registry's
+/// bucketed live histograms).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanKindStats {
+    /// The span kind.
+    pub kind: SpanKind,
+    /// Closed spans of this kind.
+    pub count: u64,
+    /// Sum of durations in simulation ticks.
+    pub total_ticks: u64,
+    /// Median duration.
+    pub p50: u64,
+    /// 90th-percentile duration.
+    pub p90: u64,
+    /// 99th-percentile duration.
+    pub p99: u64,
+    /// Longest duration.
+    pub max: u64,
+    /// Sum of wall-clock nanoseconds (0 unless a clock was injected).
+    pub wall_ns: u64,
+}
+
 /// The structured summary of one recorded run.
 #[derive(Debug, Clone, Default)]
 pub struct TraceSummary {
@@ -119,6 +170,10 @@ pub struct TraceSummary {
     pub recoveries: Vec<(u64, u32)>,
     /// Gilbert–Elliott link-state flips observed in the trace.
     pub link_flips: u64,
+    /// Hierarchical operation spans, in open order (reconstructed
+    /// closes whose opens were lost to ring wraparound come in close
+    /// order after the survivors).
+    pub spans: Vec<Span>,
 }
 
 impl TraceSummary {
@@ -226,6 +281,47 @@ impl TraceSummary {
                 }
                 Event::NodeRecovered { tick, node } => s.recoveries.push((tick, node)),
                 Event::LinkStateFlipped { .. } => s.link_flips += 1,
+                Event::SpanOpen {
+                    tick,
+                    id,
+                    parent,
+                    span,
+                } => s.spans.push(Span {
+                    id,
+                    parent,
+                    kind: span,
+                    open_tick: tick,
+                    close_tick: None,
+                    wall_ns: 0,
+                }),
+                Event::SpanClose {
+                    tick,
+                    id,
+                    span,
+                    open_tick,
+                    wall_ns,
+                } => {
+                    if let Some(sp) = s
+                        .spans
+                        .iter_mut()
+                        .rev()
+                        .find(|sp| sp.id == id && sp.close_tick.is_none())
+                    {
+                        sp.close_tick = Some(tick);
+                        sp.wall_ns = wall_ns;
+                    } else {
+                        // The open fell off the ring; the close is
+                        // self-contained, so reconstruct it as a root.
+                        s.spans.push(Span {
+                            id,
+                            parent: 0,
+                            kind: span,
+                            open_tick,
+                            close_tick: Some(tick),
+                            wall_ns,
+                        });
+                    }
+                }
                 Event::CacheAdmit { .. } | Event::CacheEvict { .. } | Event::ModelRefit { .. } => {}
             }
         }
@@ -272,6 +368,119 @@ impl TraceSummary {
                     budget,
                 });
             }
+        }
+        out
+    }
+
+    /// Per-kind aggregates over closed spans, in [`SpanKind::ALL`]
+    /// order, kinds with no closed spans omitted. Quantiles are exact
+    /// (nearest-rank over the sorted durations).
+    pub fn span_stats(&self) -> Vec<SpanKindStats> {
+        let mut out = Vec::new();
+        for kind in SpanKind::ALL {
+            let mut durations: Vec<u64> = self
+                .spans
+                .iter()
+                .filter(|sp| sp.kind == kind)
+                .filter_map(Span::duration_ticks)
+                .collect();
+            if durations.is_empty() {
+                continue;
+            }
+            durations.sort_unstable();
+            let rank = |q: f64| {
+                let r = ((q * durations.len() as f64).ceil() as usize).max(1);
+                durations[r.min(durations.len()) - 1]
+            };
+            let wall_ns = self
+                .spans
+                .iter()
+                .filter(|sp| sp.kind == kind && sp.close_tick.is_some())
+                .map(|sp| sp.wall_ns)
+                .sum();
+            out.push(SpanKindStats {
+                kind,
+                count: durations.len() as u64,
+                total_ticks: durations.iter().sum(),
+                p50: rank(0.50),
+                p90: rank(0.90),
+                p99: rank(0.99),
+                max: *durations.last().unwrap_or(&0),
+                wall_ns,
+            });
+        }
+        out
+    }
+
+    /// Fraction of the trace's tick range `first_tick..last_tick`
+    /// covered by the union of closed **root** spans' intervals
+    /// (1.0 for a zero-width range). The acceptance bar for full
+    /// instrumentation: every tick the run spent should fall inside
+    /// some root span.
+    pub fn root_tick_coverage(&self) -> f64 {
+        let range = self.last_tick.saturating_sub(self.first_tick);
+        if range == 0 {
+            return 1.0;
+        }
+        let mut intervals: Vec<(u64, u64)> = self
+            .spans
+            .iter()
+            .filter(|sp| sp.parent == 0)
+            .filter_map(|sp| sp.close_tick.map(|c| (sp.open_tick, c)))
+            .collect();
+        intervals.sort_unstable();
+        let mut covered = 0u64;
+        let mut cursor = self.first_tick;
+        for (lo, hi) in intervals {
+            let lo = lo.max(cursor);
+            let hi = hi.min(self.last_tick);
+            if hi > lo {
+                covered += hi - lo;
+                cursor = hi;
+            }
+        }
+        covered as f64 / range as f64
+    }
+
+    /// Folded-stack flamegraph lines (`a;b;c <self_ticks>` per line,
+    /// sorted by stack path), loadable by inferno / speedscope /
+    /// flamegraph.pl. Each closed span contributes its **self time**:
+    /// duration minus the durations of its closed children. Stacks
+    /// with zero self time are omitted.
+    pub fn folded_stacks(&self) -> String {
+        let by_id: BTreeMap<u64, &Span> = self.spans.iter().map(|sp| (sp.id, sp)).collect();
+        let mut child_ticks: BTreeMap<u64, u64> = BTreeMap::new();
+        for sp in &self.spans {
+            if let (Some(d), true) = (sp.duration_ticks(), sp.parent != 0) {
+                *child_ticks.entry(sp.parent).or_insert(0) += d;
+            }
+        }
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+        for sp in &self.spans {
+            let Some(duration) = sp.duration_ticks() else {
+                continue;
+            };
+            let self_ticks = duration.saturating_sub(child_ticks.get(&sp.id).copied().unwrap_or(0));
+            if self_ticks == 0 {
+                continue;
+            }
+            // Walk the parent chain; a parent lost to ring wraparound
+            // truncates the stack at the deepest survivor.
+            let mut stack = vec![sp.kind.as_str()];
+            let mut cursor = sp.parent;
+            while cursor != 0 {
+                let Some(parent) = by_id.get(&cursor) else {
+                    break;
+                };
+                stack.push(parent.kind.as_str());
+                cursor = parent.parent;
+            }
+            stack.reverse();
+            *folded.entry(stack.join(";")).or_insert(0) += self_ticks;
+        }
+        let mut out = String::new();
+        for (path, ticks) in folded {
+            let _ = writeln!(out, "{path} {ticks}");
         }
         out
     }
@@ -339,6 +548,39 @@ impl TraceSummary {
                 "  id {:<4} ticks {}..{end}  sink {}  {mode}  {status}  participants {}",
                 q.id, q.begin_tick, q.sink, q.participants,
             );
+        }
+
+        let stats = self.span_stats();
+        if !stats.is_empty() {
+            let open = self
+                .spans
+                .iter()
+                .filter(|sp| sp.close_tick.is_none())
+                .count();
+            let _ = writeln!(
+                out,
+                "\nspans: {} ({open} left open), root tick coverage {:.1}%",
+                self.spans.len(),
+                self.root_tick_coverage() * 100.0
+            );
+            let _ = writeln!(
+                out,
+                "  {:<20} {:>6} {:>10} {:>6} {:>6} {:>6} {:>6}",
+                "kind", "count", "ticks", "p50", "p90", "p99", "max"
+            );
+            for st in &stats {
+                let _ = writeln!(
+                    out,
+                    "  {:<20} {:>6} {:>10} {:>6} {:>6} {:>6} {:>6}",
+                    st.kind.as_str(),
+                    st.count,
+                    st.total_ticks,
+                    st.p50,
+                    st.p90,
+                    st.p99,
+                    st.max,
+                );
+            }
         }
 
         if !self.handoffs.is_empty() {
@@ -507,6 +749,106 @@ mod tests {
         assert!(report.contains("network-wide"));
         assert!(report.contains("recoveries: 1"));
         assert!(report.contains("link-state flips: 2"));
+    }
+
+    fn span_open(tick: u64, id: u64, parent: u64, kind: SpanKind) -> Event {
+        Event::SpanOpen {
+            tick,
+            id,
+            parent,
+            span: kind,
+        }
+    }
+
+    fn span_close(tick: u64, id: u64, kind: SpanKind, open_tick: u64) -> Event {
+        Event::SpanClose {
+            tick,
+            id,
+            span: kind,
+            open_tick,
+            wall_ns: 0,
+        }
+    }
+
+    #[test]
+    fn spans_rebuild_into_a_tree() {
+        let evs = vec![
+            span_open(0, 1, 0, SpanKind::Election),
+            span_open(0, 2, 1, SpanKind::Deliver),
+            span_close(4, 2, SpanKind::Deliver, 0),
+            span_close(10, 1, SpanKind::Election, 0),
+            span_open(10, 3, 0, SpanKind::Query),
+        ];
+        let s = TraceSummary::from_events(&evs);
+        assert_eq!(s.spans.len(), 3);
+        assert_eq!(s.spans[0].duration_ticks(), Some(10));
+        assert_eq!(s.spans[1].parent, 1);
+        assert_eq!(s.spans[1].duration_ticks(), Some(4));
+        assert_eq!(s.spans[2].close_tick, None, "trace ended mid-span");
+
+        let stats = s.span_stats();
+        assert_eq!(stats.len(), 2, "open query span excluded");
+        assert_eq!(stats[0].kind, SpanKind::Election);
+        assert_eq!(stats[0].total_ticks, 10);
+        assert_eq!(stats[0].p50, 10);
+        assert_eq!(stats[0].max, 10);
+        assert_eq!(stats[1].kind, SpanKind::Deliver);
+    }
+
+    #[test]
+    fn orphan_close_is_reconstructed_from_its_open_tick() {
+        // Simulates ring wraparound: the close arrives with no open.
+        let evs = vec![span_close(20, 9, SpanKind::Repair, 12)];
+        let s = TraceSummary::from_events(&evs);
+        assert_eq!(s.spans.len(), 1);
+        assert_eq!(s.spans[0].parent, 0);
+        assert_eq!(s.spans[0].duration_ticks(), Some(8));
+    }
+
+    #[test]
+    fn root_coverage_unions_root_intervals() {
+        // Range 0..20; roots cover [0,10] and [5,15] → 15 of 20 ticks.
+        let evs = vec![
+            span_open(0, 1, 0, SpanKind::Election),
+            span_open(5, 2, 0, SpanKind::Maintenance),
+            span_close(10, 1, SpanKind::Election, 0),
+            span_close(15, 2, SpanKind::Maintenance, 5),
+            Event::NodeFailed { tick: 20, node: 1 },
+        ];
+        let s = TraceSummary::from_events(&evs);
+        assert!((s.root_tick_coverage() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn root_coverage_of_zero_width_trace_is_full() {
+        let s = TraceSummary::from_events(&[Event::NodeFailed { tick: 5, node: 1 }]);
+        assert!((s.root_tick_coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn folded_stacks_attribute_self_time() {
+        let evs = vec![
+            span_open(0, 1, 0, SpanKind::Election),
+            span_open(2, 2, 1, SpanKind::Deliver),
+            span_close(6, 2, SpanKind::Deliver, 2),
+            span_close(10, 1, SpanKind::Election, 0),
+        ];
+        let s = TraceSummary::from_events(&evs);
+        let folded = s.folded_stacks();
+        // Election: 10 total − 4 in the child = 6 self ticks.
+        assert_eq!(folded, "election 6\nelection;deliver 4\n");
+    }
+
+    #[test]
+    fn render_includes_span_table() {
+        let evs = vec![
+            span_open(0, 1, 0, SpanKind::Maintenance),
+            span_close(8, 1, SpanKind::Maintenance, 0),
+        ];
+        let report = TraceSummary::from_events(&evs).render();
+        assert!(report.contains("spans: 1 (0 left open)"), "{report}");
+        assert!(report.contains("maintenance"), "{report}");
+        assert!(report.contains("root tick coverage"), "{report}");
     }
 
     #[test]

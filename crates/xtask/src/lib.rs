@@ -112,6 +112,7 @@ pub const LINT_NAMES: &[&str] = &[
     "unaccounted_send",
     "unthreaded_network",
     "fault_event_coverage",
+    "event_replay_coverage",
     "contract_zero_alloc",
     "contract_deterministic",
     "bad_contract",
@@ -188,6 +189,11 @@ pub fn lint_infos() -> Vec<LintInfo> {
             name: "fault_event_coverage",
             level: "deny",
             summary: "every FaultKind variant must be applied where FaultInjected is emitted",
+        },
+        LintInfo {
+            name: "event_replay_coverage",
+            level: "deny",
+            summary: "every telemetry Event variant must be handled where traces replay",
         },
         LintInfo {
             name: "contract_zero_alloc",
@@ -377,10 +383,12 @@ pub fn analyze_sources(files: Vec<SourceFile>, repo_root: Option<&Path>) -> Repo
     // contracted root that reaches the site.
     let mut report = Report::default();
     let mut coverage = lints::FaultCoverage::default();
+    let mut replay_coverage = lints::EventReplayCoverage::default();
     for (f, lx, excluded) in &lexed {
         let mut diags = Vec::new();
         if f.lint != LintMode::SymbolsOnly {
             coverage.scan(&f.path, &lx.tokens, excluded);
+            replay_coverage.scan(&f.path, &lx.tokens, excluded);
             lints::panic_freedom(&f.path, &lx.tokens, excluded, &mut diags);
             lints::determinism(&f.path, &lx.tokens, excluded, &mut diags);
             if f.lint == LintMode::Protocol {
@@ -396,6 +404,7 @@ pub fn analyze_sources(files: Vec<SourceFile>, repo_root: Option<&Path>) -> Repo
         report.files_scanned += 1;
     }
     coverage.finish(&mut report.diagnostics);
+    replay_coverage.finish(&mut report.diagnostics);
 
     report.contracts = set
         .attached

@@ -337,7 +337,7 @@ impl FaultCoverage {
                 && tokens.get(i + 1).and_then(|t| t.kind.ident()) == Some("FaultKind")
                 && tokens.get(i + 2).is_some_and(|t| t.kind.is_punct('{'))
             {
-                self.collect_variants(path, tokens, i + 2);
+                collect_enum_variants(path, tokens, i + 2, &mut self.variants);
             }
         }
 
@@ -365,59 +365,6 @@ impl FaultCoverage {
         }
     }
 
-    /// Walk the enum body starting at its opening `{`, recording each
-    /// variant name (skipping attributes, field blocks and tuple
-    /// payloads).
-    fn collect_variants(&mut self, path: &Path, tokens: &[Token], open: usize) {
-        let mut depth = 0usize;
-        let mut expecting = false;
-        let mut i = open;
-        while i < tokens.len() {
-            let t = &tokens[i];
-            match &t.kind {
-                TokenKind::Punct('{') => {
-                    depth += 1;
-                    if depth == 1 {
-                        expecting = true;
-                    }
-                }
-                TokenKind::Punct('}') => {
-                    depth = depth.saturating_sub(1);
-                    if depth == 0 {
-                        return;
-                    }
-                }
-                TokenKind::Punct(',') if depth == 1 => expecting = true,
-                TokenKind::Punct('#')
-                    if depth == 1
-                        && expecting
-                        && tokens.get(i + 1).is_some_and(|t| t.kind.is_punct('[')) =>
-                {
-                    let mut brackets = 0usize;
-                    i += 1;
-                    while i < tokens.len() {
-                        if tokens[i].kind.is_punct('[') {
-                            brackets += 1;
-                        } else if tokens[i].kind.is_punct(']') {
-                            brackets -= 1;
-                            if brackets == 0 {
-                                break;
-                            }
-                        }
-                        i += 1;
-                    }
-                }
-                TokenKind::Ident(name) if depth == 1 && expecting => {
-                    self.variants
-                        .push((name.clone(), path.to_path_buf(), t.line, t.col));
-                    expecting = false;
-                }
-                _ => {}
-            }
-            i += 1;
-        }
-    }
-
     /// Emit a deny-level diagnostic for every declared variant that no
     /// emitting file applies.
     pub fn finish(self, diags: &mut Vec<Diagnostic>) {
@@ -438,6 +385,155 @@ impl FaultCoverage {
                 ),
                 suggestion: "handle the variant in the simulator's fault-application path and \
                              emit `Event::FaultInjected` there (see `netsim/src/sim.rs`)",
+            });
+        }
+    }
+}
+
+/// Walk an enum body starting at its opening `{`, recording each
+/// variant name with its declaration site (skipping attributes, field
+/// blocks and tuple payloads).
+fn collect_enum_variants(
+    path: &Path,
+    tokens: &[Token],
+    open: usize,
+    variants: &mut Vec<(String, PathBuf, u32, u32)>,
+) {
+    let mut depth = 0usize;
+    let mut expecting = false;
+    let mut i = open;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match &t.kind {
+            TokenKind::Punct('{') => {
+                depth += 1;
+                if depth == 1 {
+                    expecting = true;
+                }
+            }
+            TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return;
+                }
+            }
+            TokenKind::Punct(',') if depth == 1 => expecting = true,
+            TokenKind::Punct('#')
+                if depth == 1
+                    && expecting
+                    && tokens.get(i + 1).is_some_and(|t| t.kind.is_punct('[')) =>
+            {
+                let mut brackets = 0usize;
+                i += 1;
+                while i < tokens.len() {
+                    if tokens[i].kind.is_punct('[') {
+                        brackets += 1;
+                    } else if tokens[i].kind.is_punct(']') {
+                        brackets -= 1;
+                        if brackets == 0 {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            TokenKind::Ident(name) if depth == 1 && expecting => {
+                variants.push((name.clone(), path.to_path_buf(), t.line, t.col));
+                expecting = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Cross-file event/replay coverage (`event_replay_coverage`).
+///
+/// The trace tooling (`snapshot-trace`, the span profiler, the perf
+/// budget gate) is only trustworthy if every telemetry `Event` variant
+/// the workspace can emit is understood when a trace is replayed. This
+/// pass collects the variants of the telemetry `Event` enum wherever
+/// it is declared, then checks that each is matched (as
+/// `Event::Variant`) in non-test code of at least one file that also
+/// references `TraceSummary` — the replay path, not the emitters. A
+/// variant that records but never replays silently vanishes from
+/// every report and budget check, so uncovered variants are
+/// deny-level.
+///
+/// Like [`FaultCoverage`], this check spans files, runs once per
+/// analysis pass, and cannot be suppressed with `xtask-allow` — the
+/// fix is always to handle the variant in `telemetry/src/replay.rs`.
+#[derive(Debug, Default)]
+pub struct EventReplayCoverage {
+    /// Declared variants: name plus declaration site.
+    variants: Vec<(String, PathBuf, u32, u32)>,
+    /// Variants seen as `Event::V` in replaying, non-test code.
+    covered: BTreeSet<String>,
+}
+
+impl EventReplayCoverage {
+    /// Feed one file's tokens into the accumulator.
+    pub fn scan(&mut self, path: &Path, tokens: &[Token], excluded: &[bool]) {
+        for i in 0..tokens.len() {
+            if excluded[i] {
+                continue;
+            }
+            if tokens[i].kind.ident() == Some("enum")
+                && tokens.get(i + 1).and_then(|t| t.kind.ident()) == Some("Event")
+                && tokens.get(i + 2).is_some_and(|t| t.kind.is_punct('{'))
+            {
+                collect_enum_variants(path, tokens, i + 2, &mut self.variants);
+            }
+        }
+
+        // Usages only count in files whose non-test code references
+        // `TraceSummary` — the replay path, not emitters or parsers.
+        let replays = tokens
+            .iter()
+            .zip(excluded)
+            .any(|(t, &ex)| !ex && t.kind.ident() == Some("TraceSummary"));
+        if !replays {
+            return;
+        }
+        for i in 0..tokens.len() {
+            if excluded[i] {
+                continue;
+            }
+            if tokens[i].kind.ident() == Some("Event")
+                && tokens.get(i + 1).is_some_and(|t| t.kind.is_punct(':'))
+                && tokens.get(i + 2).is_some_and(|t| t.kind.is_punct(':'))
+            {
+                // Filter method references like `Event::tick` — only
+                // capitalized idents are variants.
+                if let Some(v) = tokens.get(i + 3).and_then(|t| t.kind.ident()) {
+                    if v.chars().next().is_some_and(char::is_uppercase) {
+                        self.covered.insert(v.to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emit a deny-level diagnostic for every declared variant no
+    /// replaying file handles.
+    pub fn finish(self, diags: &mut Vec<Diagnostic>) {
+        let EventReplayCoverage { variants, covered } = self;
+        for (name, path, line, col) in variants {
+            if covered.contains(&name) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                lint: "event_replay_coverage",
+                level: Level::Deny,
+                path,
+                line,
+                col,
+                message: format!(
+                    "`Event::{name}` is recorded but never handled in code that replays \
+                     traces (`TraceSummary`)"
+                ),
+                suggestion: "match the variant in `telemetry/src/replay.rs` (even an explicit \
+                             ignore arm) so replayed summaries account for it",
             });
         }
     }
@@ -626,5 +722,59 @@ mod tests {
         assert_eq!(d.len(), 2, "{d:?}");
         assert!(d[0].message.contains("Crash"));
         assert!(d[1].message.contains("Blackout"));
+    }
+
+    fn replay_coverage(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let mut cov = EventReplayCoverage::default();
+        for (name, src) in files {
+            let lexed = lex(src);
+            let excluded = test_regions(&lexed.tokens);
+            cov.scan(Path::new(name), &lexed.tokens, &excluded);
+        }
+        let mut diags = Vec::new();
+        cov.finish(&mut diags);
+        diags
+    }
+
+    const EVENT_DECL: &str = "pub enum Event { MsgSent { tick: u64 }, SpanOpen { id: u64 } }";
+
+    #[test]
+    fn event_variants_handled_by_replaying_file_are_clean() {
+        let replay = "impl TraceSummary { fn feed(e: &Event) { match e { \
+                      Event::MsgSent { .. } => {}, Event::SpanOpen { .. } => {}, } } }";
+        let d = replay_coverage(&[("event.rs", EVENT_DECL), ("replay.rs", replay)]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unreplayed_event_variant_is_denied() {
+        let replay = "impl TraceSummary { fn feed(e: &Event) { \
+                      if let Event::MsgSent { .. } = e {} } }";
+        let d = replay_coverage(&[("event.rs", EVENT_DECL), ("replay.rs", replay)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].lint, "event_replay_coverage");
+        assert_eq!(d[0].level, Level::Deny);
+        assert!(d[0].message.contains("SpanOpen"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn event_usage_outside_the_replay_path_does_not_count() {
+        // Emitters construct every variant but never replay — that
+        // must not satisfy the lint.
+        let emitter = "fn emit() { record(Event::MsgSent { tick: 0 }); \
+                       record(Event::SpanOpen { id: 1 }); }";
+        let d = replay_coverage(&[("event.rs", EVENT_DECL), ("sim.rs", emitter)]);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn event_method_references_are_not_variants() {
+        // `Event::tick` (a method path, lowercase) must not be
+        // mistaken for coverage of some variant.
+        let replay = "impl TraceSummary { fn feed(es: &mut [Event]) { \
+                      es.sort_by_key(Event::tick); \
+                      if let Some(Event::MsgSent { .. }) = es.first() {} \
+                      if let Some(Event::SpanOpen { .. }) = es.first() {} } }";
+        assert!(replay_coverage(&[("event.rs", EVENT_DECL), ("replay.rs", replay)]).is_empty());
     }
 }

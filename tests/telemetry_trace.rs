@@ -30,14 +30,15 @@ fn recorded_election_respects_the_papers_message_bound() {
     );
 
     // Phase activity sanity: the election phases actually transmitted,
-    // and both query spans closed.
+    // and all query spans closed (two direct/snapshot probes plus the
+    // SQL round that exercises the planner/executor spans).
     for phase in [Phase::Invitation, Phase::Candidates, Phase::Accept] {
         assert!(
             summary.phase_sent(phase) > 0,
             "no {phase} messages in the trace"
         );
     }
-    assert_eq!(summary.queries.len(), 2);
+    assert_eq!(summary.queries.len(), 3);
     assert!(summary.queries.iter().all(|q| q.end_tick.is_some()));
 }
 
