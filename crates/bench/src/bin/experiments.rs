@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments [ids...] [--reps N] [--seed S] [--out DIR] [--quick] [--jobs N]
-//!             [--fault-plan FILE]
+//!             [--fault-plan FILE] [--drain-mode wake-list|all-scan]
 //!
 //!   ids      experiment ids (fig1 table2 fig6 ... fig15), or `all`
 //!   --reps   repetitions to average over (default 10, as in the paper)
@@ -12,6 +12,9 @@
 //!   --jobs   worker threads (default: available parallelism)
 //!   --fault-plan  a `.fault` scenario file (grammar in FAULTS.md),
 //!            injected by the fault-aware experiments (heal, trace)
+//!   --drain-mode  per-tick drain candidates: `wake-list` (default,
+//!            O(active)) or `all-scan` (the retained reference path;
+//!            byte-identical output, DESIGN.md §16)
 //! ```
 //!
 //! Reports go to stdout in the order the ids were given (canonical
@@ -80,6 +83,15 @@ fn main() {
                         .unwrap_or_else(|e| die(&format!("{path}: {e}"))),
                 );
             }
+            "--drain-mode" => {
+                i += 1;
+                let mode = match args.get(i).map(String::as_str) {
+                    Some("wake-list") => snapshot_netsim::DrainMode::WakeList,
+                    Some("all-scan") => snapshot_netsim::DrainMode::AllScan,
+                    _ => die("--drain-mode needs `wake-list` or `all-scan`"),
+                };
+                snapshot_netsim::set_default_drain_mode(mode);
+            }
             "--quick" => ctx.quick = true,
             "--help" | "-h" => {
                 print!("{}", usage());
@@ -131,7 +143,7 @@ fn main() {
 fn usage() -> String {
     format!(
         "usage: experiments [ids...] [--reps N] [--seed S] [--out DIR] [--quick] [--jobs N] \
-         [--fault-plan FILE]\n\
+         [--fault-plan FILE] [--drain-mode wake-list|all-scan]\n\
          known ids: {} (or `all`)\n",
         experiments::ALL.join(" ")
     )

@@ -28,10 +28,18 @@ use snapshot_netsim::{Phase, Telemetry};
 
 /// Node counts swept in the full run.
 const FULL_NS: &[usize] = &[1_000, 10_000, 100_000];
+/// The event-driven-core headline cell (DESIGN.md §16), appended to
+/// the full sweep in release builds only: a debug-build election at
+/// this size is unaffordably slow, and the cell runs one repetition.
+const MILLION_N: usize = 1_000_000;
 /// Node counts swept in `--quick` mode (integration smoke + CI).
 const QUICK_NS: &[usize] = &[200, 1_000];
 /// The cell whose repetition 0 exports the golden JSONL trace.
 const TRACED_N: usize = 1_000;
+/// Idle ticks run after the election to measure the quiescent-phase
+/// per-tick activity (fresh wakes per tick — the deterministic cost
+/// proxy; wall-clock stays out of artifacts).
+const QUIESCENT_TICKS: u64 = 50;
 
 /// Radio range keeping a uniform random deployment of `n` nodes at
 /// the connectivity threshold: mean degree `π r² n ≈ 2 ln n`, the
@@ -51,6 +59,12 @@ struct ScaleOutcome {
     /// Mean per-node energy per election phase, in tx-equivalents:
     /// (invitation, candidates, accept, refinement).
     phase_energy: [f64; 4],
+    /// Fresh wakes per tick during the election (the active phase).
+    active_woken_per_tick: f64,
+    /// Fresh wakes per tick over [`QUIESCENT_TICKS`] idle ticks after
+    /// the election — the event-driven core's O(active) claim says
+    /// this stays 0 no matter how large N grows.
+    quiescent_woken_per_tick: f64,
     /// JSONL trace, recorded only on the designated golden cell.
     trace: Option<String>,
 }
@@ -91,20 +105,55 @@ fn simulate(n: usize, seed: u64, record_trace: bool) -> ScaleOutcome {
             m.phase_energy(Phase::Refinement) / nodes,
         ]
     });
+    // Export the golden trace *before* the quiescent phase so the
+    // artifact (and its parallel-identity gate) is untouched by the
+    // idle ticks appended below.
     let trace = record_trace.then(|| sn.export_trace_jsonl());
+    let snapshot_size = sn.snapshot().representatives().len();
+    let msgs_per_node = sn.stats().total_sent() as f64 / nodes;
+    let max_msgs_per_node = sn.stats().max_sent_per_node();
+
+    // Active-phase activity: fresh wakes per deliver tick during the
+    // election. Then run an idle window — nothing sent, nothing
+    // scheduled — whose per-tick wake count the event-driven core
+    // holds at zero at every N (the wall-clock side of the claim is
+    // pinned by the deliver_quiescent_{1k,100k} benches).
+    let active_ticks = sn.stats().ticks();
+    let active_woken = sn.stats().woken_total();
+    for _ in 0..QUIESCENT_TICKS {
+        sn.net_mut().deliver();
+    }
+    let quiescent_ticks = sn.stats().ticks() - active_ticks;
+    let quiescent_woken = sn.stats().woken_total() - active_woken;
+    let per_tick = |woken: u64, ticks: u64| {
+        if ticks == 0 {
+            0.0
+        } else {
+            woken as f64 / ticks as f64
+        }
+    };
+
     ScaleOutcome {
-        snapshot_size: sn.snapshot().representatives().len(),
+        snapshot_size,
         mean_degree: sn.net().topology().mean_degree(),
-        msgs_per_node: sn.stats().total_sent() as f64 / nodes,
-        max_msgs_per_node: sn.stats().max_sent_per_node(),
+        msgs_per_node,
+        max_msgs_per_node,
         phase_energy,
+        active_woken_per_tick: per_tick(active_woken, active_ticks),
+        quiescent_woken_per_tick: per_tick(quiescent_woken, quiescent_ticks),
         trace,
     }
 }
 
 /// Run the experiment.
 pub fn run(ctx: &RunContext) -> ExperimentOutput {
-    let ns = if ctx.quick { QUICK_NS } else { FULL_NS };
+    let mut ns: Vec<usize> = if ctx.quick { QUICK_NS } else { FULL_NS }.to_vec();
+    // The 1M cell rides only on release-built full runs: a debug
+    // election at that size takes hours. `cfg!` is a compile-time
+    // constant, so a given binary's artifacts stay deterministic.
+    if !ctx.quick && !cfg!(debug_assertions) {
+        ns.push(MILLION_N);
+    }
 
     let mut table = Table::new([
         "N",
@@ -119,15 +168,20 @@ pub fn run(ctx: &RunContext) -> ExperimentOutput {
         "cand E/node",
         "acc E/node",
         "ref E/node",
+        "woken/tick act",
+        "woken/tick qui",
     ]);
     let mut golden_trace: Option<String> = None;
     let mut worst_max = 0u64;
 
-    for &n in ns {
-        // The 100k cell costs minutes per repetition; cap it so the
-        // full sweep stays a laptop-scale run. The cap is a pure
-        // function of `ctx`, so artifacts stay deterministic.
-        let reps = if n >= 10_000 {
+    for &n in &ns {
+        // The 100k cell costs minutes per repetition and the 1M cell
+        // tens of minutes; cap them so the full sweep stays a
+        // laptop-scale run. The caps are pure functions of `ctx`, so
+        // artifacts stay deterministic.
+        let reps = if n >= MILLION_N {
+            1
+        } else if n >= 10_000 {
             ctx.reps.min(3)
         } else {
             ctx.reps
@@ -157,6 +211,12 @@ pub fn run(ctx: &RunContext) -> ExperimentOutput {
             )
         };
 
+        let active: Vec<f64> = outcomes.iter().map(|o| o.active_woken_per_tick).collect();
+        let quiescent: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.quiescent_woken_per_tick)
+            .collect();
+
         table.push([
             n.to_string(),
             fmt(connectivity_range(n), 4),
@@ -170,6 +230,8 @@ pub fn run(ctx: &RunContext) -> ExperimentOutput {
             fmt(energy(1), 3),
             fmt(energy(2), 3),
             fmt(energy(3), 3),
+            fmt(mean(&active), 1),
+            fmt(mean(&quiescent), 1),
         ]);
     }
 
@@ -186,7 +248,10 @@ pub fn run(ctx: &RunContext) -> ExperimentOutput {
             "Range follows the connectivity threshold r(N) = sqrt(2 ln N / (pi N)), so the mean \
              degree grows only as 2 ln N while N spans three orders of magnitude. Worst per-node \
              election total across all cells: {worst_max} message(s). The N={TRACED_N} rep-0 cell \
-             exports scale_trace.jsonl for the parallel-identity gate."
+             exports scale_trace.jsonl for the parallel-identity gate. The woken/tick columns \
+             split per-tick activity into the election (active) and a {QUIESCENT_TICKS}-tick idle \
+             window after it: the event-driven core (DESIGN.md 16) holds the quiescent column at \
+             0.0 at every N, which is what makes the release-only N=1000000 row affordable."
         ),
     }
 }
@@ -219,6 +284,20 @@ mod tests {
             a.max_msgs_per_node <= 6,
             "election budget busted: {}",
             a.max_msgs_per_node
+        );
+    }
+
+    #[test]
+    fn quiescent_phase_wakes_nobody_and_active_phase_wakes_many() {
+        let o = simulate(300, 11, false);
+        assert_eq!(
+            o.quiescent_woken_per_tick, 0.0,
+            "idle ticks must register no fresh wakes"
+        );
+        assert!(
+            o.active_woken_per_tick > 1.0,
+            "an election should wake nodes every tick, got {}",
+            o.active_woken_per_tick
         );
     }
 

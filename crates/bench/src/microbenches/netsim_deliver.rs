@@ -66,8 +66,37 @@ fn bench_deliver_spans_disabled(c: &mut Criterion) {
     });
 }
 
+/// A quiescent tick at scale: nobody sends, the wake-list is empty,
+/// and a tick (deliver + wake-list drain) must cost O(active) = O(1),
+/// not O(N) (DESIGN.md §16). The 1k/100k pair pins the claim two
+/// ways: the gated baseline holds the 100k figure within an order of
+/// magnitude of the 1k figure, and the counting allocator holds both
+/// at 0 allocs/iter.
+fn bench_deliver_quiescent(c: &mut Criterion) {
+    for (name, n) in [
+        ("deliver_quiescent_1k", 1_000),
+        ("deliver_quiescent_100k", 100_000),
+    ] {
+        let topo = Topology::random_uniform(n, 0.004, 7).expect("valid deployment");
+        let mut net: Network<u64> =
+            Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 11);
+        let mut ids = Vec::new();
+        // Warm one tick so the scratch buffer reaches steady state.
+        net.deliver();
+        net.drain_candidates_into(&mut ids);
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                let delivered = net.deliver();
+                net.drain_candidates_into(&mut ids);
+                black_box((delivered, ids.len()))
+            })
+        });
+    }
+}
+
 /// Run the suite.
 pub fn benches(c: &mut Criterion) {
     bench_deliver(c);
     bench_deliver_spans_disabled(c);
+    bench_deliver_quiescent(c);
 }

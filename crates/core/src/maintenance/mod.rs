@@ -138,10 +138,15 @@ fn run_cycle(
     with_heartbeats: bool,
 ) -> MaintenanceReport {
     debug_assert_eq!(nodes.len(), values.len());
-    let ids: Vec<NodeId> = net.node_ids().collect();
+    let n = nodes.len();
     // Reusable delivery buffer: `take_inbox_into` swaps capacity with
     // the inboxes, keeping the maintenance loops allocation-free.
     let mut inbox = Vec::new();
+    // Wake-list drain candidates (DESIGN.md §16): each post-deliver
+    // drain visits only the nodes the round actually reached, in
+    // ascending id order — identical RNG/telemetry order to the old
+    // all-nodes scan, since undelivered nodes were no-ops there.
+    let mut drained: Vec<NodeId> = Vec::new();
     let mut reelect: BTreeSet<NodeId> = BTreeSet::new();
     let mut report = MaintenanceReport {
         heartbeats: 0,
@@ -154,7 +159,7 @@ fn run_cycle(
 
     // ---- Energy handoff announcements --------------------------------
     if cfg.energy_handoff_fraction > 0.0 {
-        for &i in &ids {
+        for i in (0..n).map(NodeId::from_index) {
             if !net.is_alive(i) {
                 continue;
             }
@@ -192,7 +197,8 @@ fn run_cycle(
             }
         }
         net.deliver();
-        for &i in &ids {
+        net.drain_candidates_into(&mut drained);
+        for &i in &drained {
             if !net.is_alive(i) {
                 net.clear_inbox(i);
                 continue;
@@ -211,7 +217,7 @@ fn run_cycle(
 
     // ---- Heartbeats ----------------------------------------------------
     let mut awaiting: Vec<(NodeId, NodeId)> = Vec::new(); // (member, rep)
-    for &j in &ids {
+    for j in (0..n).map(NodeId::from_index) {
         if !with_heartbeats || !net.is_alive(j) || reelect.contains(&j) {
             continue;
         }
@@ -236,7 +242,8 @@ fn run_cycle(
     // fine-tune its model of N_j" — the reply then reflects the best
     // current model.)
     let mut replies: Vec<(NodeId, NodeId, f64)> = Vec::new();
-    for &i in &ids {
+    net.drain_candidates_into(&mut drained);
+    for &i in &drained {
         if !net.is_alive(i) {
             net.clear_inbox(i);
             continue;
@@ -287,7 +294,8 @@ fn run_cycle(
 
     // Members judge the replies.
     let mut estimates: Vec<Option<f64>> = vec![None; nodes.len()];
-    for &j in &ids {
+    net.drain_candidates_into(&mut drained);
+    for &j in &drained {
         if !net.is_alive(j) {
             net.clear_inbox(j);
             continue;
@@ -318,7 +326,7 @@ fn run_cycle(
 
     // ---- Self-only actives fish for a representative -------------------
     if with_heartbeats {
-        for &i in &ids {
+        for i in (0..n).map(NodeId::from_index) {
             if !net.is_alive(i) {
                 continue;
             }
@@ -341,8 +349,8 @@ fn run_cycle(
     }
 
     // Handoff flags last one cycle.
-    for &i in &ids {
-        nodes[i.index()].refusing_invites = false;
+    for node in nodes.iter_mut() {
+        node.refusing_invites = false;
     }
 
     report

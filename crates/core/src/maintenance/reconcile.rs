@@ -34,7 +34,10 @@ pub struct ReconcileReport {
 /// residual stale claims; repeated passes converge.
 // xtask-contract(deterministic)
 pub fn reconcile(net: &mut Network<ProtocolMsg>, nodes: &mut [SensorNode]) -> ReconcileReport {
-    let ids: Vec<NodeId> = net.node_ids().collect();
+    let n = nodes.len();
+    // Wake-list drain candidates (DESIGN.md §16): post-deliver drains
+    // visit only reached nodes, in ascending id order.
+    let mut drained: Vec<NodeId> = Vec::new();
     let mut report = ReconcileReport {
         announcements: 0,
         objections: 0,
@@ -42,7 +45,7 @@ pub fn reconcile(net: &mut Network<ProtocolMsg>, nodes: &mut [SensorNode]) -> Re
     };
 
     // Announce.
-    for &i in &ids {
+    for i in (0..n).map(NodeId::from_index) {
         if !net.is_alive(i) {
             continue;
         }
@@ -61,7 +64,8 @@ pub fn reconcile(net: &mut Network<ProtocolMsg>, nodes: &mut [SensorNode]) -> Re
     // Object to stale claims.
     let mut objections: Vec<(NodeId, NodeId)> = Vec::new();
     let mut inbox = Vec::new();
-    for &i in &ids {
+    net.drain_candidates_into(&mut drained);
+    for &i in &drained {
         if !net.is_alive(i) {
             net.clear_inbox(i);
             continue;
@@ -89,7 +93,8 @@ pub fn reconcile(net: &mut Network<ProtocolMsg>, nodes: &mut [SensorNode]) -> Re
     net.deliver();
 
     // Corrections.
-    for &i in &ids {
+    net.drain_candidates_into(&mut drained);
+    for &i in &drained {
         if !net.is_alive(i) {
             net.clear_inbox(i);
             continue;

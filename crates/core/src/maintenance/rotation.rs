@@ -45,7 +45,7 @@ pub fn rotate_representatives(
         (0.0..=1.0).contains(&rotation_prob),
         "rotation_prob must be a probability, got {rotation_prob}"
     );
-    let ids: Vec<NodeId> = net.node_ids().collect();
+    let n = nodes.len();
     let mut report = RotationReport {
         retired: 0,
         reassigned: 0,
@@ -53,7 +53,7 @@ pub fn rotate_representatives(
     };
 
     // Retiring representatives announce a handoff.
-    for &i in &ids {
+    for i in (0..n).map(NodeId::from_index) {
         if !net.is_alive(i) {
             continue;
         }
@@ -81,10 +81,14 @@ pub fn rotate_representatives(
     }
     net.deliver();
 
-    // Members of retiring representatives re-elect.
+    // Members of retiring representatives re-elect. Wake-list drain
+    // (DESIGN.md §16): only nodes the handoff broadcast reached are
+    // visited, in ascending id order.
     let mut initiators: BTreeSet<NodeId> = BTreeSet::new();
     let mut inbox = Vec::new();
-    for &i in &ids {
+    let mut drained: Vec<NodeId> = Vec::new();
+    net.drain_candidates_into(&mut drained);
+    for &i in &drained {
         if !net.is_alive(i) {
             net.clear_inbox(i);
             continue;
@@ -114,8 +118,8 @@ pub fn rotate_representatives(
         ));
     }
 
-    for &i in &ids {
-        nodes[i.index()].refusing_invites = false;
+    for node in nodes.iter_mut() {
+        node.refusing_invites = false;
     }
     report
 }

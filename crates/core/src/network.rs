@@ -28,7 +28,8 @@ use snapshot_netsim::rng::DetRng;
 use snapshot_netsim::rng::RngExt;
 use snapshot_netsim::telemetry::QueryStatus;
 use snapshot_netsim::{
-    EnergyModel, Event, LinkModel, NetStats, Network, NodeId, Phase, SpanKind, Telemetry, Topology,
+    Delivery, EnergyModel, Event, LinkModel, NetStats, Network, NodeId, Phase, SpanKind, Telemetry,
+    Topology,
 };
 
 /// A full sensor-network deployment.
@@ -52,6 +53,11 @@ pub struct SensorNetwork {
     /// (0 = none). Opened by [`Self::kill_representative`], closed by
     /// `observe_repair` when every orphan is re-covered.
     repair_span: u64,
+    /// Recycled drain-candidate buffer for [`Self::broadcast_and_snoop`]
+    /// (pure capacity — always logically empty between steps).
+    scratch_ids: Vec<NodeId>,
+    /// Recycled inbox buffer for [`Self::broadcast_and_snoop`].
+    scratch_inbox: Vec<Delivery<ProtocolMsg>>,
 }
 
 impl Clone for SensorNetwork {
@@ -67,7 +73,22 @@ impl Clone for SensorNetwork {
             query_seq: self.query_seq,
             repair: self.repair.clone(),
             repair_span: self.repair_span,
+            // Scratch buffers are pure capacity; clones start cold.
+            scratch_ids: Vec::new(),
+            scratch_inbox: Vec::new(),
         }
+    }
+}
+
+/// Broadcast `j`'s current measurement (free function so the caller
+/// can keep a borrowed trace snapshot alive across the send loop).
+fn send_measurement(net: &mut Network<ProtocolMsg>, values: &[f64], j: NodeId) {
+    if net.is_alive(j) {
+        let msg = ProtocolMsg::Data {
+            value: values[j.index()],
+        };
+        let bytes = msg.wire_bytes();
+        net.broadcast(j, msg, bytes, Phase::Data);
     }
 }
 
@@ -137,6 +158,8 @@ impl SensorNetwork {
             query_seq: 0,
             repair: RepairTracker::new(),
             repair_span: 0,
+            scratch_ids: Vec::new(),
+            scratch_inbox: Vec::new(),
         }
     }
 
@@ -282,25 +305,32 @@ impl SensorNetwork {
         self.broadcast_and_snoop(participants, snoop_prob);
     }
 
+    /// Steady-state allocation contract (DESIGN.md §16): no per-step
+    /// id-list or value-snapshot clones. Measurements are read from a
+    /// borrowed trace snapshot, the `participants: None` sender loop is
+    /// index-driven, and the receive side visits only the wake-list
+    /// (nodes the delivery round actually reached) through two
+    /// recycled scratch buffers.
     fn broadcast_and_snoop(&mut self, participants: Option<&[NodeId]>, snoop_prob: f64) {
-        let ids: Vec<NodeId> = self.net.node_ids().collect();
-        let values = self.values();
-        let senders: Vec<NodeId> = match participants {
-            Some(p) => p.to_vec(),
-            None => ids.clone(),
-        };
-        for &j in &senders {
-            if self.net.is_alive(j) {
-                let msg = ProtocolMsg::Data {
-                    value: values[j.index()],
-                };
-                let bytes = msg.wire_bytes();
-                self.net.broadcast(j, msg, bytes, Phase::Data);
+        let t = self.now.min(self.trace.steps() - 1);
+        let values = self.trace.snapshot_at(t);
+        match participants {
+            Some(p) => {
+                for &j in p {
+                    send_measurement(&mut self.net, values, j);
+                }
+            }
+            None => {
+                for i in 0..self.nodes.len() {
+                    send_measurement(&mut self.net, values, NodeId::from_index(i));
+                }
             }
         }
         self.net.deliver();
-        let mut inbox = Vec::new();
-        for &i in &ids {
+        let mut drain_ids = std::mem::take(&mut self.scratch_ids);
+        self.net.drain_candidates_into(&mut drain_ids);
+        let mut inbox = std::mem::take(&mut self.scratch_inbox);
+        for &i in &drain_ids {
             if !self.net.is_alive(i) {
                 self.net.clear_inbox(i);
                 continue;
@@ -324,6 +354,8 @@ impl SensorNetwork {
                 }
             }
         }
+        self.scratch_inbox = inbox;
+        self.scratch_ids = drain_ids;
     }
 
     // ---- Protocol operations ----------------------------------------------

@@ -346,6 +346,22 @@ impl FaultSchedule {
         }
     }
 
+    /// The earliest tick at which this schedule has work to do: the
+    /// next unfired plan event or the soonest pending recovery,
+    /// whichever comes first. `None` once the plan is exhausted and no
+    /// recoveries are pending. O(1) — lets [`crate::sim::Network::deliver`]
+    /// skip fault application entirely on quiescent ticks instead of
+    /// walking the schedule.
+    // xtask-contract(zero_alloc)
+    pub(crate) fn next_due_tick(&self) -> Option<u64> {
+        let next_event = self.plan.events.get(self.next).map(|e| e.at);
+        let next_recovery = self.recoveries.values().min().copied();
+        match (next_event, next_recovery) {
+            (Some(e), Some(r)) => Some(e.min(r)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// Events due at or before `tick` that have not fired yet, in
     /// schedule order. Advances the cursor; each event is handed out
     /// exactly once. (Cloning here is fine: fault application is a

@@ -61,6 +61,7 @@ pub mod message;
 pub mod mobility;
 pub mod node;
 pub mod rng;
+pub mod scheduler;
 pub mod sim;
 pub mod stats;
 pub mod topology;
@@ -77,6 +78,7 @@ pub use message::{Delivery, Destination, Envelope};
 pub use mobility::RandomWaypoint;
 pub use node::NodeId;
 pub use rng::{DetRng, RngCore, RngExt};
+pub use scheduler::{set_default_drain_mode, DrainMode, EventKey, Scheduler, WakeReason};
 pub use sim::Network;
 pub use snapshot_telemetry::{self as telemetry, Event, Phase, Recorder, SpanKind, Telemetry};
 pub use stats::NetStats;
@@ -95,6 +97,7 @@ pub mod prelude {
     pub use crate::mobility::RandomWaypoint;
     pub use crate::node::NodeId;
     pub use crate::rng::{DetRng, RngCore, RngExt};
+    pub use crate::scheduler::{DrainMode, Scheduler, WakeReason};
     pub use crate::sim::Network;
     pub use crate::stats::NetStats;
     pub use crate::topology::{Position, Topology};

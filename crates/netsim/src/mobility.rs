@@ -55,13 +55,17 @@ impl RandomWaypoint {
 
     /// Advance every alive node one tick toward its waypoint,
     /// re-rolling waypoints on arrival. Returns how many nodes moved.
+    /// Each move registers a mobility wake for the node, and the id
+    /// loop is index-driven — a mobility tick performs no per-tick
+    /// id-list allocation. (The per-move hot path, `move_node` →
+    /// `set_position`, carries the zero_alloc contract.)
     pub fn step<P: Clone>(&mut self, net: &mut Network<P>) -> usize {
         if self.speed == 0.0 {
             return 0;
         }
-        let ids: Vec<NodeId> = net.node_ids().collect();
         let mut moved = 0;
-        for id in ids {
+        for i in 0..net.len() {
+            let id = NodeId::from_index(i);
             if !net.is_alive(id) {
                 continue;
             }

@@ -24,6 +24,7 @@ use crate::message::{Delivery, Destination, Envelope};
 use crate::node::{NodeId, NodeState};
 use crate::rng::derive_seed;
 use crate::rng::DetRng;
+use crate::scheduler::{DrainMode, Scheduler, WakeReason};
 use crate::stats::NetStats;
 use crate::topology::Topology;
 use snapshot_telemetry::{Event, Phase, Recorder as _, SpanKind, Telemetry};
@@ -52,6 +53,14 @@ pub struct Network<P: Clone> {
     drain: Vec<f64>,
     /// Compiled fault timeline, applied at each tick boundary.
     faults: Option<FaultSchedule>,
+    /// Deterministic event queue + wake-list (DESIGN.md §16): every
+    /// event source — message delivery, timers, faults, mobility —
+    /// marks the touched node so per-tick consumers visit O(active)
+    /// nodes, not O(N).
+    sched: Scheduler,
+    /// Cached alive-node count, maintained by kill/revive and battery
+    /// depletion so [`Network::alive_count`] is O(1).
+    alive: usize,
     round: u64,
 }
 
@@ -106,6 +115,8 @@ impl<P: Clone> Clone for Network<P> {
             scratch: Vec::new(),
             drain: self.drain.clone(),
             faults: self.faults.clone(),
+            sched: self.sched.clone(),
+            alive: self.alive,
             round: self.round,
         }
     }
@@ -131,6 +142,8 @@ impl<P: Clone> Network<P> {
             scratch: Vec::new(),
             drain: vec![1.0; n],
             faults: None,
+            sched: Scheduler::new(n),
+            alive: n,
             round: 0,
         }
     }
@@ -146,6 +159,9 @@ impl<P: Clone> Network<P> {
     ) -> Self {
         let mut net = Self::new(topology, link, energy, seed);
         net.batteries = vec![Battery::finite(capacity); net.topology.len()];
+        // A zero-capacity battery is dead on arrival: refresh the
+        // cached alive count against the replaced batteries.
+        net.alive = net.batteries.iter().filter(|b| b.is_alive()).count();
         net
     }
 
@@ -241,9 +257,10 @@ impl<P: Clone> Network<P> {
         self.states[id.index()].is_alive() && self.batteries[id.index()].is_alive()
     }
 
-    /// Number of currently alive nodes.
+    /// Number of currently alive nodes. O(1): the count is maintained
+    /// incrementally by kill/revive and battery depletion.
     pub fn alive_count(&self) -> usize {
-        self.node_ids().filter(|&id| self.is_alive(id)).count()
+        self.alive
     }
 
     /// Inject a permanent failure at `id` (used by self-healing tests
@@ -251,7 +268,11 @@ impl<P: Clone> Network<P> {
     /// no state change and no duplicate telemetry event.
     pub fn kill(&mut self, id: NodeId) {
         if self.states[id.index()].is_alive() {
+            if self.batteries[id.index()].is_alive() {
+                self.alive -= 1;
+            }
             self.states[id.index()] = NodeState::Dead;
+            self.sched.wake(id, WakeReason::Fault);
             let tick = self.round;
             self.emit(Event::NodeFailed { tick, node: id.0 });
         }
@@ -264,6 +285,8 @@ impl<P: Clone> Network<P> {
     pub fn revive(&mut self, id: NodeId) {
         if !self.states[id.index()].is_alive() && self.batteries[id.index()].is_alive() {
             self.states[id.index()] = NodeState::Alive;
+            self.alive += 1;
+            self.sched.wake(id, WakeReason::Fault);
             let tick = self.round;
             self.emit(Event::NodeRecovered { tick, node: id.0 });
         }
@@ -391,6 +414,11 @@ impl<P: Clone> Network<P> {
                     }
                 }
                 self.set_drain_multiplier(target, factor);
+                if let Some(id) = target {
+                    // A targeted drain changes one node's energy future;
+                    // wake it so per-tick consumers re-examine it.
+                    self.sched.wake(id, WakeReason::Fault);
+                }
                 self.emit(Event::FaultInjected {
                     tick,
                     fault: FaultTag::Drain,
@@ -417,10 +445,49 @@ impl<P: Clone> Network<P> {
     }
 
     /// Move a node (mobility): future deliveries use the new
-    /// neighborhoods immediately.
+    /// neighborhoods immediately. The move wakes the node so per-tick
+    /// consumers re-examine it.
     // xtask-contract(zero_alloc)
     pub fn move_node(&mut self, id: NodeId, pos: crate::topology::Position) {
         self.topology.set_position(id, pos);
+        self.sched.wake(id, WakeReason::Mobility);
+    }
+
+    // ---- Scheduler & wake-list -------------------------------------------
+
+    /// The event scheduler and wake-list (read-only).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.sched
+    }
+
+    /// Register a timer: `node` is woken at the first
+    /// [`Network::deliver`] whose tick is ≥ `at_tick` (priority orders
+    /// same-tick timers, 0 first). Timer expiry is the fourth wake
+    /// source next to messages, faults and mobility.
+    pub fn schedule_wake(&mut self, at_tick: u64, priority: u8, node: NodeId) {
+        self.sched.schedule(at_tick, priority, node);
+    }
+
+    /// The drain-candidate policy in force (see [`DrainMode`]).
+    pub fn drain_mode(&self) -> DrainMode {
+        self.sched.drain_mode()
+    }
+
+    /// Switch between the O(active) wake-list drain and the all-nodes
+    /// reference scan. Both produce byte-identical artifacts (the
+    /// equivalence suite in `crates/bench/tests` gates this).
+    pub fn set_drain_mode(&mut self, mode: DrainMode) {
+        self.sched.set_drain_mode(mode);
+    }
+
+    /// Fill `buf` (cleared first) with this tick's drain candidates in
+    /// ascending node-id order: the woken nodes under
+    /// [`DrainMode::WakeList`], every node under [`DrainMode::AllScan`].
+    /// Callers drain each candidate with [`Network::take_inbox_into`]
+    /// or [`Network::clear_inbox`], which unmark it.
+    // xtask-contract(zero_alloc)
+    pub fn drain_candidates_into(&mut self, buf: &mut Vec<NodeId>) {
+        self.sched.drain_candidates_into(buf);
     }
 
     /// Charge `id` for one cache-manager update (the paper's 0.1-tx
@@ -450,6 +517,8 @@ impl<P: Clone> Network<P> {
             &mut self.batteries,
             &mut self.telemetry,
             &self.drain,
+            &self.states,
+            &mut self.alive,
             self.round,
             id,
             amount,
@@ -512,12 +581,27 @@ impl<P: Clone> Network<P> {
     // xtask-contract(deterministic)
     pub fn deliver(&mut self) -> usize {
         self.round += 1;
+        let wakes_before = self.sched.total_wakes();
         // Tick boundary: apply scheduled faults before any of this
         // round's traffic moves, so a node crashed at tick `t` misses
-        // round-`t` receptions. One branch when no plan is attached —
-        // the zero-allocation hot path below is untouched.
-        if self.faults.is_some() {
-            self.apply_due_faults();
+        // round-`t` receptions. `next_due_tick` makes the quiescent
+        // skip O(1): a plan with nothing due this round costs one
+        // comparison, not a schedule walk — and an actually-due
+        // application is behavior-identical to the old unconditional
+        // call (a no-due `apply_due_faults` was already a pure no-op).
+        if let Some(f) = &self.faults {
+            if f.next_due_tick().is_some_and(|t| t <= self.round) {
+                self.apply_due_faults();
+            }
+        }
+        // Fire due timers before the round's traffic: a timer set for
+        // tick `t` wakes its node in time for the tick-`t` drain. The
+        // scheduler span opens only when something is actually due, so
+        // timer-free workloads trace byte-identically to before.
+        if self.sched.has_due(self.round) {
+            let tspan = self.telemetry.open_span(self.round, SpanKind::Scheduler);
+            self.sched.fire_due(self.round);
+            self.telemetry.close_span(self.round, tspan);
         }
         let span = self.telemetry.open_span(self.round, SpanKind::Deliver);
         // Swap the queued envelopes into the recycled scratch buffer:
@@ -542,6 +626,8 @@ impl<P: Clone> Network<P> {
             inboxes,
             drain,
             round,
+            sched,
+            alive,
             ..
         } = self;
         let round = *round;
@@ -573,13 +659,15 @@ impl<P: Clone> Network<P> {
                 if ok {
                     if rx_cost > 0.0 {
                         draw_energy_raw(
-                            batteries, telemetry, drain, round, dst, rx_cost, env.phase,
+                            batteries, telemetry, drain, states, alive, round, dst, rx_cost,
+                            env.phase,
                         );
                     }
                     if let Some(reg) = telemetry.registry_mut() {
                         reg.observe_hop_latency(round.saturating_sub(env.sent_tick));
                     }
                     stats.record_receive(dst);
+                    sched.wake(dst, WakeReason::Message);
                     if let Some(prev) = last_hit.replace(dst) {
                         // xtask-allow(contract_zero_alloc): inbox push reuses capacity recycled by take_inbox_into/clear_inbox; steady-state growth is zero (bench-gated)
                         inboxes[prev.index()].push(Delivery {
@@ -613,6 +701,8 @@ impl<P: Clone> Network<P> {
         }
         telemetry.close_span(round, span);
         self.scratch = envelopes;
+        self.stats
+            .record_tick(self.sched.total_wakes() - wakes_before);
         delivered
     }
 
@@ -623,6 +713,7 @@ impl<P: Clone> Network<P> {
     /// buffer across nodes) or [`Network::clear_inbox`] (discard
     /// without giving up capacity).
     pub fn take_inbox(&mut self, id: NodeId) -> Vec<Delivery<P>> {
+        self.sched.unwake(id);
         std::mem::take(&mut self.inboxes[id.index()])
     }
 
@@ -633,6 +724,7 @@ impl<P: Clone> Network<P> {
     /// allocations every round.
     // xtask-contract(zero_alloc)
     pub fn take_inbox_into(&mut self, id: NodeId, buf: &mut Vec<Delivery<P>>) {
+        self.sched.unwake(id);
         buf.clear();
         std::mem::swap(&mut self.inboxes[id.index()], buf);
     }
@@ -641,6 +733,7 @@ impl<P: Clone> Network<P> {
     /// the next round (for dead or non-participating nodes).
     // xtask-contract(zero_alloc)
     pub fn clear_inbox(&mut self, id: NodeId) {
+        self.sched.unwake(id);
         self.inboxes[id.index()].clear();
     }
 
@@ -669,18 +762,27 @@ impl<P: Clone> Network<P> {
 /// loop iterates the topology's neighbor slices in place). `drain`
 /// scales the nominal amount by the node's fault-injected battery
 /// drain multiplier; the telemetry stream records the scaled draw.
+/// A draw that depletes the battery of a state-alive node decrements
+/// the cached `alive` count (the O(1) [`Network::alive_count`]).
+#[allow(clippy::too_many_arguments)]
 fn draw_energy_raw(
     batteries: &mut [Battery],
     telemetry: &mut Telemetry,
     drain: &[f64],
+    states: &[NodeState],
+    alive: &mut usize,
     round: u64,
     id: NodeId,
     amount: f64,
     phase: Phase,
 ) -> bool {
     let amount = amount * drain[id.index()];
+    let was_alive = batteries[id.index()].is_alive();
     if !batteries[id.index()].draw(amount) {
         return false;
+    }
+    if was_alive && !batteries[id.index()].is_alive() && states[id.index()].is_alive() {
+        *alive -= 1;
     }
     if telemetry.enabled() {
         telemetry.record(&Event::EnergyDraw {
@@ -1195,5 +1297,145 @@ mod tests {
                 .any(|e| matches!(e, Event::NodeFailed { node: 0, .. })),
             "draining the last charge records a failure"
         );
+    }
+
+    /// The cached O(1) alive count must track the full scan through
+    /// kills, revives, double-kills, and battery depletion.
+    #[test]
+    fn cached_alive_count_matches_scan() {
+        let scan = |net: &Network<u8>| net.node_ids().filter(|&id| net.is_alive(id)).count();
+        let topo = line_topology(6, 0.1, 1.0);
+        let mut net: Network<u8> = Network::with_finite_batteries(
+            topo,
+            LinkModel::Perfect,
+            EnergyModel::default(),
+            2.0,
+            1,
+        );
+        assert_eq!(net.alive_count(), 6);
+        assert_eq!(net.alive_count(), scan(&net));
+
+        net.kill(NodeId(2));
+        net.kill(NodeId(2)); // double-kill is a no-op
+        assert_eq!(net.alive_count(), 5);
+        assert_eq!(net.alive_count(), scan(&net));
+
+        net.revive(NodeId(2));
+        net.revive(NodeId(2)); // double-revive is a no-op
+        assert_eq!(net.alive_count(), 6);
+        assert_eq!(net.alive_count(), scan(&net));
+
+        // Deplete node 0's two-charge battery: alive drops without an
+        // explicit kill.
+        net.broadcast(NodeId(0), 1, 4, Phase::Test);
+        net.broadcast(NodeId(0), 1, 4, Phase::Test);
+        assert_eq!(net.alive_count(), 5);
+        assert_eq!(net.alive_count(), scan(&net));
+
+        // Killing the battery-dead node is a no-op on the count; so is
+        // trying to revive the corpse.
+        net.kill(NodeId(0));
+        net.revive(NodeId(0));
+        assert_eq!(net.alive_count(), 5);
+        assert_eq!(net.alive_count(), scan(&net));
+    }
+
+    /// Delivery marks exactly the receiving nodes; draining unmarks.
+    #[test]
+    fn deliver_wakes_receivers_and_drains_unwake() {
+        let topo = line_topology(4, 0.3, 0.35);
+        let mut net: Network<u8> =
+            Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
+        net.broadcast(NodeId(1), 7, 4, Phase::Test);
+        net.deliver();
+        let mut woken = Vec::new();
+        net.drain_candidates_into(&mut woken);
+        assert_eq!(woken, vec![NodeId(0), NodeId(2)]);
+        // Candidates stay woken until drained.
+        net.drain_candidates_into(&mut woken);
+        assert_eq!(woken, vec![NodeId(0), NodeId(2)]);
+        net.take_inbox(NodeId(0));
+        net.clear_inbox(NodeId(2));
+        net.drain_candidates_into(&mut woken);
+        assert!(woken.is_empty(), "drained nodes sleep again");
+    }
+
+    /// Timers wake their node at (or after) the scheduled tick.
+    #[test]
+    fn scheduled_timer_wakes_node_at_tick() {
+        let topo = line_topology(3, 0.1, 1.0);
+        let mut net: Network<u8> =
+            Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
+        net.schedule_wake(2, 0, NodeId(1));
+        let mut woken = Vec::new();
+        net.deliver(); // tick 1: nothing due
+        net.drain_candidates_into(&mut woken);
+        assert!(woken.is_empty());
+        net.deliver(); // tick 2: timer fires
+        net.drain_candidates_into(&mut woken);
+        assert_eq!(woken, vec![NodeId(1)]);
+        assert_eq!(net.scheduler().wakes_by(WakeReason::Timer), 1);
+        assert_eq!(net.scheduler().pending_timers(), 0);
+        // The tick-activity counters saw exactly one fresh wake in two
+        // recorded ticks.
+        assert_eq!(net.stats().ticks(), 2);
+        assert_eq!(net.stats().woken_total(), 1);
+    }
+
+    /// AllScan mode yields every node regardless of wake state, and the
+    /// quiescent wake-list is empty — the two drain policies only
+    /// differ in *which no-op nodes get visited*.
+    #[test]
+    fn drain_modes_differ_only_in_visited_sleepers() {
+        let topo = line_topology(5, 0.3, 0.35);
+        let mut net: Network<u8> =
+            Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
+        net.deliver(); // quiescent tick
+        let mut buf = Vec::new();
+        net.drain_candidates_into(&mut buf);
+        assert!(buf.is_empty(), "quiescent wake-list is empty");
+        net.set_drain_mode(DrainMode::AllScan);
+        assert_eq!(net.drain_mode(), DrainMode::AllScan);
+        net.drain_candidates_into(&mut buf);
+        assert_eq!(buf.len(), 5, "reference path scans everyone");
+        // Every extra candidate has an empty inbox: visiting it is a
+        // no-op, which is the byte-identity argument in DESIGN.md §16.
+        for id in buf {
+            assert!(net.take_inbox(id).is_empty());
+        }
+    }
+
+    /// Mobility steps wake the moved nodes.
+    #[test]
+    fn move_node_registers_mobility_wake() {
+        let topo = line_topology(3, 0.1, 1.0);
+        let mut net: Network<u8> =
+            Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
+        net.move_node(NodeId(2), Position::new(0.5, 0.5));
+        assert!(net.scheduler().is_woken(NodeId(2)));
+        assert_eq!(net.scheduler().wakes_by(WakeReason::Mobility), 1);
+        let mut buf = Vec::new();
+        net.drain_candidates_into(&mut buf);
+        assert_eq!(buf, vec![NodeId(2)]);
+    }
+
+    /// Fault application wakes the affected nodes (kill, revive, and
+    /// targeted drains all register `WakeReason::Fault`).
+    #[test]
+    fn faults_register_fault_wakes() {
+        let topo = line_topology(4, 0.1, 1.0);
+        let mut net: Network<u8> =
+            Network::new(topo, LinkModel::Perfect, EnergyModel::default(), 1);
+        net.set_fault_plan(FaultPlan::parse("1 outage 2 for 3\n2 drain 0 x4.0\n").expect("parses"));
+        net.deliver(); // tick 1: node 2 goes down
+        assert!(net.scheduler().is_woken(NodeId(2)));
+        net.clear_inbox(NodeId(2));
+        net.deliver(); // tick 2: targeted drain on node 0
+        assert!(net.scheduler().is_woken(NodeId(0)));
+        net.clear_inbox(NodeId(0));
+        net.deliver();
+        net.deliver(); // tick 4: node 2 recovers -> fault wake again
+        assert!(net.scheduler().is_woken(NodeId(2)));
+        assert_eq!(net.scheduler().wakes_by(WakeReason::Fault), 3);
     }
 }

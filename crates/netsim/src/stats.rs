@@ -32,6 +32,11 @@ pub struct NetStats {
     /// per-node × per-phase lost-delivery counts (indexed by the
     /// *receiver* that missed the message, like `lost`)
     phase_lost: Vec<[u64; Phase::COUNT]>,
+    /// delivery ticks recorded via [`NetStats::record_tick`]
+    ticks: u64,
+    /// total fresh wakes across those ticks (active-set churn); the
+    /// quotient is a machine-independent per-tick activity metric
+    woken: u64,
 }
 
 impl NetStats {
@@ -44,6 +49,40 @@ impl NetStats {
             lost: vec![0; n],
             phase_sent: vec![[0; Phase::COUNT]; n],
             phase_lost: vec![[0; Phase::COUNT]; n],
+            ticks: 0,
+            woken: 0,
+        }
+    }
+
+    /// Record one delivery tick that produced `woken` fresh wakes
+    /// (nodes added to the active set by a message, timer, fault or
+    /// move). Deterministic — a pure function of the simulation, not
+    /// of wall-clock — so per-tick activity can appear in experiment
+    /// artifacts without breaking byte-identity across machines.
+    pub fn record_tick(&mut self, woken: u64) {
+        self.ticks += 1;
+        self.woken += woken;
+    }
+
+    /// Delivery ticks recorded since construction or [`NetStats::reset`].
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Total fresh wakes across all recorded ticks.
+    pub fn woken_total(&self) -> u64 {
+        self.woken
+    }
+
+    /// Mean fresh wakes per delivery tick — the deterministic
+    /// active-set size proxy reported by the `scale` experiment
+    /// (quiescent phases sit near 0, active phases near the flood
+    /// fan-out).
+    pub fn mean_woken_per_tick(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.woken as f64 / self.ticks as f64
         }
     }
 
@@ -155,6 +194,8 @@ impl NetStats {
         self.phase_lost
             .iter_mut()
             .for_each(|row| *row = [0; Phase::COUNT]);
+        self.ticks = 0;
+        self.woken = 0;
     }
 }
 
@@ -216,11 +257,26 @@ mod tests {
         s.record_send(NodeId(0), Phase::Test);
         s.record_receive(NodeId(1));
         s.record_loss(NodeId(1), Phase::Test);
+        s.record_tick(5);
         s.reset();
         assert_eq!(s.total_sent(), 0);
         assert_eq!(s.total_received(), 0);
         assert_eq!(s.total_lost(), 0);
         assert_eq!(s.phases().count(), 0);
+        assert_eq!(s.ticks(), 0);
+        assert_eq!(s.woken_total(), 0);
+    }
+
+    #[test]
+    fn tick_activity_counters_average_fresh_wakes() {
+        let mut s = NetStats::new(4);
+        assert_eq!(s.mean_woken_per_tick(), 0.0);
+        s.record_tick(4);
+        s.record_tick(0);
+        s.record_tick(2);
+        assert_eq!(s.ticks(), 3);
+        assert_eq!(s.woken_total(), 6);
+        assert!((s.mean_woken_per_tick() - 2.0).abs() < 1e-12);
     }
 
     #[test]

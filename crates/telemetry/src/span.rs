@@ -54,6 +54,9 @@ pub enum SpanKind {
     Repair,
     /// One `Network::deliver` round.
     Deliver,
+    /// Firing due timer events from the deterministic event queue
+    /// (opened only on ticks where at least one timer is due).
+    Scheduler,
     /// One core-layer query execution (one epoch).
     Query,
     /// Planning one declarative query (`crates/query`).
@@ -64,7 +67,7 @@ pub enum SpanKind {
 
 impl SpanKind {
     /// Every kind, in canonical (report) order.
-    pub const ALL: [SpanKind; 14] = [
+    pub const ALL: [SpanKind; 15] = [
         SpanKind::Election,
         SpanKind::ElectionInvite,
         SpanKind::ElectionCandidates,
@@ -76,6 +79,7 @@ impl SpanKind {
         SpanKind::Rotation,
         SpanKind::Repair,
         SpanKind::Deliver,
+        SpanKind::Scheduler,
         SpanKind::Query,
         SpanKind::QueryPlan,
         SpanKind::QueryExec,
@@ -95,6 +99,7 @@ impl SpanKind {
             SpanKind::Rotation => "rotation",
             SpanKind::Repair => "repair",
             SpanKind::Deliver => "deliver",
+            SpanKind::Scheduler => "scheduler",
             SpanKind::Query => "query",
             SpanKind::QueryPlan => "query_plan",
             SpanKind::QueryExec => "query_exec",
@@ -120,6 +125,7 @@ impl SpanKind {
             SpanKind::Rotation => "span_rotation",
             SpanKind::Repair => "span_repair",
             SpanKind::Deliver => "span_deliver",
+            SpanKind::Scheduler => "span_scheduler",
             SpanKind::Query => "span_query",
             SpanKind::QueryPlan => "span_query_plan",
             SpanKind::QueryExec => "span_query_exec",
@@ -140,6 +146,7 @@ impl SpanKind {
             SpanKind::Rotation => "span_ticks_rotation",
             SpanKind::Repair => "span_ticks_repair",
             SpanKind::Deliver => "span_ticks_deliver",
+            SpanKind::Scheduler => "span_ticks_scheduler",
             SpanKind::Query => "span_ticks_query",
             SpanKind::QueryPlan => "span_ticks_query_plan",
             SpanKind::QueryExec => "span_ticks_query_exec",
@@ -161,6 +168,7 @@ impl SpanKind {
             SpanKind::Rotation => "span_wall_ns_rotation",
             SpanKind::Repair => "span_wall_ns_repair",
             SpanKind::Deliver => "span_wall_ns_deliver",
+            SpanKind::Scheduler => "span_wall_ns_scheduler",
             SpanKind::Query => "span_wall_ns_query",
             SpanKind::QueryPlan => "span_wall_ns_query_plan",
             SpanKind::QueryExec => "span_wall_ns_query_exec",

@@ -113,6 +113,7 @@ pub const LINT_NAMES: &[&str] = &[
     "unthreaded_network",
     "fault_event_coverage",
     "event_replay_coverage",
+    "wake_source_coverage",
     "contract_zero_alloc",
     "contract_deterministic",
     "bad_contract",
@@ -194,6 +195,11 @@ pub fn lint_infos() -> Vec<LintInfo> {
             name: "event_replay_coverage",
             level: "deny",
             summary: "every telemetry Event variant must be handled where traces replay",
+        },
+        LintInfo {
+            name: "wake_source_coverage",
+            level: "deny",
+            summary: "every WakeReason variant must be registered at a scheduler wake() site",
         },
         LintInfo {
             name: "contract_zero_alloc",
@@ -384,11 +390,13 @@ pub fn analyze_sources(files: Vec<SourceFile>, repo_root: Option<&Path>) -> Repo
     let mut report = Report::default();
     let mut coverage = lints::FaultCoverage::default();
     let mut replay_coverage = lints::EventReplayCoverage::default();
+    let mut wake_coverage = lints::WakeSourceCoverage::default();
     for (f, lx, excluded) in &lexed {
         let mut diags = Vec::new();
         if f.lint != LintMode::SymbolsOnly {
             coverage.scan(&f.path, &lx.tokens, excluded);
             replay_coverage.scan(&f.path, &lx.tokens, excluded);
+            wake_coverage.scan(&f.path, &lx.tokens, excluded);
             lints::panic_freedom(&f.path, &lx.tokens, excluded, &mut diags);
             lints::determinism(&f.path, &lx.tokens, excluded, &mut diags);
             if f.lint == LintMode::Protocol {
@@ -405,6 +413,7 @@ pub fn analyze_sources(files: Vec<SourceFile>, repo_root: Option<&Path>) -> Repo
     }
     coverage.finish(&mut report.diagnostics);
     replay_coverage.finish(&mut report.diagnostics);
+    wake_coverage.finish(&mut report.diagnostics);
 
     report.contracts = set
         .attached

@@ -539,6 +539,110 @@ impl EventReplayCoverage {
     }
 }
 
+/// Cross-file wake-source coverage (`wake_source_coverage`).
+///
+/// The event-driven core (DESIGN.md §16) rests on one invariant: every
+/// event source — message delivery, timer expiry, fault application,
+/// mobility — wakes the nodes it touches, so wake-list drains visit
+/// exactly the nodes a full scan would have found active. This pass
+/// collects the variants of the scheduler's `WakeReason` enum wherever
+/// it is declared, then checks that each appears as a literal
+/// `WakeReason::V` *inside the argument list of a `wake(…)` call* in
+/// non-test code. References elsewhere (the `ALL` table, counter match
+/// arms) do not register a wake and do not count. A source that fires
+/// without a wake silently exempts its nodes from every wake-list
+/// drain — the scan/wake equivalence argument breaks — so uncovered
+/// variants are deny-level.
+///
+/// Like [`FaultCoverage`], this check spans files, runs once per
+/// analysis pass, and cannot be suppressed with `xtask-allow` — the
+/// fix is always to register the wake where the event source fires.
+#[derive(Debug, Default)]
+pub struct WakeSourceCoverage {
+    /// Declared variants: name plus declaration site.
+    variants: Vec<(String, PathBuf, u32, u32)>,
+    /// Variants seen as `WakeReason::V` inside `wake(…)` argument
+    /// lists in non-test code.
+    covered: BTreeSet<String>,
+}
+
+impl WakeSourceCoverage {
+    /// Feed one file's tokens into the accumulator.
+    pub fn scan(&mut self, path: &Path, tokens: &[Token], excluded: &[bool]) {
+        for i in 0..tokens.len() {
+            if excluded[i] {
+                continue;
+            }
+            if tokens[i].kind.ident() == Some("enum")
+                && tokens.get(i + 1).and_then(|t| t.kind.ident()) == Some("WakeReason")
+                && tokens.get(i + 2).is_some_and(|t| t.kind.is_punct('{'))
+            {
+                collect_enum_variants(path, tokens, i + 2, &mut self.variants);
+            }
+        }
+
+        // Coverage sites are the argument lists of `wake(…)` calls.
+        // The declaration `fn wake(…, reason: WakeReason)` cannot
+        // false-match: its parameter type has no `::` path.
+        let mut i = 0;
+        while i < tokens.len() {
+            if excluded[i]
+                || tokens[i].kind.ident() != Some("wake")
+                || !tokens.get(i + 1).is_some_and(|t| t.kind.is_punct('('))
+            {
+                i += 1;
+                continue;
+            }
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].kind.is_punct('(') {
+                    depth += 1;
+                } else if tokens[j].kind.is_punct(')') {
+                    depth -= 1;
+                } else if !excluded[j]
+                    && tokens[j].kind.ident() == Some("WakeReason")
+                    && tokens.get(j + 1).is_some_and(|t| t.kind.is_punct(':'))
+                    && tokens.get(j + 2).is_some_and(|t| t.kind.is_punct(':'))
+                {
+                    if let Some(v) = tokens.get(j + 3).and_then(|t| t.kind.ident()) {
+                        if v.chars().next().is_some_and(char::is_uppercase) {
+                            self.covered.insert(v.to_string());
+                        }
+                    }
+                }
+                j += 1;
+            }
+            i = j;
+        }
+    }
+
+    /// Emit a deny-level diagnostic for every declared variant no
+    /// event source registers.
+    pub fn finish(self, diags: &mut Vec<Diagnostic>) {
+        let WakeSourceCoverage { variants, covered } = self;
+        for (name, path, line, col) in variants {
+            if covered.contains(&name) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                lint: "wake_source_coverage",
+                level: Level::Deny,
+                path,
+                line,
+                col,
+                message: format!(
+                    "`WakeReason::{name}` is declared but no event source registers it \
+                     via a `wake(…, WakeReason::{name})` call"
+                ),
+                suggestion: "wake the affected node where the event source fires (message/\
+                             fault/mobility sources live in `netsim/src/sim.rs`; timer expiry \
+                             in `netsim/src/scheduler.rs::fire_due`)",
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -776,5 +880,57 @@ mod tests {
                       if let Some(Event::MsgSent { .. }) = es.first() {} \
                       if let Some(Event::SpanOpen { .. }) = es.first() {} } }";
         assert!(replay_coverage(&[("event.rs", EVENT_DECL), ("replay.rs", replay)]).is_empty());
+    }
+
+    fn wake_coverage(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let mut cov = WakeSourceCoverage::default();
+        for (name, src) in files {
+            let lexed = lex(src);
+            let excluded = test_regions(&lexed.tokens);
+            cov.scan(Path::new(name), &lexed.tokens, &excluded);
+        }
+        let mut diags = Vec::new();
+        cov.finish(&mut diags);
+        diags
+    }
+
+    const WAKE_DECL: &str = "pub enum WakeReason { Message, Timer }";
+
+    #[test]
+    fn wake_reasons_registered_at_wake_calls_are_clean() {
+        let src = "fn deliver(s: &mut Scheduler) { \
+                   s.wake(NodeId::from_index(0), WakeReason::Message); \
+                   s.wake(NodeId(1), WakeReason::Timer); }";
+        let d = wake_coverage(&[("scheduler.rs", WAKE_DECL), ("sim.rs", src)]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unregistered_wake_reason_is_denied() {
+        let src = "fn deliver(s: &mut Scheduler) { s.wake(NodeId(0), WakeReason::Message); }";
+        let d = wake_coverage(&[("scheduler.rs", WAKE_DECL), ("sim.rs", src)]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].lint, "wake_source_coverage");
+        assert_eq!(d[0].level, Level::Deny);
+        assert!(d[0].message.contains("Timer"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn wake_reason_outside_a_wake_call_does_not_count() {
+        // The `ALL` table names every variant, and the `wake` fn
+        // declaration mentions the type — neither registers a wake.
+        let src = "const ALL: [WakeReason; 2] = [WakeReason::Message, WakeReason::Timer]; \
+                   fn wake(node: NodeId, reason: WakeReason) -> bool { true }";
+        let d = wake_coverage(&[("scheduler.rs", WAKE_DECL), ("table.rs", src)]);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn test_region_wakes_do_not_count_as_coverage() {
+        let src = "#[cfg(test)] mod tests { fn t(s: &mut Scheduler) { \
+                   s.wake(NodeId(0), WakeReason::Message); \
+                   s.wake(NodeId(0), WakeReason::Timer); } }";
+        let d = wake_coverage(&[("scheduler.rs", WAKE_DECL), ("sim.rs", src)]);
+        assert_eq!(d.len(), 2, "{d:?}");
     }
 }
