@@ -4,7 +4,8 @@
 //! experiments [ids...] [--reps N] [--seed S] [--out DIR] [--quick] [--jobs N]
 //!             [--fault-plan FILE] [--drain-mode wake-list|all-scan]
 //!
-//!   ids      experiment ids (fig1 table2 fig6 ... fig15), or `all`
+//!   ids      experiment ids (fig1 table2 fig6 ... fig15, ablations,
+//!            heal burst-loss trace scale serve), or `all`
 //!   --reps   repetitions to average over (default 10, as in the paper)
 //!   --seed   base seed (default 1)
 //!   --out    directory for CSV artifacts (default EXPERIMENTS-results)

@@ -19,6 +19,7 @@
 //! | `burst-loss` | —     | i.i.d. vs Gilbert–Elliott loss at equal average rate |
 //! | `trace`  | —         | instrumented run exported as a JSONL protocol trace  |
 //! | `scale`  | —         | election at N ∈ {1k, 10k, 100k} on the grid topology |
+//! | `serve`  | —         | concurrent multi-tenant query serving (QUERIES.md)   |
 
 pub mod ablations;
 pub mod burst_loss;
@@ -34,6 +35,7 @@ pub mod fig9;
 pub mod heal;
 pub mod maintenance_over_time;
 pub mod scale;
+pub mod serve;
 pub mod table2;
 pub mod table3;
 pub mod trace;
@@ -66,6 +68,7 @@ pub const ALL: &[&str] = &[
     "burst-loss",
     "trace",
     "scale",
+    "serve",
 ];
 
 /// Run one experiment by id.
@@ -94,6 +97,7 @@ pub fn run(id: &str, ctx: &RunContext) -> Option<ExperimentOutput> {
         "burst-loss" => burst_loss::run(ctx),
         "trace" => trace::run(ctx),
         "scale" => scale::run(ctx),
+        "serve" => serve::run(ctx),
         _ => return None,
     })
 }

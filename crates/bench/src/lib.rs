@@ -17,6 +17,7 @@
 pub mod experiments;
 pub mod microbenches;
 pub mod runner;
+pub mod serve;
 pub mod setup;
 pub mod stats;
 pub mod table;

@@ -17,6 +17,7 @@ pub mod model_fit;
 pub mod netsim_deliver;
 pub mod parser;
 pub mod query_exec;
+pub mod serve;
 pub mod tag_aggregation;
 pub mod topology;
 
@@ -39,4 +40,5 @@ pub const REGISTRY: &[(&str, BenchFn)] = &[
     ("topology", topology::benches),
     ("fault", fault::benches),
     ("experiment_cell", experiment_cell::benches),
+    ("serve", serve::benches),
 ];

@@ -1,0 +1,144 @@
+//! The serving layer's determinism contract (DESIGN.md §17): a full
+//! multi-tenant serving run — thousands of submissions, plan-cache
+//! lookups, shared-scan batches, subscriptions, backpressure retries —
+//! must be **byte-identical** across `--jobs` values and scheduler
+//! drain modes, because the only parallel stage (batch planning) is a
+//! pure function of the deduped miss texts and results are merged in
+//! index order.
+//!
+//! Also gated here: the plan-cache hit rate on the repeated workload
+//! (the ISSUE's >90 % bar) and the typed, deterministic `Overloaded`
+//! rejection path.
+
+use snapshot_bench::serve::{run_serve, ServeRun, ServeWorkload};
+use snapshot_bench::{runner, RandomWalkSetup};
+use snapshot_core::SensorNetwork;
+use snapshot_netsim::DrainMode;
+use snapshot_query::serve::{QueryService, ServeConfig, ServeError};
+use snapshot_query::RegionCatalog;
+use std::sync::{Mutex, OnceLock};
+
+/// Serializes tests that touch the global worker budget: `set_jobs`
+/// must not race an in-flight `parallel_map` from a sibling test.
+fn jobs_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn elected_network(seed: u64, mode: DrainMode) -> SensorNetwork {
+    let mut sn = RandomWalkSetup {
+        n_nodes: 60,
+        k: 10,
+        ..RandomWalkSetup::default()
+    }
+    .build(seed);
+    let _ = sn.elect();
+    sn.net_mut().set_drain_mode(mode);
+    sn.enable_telemetry(1 << 16);
+    sn
+}
+
+fn serve_once(seed: u64, jobs: usize, mode: DrainMode) -> ServeRun {
+    runner::set_jobs(jobs);
+    let mut sn = elected_network(seed, mode);
+    run_serve(
+        &mut sn,
+        &ServeWorkload {
+            n_queries: 200,
+            n_tenants: 8,
+            arrivals_per_tick: 100,
+        },
+        ServeConfig::default(),
+    )
+}
+
+fn assert_runs_identical(a: &ServeRun, b: &ServeRun, what: &str) {
+    assert_eq!(a.completions, b.completions, "{what}: completions differ");
+    assert_eq!(a.stats, b.stats, "{what}: stats differ");
+    assert_eq!(a.ticks, b.ticks, "{what}: tick counts differ");
+    assert_eq!(a.trace, b.trace, "{what}: telemetry traces differ");
+}
+
+#[test]
+fn serving_is_byte_identical_across_jobs_and_drain_modes() {
+    let _guard = jobs_lock().lock().expect("jobs lock");
+    for seed in [1, 42] {
+        let baseline = serve_once(seed, 1, DrainMode::WakeList);
+        assert!(!baseline.completions.is_empty());
+        for (jobs, mode) in [
+            (4, DrainMode::WakeList),
+            (1, DrainMode::AllScan),
+            (4, DrainMode::AllScan),
+        ] {
+            let other = serve_once(seed, jobs, mode);
+            assert_runs_identical(
+                &baseline,
+                &other,
+                &format!("seed {seed}, jobs {jobs}, {mode:?} vs jobs 1 WakeList"),
+            );
+        }
+    }
+    runner::set_jobs(num_cpus_fallback());
+}
+
+/// Restore a sensible worker budget for any tests that run after the
+/// identity sweep left it at 4.
+fn num_cpus_fallback() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[test]
+fn plan_cache_hit_rate_exceeds_ninety_percent_on_repeated_workload() {
+    let _guard = jobs_lock().lock().expect("jobs lock");
+    let run = snapshot_bench::experiments::serve::simulate(7, true);
+    let hit_rate = run.stats.hit_rate().expect("lookups happened");
+    assert!(
+        hit_rate > 0.9,
+        "repeated 12-template workload must hit the plan cache: {hit_rate}"
+    );
+    assert_eq!(run.completions.len(), 200, "every query completes");
+}
+
+#[test]
+fn overload_is_a_typed_deterministic_rejection_never_a_panic() {
+    let reject_points: Vec<usize> = (0..2)
+        .map(|_| {
+            let sn = elected_network(3, DrainMode::WakeList);
+            let mut svc = QueryService::new(
+                ServeConfig {
+                    queue_capacity: 4,
+                    ..ServeConfig::default()
+                },
+                RegionCatalog::with_quadrants(),
+            );
+            let mut first_rejection = None;
+            for i in 0..16 {
+                match svc.submit(&sn, 0, "SELECT AVG(value) FROM sensors USE SNAPSHOT") {
+                    Ok(_) => {}
+                    Err(ServeError::Overloaded {
+                        tenant,
+                        queued,
+                        capacity,
+                    }) => {
+                        assert_eq!(tenant, 0);
+                        assert_eq!(queued, 4);
+                        assert_eq!(capacity, 4);
+                        first_rejection.get_or_insert(i);
+                    }
+                }
+            }
+            // A full queue for tenant 0 must not penalize tenant 1.
+            assert!(svc
+                .submit(&sn, 1, "SELECT AVG(value) FROM sensors USE SNAPSHOT")
+                .is_ok());
+            first_rejection.expect("a 4-slot queue must overflow in 16 submissions")
+        })
+        .collect();
+    assert_eq!(
+        reject_points[0], reject_points[1],
+        "rejection point must be deterministic"
+    );
+    assert_eq!(reject_points[0], 4, "fifth submission hits the bound");
+}

@@ -4,7 +4,17 @@
 //! (sic). Named regions make spatial predicates readable for
 //! location-aware deployments; the catalog maps names to concrete
 //! predicates, pre-populated with the four quadrants of the unit
-//! square the paper's simulations use.
+//! square the paper's simulations use
+//! ([`RegionCatalog::with_quadrants`], south = low `y`).
+//!
+//! Resolution happens at *planning* time ([`crate::planner::plan`]),
+//! so an unknown name is a typed [`crate::QueryError`] before any
+//! node is contacted, and a catalog edit never changes the meaning of
+//! an already-compiled plan — which is what lets the serving layer
+//! ([`crate::serve`]) cache plans keyed on query text alone. Names
+//! are case-insensitive and stored in a `BTreeMap`, so
+//! [`RegionCatalog::names`] listings are deterministic. QUERIES.md §4
+//! is the user-facing reference.
 
 use snapshot_core::SpatialPredicate;
 use std::collections::BTreeMap;

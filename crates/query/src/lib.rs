@@ -39,6 +39,7 @@ pub mod executor;
 pub mod lexer;
 pub mod parser;
 pub mod planner;
+pub mod serve;
 
 pub use ast::Query;
 pub use catalog::RegionCatalog;
@@ -46,6 +47,7 @@ pub use error::QueryError;
 pub use executor::{execute_plan, plan_traced, PlannedExecution};
 pub use parser::parse;
 pub use planner::{plan, QueryPlan};
+pub use serve::{Completion, QueryService, ServeConfig, ServeError, ServeStats};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
@@ -55,4 +57,5 @@ pub mod prelude {
     pub use crate::executor::{execute_plan, plan_traced, PlannedExecution};
     pub use crate::parser::parse;
     pub use crate::planner::{plan, QueryPlan};
+    pub use crate::serve::{Completion, QueryService, ServeConfig, ServeError, ServeStats};
 }

@@ -3,7 +3,18 @@
 //! Planning resolves named regions through the [`RegionCatalog`],
 //! validates the projection against the dialect's schema (`loc` plus
 //! one measurement column per node), and produces the programmatic
-//! [`SnapshotQuery`] plus the sampling schedule.
+//! [`SnapshotQuery`] plus the sampling schedule
+//! (`interval_ticks`/`epochs`, from `SAMPLE INTERVAL … FOR …`).
+//!
+//! Planning is a *pure function* of `(query, catalog)` — no network,
+//! no clock, no ambient state — which is load-bearing twice over: the
+//! SQL path and the programmatic API provably agree
+//! (`tests/query_dialect.rs` checks the lowering against hand-built
+//! [`SnapshotQuery`] values), and the serving layer ([`crate::serve`])
+//! may cache plans by normalized text and batch-plan cache misses on
+//! a worker pool without observable effect. Everything reachable from
+//! here is deterministic: errors are typed [`QueryError`]s with
+//! source positions, never panics.
 
 use crate::ast::{Condition, Projection, Query, Region};
 use crate::catalog::RegionCatalog;

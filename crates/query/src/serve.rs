@@ -1,0 +1,791 @@
+//! The snapshot query *service*: concurrent multi-query serving over
+//! one live network.
+//!
+//! The paper's snapshot exists so that *many* queries can be answered
+//! cheaply from representatives. This module is the serving layer that
+//! cashes that promise in: a [`QueryService`] admits thousands of
+//! concurrent declarative queries — one-shot and `SAMPLE INTERVAL …
+//! FOR …` subscriptions — against a single [`SensorNetwork`], and
+//! drives them tick by tick with
+//!
+//! * a **plan cache** keyed on normalized query text
+//!   ([`normalize`]), with per-lookup hit/miss telemetry
+//!   (`plan_cache` events in the trace);
+//! * **shared-scan batching**: queries whose plans address the same
+//!   representative set (same spatial predicate, mode, value filter
+//!   and routing preference — everything but the aggregate) are
+//!   coalesced into **one** drill-through scan per tick, and each
+//!   member's aggregate is folded from the shared rows. This is exact,
+//!   not approximate: the core executor itself computes
+//!   `value = aggregate.apply(rows)`, so folding the same rows
+//!   reproduces byte-identical answers (see DESIGN.md §17);
+//! * **per-tenant fairness** with bounded queues and backpressure:
+//!   each tenant owns a FIFO of at most `queue_capacity` submissions
+//!   and is drained at most `fair_share` queries per tick, round-robin
+//!   in tenant-id order; a full queue rejects with the typed
+//!   [`ServeError::Overloaded`] — never a panic, never unbounded
+//!   memory;
+//! * **subscription timers** registered on the simulator's event
+//!   scheduler (`Network::schedule_wake`), so a serving tick with due
+//!   epochs is an *active* tick for the event-driven core and the
+//!   wake-list drain stays equivalent to the all-scan reference.
+//!
+//! Everything is deterministic: queues and batch groups live in
+//! `BTreeMap`s keyed by tenant id and canonical scan signature, and
+//! the only parallelism seam — batch-planning cache misses — is a pure
+//! function of the normalized text, so a work-queue pool may execute
+//! it in any order (see `snapshot_bench::serve`).
+//!
+//! ```
+//! use snapshot_query::prelude::*;
+//! use snapshot_query::serve::{QueryService, ServeConfig};
+//! # use snapshot_core::{SensorNetwork, SnapshotConfig};
+//! # use snapshot_datagen::{random_walk, RandomWalkConfig};
+//! # use snapshot_netsim::{EnergyModel, LinkModel, NodeId, Topology};
+//! # let data = random_walk(&RandomWalkConfig {
+//! #     n_nodes: 20, n_classes: 2, steps: 50,
+//! #     ..RandomWalkConfig::paper_defaults(2, 7)
+//! # }).unwrap();
+//! # let topo = Topology::random_uniform(20, 2.0, 7).unwrap();
+//! # let mut sn = SensorNetwork::new(topo, LinkModel::Perfect,
+//! #     EnergyModel::default(), SnapshotConfig::paper(1.0, 2048, 7), data.trace);
+//! # sn.train(0, 10);
+//! # sn.set_time(20);
+//! # let _ = sn.elect();
+//! let mut svc = QueryService::new(ServeConfig::default(), RegionCatalog::with_quadrants());
+//! let ticket = svc.submit(&sn, 0, "SELECT AVG(value) FROM sensors USE SNAPSHOT").unwrap();
+//! svc.tick(&mut sn);
+//! let done = svc.take_completions();
+//! assert_eq!(done[0].ticket, ticket);
+//! assert!(done[0].value.is_some());
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use crate::catalog::RegionCatalog;
+use crate::error::QueryError;
+use crate::parser::parse;
+use crate::planner::{plan, QueryPlan};
+use snapshot_core::{Aggregate, SensorNetwork, SnapshotQuery};
+use snapshot_netsim::{Event, NodeId, SpanKind};
+
+/// Serving-layer tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Hard bound on each tenant's submission queue; the submission
+    /// that would exceed it is rejected with
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Queries admitted per tenant per tick (the round-robin fair
+    /// share).
+    pub fair_share: usize,
+    /// The sink node every scan collects at.
+    pub sink: NodeId,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 64,
+            fair_share: 16,
+            sink: NodeId(0),
+        }
+    }
+}
+
+/// Typed serving-layer failure. Backpressure is a value, not a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The tenant's bounded queue is full; resubmit after a tick.
+    Overloaded {
+        /// The rejected tenant.
+        tenant: u32,
+        /// Submissions already queued for the tenant.
+        queued: usize,
+        /// The configured per-tenant bound.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                tenant,
+                queued,
+                capacity,
+            } => write!(
+                f,
+                "tenant {tenant} overloaded: {queued} queued of {capacity} allowed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Normalize query text for plan-cache keying: whitespace collapsed
+/// to single spaces, ASCII-lowercased. The dialect has no string
+/// literals, so lowercasing never changes meaning (keywords, column
+/// names, and catalog regions are all case-insensitive).
+pub fn normalize(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    for word in sql.split_whitespace() {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        for ch in word.chars() {
+            out.push(ch.to_ascii_lowercase());
+        }
+    }
+    out
+}
+
+/// Parse + plan one normalized query text. Pure: same text and
+/// catalog, same result — the property that lets a work-queue pool
+/// plan cache misses in parallel.
+pub fn plan_text(sql: &str, catalog: &RegionCatalog) -> Result<QueryPlan, QueryError> {
+    plan(&parse(sql)?, catalog)
+}
+
+/// The canonical scan signature: everything about a plan's per-epoch
+/// query *except* the aggregate. Two plans with equal signatures are
+/// answered from one shared drill-through scan.
+fn scan_signature(q: &SnapshotQuery) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{}",
+        q.predicate, q.mode, q.value_filter, q.prefer_representative_routing
+    )
+}
+
+/// One waiting submission.
+#[derive(Debug, Clone)]
+struct Pending {
+    ticket: u64,
+    tenant: u32,
+    sql: String,
+    submitted_at: u64,
+}
+
+/// One admitted query with epochs left to serve.
+#[derive(Debug, Clone)]
+struct Active {
+    ticket: u64,
+    tenant: u32,
+    submitted_at: u64,
+    first_result_at: Option<u64>,
+    aggregate: Option<Aggregate>,
+    scan: SnapshotQuery,
+    key: String,
+    interval: u64,
+    remaining: u64,
+    epochs_total: u64,
+}
+
+/// A finished query, one-shot or subscription.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The ticket [`QueryService::submit`] returned.
+    pub ticket: u64,
+    /// The submitting tenant.
+    pub tenant: u32,
+    /// Tick the query was submitted at.
+    pub submitted_at: u64,
+    /// Tick the first epoch was served at (`None` for plan errors).
+    pub first_result_at: Option<u64>,
+    /// Tick the query finished at (last epoch, or rejection).
+    pub completed_at: u64,
+    /// Sampling epochs served.
+    pub epochs: u64,
+    /// The final epoch's aggregate value (`None` for drill-through
+    /// queries and plan errors).
+    pub value: Option<f64>,
+    /// The final epoch's row count (drill-through queries).
+    pub rows: usize,
+    /// The planner's rejection, for queries that never ran.
+    pub error: Option<String>,
+}
+
+impl Completion {
+    /// Queueing + planning latency in ticks: submission to first
+    /// served epoch.
+    pub fn latency_ticks(&self) -> Option<u64> {
+        self.first_result_at
+            .map(|t| t.saturating_sub(self.submitted_at))
+    }
+}
+
+/// Serving-layer counters, all deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Submissions accepted into a tenant queue.
+    pub submitted: u64,
+    /// Submissions rejected with [`ServeError::Overloaded`].
+    pub rejected: u64,
+    /// Queries admitted past the fair-share gate.
+    pub admitted: u64,
+    /// Admitted queries whose normalized text was already planned.
+    pub plan_cache_hits: u64,
+    /// Admitted queries that needed a fresh parse + plan.
+    pub plan_cache_misses: u64,
+    /// Admitted queries the planner rejected.
+    pub plan_errors: u64,
+    /// Network scans actually executed.
+    pub scans: u64,
+    /// Query-epochs answered from a scan another query paid for.
+    pub coalesced: u64,
+    /// Query-epochs served in total.
+    pub epochs_served: u64,
+    /// Queries completed (including plan errors).
+    pub completed: u64,
+}
+
+impl ServeStats {
+    /// Plan-cache hit rate, `None` before the first lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        (total > 0).then(|| self.plan_cache_hits as f64 / total as f64)
+    }
+}
+
+/// The long-running serving frontend. See the [module docs](self) for
+/// the architecture; drive it with [`QueryService::submit`] and one
+/// [`QueryService::tick`] per simulator tick. `Clone` snapshots the
+/// whole serving state (queues, cache, in-flight work) — the
+/// microbenches use it to restart each iteration from a warm state.
+#[derive(Debug, Clone)]
+pub struct QueryService {
+    config: ServeConfig,
+    catalog: RegionCatalog,
+    next_ticket: u64,
+    queues: BTreeMap<u32, VecDeque<Pending>>,
+    cache: BTreeMap<String, QueryPlan>,
+    due: BTreeMap<u64, Vec<Active>>,
+    completions: Vec<Completion>,
+    stats: ServeStats,
+}
+
+impl QueryService {
+    /// A fresh service with an empty plan cache.
+    pub fn new(config: ServeConfig, catalog: RegionCatalog) -> Self {
+        QueryService {
+            config,
+            catalog,
+            next_ticket: 1,
+            queues: BTreeMap::new(),
+            cache: BTreeMap::new(),
+            due: BTreeMap::new(),
+            completions: Vec::new(),
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Distinct plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Submissions waiting in tenant queues.
+    pub fn queued(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// Admitted queries with epochs still to serve.
+    pub fn in_flight(&self) -> usize {
+        self.due.values().map(Vec::len).sum()
+    }
+
+    /// True when no queued or admitted work remains.
+    pub fn idle(&self) -> bool {
+        self.queued() == 0 && self.in_flight() == 0
+    }
+
+    /// Enqueue one query for `tenant`. Returns a ticket to correlate
+    /// the eventual [`Completion`], or [`ServeError::Overloaded`] when
+    /// the tenant's bounded queue is full.
+    pub fn submit(
+        &mut self,
+        sn: &SensorNetwork,
+        tenant: u32,
+        sql: &str,
+    ) -> Result<u64, ServeError> {
+        let queue = self.queues.entry(tenant).or_default();
+        if queue.len() >= self.config.queue_capacity {
+            self.stats.rejected += 1;
+            return Err(ServeError::Overloaded {
+                tenant,
+                queued: queue.len(),
+                capacity: self.config.queue_capacity,
+            });
+        }
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        queue.push_back(Pending {
+            ticket,
+            tenant,
+            sql: sql.to_owned(),
+            submitted_at: sn.now() as u64,
+        });
+        self.stats.submitted += 1;
+        Ok(ticket)
+    }
+
+    /// One serving tick with the default (serial) batch planner.
+    pub fn tick(&mut self, sn: &mut SensorNetwork) {
+        let catalog = self.catalog.clone();
+        self.tick_with(sn, |texts| {
+            texts.iter().map(|t| plan_text(t, &catalog)).collect()
+        });
+    }
+
+    /// One serving tick: admit up to the fair share per tenant (batch-
+    /// planning cache misses through `plan_batch`), then execute every
+    /// due epoch, one shared scan per distinct signature.
+    ///
+    /// `plan_batch` receives the deduplicated normalized texts of this
+    /// tick's cache misses, in first-seen order, and must return one
+    /// plan per text in the same order. It must be a pure function of
+    /// the texts — the bench harness hands the list to its work-queue
+    /// pool, so results must not depend on execution order.
+    // xtask-contract(deterministic)
+    pub fn tick_with<F>(&mut self, sn: &mut SensorNetwork, plan_batch: F)
+    where
+        F: Fn(&[String]) -> Vec<Result<QueryPlan, QueryError>>,
+    {
+        let tick_span = sn.net_mut().open_span(SpanKind::ServeTick);
+        self.admit(sn, plan_batch);
+        self.serve_due(sn);
+        sn.net_mut().close_span(tick_span);
+    }
+
+    /// Drain the fair share from every tenant queue and resolve each
+    /// drained submission through the plan cache.
+    fn admit<F>(&mut self, sn: &mut SensorNetwork, plan_batch: F)
+    where
+        F: Fn(&[String]) -> Vec<Result<QueryPlan, QueryError>>,
+    {
+        if self.queued() == 0 {
+            return;
+        }
+        let admit_span = sn.net_mut().open_span(SpanKind::ServeAdmit);
+        let now = sn.now() as u64;
+
+        // Round-robin: tenant-id order, at most `fair_share` each.
+        let mut drained: Vec<Pending> = Vec::new();
+        for queue in self.queues.values_mut() {
+            for _ in 0..self.config.fair_share {
+                match queue.pop_front() {
+                    Some(p) => drained.push(p),
+                    None => break,
+                }
+            }
+        }
+        self.queues.retain(|_, q| !q.is_empty());
+
+        // Batch-plan the distinct uncached texts, first-seen order.
+        let mut misses: Vec<String> = Vec::new();
+        for p in &drained {
+            let key = normalize(&p.sql);
+            if !self.cache.contains_key(&key) && !misses.contains(&key) {
+                misses.push(key);
+            }
+        }
+        let planned: BTreeMap<String, Result<QueryPlan, QueryError>> = plan_batch(&misses)
+            .into_iter()
+            .zip(&misses)
+            .map(|(r, k)| (k.clone(), r))
+            .collect();
+
+        for p in drained {
+            self.stats.admitted += 1;
+            let key = normalize(&p.sql);
+            let hit = self.cache.contains_key(&key);
+            if hit {
+                self.stats.plan_cache_hits += 1;
+            } else {
+                self.stats.plan_cache_misses += 1;
+            }
+            sn.net_mut().emit(Event::PlanCacheLookup {
+                tick: now,
+                tenant: p.tenant,
+                hit,
+            });
+            let cached = self.cache.get(&key).cloned();
+            let plan = match cached {
+                Some(plan) => plan,
+                None => match planned.get(&key) {
+                    Some(Ok(plan)) => {
+                        self.cache.insert(key, plan.clone());
+                        plan.clone()
+                    }
+                    other => {
+                        // A planner rejection — or, defensively, a
+                        // batch planner that returned fewer plans than
+                        // texts. Either way the query completes now
+                        // with a typed error, never a panic.
+                        let message = match other {
+                            Some(Err(e)) => e.to_string(),
+                            _ => "batch planner returned no plan for this query".to_owned(),
+                        };
+                        self.stats.plan_errors += 1;
+                        self.stats.completed += 1;
+                        self.completions.push(Completion {
+                            ticket: p.ticket,
+                            tenant: p.tenant,
+                            submitted_at: p.submitted_at,
+                            first_result_at: None,
+                            completed_at: now,
+                            epochs: 0,
+                            value: None,
+                            rows: 0,
+                            error: Some(message),
+                        });
+                        continue;
+                    }
+                },
+            };
+            let active = Active {
+                ticket: p.ticket,
+                tenant: p.tenant,
+                submitted_at: p.submitted_at,
+                first_result_at: None,
+                aggregate: plan.query.aggregate,
+                scan: SnapshotQuery {
+                    aggregate: None,
+                    ..plan.query.clone()
+                },
+                key: scan_signature(&plan.query),
+                interval: plan.interval_ticks.max(1),
+                remaining: plan.epochs.max(1),
+                epochs_total: plan.epochs.max(1),
+            };
+            self.schedule(sn, now, active);
+        }
+        sn.net_mut().close_span(admit_span);
+    }
+
+    /// Park `active` in the `at`-tick bucket and register the wake
+    /// timer with the event scheduler (future ticks only — the current
+    /// tick is already active by construction).
+    fn schedule(&mut self, sn: &mut SensorNetwork, at: u64, active: Active) {
+        if at > sn.now() as u64 {
+            sn.net_mut().schedule_wake(at, 1, self.config.sink);
+        }
+        self.due.entry(at).or_default().push(active);
+    }
+
+    /// Execute every epoch due at the current tick: group by scan
+    /// signature, run one drill-through scan per group, fold each
+    /// member's aggregate from the shared rows.
+    fn serve_due(&mut self, sn: &mut SensorNetwork) {
+        let now = sn.now() as u64;
+        let mut due: Vec<Active> = Vec::new();
+        // Overdue buckets (possible when a driver skips ticks) are
+        // served now rather than dropped.
+        let stale: Vec<u64> = self.due.range(..=now).map(|(&t, _)| t).collect();
+        for t in stale {
+            if let Some(batch) = self.due.remove(&t) {
+                due.extend(batch);
+            }
+        }
+        if due.is_empty() {
+            return;
+        }
+
+        let mut groups: BTreeMap<String, Vec<Active>> = BTreeMap::new();
+        for a in due {
+            groups.entry(a.key.clone()).or_default().push(a);
+        }
+
+        let mut rescheduled: Vec<Active> = Vec::new();
+        for (_, members) in groups {
+            let batch_span = sn.net_mut().open_span(SpanKind::ServeBatch);
+            let scan = members[0].scan.clone();
+            let shared = sn.query(&scan, self.config.sink);
+            self.stats.scans += 1;
+            self.stats.coalesced += members.len() as u64 - 1;
+            for mut m in members {
+                self.stats.epochs_served += 1;
+                if m.first_result_at.is_none() {
+                    m.first_result_at = Some(now);
+                }
+                let value = m
+                    .aggregate
+                    .and_then(|a| a.apply(shared.rows.iter().map(|&(_, v)| v)));
+                m.remaining -= 1;
+                if m.remaining == 0 {
+                    self.stats.completed += 1;
+                    self.completions.push(Completion {
+                        ticket: m.ticket,
+                        tenant: m.tenant,
+                        submitted_at: m.submitted_at,
+                        first_result_at: m.first_result_at,
+                        completed_at: now,
+                        epochs: m.epochs_total,
+                        value,
+                        rows: if m.aggregate.is_none() {
+                            shared.rows.len()
+                        } else {
+                            0
+                        },
+                        error: None,
+                    });
+                } else {
+                    rescheduled.push(m);
+                }
+            }
+            sn.net_mut().close_span(batch_span);
+        }
+        for m in rescheduled {
+            let at = now + m.interval;
+            self.schedule(sn, at, m);
+        }
+    }
+
+    /// Drain the accumulated completions (trace order: completion
+    /// tick, then grouped by scan signature, then admission order).
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snapshot_core::SnapshotConfig;
+    use snapshot_datagen::{random_walk, RandomWalkConfig};
+    use snapshot_netsim::{EnergyModel, LinkModel, Topology};
+
+    fn small_network(seed: u64) -> SensorNetwork {
+        let data = random_walk(&RandomWalkConfig {
+            n_nodes: 20,
+            n_classes: 2,
+            steps: 200,
+            ..RandomWalkConfig::paper_defaults(2, seed)
+        })
+        .unwrap();
+        let topo = Topology::random_uniform(20, 2.0, seed).expect("valid deployment");
+        let mut sn = SensorNetwork::new(
+            topo,
+            LinkModel::Perfect,
+            EnergyModel::default(),
+            SnapshotConfig::paper(1.0, 2048, seed),
+            data.trace,
+        );
+        sn.train(0, 10);
+        sn.set_time(20);
+        let _ = sn.elect();
+        sn
+    }
+
+    fn service() -> QueryService {
+        QueryService::new(ServeConfig::default(), RegionCatalog::with_quadrants())
+    }
+
+    fn drain(svc: &mut QueryService, sn: &mut SensorNetwork) -> Vec<Completion> {
+        let mut done = Vec::new();
+        for _ in 0..1000 {
+            if svc.idle() {
+                break;
+            }
+            svc.tick(sn);
+            done.extend(svc.take_completions());
+            sn.advance(1);
+        }
+        assert!(svc.idle(), "service did not drain");
+        done
+    }
+
+    #[test]
+    fn normalization_collapses_case_and_whitespace() {
+        assert_eq!(
+            normalize("  SELECT   AVG(value)\n FROM  sensors "),
+            "select avg(value) from sensors"
+        );
+    }
+
+    #[test]
+    fn one_shot_query_completes_with_a_value() {
+        let mut sn = small_network(3);
+        let mut svc = service();
+        let t = svc
+            .submit(&sn, 0, "SELECT AVG(value) FROM sensors USE SNAPSHOT")
+            .unwrap();
+        let done = drain(&mut svc, &mut sn);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].ticket, t);
+        assert!(done[0].value.is_some());
+        assert_eq!(done[0].epochs, 1);
+        assert_eq!(done[0].error, None);
+    }
+
+    #[test]
+    fn shared_scan_matches_individual_execution() {
+        // Three aggregates over the same signature must coalesce into
+        // one scan per tick and still answer exactly what a lone
+        // execution answers.
+        let sqls = [
+            "SELECT AVG(value) FROM sensors USE SNAPSHOT",
+            "SELECT SUM(value) FROM sensors USE SNAPSHOT",
+            "SELECT COUNT(value) FROM sensors USE SNAPSHOT",
+        ];
+        let mut lone = Vec::new();
+        for sql in sqls {
+            let mut sn = small_network(4);
+            let mut svc = service();
+            svc.submit(&sn, 0, sql).unwrap();
+            let done = drain(&mut svc, &mut sn);
+            lone.push(done[0].value);
+        }
+
+        let mut sn = small_network(4);
+        let mut svc = service();
+        for sql in sqls {
+            svc.submit(&sn, 0, sql).unwrap();
+        }
+        let done = drain(&mut svc, &mut sn);
+        assert_eq!(svc.stats().scans, 1, "signature group must share one scan");
+        assert_eq!(svc.stats().coalesced, 2);
+        let values: Vec<Option<f64>> = done.iter().map(|c| c.value).collect();
+        assert_eq!(values, lone);
+    }
+
+    #[test]
+    fn plan_cache_hits_on_normalized_repeats() {
+        let mut sn = small_network(5);
+        let mut svc = service();
+        svc.submit(&sn, 0, "SELECT AVG(value) FROM sensors")
+            .unwrap();
+        svc.submit(&sn, 1, "select avg(value)  from sensors")
+            .unwrap();
+        svc.submit(&sn, 2, "SELECT  AVG(value) FROM SENSORS")
+            .unwrap();
+        let _ = drain(&mut svc, &mut sn);
+        assert_eq!(svc.stats().plan_cache_misses, 1);
+        assert_eq!(svc.stats().plan_cache_hits, 2);
+        assert_eq!(svc.cached_plans(), 1);
+    }
+
+    #[test]
+    fn overload_rejects_typed_and_keeps_the_queue_bounded() {
+        let sn = small_network(6);
+        let mut svc = QueryService::new(
+            ServeConfig {
+                queue_capacity: 4,
+                ..ServeConfig::default()
+            },
+            RegionCatalog::with_quadrants(),
+        );
+        for _ in 0..4 {
+            svc.submit(&sn, 9, "SELECT AVG(value) FROM sensors")
+                .unwrap();
+        }
+        let err = svc
+            .submit(&sn, 9, "SELECT AVG(value) FROM sensors")
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Overloaded {
+                tenant: 9,
+                queued: 4,
+                capacity: 4
+            }
+        );
+        assert_eq!(svc.queued(), 4);
+        assert_eq!(svc.stats().rejected, 1);
+        // Another tenant is unaffected: fairness isolates queues.
+        svc.submit(&sn, 10, "SELECT AVG(value) FROM sensors")
+            .unwrap();
+    }
+
+    #[test]
+    fn subscriptions_serve_one_epoch_per_interval() {
+        let mut sn = small_network(7);
+        let mut svc = service();
+        let start = sn.now() as u64;
+        svc.submit(
+            &sn,
+            0,
+            "SELECT AVG(value) FROM sensors SAMPLE INTERVAL 2s FOR 6s USE SNAPSHOT",
+        )
+        .unwrap();
+        let done = drain(&mut svc, &mut sn);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].epochs, 3);
+        // Epochs at admit, admit+2, admit+4.
+        assert_eq!(done[0].first_result_at, Some(start));
+        assert_eq!(done[0].completed_at, start + 4);
+    }
+
+    #[test]
+    fn plan_errors_complete_with_a_typed_error() {
+        let mut sn = small_network(8);
+        let mut svc = service();
+        svc.submit(&sn, 0, "SELECT AVG(value) FROM actuators")
+            .unwrap();
+        let done = drain(&mut svc, &mut sn);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].error.as_deref().unwrap().contains("actuators"));
+        assert_eq!(svc.stats().plan_errors, 1);
+    }
+
+    #[test]
+    fn fair_share_spreads_admission_across_ticks() {
+        let mut sn = small_network(9);
+        let mut svc = QueryService::new(
+            ServeConfig {
+                fair_share: 2,
+                ..ServeConfig::default()
+            },
+            RegionCatalog::with_quadrants(),
+        );
+        for _ in 0..6 {
+            svc.submit(&sn, 0, "SELECT AVG(value) FROM sensors")
+                .unwrap();
+        }
+        let done = drain(&mut svc, &mut sn);
+        assert_eq!(done.len(), 6);
+        let latencies: Vec<u64> = done.iter().filter_map(Completion::latency_ticks).collect();
+        // Two per tick: latencies 0, 0, 1, 1, 2, 2.
+        assert_eq!(latencies, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn serving_is_deterministic_per_seed() {
+        let run = || {
+            let mut sn = small_network(11);
+            sn.enable_telemetry(1 << 14);
+            let mut svc = service();
+            for i in 0..20u32 {
+                let sql = if i % 3 == 0 {
+                    "SELECT AVG(value) FROM sensors USE SNAPSHOT"
+                } else {
+                    "SELECT loc, value FROM sensors WHERE loc IN NORTH_EAST_QUADRANT"
+                };
+                svc.submit(&sn, i % 4, sql).unwrap();
+            }
+            let done = drain(&mut svc, &mut sn);
+            (done, svc.stats(), sn.export_trace_jsonl())
+        };
+        let (a_done, a_stats, a_trace) = run();
+        let (b_done, b_stats, b_trace) = run();
+        assert_eq!(a_done, b_done);
+        assert_eq!(a_stats, b_stats);
+        assert_eq!(a_trace, b_trace);
+        assert!(a_trace.contains("\"plan_cache\""));
+        assert!(a_trace.contains("\"serve_tick\""));
+        assert!(a_trace.contains("\"serve_admit\""));
+        assert!(a_trace.contains("\"serve_batch\""));
+    }
+}

@@ -310,6 +310,16 @@ pub enum Event {
         /// True when the link entered the bad (bursty-loss) state.
         bad: bool,
     },
+    /// The serving layer's plan cache ruled on one admitted query
+    /// (see `crates/query`'s `serve` module).
+    PlanCacheLookup {
+        /// Simulation tick.
+        tick: u64,
+        /// The submitting tenant.
+        tenant: u32,
+        /// True when the normalized query text was already planned.
+        hit: bool,
+    },
     /// A hierarchical operation span opened (see [`crate::span`]).
     SpanOpen {
         /// Simulation tick at open.
@@ -362,6 +372,7 @@ impl Event {
             | Event::FaultInjected { tick, .. }
             | Event::NodeRecovered { tick, .. }
             | Event::LinkStateFlipped { tick, .. }
+            | Event::PlanCacheLookup { tick, .. }
             | Event::SpanOpen { tick, .. }
             | Event::SpanClose { tick, .. } => tick,
         }
@@ -386,6 +397,7 @@ impl Event {
             Event::FaultInjected { .. } => "fault_injected",
             Event::NodeRecovered { .. } => "node_recovered",
             Event::LinkStateFlipped { .. } => "link_state",
+            Event::PlanCacheLookup { .. } => "plan_cache",
             Event::SpanOpen { .. } => "span_open",
             Event::SpanClose { .. } => "span_close",
         }

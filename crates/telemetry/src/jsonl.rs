@@ -201,6 +201,10 @@ pub fn write_event(out: &mut String, ev: &Event) {
             push_u64(out, "dst", u64::from(dst));
             push_bool(out, "bad", bad);
         }
+        Event::PlanCacheLookup { tenant, hit, .. } => {
+            push_u64(out, "tenant", u64::from(tenant));
+            push_bool(out, "hit", hit);
+        }
         Event::SpanOpen {
             id, parent, span, ..
         } => {
@@ -473,6 +477,11 @@ pub fn parse_line(line: &str) -> Result<Event, ParseError> {
             dst: f.u32("dst")?,
             bad: f.bool("bad")?,
         },
+        "plan_cache" => Event::PlanCacheLookup {
+            tick,
+            tenant: f.u32("tenant")?,
+            hit: f.bool("hit")?,
+        },
         "span_open" => Event::SpanOpen {
             tick,
             id: f.u64("id")?,
@@ -588,6 +597,11 @@ mod tests {
                 src: 4,
                 dst: 5,
                 bad: false,
+            },
+            Event::PlanCacheLookup {
+                tick: 13,
+                tenant: 2,
+                hit: true,
             },
             Event::SpanOpen {
                 tick: 14,

@@ -374,6 +374,13 @@ impl Recorder for MetricsRegistry {
             Event::FaultInjected { .. } => self.inc("fault_injected", 1),
             Event::NodeRecovered { .. } => self.inc("node_recovered", 1),
             Event::LinkStateFlipped { .. } => self.inc("link_state_flip", 1),
+            Event::PlanCacheLookup { hit, .. } => {
+                if hit {
+                    self.inc("plan_cache_hit", 1);
+                } else {
+                    self.inc("plan_cache_miss", 1);
+                }
+            }
             Event::SpanOpen { .. } => self.inc("span_open", 1),
             Event::SpanClose {
                 tick,

@@ -170,6 +170,10 @@ pub struct TraceSummary {
     pub recoveries: Vec<(u64, u32)>,
     /// Gilbert–Elliott link-state flips observed in the trace.
     pub link_flips: u64,
+    /// Serving-layer plan-cache hits.
+    pub plan_cache_hits: u64,
+    /// Serving-layer plan-cache misses.
+    pub plan_cache_misses: u64,
     /// Hierarchical operation spans, in open order (reconstructed
     /// closes whose opens were lost to ring wraparound come in close
     /// order after the survivors).
@@ -281,6 +285,13 @@ impl TraceSummary {
                 }
                 Event::NodeRecovered { tick, node } => s.recoveries.push((tick, node)),
                 Event::LinkStateFlipped { .. } => s.link_flips += 1,
+                Event::PlanCacheLookup { hit, .. } => {
+                    if hit {
+                        s.plan_cache_hits += 1;
+                    } else {
+                        s.plan_cache_misses += 1;
+                    }
+                }
                 Event::SpanOpen {
                     tick,
                     id,
@@ -353,6 +364,13 @@ impl TraceSummary {
     /// Total energy across all nodes and phases.
     pub fn total_energy(&self) -> f64 {
         Phase::ALL.iter().map(|&p| self.phase_energy(p)).sum()
+    }
+
+    /// Plan-cache hit rate over the whole trace, `None` when the run
+    /// recorded no lookups.
+    pub fn plan_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        (total > 0).then(|| self.plan_cache_hits as f64 / total as f64)
     }
 
     /// Every node that exceeded `budget` election messages in any
@@ -547,6 +565,16 @@ impl TraceSummary {
                 out,
                 "  id {:<4} ticks {}..{end}  sink {}  {mode}  {status}  participants {}",
                 q.id, q.begin_tick, q.sink, q.participants,
+            );
+        }
+
+        if self.plan_cache_hits + self.plan_cache_misses > 0 {
+            let _ = writeln!(
+                out,
+                "\nplan cache: {} hit(s) / {} miss(es) ({:.1}% hit rate)",
+                self.plan_cache_hits,
+                self.plan_cache_misses,
+                self.plan_cache_hit_rate().unwrap_or(0.0) * 100.0,
             );
         }
 

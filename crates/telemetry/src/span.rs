@@ -63,11 +63,20 @@ pub enum SpanKind {
     QueryPlan,
     /// Executing one declarative plan (all sampling epochs).
     QueryExec,
+    /// The serving layer admitting one batch of submitted queries
+    /// (tenant fair-share draining + plan-cache lookups).
+    ServeAdmit,
+    /// One shared scan executed on behalf of a batch group — every
+    /// coalesced query in the group is answered from its rows.
+    ServeBatch,
+    /// One full serving tick: admission, batching, scans, and
+    /// subscription bookkeeping.
+    ServeTick,
 }
 
 impl SpanKind {
     /// Every kind, in canonical (report) order.
-    pub const ALL: [SpanKind; 15] = [
+    pub const ALL: [SpanKind; 18] = [
         SpanKind::Election,
         SpanKind::ElectionInvite,
         SpanKind::ElectionCandidates,
@@ -83,6 +92,9 @@ impl SpanKind {
         SpanKind::Query,
         SpanKind::QueryPlan,
         SpanKind::QueryExec,
+        SpanKind::ServeAdmit,
+        SpanKind::ServeBatch,
+        SpanKind::ServeTick,
     ];
 
     /// Canonical trace label.
@@ -103,6 +115,9 @@ impl SpanKind {
             SpanKind::Query => "query",
             SpanKind::QueryPlan => "query_plan",
             SpanKind::QueryExec => "query_exec",
+            SpanKind::ServeAdmit => "serve_admit",
+            SpanKind::ServeBatch => "serve_batch",
+            SpanKind::ServeTick => "serve_tick",
         }
     }
 
@@ -129,6 +144,9 @@ impl SpanKind {
             SpanKind::Query => "span_query",
             SpanKind::QueryPlan => "span_query_plan",
             SpanKind::QueryExec => "span_query_exec",
+            SpanKind::ServeAdmit => "span_serve_admit",
+            SpanKind::ServeBatch => "span_serve_batch",
+            SpanKind::ServeTick => "span_serve_tick",
         }
     }
 
@@ -150,6 +168,9 @@ impl SpanKind {
             SpanKind::Query => "span_ticks_query",
             SpanKind::QueryPlan => "span_ticks_query_plan",
             SpanKind::QueryExec => "span_ticks_query_exec",
+            SpanKind::ServeAdmit => "span_ticks_serve_admit",
+            SpanKind::ServeBatch => "span_ticks_serve_batch",
+            SpanKind::ServeTick => "span_ticks_serve_tick",
         }
     }
 
@@ -172,6 +193,9 @@ impl SpanKind {
             SpanKind::Query => "span_wall_ns_query",
             SpanKind::QueryPlan => "span_wall_ns_query_plan",
             SpanKind::QueryExec => "span_wall_ns_query_exec",
+            SpanKind::ServeAdmit => "span_wall_ns_serve_admit",
+            SpanKind::ServeBatch => "span_wall_ns_serve_batch",
+            SpanKind::ServeTick => "span_wall_ns_serve_tick",
         }
     }
 }

@@ -591,9 +591,11 @@ pub fn analyze_workspace(repo_root: &Path) -> std::io::Result<Report> {
     for root in default_roots(repo_root) {
         collect_files(&root, &mut lint_files)?;
     }
-    let runner = repo_root.join("crates/bench/src/runner.rs");
-    if runner.is_file() {
-        lint_files.push(runner);
+    for bench_file in ["crates/bench/src/runner.rs", "crates/bench/src/serve.rs"] {
+        let path = repo_root.join(bench_file);
+        if path.is_file() {
+            lint_files.push(path);
+        }
     }
 
     let mut symbol_files = Vec::new();
