@@ -1,0 +1,12 @@
+//! Thin bench target; the suite body lives in
+//! `snapshot_bench::microbenches::store`.
+
+use snapshot_bench::microbenches;
+use snapshot_microbench::{counting_alloc::CountingAllocator, Criterion};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn main() {
+    microbenches::store::benches(&mut Criterion::default().sample_size(30));
+}

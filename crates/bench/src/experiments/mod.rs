@@ -20,6 +20,7 @@
 //! | `trace`  | —         | instrumented run exported as a JSONL protocol trace  |
 //! | `scale`  | —         | election at N ∈ {1k, 10k, 100k} on the grid topology |
 //! | `serve`  | —         | concurrent multi-tenant query serving (QUERIES.md)   |
+//! | `history`| —         | persistent snapshot store + AS OF time travel        |
 
 pub mod ablations;
 pub mod burst_loss;
@@ -33,6 +34,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod heal;
+pub mod history;
 pub mod maintenance_over_time;
 pub mod scale;
 pub mod serve;
@@ -69,6 +71,7 @@ pub const ALL: &[&str] = &[
     "trace",
     "scale",
     "serve",
+    "history",
 ];
 
 /// Run one experiment by id.
@@ -98,6 +101,7 @@ pub fn run(id: &str, ctx: &RunContext) -> Option<ExperimentOutput> {
         "trace" => trace::run(ctx),
         "scale" => scale::run(ctx),
         "serve" => serve::run(ctx),
+        "history" => history::run(ctx),
         _ => return None,
     })
 }

@@ -18,6 +18,7 @@ pub mod netsim_deliver;
 pub mod parser;
 pub mod query_exec;
 pub mod serve;
+pub mod store;
 pub mod tag_aggregation;
 pub mod topology;
 
@@ -41,4 +42,5 @@ pub const REGISTRY: &[(&str, BenchFn)] = &[
     ("fault", fault::benches),
     ("experiment_cell", experiment_cell::benches),
     ("serve", serve::benches),
+    ("store", store::benches),
 ];

@@ -1,0 +1,70 @@
+//! Micro-benchmark: the snapshot store's codec and file paths — the
+//! costs behind the `store_write` / `store_rebuild` spans.
+
+use crate::RandomWalkSetup;
+use snapshot_core::CheckpointState;
+use snapshot_microbench::{BatchSize, Criterion};
+use snapshot_store::{format, SnapshotStore};
+use std::hint::black_box;
+
+fn checkpoint() -> CheckpointState {
+    let mut sn = RandomWalkSetup {
+        n_nodes: 60,
+        k: 5,
+        range: 0.7,
+        ..RandomWalkSetup::default()
+    }
+    .build(42);
+    let _ = sn.elect();
+    sn.checkpoint()
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("snapshot_store_bench");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+fn bench_store(c: &mut Criterion) {
+    let cp = checkpoint();
+    let encoded = format::encode_checkpoint(1, &cp);
+
+    c.bench_function("store_checkpoint_encode", |b| {
+        b.iter(|| black_box(format::encode_checkpoint(1, black_box(&cp))))
+    });
+
+    let lines: Vec<(u64, &str)> = encoded
+        .lines()
+        .enumerate()
+        // Drop the sealing `end` line, as the store does before decode.
+        .filter(|(_, l)| !l.starts_with("end "))
+        .map(|(i, l)| (i as u64 + 1, l))
+        .collect();
+    c.bench_function("store_checkpoint_decode", |b| {
+        b.iter(|| black_box(format::decode_checkpoint(black_box(&lines)).unwrap()))
+    });
+
+    c.bench_function("store_append_checkpoint", |b| {
+        b.iter_batched(
+            || SnapshotStore::create(scratch("append.store")).unwrap(),
+            |mut store| {
+                store.append_checkpoint(&cp).unwrap();
+                black_box(store)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    let mut store = SnapshotStore::create(scratch("rebuild.store")).unwrap();
+    for _ in 0..4 {
+        store.append_checkpoint(&cp).unwrap();
+    }
+    c.bench_function("store_rebuild_4", |b| {
+        b.iter(|| black_box(store.rebuild(scratch("rebuild.out")).unwrap()))
+    });
+}
+
+/// Run the suite.
+pub fn benches(c: &mut Criterion) {
+    bench_store(c);
+}

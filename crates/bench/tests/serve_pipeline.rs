@@ -127,6 +127,7 @@ fn overload_is_a_typed_deterministic_rejection_never_a_panic() {
                         assert_eq!(capacity, 4);
                         first_rejection.get_or_insert(i);
                     }
+                    Err(other) => panic!("submit can only reject with Overloaded: {other}"),
                 }
             }
             // A full queue for tenant 0 must not penalize tenant 1.

@@ -27,6 +27,16 @@ impl CacheLine {
         CacheLine::default()
     }
 
+    /// Rebuild a line from checkpointed parts: the raw pairs plus the
+    /// running statistics *as they were* — including any accumulated
+    /// floating-point residue from the historical add/remove sequence.
+    /// Replaying [`CacheLine::push`] would recompute the sums without
+    /// that residue, so a faithful (byte-identical) restore must carry
+    /// the stats verbatim.
+    pub fn from_parts(pairs: VecDeque<(f64, f64)>, stats: SuffStats) -> Self {
+        CacheLine { pairs, stats }
+    }
+
     /// Number of cached pairs.
     #[inline]
     pub fn len(&self) -> usize {

@@ -140,6 +140,33 @@ impl ModelCache {
         }
     }
 
+    /// Rebuild a cache from checkpointed parts: the per-line state
+    /// (carrying its exact running statistics, see
+    /// [`CacheLine::from_parts`]) plus the round-robin rotation marker.
+    /// The penalty memo is restored empty — entries are invalidated on
+    /// every line mutation, so a cached penalty always equals a pure
+    /// recompute from current line state and carries no history.
+    pub fn from_parts(
+        config: CacheConfig,
+        lines: BTreeMap<LineKey, CacheLine>,
+        rr_after: Option<LineKey>,
+    ) -> Self {
+        let total_pairs = lines.values().map(CacheLine::len).sum();
+        ModelCache {
+            config,
+            lines,
+            penalties: BTreeMap::new(),
+            rr_after,
+            total_pairs,
+        }
+    }
+
+    /// The round-robin rotation marker (the key *after* which the next
+    /// victim search starts), exposed for checkpoint extraction.
+    pub fn rr_after(&self) -> Option<LineKey> {
+        self.rr_after
+    }
+
     /// The configuration in force.
     pub fn config(&self) -> &CacheConfig {
         &self.config

@@ -33,6 +33,14 @@ pub enum CoreError {
         /// network is down; non-zero means the sink itself was dead).
         alive: usize,
     },
+    /// A checkpoint failed structural validation (vector lengths
+    /// disagree, an id points outside the deployment, or cache-line
+    /// statistics contradict the pair count) — surfaced instead of
+    /// indexing panics when store-decoded data is rehydrated.
+    InvalidCheckpoint {
+        /// What failed, for diagnostics.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -50,6 +58,9 @@ impl fmt::Display for CoreError {
                 f,
                 "query issued on an unavailable network ({alive} node(s) alive)"
             ),
+            CoreError::InvalidCheckpoint { detail } => {
+                write!(f, "invalid checkpoint: {detail}")
+            }
         }
     }
 }
@@ -71,5 +82,10 @@ mod tests {
         let e = CoreError::NetworkUnavailable { alive: 0 };
         assert!(e.to_string().contains("unavailable"));
         assert!(e.to_string().contains("0 node"));
+        let e = CoreError::InvalidCheckpoint {
+            detail: "node count",
+        };
+        assert!(e.to_string().contains("invalid checkpoint"));
+        assert!(e.to_string().contains("node count"));
     }
 }

@@ -23,6 +23,9 @@
 //! * [`query`] — snapshot query execution: spatial predicates,
 //!   aggregates and drill-through over the representative set, plus the
 //!   regular (every-node) baseline.
+//! * [`checkpoint`] — frozen deployment images: extraction, pure
+//!   time-travel execution (`AS OF`) and crash-restart rehydration,
+//!   persisted by the `snapshot-store` crate.
 //!
 //! The protocol implementations are message-passing programs over the
 //! simulator's lossy broadcast — not oracles with global knowledge —
@@ -33,6 +36,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod config;
 pub mod coverage;
 pub mod election;
@@ -48,6 +52,7 @@ pub mod snapshot;
 pub(crate) mod trace;
 
 pub use cache::{CacheConfig, CacheDecision, CachePolicy, LineKey, MeasurementId, ModelCache};
+pub use checkpoint::{execute_at, CheckpointState, LineCheckpoint, NodeCheckpoint, QualitySummary};
 pub use config::SnapshotConfig;
 pub use coverage::CoverageTracker;
 pub use election::{ElectionOutcome, ProtocolMsg};
@@ -69,6 +74,7 @@ pub mod prelude {
     pub use crate::cache::{
         CacheConfig, CacheDecision, CachePolicy, LineKey, MeasurementId, ModelCache,
     };
+    pub use crate::checkpoint::{execute_at, CheckpointState, QualitySummary};
     pub use crate::config::SnapshotConfig;
     pub use crate::coverage::CoverageTracker;
     pub use crate::election::{ElectionOutcome, ProtocolMsg};

@@ -665,6 +665,62 @@ impl SensorNetwork {
     pub fn experiment_rng(&self) -> DetRng {
         DetRng::seed_from_u64(derive_seed(self.cfg.seed, 3))
     }
+
+    // ---- Checkpointing ----------------------------------------------------
+
+    /// Extract a persistable [`CheckpointState`]: topology (adjacency
+    /// verbatim), aliveness, current measurements, and every node's
+    /// protocol and cache state with bit-exact statistics. A pure
+    /// read — extracting twice yields equal states.
+    pub fn checkpoint(&self) -> crate::checkpoint::CheckpointState {
+        crate::checkpoint::extract(
+            &self.net,
+            &self.nodes,
+            self.now,
+            self.epoch.0,
+            self.values(),
+        )
+    }
+
+    /// Rehydrate this deployment from a checkpoint taken on an
+    /// identically-constructed one (same topology, configuration and
+    /// trace): restores time, epoch, per-node aliveness and all
+    /// protocol/cache state, so queries answer exactly as they would
+    /// have on the checkpointed original.
+    ///
+    /// The protocol RNG is re-seeded deterministically from the seed
+    /// and restored epoch (the same scheme [`Clone`] uses), so a
+    /// restored deployment is reproducible but does not continue the
+    /// original's exact random stream. Aliveness is restored through
+    /// the fault-injection API: reviving a battery-depleted corpse is
+    /// impossible, so restoring onto a deployment whose batteries have
+    /// already drained past the checkpoint is unsupported.
+    pub fn restore_checkpoint(
+        &mut self,
+        cp: &crate::checkpoint::CheckpointState,
+    ) -> Result<(), CoreError> {
+        cp.validate()?;
+        if cp.nodes.len() != self.nodes.len() {
+            return Err(CoreError::InvalidCheckpoint {
+                detail: "checkpoint size differs from the deployment",
+            });
+        }
+        self.now = cp.tick as usize;
+        self.epoch = Epoch(cp.epoch);
+        self.rng = DetRng::seed_from_u64(derive_seed(self.cfg.seed, 0x2_C10 ^ self.epoch.0));
+        for i in 0..self.nodes.len() {
+            let id = NodeId::from_index(i);
+            if cp.alive[i] != self.net.is_alive(id) {
+                if cp.alive[i] {
+                    self.net.revive(id);
+                } else {
+                    self.net.kill(id);
+                }
+            }
+        }
+        crate::checkpoint::apply_nodes(cp, &mut self.nodes);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

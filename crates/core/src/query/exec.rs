@@ -16,7 +16,7 @@ use crate::election::ProtocolMsg;
 use crate::sensor::SensorNode;
 use crate::snapshot::Snapshot;
 use snapshot_netsim::tree::AggregationTree;
-use snapshot_netsim::{Network, NodeId, Phase};
+use snapshot_netsim::{Network, NodeId, Phase, Topology};
 use std::collections::BTreeSet;
 
 /// The outcome of one query execution.
@@ -85,7 +85,7 @@ pub(crate) struct CollectedRows {
 /// Determine who answers a query and with which values — shared by
 /// the idealized executor and the message-level TAG executor.
 pub(crate) fn collect_rows(
-    net: &Network<ProtocolMsg>,
+    alive: impl Fn(NodeId) -> bool,
     nodes: &[SensorNode],
     values: &[f64],
     query: &SnapshotQuery,
@@ -125,7 +125,7 @@ pub(crate) fn collect_rows(
     match snap {
         None => {
             for &t in targets {
-                if net.is_alive(t) && tree.contains(t) {
+                if alive(t) && tree.contains(t) {
                     available += 1;
                     let v = values[t.index()];
                     if passes(v) {
@@ -140,14 +140,14 @@ pub(crate) fn collect_rows(
                 if rep == t {
                     // Unrepresented: the node answers for itself when
                     // it is up, active and reachable.
-                    if net.is_alive(t) && snapshot.is_active(t) && tree.contains(t) {
+                    if alive(t) && snapshot.is_active(t) && tree.contains(t) {
                         available += 1;
                         let v = values[t.index()];
                         if passes(v) {
                             contribute(&mut responders, &mut rows, t, t, v);
                         }
                     }
-                } else if net.is_alive(rep) && tree.contains(rep) {
+                } else if alive(rep) && tree.contains(rep) {
                     // Represented: the representative estimates the
                     // member's value from its own current measurement.
                     if let Some(est) = nodes[rep.index()].cache.estimate(t, values[rep.index()]) {
@@ -169,30 +169,32 @@ pub(crate) fn collect_rows(
     }
 }
 
-/// Execute a query with `sink` as the collection point. `values[i]`
-/// is `N_i`'s true current measurement. Participants are charged one
-/// transmission each and counted under the `"query"` phase.
-pub fn execute(
-    net: &mut Network<ProtocolMsg>,
+/// Execute a query against *frozen* network state: a topology, an
+/// aliveness predicate, node protocol state and current measurements.
+/// Pure — no energy is charged, no clock moves — so the same inputs
+/// always produce the same result, which is what lets time-travel
+/// (`AS OF`) answers from a checkpoint match a replayed simulation
+/// byte-for-byte. Returns the result plus the participant list so the
+/// live wrapper can charge energy.
+pub fn execute_frozen(
+    topology: &Topology,
+    alive: impl Fn(NodeId) -> bool,
     nodes: &[SensorNode],
     values: &[f64],
     query: &SnapshotQuery,
     sink: NodeId,
-) -> QueryResult {
+) -> (QueryResult, BTreeSet<NodeId>) {
     debug_assert_eq!(nodes.len(), values.len());
     let snapshot = matches!(query.mode, QueryMode::Snapshot).then(|| Snapshot::from_nodes(nodes));
     let tree = match &snapshot {
-        Some(s) if query.prefer_representative_routing => AggregationTree::bfs_preferring(
-            net.topology(),
-            sink,
-            |id| net.is_alive(id),
-            |id| s.is_active(id),
-        ),
-        _ => AggregationTree::bfs(net.topology(), sink, |id| net.is_alive(id)),
+        Some(s) if query.prefer_representative_routing => {
+            AggregationTree::bfs_preferring(topology, sink, &alive, |id| s.is_active(id))
+        }
+        _ => AggregationTree::bfs(topology, sink, &alive),
     };
-    let targets = query.predicate.targets(net.topology());
+    let targets = query.predicate.targets(topology);
     let collected = collect_rows(
-        net,
+        &alive,
         nodes,
         values,
         query,
@@ -209,14 +211,6 @@ pub fn execute(
 
     let responder_list: Vec<NodeId> = responders.iter().copied().collect();
     let participants = tree.participants(&responder_list);
-
-    // Charge each participant one transmission (partial aggregates
-    // flowing up the tree) and account it under the "query" phase.
-    let tx = net.energy_model().tx_cost;
-    for &p in &participants {
-        net.charge(p, tx, Phase::Query);
-        net.stats_mut().record_send(p, Phase::Query);
-    }
 
     let value = query
         .aggregate
@@ -236,7 +230,7 @@ pub fn execute(
         available as f64 / targets.len() as f64
     };
 
-    QueryResult {
+    let result = QueryResult {
         mode: query.mode,
         responders: responder_list,
         participants: participants.len(),
@@ -245,7 +239,37 @@ pub fn execute(
         ground_truth,
         targets: targets.len(),
         coverage,
+    };
+    (result, participants)
+}
+
+/// Execute a query with `sink` as the collection point. `values[i]`
+/// is `N_i`'s true current measurement. Participants are charged one
+/// transmission each and counted under the `"query"` phase.
+pub fn execute(
+    net: &mut Network<ProtocolMsg>,
+    nodes: &[SensorNode],
+    values: &[f64],
+    query: &SnapshotQuery,
+    sink: NodeId,
+) -> QueryResult {
+    let (result, participants) = execute_frozen(
+        net.topology(),
+        |id| net.is_alive(id),
+        nodes,
+        values,
+        query,
+        sink,
+    );
+
+    // Charge each participant one transmission (partial aggregates
+    // flowing up the tree) and account it under the "query" phase.
+    let tx = net.energy_model().tx_cost;
+    for &p in &participants {
+        net.charge(p, tx, Phase::Query);
+        net.stats_mut().record_send(p, Phase::Query);
     }
+    result
 }
 
 #[cfg(test)]

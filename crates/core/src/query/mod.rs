@@ -21,7 +21,7 @@ pub mod tag;
 mod value_filter;
 
 pub use aggregate::Aggregate;
-pub use exec::{execute, QueryResult};
+pub use exec::{execute, execute_frozen, QueryResult};
 pub use predicate::SpatialPredicate;
 pub use tag::{execute_tag, TagResult};
 pub use value_filter::{Comparison, ValueFilter};

@@ -129,7 +129,7 @@ pub fn execute_tag(
     let snapshot = matches!(query.mode, QueryMode::Snapshot).then(|| Snapshot::from_nodes(nodes));
     let targets = query.predicate.targets(net.topology());
     let collected = collect_rows(
-        net,
+        |id| net.is_alive(id),
         nodes,
         values,
         query,

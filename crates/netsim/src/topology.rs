@@ -115,6 +115,56 @@ impl Topology {
         })
     }
 
+    /// Rebuild a topology from previously captured parts: positions,
+    /// range, and the neighbor lists *verbatim* — including any
+    /// [`Topology::set_position`] append/splice history, which a fresh
+    /// [`Topology::new`] would normalize back to sorted order. This is
+    /// the checkpoint-restore constructor: BFS tree formation is
+    /// neighbor-order-sensitive, so a faithful restore must preserve
+    /// the exact slices, not just the edge set. The grid index is
+    /// rebuilt from the positions (it is a pure function of them).
+    ///
+    /// # Errors
+    /// Returns [`NetsimError::InvalidParameter`] if `range` is not
+    /// strictly positive, `positions` is empty, or `neighbors` does not
+    /// have exactly one list per node.
+    pub fn from_parts(
+        positions: Vec<Position>,
+        range: f64,
+        neighbors: Vec<Vec<NodeId>>,
+    ) -> Result<Self, NetsimError> {
+        if range.is_nan() || range <= 0.0 {
+            return Err(NetsimError::InvalidParameter {
+                name: "range",
+                reason: format!("transmission range must be positive, got {range}"),
+            });
+        }
+        if positions.is_empty() {
+            return Err(NetsimError::InvalidParameter {
+                name: "positions",
+                reason: "at least one node is required".into(),
+            });
+        }
+        if neighbors.len() != positions.len() {
+            return Err(NetsimError::InvalidParameter {
+                name: "neighbors",
+                reason: format!(
+                    "{} neighbor lists for {} nodes",
+                    neighbors.len(),
+                    positions.len()
+                ),
+            });
+        }
+        let grid = GridIndex::build(&positions, range);
+        Ok(Topology {
+            positions,
+            range,
+            neighbors,
+            grid,
+            scratch: Vec::new(),
+        })
+    }
+
     /// Place `n` nodes uniformly at random in `[0,1) x [0,1)`,
     /// reproducing the paper's deployment. Deterministic in `seed`.
     ///

@@ -16,6 +16,21 @@ pub struct Query {
     pub sample: Option<Sample>,
     /// Whether `USE SNAPSHOT` was present.
     pub use_snapshot: bool,
+    /// Optional time-travel clause (`AS OF` / `BETWEEN`), answered
+    /// from the persistent snapshot store instead of the live network.
+    pub history: Option<History>,
+}
+
+/// A time-travel clause: the query runs against stored snapshot
+/// versions rather than the live deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum History {
+    /// `AS OF <tick>`: the latest stored version at or before the
+    /// tick.
+    AsOf(u64),
+    /// `BETWEEN <t1> AND <t2>`: every stored version whose tick falls
+    /// in the inclusive window, oldest first.
+    Between(u64, u64),
 }
 
 /// The SELECT list.

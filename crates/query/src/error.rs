@@ -25,6 +25,12 @@ pub enum QueryError {
         /// Explanation.
         message: String,
     },
+    /// A time-travel query failed against the snapshot store (no
+    /// version in range, corrupt store, checkpoint replay error).
+    History {
+        /// Explanation, including the offending tick/version where known.
+        message: String,
+    },
 }
 
 impl QueryError {
@@ -47,6 +53,12 @@ impl QueryError {
             message: message.into(),
         }
     }
+
+    pub(crate) fn history(message: impl Into<String>) -> Self {
+        QueryError::History {
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for QueryError {
@@ -55,6 +67,7 @@ impl fmt::Display for QueryError {
             QueryError::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
             QueryError::Parse { pos, message } => write!(f, "parse error at byte {pos}: {message}"),
             QueryError::Plan { message } => write!(f, "planning error: {message}"),
+            QueryError::History { message } => write!(f, "history error: {message}"),
         }
     }
 }
@@ -73,5 +86,7 @@ mod tests {
         assert!(e.to_string().contains("FROM"));
         let e = QueryError::plan("unknown region");
         assert!(e.to_string().contains("unknown region"));
+        let e = QueryError::history("no checkpoint at or before tick 7");
+        assert!(e.to_string().contains("history error"));
     }
 }

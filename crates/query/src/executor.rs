@@ -4,12 +4,13 @@
 //! network's simulated clock by the interval between samples — the
 //! continuous-query semantics of `SAMPLE INTERVAL 1s FOR 5min`.
 
-use crate::ast::Query;
+use crate::ast::{History, Query};
 use crate::catalog::RegionCatalog;
 use crate::error::QueryError;
 use crate::planner::{plan, QueryPlan};
-use snapshot_core::{QueryResult, SensorNetwork};
+use snapshot_core::{execute_at, QueryResult, SensorNetwork};
 use snapshot_netsim::{NodeId, SpanKind};
+use snapshot_store::SnapshotStore;
 
 /// The results of a planned (possibly multi-epoch) execution.
 #[derive(Debug, Clone)]
@@ -111,6 +112,121 @@ pub fn execute_plan(sn: &mut SensorNetwork, plan: &QueryPlan, sink: NodeId) -> P
     }
 }
 
+/// One stored version's answer within a time-travel execution.
+#[derive(Debug, Clone)]
+pub struct HistoryEpoch {
+    /// Store version the answer came from.
+    pub version: u64,
+    /// Tick the checkpoint was taken at.
+    pub tick: u64,
+    /// The query result, byte-identical to a live query against the
+    /// deployment at that tick.
+    pub result: QueryResult,
+}
+
+/// The results of a time-travel (`AS OF` / `BETWEEN`) execution
+/// against the snapshot store: one epoch per stored version in range,
+/// oldest first.
+#[derive(Debug, Clone)]
+pub struct HistoryExecution {
+    /// One answer per stored version, oldest first. Empty when a
+    /// `BETWEEN` window holds no stored versions.
+    pub epochs: Vec<HistoryEpoch>,
+    /// Whether rows should be rendered with locations.
+    pub project_loc: bool,
+    /// Node positions carried from the newest checkpoint in range,
+    /// so drill-through rows render with locations without a live
+    /// network. Deployments are static, so one copy serves all epochs.
+    pub positions: Vec<(f64, f64)>,
+}
+
+impl HistoryExecution {
+    /// Render every epoch as text, one `-- version` header per stored
+    /// version, matching [`PlannedExecution::render_last`]'s row format.
+    pub fn render(&self) -> String {
+        if self.epochs.is_empty() {
+            return "-- no stored versions in range\n".to_string();
+        }
+        let mut out = String::new();
+        for e in &self.epochs {
+            out.push_str(&format!("-- version {} (tick {})\n", e.version, e.tick));
+            match e.result.value {
+                Some(v) => out.push_str(&format!("aggregate = {v:.4}\n")),
+                None => {
+                    for &(id, v) in &e.result.rows {
+                        if self.project_loc {
+                            let (x, y) = self
+                                .positions
+                                .get(id.index())
+                                .copied()
+                                .unwrap_or((f64::NAN, f64::NAN));
+                            out.push_str(&format!("{id}\t({x:.3},{y:.3})\t{v:.4}\n"));
+                        } else {
+                            out.push_str(&format!("{id}\t{v:.4}\n"));
+                        }
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "-- {} participants, coverage {:.0}%\n",
+                e.result.participants,
+                e.result.coverage * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// Execute a time-travel plan against the snapshot store — the `AS OF`
+/// / `BETWEEN` path. Pure: no network, no clock, no energy accounting;
+/// every answer is computed from stored checkpoints alone via
+/// [`execute_at`], so it is byte-identical to the same query run live
+/// at the checkpoint's tick (or a same-seed replay of it).
+///
+/// Errors are typed [`QueryError::History`] values: a plan without a
+/// time-travel clause, an `AS OF` tick before the first stored
+/// version, a corrupt store, or a checkpoint the replay rejects.
+// xtask-contract(deterministic)
+pub fn execute_plan_history(
+    store: &SnapshotStore,
+    plan: &QueryPlan,
+    sink: NodeId,
+) -> Result<HistoryExecution, QueryError> {
+    let checkpoints = match plan.history {
+        None => {
+            return Err(QueryError::history(
+                "plan has no AS OF / BETWEEN clause; use execute_plan for live queries",
+            ));
+        }
+        Some(History::AsOf(tick)) => vec![store
+            .checkpoint_as_of(tick)
+            .map_err(|e| QueryError::history(e.to_string()))?],
+        Some(History::Between(from, to)) => store
+            .checkpoints_between(from, to)
+            .map_err(|e| QueryError::history(e.to_string()))?,
+    };
+    let positions = checkpoints
+        .last()
+        .map(|(_, cp)| cp.positions.clone())
+        .unwrap_or_default();
+    let mut epochs = Vec::with_capacity(checkpoints.len());
+    for (version, cp) in &checkpoints {
+        let result = execute_at(cp, &plan.query, sink).map_err(|e| {
+            QueryError::history(format!("version {version} (tick {}): {e}", cp.tick))
+        })?;
+        epochs.push(HistoryEpoch {
+            version: *version,
+            tick: cp.tick,
+            result,
+        });
+    }
+    Ok(HistoryExecution {
+        epochs,
+        project_loc: plan.project_loc,
+        positions,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +325,104 @@ mod tests {
             "SELECT AVG(value) FROM sensors SAMPLE INTERVAL 1s FOR 5s",
         );
         assert!(exec.mean_coverage() > 0.9);
+    }
+
+    /// A store holding checkpoints of `small_network(seed)` at ticks
+    /// 20, 25 and 30, plus the live network left at tick 30.
+    fn stored_history(seed: u64, dir: &std::path::Path) -> (SnapshotStore, SensorNetwork) {
+        let mut sn = small_network(seed);
+        let mut store = SnapshotStore::create(dir.join("history.store")).unwrap();
+        store.append_checkpoint(&sn.checkpoint()).unwrap();
+        sn.advance(5);
+        store.append_checkpoint(&sn.checkpoint()).unwrap();
+        sn.advance(5);
+        store.append_checkpoint(&sn.checkpoint()).unwrap();
+        (store, sn)
+    }
+
+    fn history_plan(sql: &str) -> QueryPlan {
+        plan(&parse(sql).unwrap(), &RegionCatalog::with_quadrants()).unwrap()
+    }
+
+    #[test]
+    fn as_of_matches_the_live_answer_at_that_tick() {
+        let dir = std::env::temp_dir().join("sq_exec_asof");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (store, mut sn) = stored_history(11, &dir);
+        // The live network sits at tick 30 — same state the last
+        // checkpoint froze.
+        let p = history_plan("SELECT AVG(value) FROM sensors AS OF 30 USE SNAPSHOT");
+        let hist = execute_plan_history(&store, &p, NodeId(0)).unwrap();
+        assert_eq!(hist.epochs.len(), 1);
+        assert_eq!(hist.epochs[0].tick, 30);
+        let live = sn.query(&p.query, NodeId(0));
+        assert_eq!(
+            hist.epochs[0].result.value.map(f64::to_bits),
+            live.value.map(f64::to_bits)
+        );
+        assert_eq!(hist.epochs[0].result.rows, live.rows);
+    }
+
+    #[test]
+    fn as_of_picks_the_latest_version_at_or_before_the_tick() {
+        let dir = std::env::temp_dir().join("sq_exec_asof_pick");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (store, _sn) = stored_history(12, &dir);
+        let p = history_plan("SELECT COUNT(*) FROM sensors AS OF 27");
+        let hist = execute_plan_history(&store, &p, NodeId(0)).unwrap();
+        assert_eq!(hist.epochs[0].tick, 25);
+        // Before the first checkpoint: typed history error, no panic.
+        let p = history_plan("SELECT COUNT(*) FROM sensors AS OF 3");
+        let err = execute_plan_history(&store, &p, NodeId(0)).unwrap_err();
+        assert!(matches!(err, QueryError::History { .. }));
+        assert!(err.to_string().contains("tick 3"));
+    }
+
+    #[test]
+    fn between_yields_one_epoch_per_stored_version_oldest_first() {
+        let dir = std::env::temp_dir().join("sq_exec_between");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (store, _sn) = stored_history(13, &dir);
+        let p = history_plan("SELECT AVG(value) FROM sensors BETWEEN 20 AND 30");
+        let hist = execute_plan_history(&store, &p, NodeId(0)).unwrap();
+        assert_eq!(
+            hist.epochs.iter().map(|e| e.tick).collect::<Vec<_>>(),
+            vec![20, 25, 30]
+        );
+        let text = hist.render();
+        assert!(text.contains("-- version 1 (tick 20)"));
+        assert!(text.contains("aggregate ="));
+        // An empty window renders a marker line, not an error.
+        let p = history_plan("SELECT AVG(value) FROM sensors BETWEEN 100 AND 200");
+        let hist = execute_plan_history(&store, &p, NodeId(0)).unwrap();
+        assert!(hist.epochs.is_empty());
+        assert_eq!(hist.render(), "-- no stored versions in range\n");
+    }
+
+    #[test]
+    fn history_drill_through_renders_locations_from_the_store() {
+        let dir = std::env::temp_dir().join("sq_exec_hist_loc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (store, sn) = stored_history(14, &dir);
+        let p = history_plan("SELECT loc, value FROM sensors AS OF 30");
+        let hist = execute_plan_history(&store, &p, NodeId(0)).unwrap();
+        let text = hist.render();
+        assert!(text.contains('('));
+        // Rendered identically to the live renderer's row format.
+        let live = execute_plan(&mut sn.clone(), &p, NodeId(0));
+        let live_text = live.render_last(&sn);
+        for line in live_text.lines().filter(|l| !l.starts_with("--")) {
+            assert!(text.contains(line), "missing row: {line}");
+        }
+    }
+
+    #[test]
+    fn a_live_plan_is_rejected_by_the_history_executor() {
+        let dir = std::env::temp_dir().join("sq_exec_hist_reject");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (store, _sn) = stored_history(15, &dir);
+        let p = history_plan("SELECT AVG(value) FROM sensors");
+        let err = execute_plan_history(&store, &p, NodeId(0)).unwrap_err();
+        assert!(err.to_string().contains("no AS OF"));
     }
 }

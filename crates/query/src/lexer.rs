@@ -64,6 +64,9 @@ pub enum Keyword {
     Rect,
     Circle,
     Loc,
+    As,
+    Of,
+    Between,
 }
 
 impl Keyword {
@@ -82,6 +85,9 @@ impl Keyword {
             "RECT" => Keyword::Rect,
             "CIRCLE" => Keyword::Circle,
             "LOC" => Keyword::Loc,
+            "AS" => Keyword::As,
+            "OF" => Keyword::Of,
+            "BETWEEN" => Keyword::Between,
             _ => return None,
         })
     }
@@ -260,6 +266,18 @@ mod tests {
                 Token::Keyword(Keyword::From),
                 Token::Keyword(Keyword::Where),
                 Token::Keyword(Keyword::Use),
+            ]
+        );
+    }
+
+    #[test]
+    fn time_travel_keywords_lex() {
+        assert_eq!(
+            kinds("as OF between"),
+            vec![
+                Token::Keyword(Keyword::As),
+                Token::Keyword(Keyword::Of),
+                Token::Keyword(Keyword::Between),
             ]
         );
     }

@@ -41,20 +41,26 @@ pub mod parser;
 pub mod planner;
 pub mod serve;
 
-pub use ast::Query;
+pub use ast::{History, Query};
 pub use catalog::RegionCatalog;
 pub use error::QueryError;
-pub use executor::{execute_plan, plan_traced, PlannedExecution};
+pub use executor::{
+    execute_plan, execute_plan_history, plan_traced, HistoryEpoch, HistoryExecution,
+    PlannedExecution,
+};
 pub use parser::parse;
 pub use planner::{plan, QueryPlan};
 pub use serve::{Completion, QueryService, ServeConfig, ServeError, ServeStats};
 
 /// Commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::ast::Query;
+    pub use crate::ast::{History, Query};
     pub use crate::catalog::RegionCatalog;
     pub use crate::error::QueryError;
-    pub use crate::executor::{execute_plan, plan_traced, PlannedExecution};
+    pub use crate::executor::{
+        execute_plan, execute_plan_history, plan_traced, HistoryEpoch, HistoryExecution,
+        PlannedExecution,
+    };
     pub use crate::parser::parse;
     pub use crate::planner::{plan, QueryPlan};
     pub use crate::serve::{Completion, QueryService, ServeConfig, ServeError, ServeStats};

@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! query     := SELECT projection FROM ident
+//!              [ history ]
 //!              [ WHERE condition (AND condition)* ]
 //!              [ SAMPLE INTERVAL duration [ FOR duration ] ]
 //!              [ USE SNAPSHOT ]
+//! history   := AS OF tick | BETWEEN tick AND tick
 //! projection := '*' | agg '(' ident ')' | ident (',' ident)*
 //! condition := LOC IN region
 //!            | ident cmp number   -- e.g. temperature > 5
@@ -13,9 +15,14 @@
 //!            | CIRCLE '(' n ',' n ',' n ')'
 //!            | ident
 //! duration  := number ident       -- e.g. 1s, 5min, 250ms
+//! tick      := number             -- a non-negative integer
 //! ```
+//!
+//! `BETWEEN`'s `AND` is consumed inside the history clause, before the
+//! optional `WHERE` is looked at, so it never collides with the
+//! conjunction `AND` of the condition list.
 
-use crate::ast::{Condition, Projection, Query, Region, Sample};
+use crate::ast::{Condition, History, Projection, Query, Region, Sample};
 use crate::error::QueryError;
 use crate::lexer::{tokenize, Keyword, Spanned, Token};
 use snapshot_core::{Aggregate, Comparison};
@@ -155,6 +162,18 @@ impl Parser {
         self.expect_keyword(Keyword::From)?;
         let table = self.expect_ident()?;
 
+        let history = if self.eat_keyword(Keyword::As) {
+            self.expect_keyword(Keyword::Of)?;
+            Some(History::AsOf(self.tick()?))
+        } else if self.eat_keyword(Keyword::Between) {
+            let from = self.tick()?;
+            self.expect_keyword(Keyword::And)?;
+            let to = self.tick()?;
+            Some(History::Between(from, to))
+        } else {
+            None
+        };
+
         let mut conditions = Vec::new();
         if self.eat_keyword(Keyword::Where) {
             loop {
@@ -194,7 +213,18 @@ impl Parser {
             conditions,
             sample,
             use_snapshot,
+            history,
         })
+    }
+
+    /// A simulation tick: a non-negative integer literal.
+    fn tick(&mut self) -> Result<u64, QueryError> {
+        let at = self.here();
+        let n = self.expect_number()?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(QueryError::parse(at, "ticks must be non-negative integers"));
+        }
+        Ok(n as u64)
     }
 
     fn condition(&mut self) -> Result<Condition, QueryError> {
@@ -458,6 +488,38 @@ mod tests {
         assert_eq!(q.conditions.len(), 2);
         assert!(matches!(q.conditions[0], Condition::Spatial(_)));
         assert!(matches!(q.conditions[1], Condition::Value { .. }));
+    }
+
+    #[test]
+    fn as_of_parses() {
+        let q = parse("SELECT AVG(value) FROM sensors AS OF 40 USE SNAPSHOT").unwrap();
+        assert_eq!(q.history, Some(History::AsOf(40)));
+        assert!(q.use_snapshot);
+    }
+
+    #[test]
+    fn between_parses_and_keeps_where_and_distinct() {
+        let q = parse(
+            "SELECT AVG(value) FROM sensors BETWEEN 40 AND 90 \
+             WHERE loc IN NORTH_EAST_QUADRANT AND value > 5",
+        )
+        .unwrap();
+        assert_eq!(q.history, Some(History::Between(40, 90)));
+        assert_eq!(q.conditions.len(), 2);
+    }
+
+    #[test]
+    fn fractional_or_negative_ticks_are_rejected() {
+        let err = parse("SELECT * FROM sensors AS OF 40.5").unwrap_err();
+        assert!(err.to_string().contains("non-negative integers"));
+        let err = parse("SELECT * FROM sensors BETWEEN -1 AND 10").unwrap_err();
+        assert!(err.to_string().contains("non-negative integers"));
+    }
+
+    #[test]
+    fn as_without_of_is_rejected() {
+        let err = parse("SELECT * FROM sensors AS 40").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }));
     }
 
     #[test]

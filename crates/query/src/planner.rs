@@ -16,7 +16,7 @@
 //! here is deterministic: errors are typed [`QueryError`]s with
 //! source positions, never panics.
 
-use crate::ast::{Condition, Projection, Query, Region};
+use crate::ast::{Condition, History, Projection, Query, Region};
 use crate::catalog::RegionCatalog;
 use crate::error::QueryError;
 use snapshot_core::{QueryMode, SnapshotQuery, SpatialPredicate, ValueFilter};
@@ -32,6 +32,9 @@ pub struct QueryPlan {
     pub interval_ticks: u64,
     /// Number of sampling epochs.
     pub epochs: u64,
+    /// Time-travel clause: the query plans against stored snapshot
+    /// versions (`crate::history`) instead of a live scan.
+    pub history: Option<History>,
 }
 
 /// Plan a parsed query.
@@ -113,6 +116,22 @@ pub fn plan(q: &Query, catalog: &RegionCatalog) -> Result<QueryPlan, QueryError>
         Some(s) => (s.interval_ticks, s.epochs()),
     };
 
+    if let Some(history) = q.history {
+        if q.sample.is_some() {
+            return Err(QueryError::plan(
+                "time-travel queries cannot carry a sampling schedule: \
+                 `BETWEEN <t1> AND <t2>` already yields one epoch per stored version",
+            ));
+        }
+        if let History::Between(from, to) = history {
+            if from > to {
+                return Err(QueryError::plan(format!(
+                    "empty history window: BETWEEN {from} AND {to}"
+                )));
+            }
+        }
+    }
+
     Ok(QueryPlan {
         query: SnapshotQuery {
             predicate,
@@ -124,6 +143,7 @@ pub fn plan(q: &Query, catalog: &RegionCatalog) -> Result<QueryPlan, QueryError>
         project_loc,
         interval_ticks,
         epochs,
+        history: q.history,
     })
 }
 
@@ -276,6 +296,29 @@ mod tests {
         // `loc > 3` is a parse-level Value condition; the planner rejects it.
         // (The parser sees `loc` as a keyword, so this arrives as a parse error instead.)
         assert!(parse("SELECT * FROM sensors WHERE loc > 3").is_err());
+    }
+
+    #[test]
+    fn time_travel_clauses_plan() {
+        let p = plan_str("SELECT AVG(temperature) FROM sensors AS OF 120").unwrap();
+        assert_eq!(p.history, Some(History::AsOf(120)));
+        assert_eq!(p.epochs, 1);
+        let p = plan_str("SELECT COUNT(*) FROM sensors BETWEEN 40 AND 80 USE SNAPSHOT").unwrap();
+        assert_eq!(p.history, Some(History::Between(40, 80)));
+        assert_eq!(p.query.mode, QueryMode::Snapshot);
+    }
+
+    #[test]
+    fn inverted_history_window_is_rejected() {
+        let err = plan_str("SELECT * FROM sensors BETWEEN 80 AND 40").unwrap_err();
+        assert!(err.to_string().contains("empty history window"));
+    }
+
+    #[test]
+    fn history_with_sampling_is_rejected() {
+        let err = plan_str("SELECT AVG(wind) FROM sensors AS OF 10 SAMPLE INTERVAL 1s FOR 5min")
+            .unwrap_err();
+        assert!(err.to_string().contains("sampling schedule"));
     }
 
     #[test]

@@ -65,10 +65,12 @@ use std::fmt;
 
 use crate::catalog::RegionCatalog;
 use crate::error::QueryError;
+use crate::executor::execute_plan_history;
 use crate::parser::parse;
 use crate::planner::{plan, QueryPlan};
 use snapshot_core::{Aggregate, SensorNetwork, SnapshotQuery};
 use snapshot_netsim::{Event, NodeId, SpanKind};
+use snapshot_store::{ActiveRecord, PendingRecord, ServeStateRecord, SnapshotStore};
 
 /// Serving-layer tuning knobs.
 #[derive(Debug, Clone)]
@@ -106,6 +108,15 @@ pub enum ServeError {
         /// The configured per-tenant bound.
         capacity: usize,
     },
+    /// [`QueryService::recover`] could not rehydrate a persisted
+    /// query — its stored text no longer plans under the recovering
+    /// catalog.
+    Recovery {
+        /// The ticket of the query that failed to rehydrate.
+        ticket: u64,
+        /// Why replanning rejected it.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -119,6 +130,9 @@ impl fmt::Display for ServeError {
                 f,
                 "tenant {tenant} overloaded: {queued} queued of {capacity} allowed"
             ),
+            ServeError::Recovery { ticket, detail } => {
+                write!(f, "recovery failed for ticket {ticket}: {detail}")
+            }
         }
     }
 }
@@ -178,6 +192,10 @@ struct Active {
     aggregate: Option<Aggregate>,
     scan: SnapshotQuery,
     key: String,
+    /// Normalized query text, kept so [`QueryService::snapshot_state`]
+    /// can persist the query and [`QueryService::recover`] can replan
+    /// it — the plan itself is derived state, never serialized.
+    sql: String,
     interval: u64,
     remaining: u64,
     epochs_total: u64,
@@ -247,6 +265,38 @@ impl ServeStats {
         let total = self.plan_cache_hits + self.plan_cache_misses;
         (total > 0).then(|| self.plan_cache_hits as f64 / total as f64)
     }
+
+    /// The store's fixed-width counter encoding (field order is part
+    /// of the `snapshot-store v1` format — append only).
+    fn to_array(self) -> [u64; 10] {
+        [
+            self.submitted,
+            self.rejected,
+            self.admitted,
+            self.plan_cache_hits,
+            self.plan_cache_misses,
+            self.plan_errors,
+            self.scans,
+            self.coalesced,
+            self.epochs_served,
+            self.completed,
+        ]
+    }
+
+    fn from_array(a: [u64; 10]) -> Self {
+        ServeStats {
+            submitted: a[0],
+            rejected: a[1],
+            admitted: a[2],
+            plan_cache_hits: a[3],
+            plan_cache_misses: a[4],
+            plan_errors: a[5],
+            scans: a[6],
+            coalesced: a[7],
+            epochs_served: a[8],
+            completed: a[9],
+        }
+    }
 }
 
 /// The long-running serving frontend. See the [module docs](self) for
@@ -264,6 +314,10 @@ pub struct QueryService {
     due: BTreeMap<u64, Vec<Active>>,
     completions: Vec<Completion>,
     stats: ServeStats,
+    /// Attached snapshot store: answers `AS OF` / `BETWEEN` queries
+    /// and receives serve-state checkpoints. The service only *reads*
+    /// stored versions; appends go through the owner's handle.
+    store: Option<SnapshotStore>,
 }
 
 impl QueryService {
@@ -278,7 +332,20 @@ impl QueryService {
             due: BTreeMap::new(),
             completions: Vec::new(),
             stats: ServeStats::default(),
+            store: None,
         }
+    }
+
+    /// Attach a snapshot store. Time-travel (`AS OF` / `BETWEEN`)
+    /// queries are answered from it at admission; without one they
+    /// complete with a typed error.
+    pub fn attach_store(&mut self, store: SnapshotStore) {
+        self.store = Some(store);
+    }
+
+    /// The attached snapshot store, if any.
+    pub fn store(&self) -> Option<&SnapshotStore> {
+        self.store.as_ref()
     }
 
     /// The configuration in force.
@@ -426,7 +493,7 @@ impl QueryService {
                 Some(plan) => plan,
                 None => match planned.get(&key) {
                     Some(Ok(plan)) => {
-                        self.cache.insert(key, plan.clone());
+                        self.cache.insert(key.clone(), plan.clone());
                         plan.clone()
                     }
                     other => {
@@ -455,6 +522,13 @@ impl QueryService {
                     }
                 },
             };
+            if plan.history.is_some() {
+                // Time-travel queries never touch the network: they
+                // are answered from the attached store at admission,
+                // one epoch per stored version in range.
+                self.answer_history(&p, &plan, now);
+                continue;
+            }
             let active = Active {
                 ticket: p.ticket,
                 tenant: p.tenant,
@@ -466,6 +540,7 @@ impl QueryService {
                     ..plan.query.clone()
                 },
                 key: scan_signature(&plan.query),
+                sql: key,
                 interval: plan.interval_ticks.max(1),
                 remaining: plan.epochs.max(1),
                 epochs_total: plan.epochs.max(1),
@@ -473,6 +548,49 @@ impl QueryService {
             self.schedule(sn, now, active);
         }
         sn.net_mut().close_span(admit_span);
+    }
+
+    /// Answer one admitted time-travel query from the attached store,
+    /// completing it immediately — no scan, no scheduling.
+    fn answer_history(&mut self, p: &Pending, plan: &QueryPlan, now: u64) {
+        let done = |value, rows, epochs, error| Completion {
+            ticket: p.ticket,
+            tenant: p.tenant,
+            submitted_at: p.submitted_at,
+            first_result_at: Some(now),
+            completed_at: now,
+            epochs,
+            value,
+            rows,
+            error,
+        };
+        let completion = match &self.store {
+            None => done(
+                None,
+                0,
+                0,
+                Some(
+                    "no snapshot store attached: time-travel queries need \
+                     QueryService::attach_store"
+                        .to_owned(),
+                ),
+            ),
+            Some(store) => match execute_plan_history(store, plan, self.config.sink) {
+                Err(e) => done(None, 0, 0, Some(e.to_string())),
+                Ok(hist) => {
+                    self.stats.epochs_served += hist.epochs.len() as u64;
+                    let last = hist.epochs.last();
+                    let value = last.and_then(|e| e.result.value);
+                    let rows = match plan.query.aggregate {
+                        None => last.map_or(0, |e| e.result.rows.len()),
+                        Some(_) => 0,
+                    };
+                    done(value, rows, hist.epochs.len() as u64, None)
+                }
+            },
+        };
+        self.stats.completed += 1;
+        self.completions.push(completion);
     }
 
     /// Park `active` in the `at`-tick bucket and register the wake
@@ -557,6 +675,110 @@ impl QueryService {
     /// tick, then grouped by scan signature, then admission order).
     pub fn take_completions(&mut self) -> Vec<Completion> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// Freeze the serving state for persistence, referencing the
+    /// network checkpoint stored as `checkpoint_version`. Capture
+    /// order is canonical — tenant id then queue order for pending
+    /// work, due tick then bucket order for in-flight work — so the
+    /// same state always encodes to the same bytes. Take it at a
+    /// drained boundary (after [`take_completions`]): completions are
+    /// deliberately *not* persisted, they are the already-delivered
+    /// output stream.
+    ///
+    /// [`take_completions`]: QueryService::take_completions
+    pub fn snapshot_state(&self, checkpoint_version: u64) -> ServeStateRecord {
+        let pending = self
+            .queues
+            .values()
+            .flatten()
+            .map(|p| PendingRecord {
+                ticket: p.ticket,
+                tenant: p.tenant,
+                submitted_at: p.submitted_at,
+                sql: p.sql.clone(),
+            })
+            .collect();
+        let active = self
+            .due
+            .iter()
+            .flat_map(|(&due, bucket)| {
+                bucket.iter().map(move |a| ActiveRecord {
+                    due,
+                    ticket: a.ticket,
+                    tenant: a.tenant,
+                    submitted_at: a.submitted_at,
+                    first_result_at: a.first_result_at,
+                    interval: a.interval,
+                    remaining: a.remaining,
+                    epochs_total: a.epochs_total,
+                    sql: a.sql.clone(),
+                })
+            })
+            .collect();
+        ServeStateRecord {
+            checkpoint_version,
+            next_ticket: self.next_ticket,
+            stats: self.stats.to_array(),
+            pending,
+            active,
+        }
+    }
+
+    /// Rebuild a service from a persisted [`ServeStateRecord`] —
+    /// restart recovery. Every surviving query's normalized text is
+    /// replanned through the pure planner (plans are derived state,
+    /// never serialized) and in-flight subscriptions re-register
+    /// their wake timers on `sn`'s event scheduler; overdue epochs
+    /// are served on the next tick rather than dropped. A text that
+    /// no longer plans fails with [`ServeError::Recovery`] naming the
+    /// ticket — never a panic.
+    ///
+    /// The recovered plan cache is warmed from surviving queries
+    /// only, so future hit/miss *counters* may diverge from an
+    /// uninterrupted run; the completion stream itself does not.
+    pub fn recover(
+        config: ServeConfig,
+        catalog: RegionCatalog,
+        sn: &mut SensorNetwork,
+        rec: &ServeStateRecord,
+    ) -> Result<QueryService, ServeError> {
+        let mut svc = QueryService::new(config, catalog);
+        svc.next_ticket = rec.next_ticket;
+        svc.stats = ServeStats::from_array(rec.stats);
+        for p in &rec.pending {
+            svc.queues.entry(p.tenant).or_default().push_back(Pending {
+                ticket: p.ticket,
+                tenant: p.tenant,
+                sql: p.sql.clone(),
+                submitted_at: p.submitted_at,
+            });
+        }
+        for a in &rec.active {
+            let plan = plan_text(&a.sql, &svc.catalog).map_err(|e| ServeError::Recovery {
+                ticket: a.ticket,
+                detail: e.to_string(),
+            })?;
+            svc.cache.insert(a.sql.clone(), plan.clone());
+            let active = Active {
+                ticket: a.ticket,
+                tenant: a.tenant,
+                submitted_at: a.submitted_at,
+                first_result_at: a.first_result_at,
+                aggregate: plan.query.aggregate,
+                scan: SnapshotQuery {
+                    aggregate: None,
+                    ..plan.query.clone()
+                },
+                key: scan_signature(&plan.query),
+                sql: a.sql.clone(),
+                interval: a.interval,
+                remaining: a.remaining,
+                epochs_total: a.epochs_total,
+            };
+            svc.schedule(sn, a.due, active);
+        }
+        Ok(svc)
     }
 }
 
@@ -759,6 +981,147 @@ mod tests {
         let latencies: Vec<u64> = done.iter().filter_map(Completion::latency_ticks).collect();
         // Two per tick: latencies 0, 0, 1, 1, 2, 2.
         assert_eq!(latencies, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn history_queries_answer_from_the_attached_store() {
+        let dir = std::env::temp_dir().join("sq_serve_history");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut sn = small_network(12);
+        let mut store = SnapshotStore::create(dir.join("serve.store")).unwrap();
+        store.append_checkpoint(&sn.checkpoint()).unwrap();
+        sn.advance(5);
+        store.append_checkpoint(&sn.checkpoint()).unwrap();
+
+        let mut svc = service();
+        svc.attach_store(store);
+        svc.submit(
+            &sn,
+            0,
+            "SELECT AVG(value) FROM sensors AS OF 25 USE SNAPSHOT",
+        )
+        .unwrap();
+        svc.submit(
+            &sn,
+            0,
+            "SELECT AVG(value) FROM sensors BETWEEN 20 AND 25 USE SNAPSHOT",
+        )
+        .unwrap();
+        let scans_before = svc.stats().scans;
+        let done = drain(&mut svc, &mut sn);
+        assert_eq!(done.len(), 2);
+        // AS OF 25 answers from the tick-25 checkpoint — the live
+        // network still sits at tick 25, so a fresh query agrees.
+        let p = plan_text(
+            "select avg(value) from sensors use snapshot",
+            &RegionCatalog::with_quadrants(),
+        )
+        .unwrap();
+        let live = sn.query(&p.query, NodeId(0));
+        assert_eq!(
+            done[0].value.map(f64::to_bits),
+            live.value.map(f64::to_bits)
+        );
+        assert_eq!(done[0].epochs, 1);
+        assert_eq!(done[0].error, None);
+        // BETWEEN serves one epoch per stored version.
+        assert_eq!(done[1].epochs, 2);
+        // Neither touched the network.
+        assert_eq!(svc.stats().scans, scans_before);
+        assert_eq!(svc.stats().epochs_served, 3);
+    }
+
+    #[test]
+    fn history_without_a_store_completes_with_a_typed_error() {
+        let mut sn = small_network(13);
+        let mut svc = service();
+        svc.submit(&sn, 0, "SELECT AVG(value) FROM sensors AS OF 10")
+            .unwrap();
+        let done = drain(&mut svc, &mut sn);
+        assert_eq!(done.len(), 1);
+        assert!(done[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("no snapshot store attached"));
+    }
+
+    #[test]
+    fn serve_state_round_trips_through_recovery() {
+        let mut sn = small_network(14);
+        let mut svc = service();
+        // One long subscription (stays in flight) + queued backlog.
+        svc.submit(
+            &sn,
+            0,
+            "SELECT AVG(value) FROM sensors SAMPLE INTERVAL 2s FOR 20s USE SNAPSHOT",
+        )
+        .unwrap();
+        svc.tick(&mut sn);
+        sn.advance(1);
+        svc.submit(&sn, 3, "SELECT loc, value FROM sensors")
+            .unwrap();
+        let _ = svc.take_completions();
+
+        let rec = svc.snapshot_state(1);
+        assert_eq!(rec.pending.len(), 1);
+        assert_eq!(rec.active.len(), 1);
+        assert_eq!(rec.next_ticket, 3);
+        assert_eq!(rec.stats, svc.stats().to_array());
+
+        let mut recovered = QueryService::recover(
+            ServeConfig::default(),
+            RegionCatalog::with_quadrants(),
+            &mut sn,
+            &rec,
+        )
+        .unwrap();
+        assert_eq!(recovered.queued(), 1);
+        assert_eq!(recovered.in_flight(), 1);
+        assert_eq!(recovered.stats(), svc.stats());
+        // The recovered snapshot re-encodes to the identical record.
+        assert_eq!(recovered.snapshot_state(1), rec);
+        // And keeps serving to completion.
+        let done = drain(&mut recovered, &mut sn);
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().all(|c| c.error.is_none()));
+    }
+
+    #[test]
+    fn recovery_rejects_unplannable_texts_with_the_ticket() {
+        let mut sn = small_network(15);
+        let rec = ServeStateRecord {
+            checkpoint_version: 1,
+            next_ticket: 9,
+            stats: [0; 10],
+            pending: vec![],
+            active: vec![ActiveRecord {
+                due: 30,
+                ticket: 7,
+                tenant: 2,
+                submitted_at: 20,
+                first_result_at: None,
+                interval: 1,
+                remaining: 1,
+                epochs_total: 1,
+                sql: "select avg(value) from actuators".to_owned(),
+            }],
+        };
+        let err = QueryService::recover(
+            ServeConfig::default(),
+            RegionCatalog::with_quadrants(),
+            &mut sn,
+            &rec,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Recovery {
+                ticket: 7,
+                detail: "planning error: unknown table `actuators` (this dialect exposes only `sensors`)"
+                    .to_owned()
+            }
+        );
     }
 
     #[test]

@@ -72,11 +72,15 @@ pub enum SpanKind {
     /// One full serving tick: admission, batching, scans, and
     /// subscription bookkeeping.
     ServeTick,
+    /// Appending one checkpoint block to a snapshot store.
+    StoreWrite,
+    /// Rebuilding a store index by replaying every persisted block.
+    StoreRebuild,
 }
 
 impl SpanKind {
     /// Every kind, in canonical (report) order.
-    pub const ALL: [SpanKind; 18] = [
+    pub const ALL: [SpanKind; 20] = [
         SpanKind::Election,
         SpanKind::ElectionInvite,
         SpanKind::ElectionCandidates,
@@ -95,6 +99,8 @@ impl SpanKind {
         SpanKind::ServeAdmit,
         SpanKind::ServeBatch,
         SpanKind::ServeTick,
+        SpanKind::StoreWrite,
+        SpanKind::StoreRebuild,
     ];
 
     /// Canonical trace label.
@@ -118,6 +124,8 @@ impl SpanKind {
             SpanKind::ServeAdmit => "serve_admit",
             SpanKind::ServeBatch => "serve_batch",
             SpanKind::ServeTick => "serve_tick",
+            SpanKind::StoreWrite => "store_write",
+            SpanKind::StoreRebuild => "store_rebuild",
         }
     }
 
@@ -147,6 +155,8 @@ impl SpanKind {
             SpanKind::ServeAdmit => "span_serve_admit",
             SpanKind::ServeBatch => "span_serve_batch",
             SpanKind::ServeTick => "span_serve_tick",
+            SpanKind::StoreWrite => "span_store_write",
+            SpanKind::StoreRebuild => "span_store_rebuild",
         }
     }
 
@@ -171,6 +181,8 @@ impl SpanKind {
             SpanKind::ServeAdmit => "span_ticks_serve_admit",
             SpanKind::ServeBatch => "span_ticks_serve_batch",
             SpanKind::ServeTick => "span_ticks_serve_tick",
+            SpanKind::StoreWrite => "span_ticks_store_write",
+            SpanKind::StoreRebuild => "span_ticks_store_rebuild",
         }
     }
 
@@ -196,6 +208,8 @@ impl SpanKind {
             SpanKind::ServeAdmit => "span_wall_ns_serve_admit",
             SpanKind::ServeBatch => "span_wall_ns_serve_batch",
             SpanKind::ServeTick => "span_wall_ns_serve_tick",
+            SpanKind::StoreWrite => "span_wall_ns_store_write",
+            SpanKind::StoreRebuild => "span_wall_ns_store_rebuild",
         }
     }
 }

@@ -114,6 +114,7 @@ pub const LINT_NAMES: &[&str] = &[
     "fault_event_coverage",
     "event_replay_coverage",
     "wake_source_coverage",
+    "store_error_coverage",
     "contract_zero_alloc",
     "contract_deterministic",
     "bad_contract",
@@ -200,6 +201,12 @@ pub fn lint_infos() -> Vec<LintInfo> {
             name: "wake_source_coverage",
             level: "deny",
             summary: "every WakeReason variant must be registered at a scheduler wake() site",
+        },
+        LintInfo {
+            name: "store_error_coverage",
+            level: "deny",
+            summary:
+                "every StoreError variant needs a construction site and a verify/replay handler",
         },
         LintInfo {
             name: "contract_zero_alloc",
@@ -391,12 +398,14 @@ pub fn analyze_sources(files: Vec<SourceFile>, repo_root: Option<&Path>) -> Repo
     let mut coverage = lints::FaultCoverage::default();
     let mut replay_coverage = lints::EventReplayCoverage::default();
     let mut wake_coverage = lints::WakeSourceCoverage::default();
+    let mut store_coverage = lints::StoreErrorCoverage::default();
     for (f, lx, excluded) in &lexed {
         let mut diags = Vec::new();
         if f.lint != LintMode::SymbolsOnly {
             coverage.scan(&f.path, &lx.tokens, excluded);
             replay_coverage.scan(&f.path, &lx.tokens, excluded);
             wake_coverage.scan(&f.path, &lx.tokens, excluded);
+            store_coverage.scan(&f.path, &lx.tokens, excluded);
             lints::panic_freedom(&f.path, &lx.tokens, excluded, &mut diags);
             lints::determinism(&f.path, &lx.tokens, excluded, &mut diags);
             if f.lint == LintMode::Protocol {
@@ -414,6 +423,7 @@ pub fn analyze_sources(files: Vec<SourceFile>, repo_root: Option<&Path>) -> Repo
     coverage.finish(&mut report.diagnostics);
     replay_coverage.finish(&mut report.diagnostics);
     wake_coverage.finish(&mut report.diagnostics);
+    store_coverage.finish(&mut report.diagnostics);
 
     report.contracts = set
         .attached
@@ -643,12 +653,20 @@ pub fn analyze_workspace(repo_root: &Path) -> std::io::Result<Report> {
 /// The workspace's default scan roots, relative to the repo root: the
 /// protocol/simulator crates the invariants protect, plus the
 /// telemetry layer (which must stay deterministic for traces to be
-/// reproducible).
+/// reproducible) and the snapshot store (whose typed errors and
+/// canonical codec the `store_error_coverage` pass audits).
 pub fn default_roots(repo_root: &Path) -> Vec<PathBuf> {
-    ["core", "netsim", "query", "datagen", "telemetry"]
-        .iter()
-        .map(|c| repo_root.join("crates").join(c).join("src"))
-        .collect()
+    [
+        "core",
+        "netsim",
+        "query",
+        "datagen",
+        "telemetry",
+        "snapshot-store",
+    ]
+    .iter()
+    .map(|c| repo_root.join("crates").join(c).join("src"))
+    .collect()
 }
 
 /// Minimal JSON string escaping for `--json` output.

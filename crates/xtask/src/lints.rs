@@ -643,6 +643,135 @@ impl WakeSourceCoverage {
     }
 }
 
+/// Cross-file store-error coverage (`store_error_coverage`).
+///
+/// The snapshot store's failure surface is its API: every `StoreError`
+/// variant promises callers a precise, typed account of what broke in
+/// a store file. That promise has two halves, and this pass checks
+/// both. Each declared variant must be **constructed** in non-test
+/// code outside its declaring file — a variant nothing raises is a
+/// dead error path that readers will waste time defending against —
+/// and **handled** in non-test code of a file that references
+/// `VerifyReport`, the verify/replay path where `remediation` maps
+/// every failure to an operator hint. A variant missing either half is
+/// deny-level. (Display arms live in the declaring file and count for
+/// neither half.)
+///
+/// Like [`FaultCoverage`], this check spans files, runs once per
+/// analysis pass, and cannot be suppressed with `xtask-allow` — the
+/// fix is to raise the variant where the failure is detected and to
+/// handle it in `snapshot-store/src/verify.rs`.
+#[derive(Debug, Default)]
+pub struct StoreErrorCoverage {
+    /// Declared variants: name plus declaration site.
+    variants: Vec<(String, PathBuf, u32, u32)>,
+    /// Variants seen as `StoreError::V` in non-test code outside the
+    /// declaring file.
+    constructed: BTreeSet<String>,
+    /// Variants seen as `StoreError::V` in non-test code of files
+    /// referencing `VerifyReport`.
+    handled: BTreeSet<String>,
+}
+
+impl StoreErrorCoverage {
+    /// Feed one file's tokens into the accumulator.
+    pub fn scan(&mut self, path: &Path, tokens: &[Token], excluded: &[bool]) {
+        let mut declares = false;
+        for i in 0..tokens.len() {
+            if excluded[i] {
+                continue;
+            }
+            if tokens[i].kind.ident() == Some("enum")
+                && tokens.get(i + 1).and_then(|t| t.kind.ident()) == Some("StoreError")
+                && tokens.get(i + 2).is_some_and(|t| t.kind.is_punct('{'))
+            {
+                declares = true;
+                collect_enum_variants(path, tokens, i + 2, &mut self.variants);
+            }
+        }
+
+        // Handler sites only count in files whose non-test code
+        // references `VerifyReport` — the verify/replay path, not the
+        // raisers.
+        let handles = tokens
+            .iter()
+            .zip(excluded)
+            .any(|(t, &ex)| !ex && t.kind.ident() == Some("VerifyReport"));
+        if declares && !handles {
+            // Only the Display impl's arms live here; they satisfy
+            // neither half.
+            return;
+        }
+        for i in 0..tokens.len() {
+            if excluded[i] {
+                continue;
+            }
+            if tokens[i].kind.ident() == Some("StoreError")
+                && tokens.get(i + 1).is_some_and(|t| t.kind.is_punct(':'))
+                && tokens.get(i + 2).is_some_and(|t| t.kind.is_punct(':'))
+            {
+                if let Some(v) = tokens.get(i + 3).and_then(|t| t.kind.ident()) {
+                    if v.chars().next().is_some_and(char::is_uppercase) {
+                        // The classes are disjoint: a handler file's
+                        // match arms are not construction sites (the
+                        // tokens cannot tell a struct literal from a
+                        // binding pattern), so raising must happen in
+                        // a file that does neither.
+                        if handles {
+                            self.handled.insert(v.to_string());
+                        } else if !declares {
+                            self.constructed.insert(v.to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emit a deny-level diagnostic for every declared variant missing
+    /// a construction site or a verify/replay handler.
+    pub fn finish(self, diags: &mut Vec<Diagnostic>) {
+        let StoreErrorCoverage {
+            variants,
+            constructed,
+            handled,
+        } = self;
+        for (name, path, line, col) in variants {
+            if !constructed.contains(&name) {
+                diags.push(Diagnostic {
+                    lint: "store_error_coverage",
+                    level: Level::Deny,
+                    path: path.clone(),
+                    line,
+                    col,
+                    message: format!(
+                        "`StoreError::{name}` is declared but never constructed in non-test \
+                         code — a dead error path"
+                    ),
+                    suggestion: "raise the variant where the failure is detected (the decode \
+                                 scan in `snapshot-store/src/store.rs`, the field parsers in \
+                                 `format.rs`), or delete it",
+                });
+            }
+            if !handled.contains(&name) {
+                diags.push(Diagnostic {
+                    lint: "store_error_coverage",
+                    level: Level::Deny,
+                    path,
+                    line,
+                    col,
+                    message: format!(
+                        "`StoreError::{name}` has no handler in the verify/replay path \
+                         (non-test code referencing `VerifyReport`)"
+                    ),
+                    suggestion: "handle the variant in `snapshot-store/src/verify.rs` — \
+                                 `remediation` must map every failure to an operator hint",
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -932,5 +1061,101 @@ mod tests {
                    s.wake(NodeId(0), WakeReason::Timer); } }";
         let d = wake_coverage(&[("scheduler.rs", WAKE_DECL), ("sim.rs", src)]);
         assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    fn store_coverage(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let mut cov = StoreErrorCoverage::default();
+        for (name, src) in files {
+            let lexed = lex(src);
+            let excluded = test_regions(&lexed.tokens);
+            cov.scan(Path::new(name), &lexed.tokens, &excluded);
+        }
+        let mut diags = Vec::new();
+        cov.finish(&mut diags);
+        diags
+    }
+
+    const STORE_DECL: &str =
+        "pub enum StoreError { Corrupt { offset: u64 }, Truncated { offset: u64 } } \
+         impl fmt::Display for StoreError { fn fmt(&self) { match self { \
+         StoreError::Corrupt { .. } => {}, StoreError::Truncated { .. } => {}, } } }";
+
+    #[test]
+    fn constructed_and_handled_store_variants_are_clean() {
+        let raise = "fn scan() -> StoreError { if torn { StoreError::Truncated { offset } } \
+                     else { StoreError::Corrupt { offset } } }";
+        let handle = "pub fn remediation(e: &StoreError) -> &str { let _: VerifyReport; match e { \
+                      StoreError::Corrupt { .. } => \"restore\", \
+                      StoreError::Truncated { .. } => \"rebuild\", } }";
+        let d = store_coverage(&[
+            ("error.rs", STORE_DECL),
+            ("store.rs", raise),
+            ("verify.rs", handle),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unconstructed_store_variant_is_denied() {
+        let raise = "fn scan() -> StoreError { StoreError::Corrupt { offset: 0 } }";
+        let handle = "pub fn remediation(e: &StoreError) -> &str { let _: VerifyReport; match e { \
+                      StoreError::Corrupt { .. } => \"restore\", \
+                      StoreError::Truncated { .. } => \"rebuild\", } }";
+        let d = store_coverage(&[
+            ("error.rs", STORE_DECL),
+            ("store.rs", raise),
+            ("verify.rs", handle),
+        ]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].lint, "store_error_coverage");
+        assert_eq!(d[0].level, Level::Deny);
+        assert!(d[0].message.contains("Truncated"), "{}", d[0].message);
+        assert!(
+            d[0].message.contains("never constructed"),
+            "{}",
+            d[0].message
+        );
+    }
+
+    #[test]
+    fn unhandled_store_variant_is_denied() {
+        let raise = "fn scan() -> StoreError { if torn { StoreError::Truncated { offset } } \
+                     else { StoreError::Corrupt { offset } } }";
+        let handle = "pub fn remediation(e: &StoreError) -> &str { let _: VerifyReport; \
+                      if let StoreError::Corrupt { .. } = e { \"restore\" } else { \"?\" } }";
+        let d = store_coverage(&[
+            ("error.rs", STORE_DECL),
+            ("store.rs", raise),
+            ("verify.rs", handle),
+        ]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("Truncated"), "{}", d[0].message);
+        assert!(d[0].message.contains("no handler"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn display_arms_in_the_declaring_file_satisfy_neither_half() {
+        // STORE_DECL alone names every variant in its Display impl;
+        // both halves must still be reported missing for both variants.
+        let d = store_coverage(&[("error.rs", STORE_DECL)]);
+        assert_eq!(d.len(), 4, "{d:?}");
+    }
+
+    #[test]
+    fn handler_file_usage_does_not_count_as_construction() {
+        // Token-level scans cannot tell a struct literal from a match
+        // binding, so occurrences in the VerifyReport file only count
+        // as handling — raising must happen elsewhere.
+        let verify = "pub fn verify() -> VerifyReport { \
+                      let _ = StoreError::Corrupt { offset: 0 }; \
+                      let _ = StoreError::Truncated { offset: 0 }; todo!() }";
+        let d = store_coverage(&[("error.rs", STORE_DECL), ("verify.rs", verify)]);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.message.contains("never constructed")));
+    }
+
+    #[test]
+    fn no_store_enum_means_no_store_findings() {
+        assert!(store_coverage(&[("other.rs", "fn f() { let x = 1; }")]).is_empty());
     }
 }

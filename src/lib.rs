@@ -7,6 +7,8 @@
 //! * [`datagen`] — synthetic and weather-like workload generators.
 //! * [`core`] — models, model-aware cache, representative election,
 //!   snapshot maintenance and snapshot query execution.
+//! * [`store`] — the persistent, versioned snapshot store behind the
+//!   dialect's `AS OF` / `BETWEEN` time-travel clauses.
 //! * [`query`] — the declarative `SELECT ... USE SNAPSHOT` dialect.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
@@ -15,6 +17,7 @@ pub use snapshot_core as core;
 pub use snapshot_datagen as datagen;
 pub use snapshot_netsim as netsim;
 pub use snapshot_query as query;
+pub use snapshot_store as store;
 
 /// Frequently used types from every layer.
 pub mod prelude {

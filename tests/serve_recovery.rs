@@ -1,0 +1,304 @@
+//! Crash-restart recovery for the serving layer: kill a
+//! [`QueryService`] mid-workload at a randomly chosen admitted-query
+//! boundary, persist the deployment checkpoint plus the serve-state
+//! record into a [`SnapshotStore`], rehydrate both from disk, and
+//! demand that the merged completion stream is byte-identical to the
+//! uninterrupted run's. In-flight subscriptions must resume their
+//! remaining epochs; backpressure and unplannable texts after
+//! recovery must surface as typed [`ServeError`]s — never a panic.
+
+use snapshot_bench::RandomWalkSetup;
+use snapshot_queries::core::SensorNetwork;
+use snapshot_queries::netsim::rng::{DetRng, RngExt};
+use snapshot_queries::query::serve::{Completion, QueryService, ServeConfig, ServeError};
+use snapshot_queries::query::RegionCatalog;
+use snapshot_queries::store::SnapshotStore;
+use std::path::PathBuf;
+
+/// Deterministic workload template pool. The subscriptions
+/// (`SAMPLE INTERVAL`) are the interesting part: killed mid-flight,
+/// they must resume and finish their remaining epochs after recovery.
+const TEMPLATES: &[&str] = &[
+    "SELECT AVG(value) FROM sensors USE SNAPSHOT",
+    "SELECT MAX(value) FROM sensors USE SNAPSHOT",
+    "SELECT COUNT(value) FROM sensors WHERE loc IN NORTH_EAST_QUADRANT USE SNAPSHOT",
+    "SELECT loc, value FROM sensors WHERE loc IN SOUTH_WEST_QUADRANT USE SNAPSHOT",
+    "SELECT AVG(value) FROM sensors SAMPLE INTERVAL 2s FOR 6s USE SNAPSHOT",
+    "SELECT MAX(value) FROM sensors SAMPLE INTERVAL 3s FOR 9s USE SNAPSHOT",
+];
+
+const N_QUERIES: usize = 48;
+const N_TENANTS: u32 = 4;
+const ARRIVALS_PER_TICK: usize = 12;
+
+/// The i-th query of the workload (a pure function of `i`, co-prime
+/// stride so consecutive submissions mix templates and tenants).
+fn workload_sql(i: usize) -> &'static str {
+    TEMPLATES[(i * 5 + 2) % TEMPLATES.len()]
+}
+
+fn workload_tenant(i: usize) -> u32 {
+    (i as u32) % N_TENANTS
+}
+
+/// A deliberately small fair share so the crash boundary catches
+/// queries *queued* (submitted, unadmitted) as well as in flight.
+fn config() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 16,
+        fair_share: 2,
+        ..ServeConfig::default()
+    }
+}
+
+fn catalog() -> RegionCatalog {
+    RegionCatalog::with_quadrants()
+}
+
+/// The identically-constructed deployment both runs start from (and
+/// the restarted process rebuilds before restoring the checkpoint).
+fn network(seed: u64) -> SensorNetwork {
+    let mut sn = RandomWalkSetup {
+        n_nodes: 30,
+        k: 2,
+        steps: 80,
+        train_until: 10,
+        elect_at: 40,
+        ..RandomWalkSetup::default()
+    }
+    .build(seed);
+    let _ = sn.elect();
+    sn
+}
+
+/// Submit this tick's arrivals; returns the updated next-query index.
+fn offer_load(svc: &mut QueryService, sn: &SensorNetwork, mut next: usize) -> usize {
+    for _ in 0..ARRIVALS_PER_TICK {
+        if next >= N_QUERIES {
+            break;
+        }
+        match svc.submit(sn, workload_tenant(next), workload_sql(next)) {
+            Ok(_) => next += 1,
+            Err(ServeError::Overloaded { .. }) => break,
+            Err(e) => panic!("unexpected submit failure: {e}"),
+        }
+    }
+    next
+}
+
+/// Drive the whole workload to completion without any interruption.
+fn run_uninterrupted(seed: u64) -> Vec<Completion> {
+    let mut sn = network(seed);
+    let mut svc = QueryService::new(config(), catalog());
+    let mut out = Vec::new();
+    let mut next = 0usize;
+    let mut guard = 0;
+    while next < N_QUERIES || !svc.idle() {
+        next = offer_load(&mut svc, &sn, next);
+        svc.tick(&mut sn);
+        out.extend(svc.take_completions());
+        sn.advance(1);
+        guard += 1;
+        assert!(guard < 1000, "uninterrupted run failed to drain");
+    }
+    out
+}
+
+/// Drive the same workload, but crash after `boundary` served ticks —
+/// a drained boundary with admitted queries still in flight — persist
+/// to `path`, drop every live object, rehydrate from the file alone,
+/// and finish. Returns the merged completion stream plus how much
+/// work was in flight at the crash (to prove the boundary was
+/// non-trivial).
+fn run_with_crash(seed: u64, boundary: u64, path: &PathBuf) -> (Vec<Completion>, usize, usize) {
+    let mut sn = network(seed);
+    let mut svc = QueryService::new(config(), catalog());
+    let mut out = Vec::new();
+    let mut next = 0usize;
+    for _ in 0..boundary {
+        next = offer_load(&mut svc, &sn, next);
+        svc.tick(&mut sn);
+        out.extend(svc.take_completions());
+        sn.advance(1);
+    }
+    // One more serve tick, then freeze at its drained boundary
+    // (completions taken — they are already-delivered output).
+    next = offer_load(&mut svc, &sn, next);
+    svc.tick(&mut sn);
+    out.extend(svc.take_completions());
+
+    let mut store = SnapshotStore::create(path).expect("temp dir is writable");
+    let version = store
+        .append_checkpoint(&sn.checkpoint())
+        .expect("append checkpoint");
+    store
+        .append_serve_state(&svc.snapshot_state(version))
+        .expect("append serve state");
+    drop(svc);
+    drop(sn);
+
+    // ---- the "restarted process" begins here: disk only ----
+    let store = SnapshotStore::open(path).expect("reopen persisted store");
+    let (version, cp) = store
+        .latest_checkpoint()
+        .expect("decode checkpoint")
+        .expect("a checkpoint was persisted");
+    let (_, rec) = store
+        .latest_serve_state()
+        .expect("decode serve state")
+        .expect("a serve state was persisted");
+    assert_eq!(
+        rec.checkpoint_version, version,
+        "serve state must reference the checkpoint it was taken with"
+    );
+    let in_flight = rec.active.len();
+    let queued = rec.pending.len();
+
+    let mut sn = network(seed);
+    sn.restore_checkpoint(&cp).expect("checkpoint restores");
+    let mut svc =
+        QueryService::recover(config(), catalog(), &mut sn, &rec).expect("recovery replans");
+    sn.advance(1);
+    let mut guard = 0;
+    while next < N_QUERIES || !svc.idle() {
+        next = offer_load(&mut svc, &sn, next);
+        svc.tick(&mut sn);
+        out.extend(svc.take_completions());
+        sn.advance(1);
+        guard += 1;
+        assert!(guard < 1000, "recovered run failed to drain");
+    }
+    (out, in_flight, queued)
+}
+
+/// NaN-safe bit-exact fingerprint of one completion.
+fn key(c: &Completion) -> String {
+    format!(
+        "{}|{}|{}|{:?}|{}|{}|{:?}|{}|{:?}",
+        c.ticket,
+        c.tenant,
+        c.submitted_at,
+        c.first_result_at,
+        c.completed_at,
+        c.epochs,
+        c.value.map(f64::to_bits),
+        c.rows,
+        c.error
+    )
+}
+
+fn scratch(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "serve-recovery-{}-{label}.store",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn a_restarted_service_serves_the_identical_completion_stream() {
+    let mut rng = DetRng::seed_from_u64(0x5E4_7EC0);
+    let mut saw_in_flight = false;
+    let mut saw_queued = false;
+    for case in 0..8u64 {
+        let seed = 100 + case;
+        // A random admitted-query boundary: early enough that
+        // submissions are still arriving, late enough that
+        // subscriptions have been admitted.
+        let boundary = rng.random_range(0..5u64);
+        let baseline = run_uninterrupted(seed);
+        assert_eq!(baseline.len(), N_QUERIES, "workload must fully drain");
+        let path = scratch(&format!("case{case}"));
+        let (merged, in_flight, queued) = run_with_crash(seed, boundary, &path);
+        saw_in_flight |= in_flight > 0;
+        saw_queued |= queued > 0;
+        assert_eq!(
+            baseline.len(),
+            merged.len(),
+            "case {case} (seed {seed}, boundary {boundary}): completion counts diverged"
+        );
+        for (b, m) in baseline.iter().zip(&merged) {
+            assert_eq!(
+                key(b),
+                key(m),
+                "case {case} (seed {seed}, boundary {boundary}): stream diverged at ticket {}",
+                b.ticket
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+    assert!(
+        saw_in_flight,
+        "at least one crash must catch subscriptions in flight"
+    );
+    assert!(
+        saw_queued,
+        "at least one crash must catch submissions still queued"
+    );
+}
+
+#[test]
+fn recovery_failures_are_typed_values_not_panics() {
+    let seed = 424242;
+    let mut sn = network(seed);
+    let mut svc = QueryService::new(config(), catalog());
+    svc.submit(
+        &sn,
+        0,
+        "SELECT AVG(value) FROM sensors SAMPLE INTERVAL 2s FOR 8s USE SNAPSHOT",
+    )
+    .expect("fresh queue accepts");
+    svc.tick(&mut sn);
+    let _ = svc.take_completions();
+
+    let path = scratch("typed-errors");
+    let mut store = SnapshotStore::create(&path).expect("create");
+    let version = store.append_checkpoint(&sn.checkpoint()).expect("append");
+    let mut rec = svc.snapshot_state(version);
+    assert!(!rec.active.is_empty(), "the subscription must be in flight");
+
+    // A persisted text that no longer plans (e.g. a region catalog
+    // drifted across the restart) fails with the offending ticket.
+    let good_sql = rec.active[0].sql.clone();
+    rec.active[0].sql = "SELECT AVG(value) FROM sensors WHERE loc IN NO_SUCH_REGION".into();
+    let mut sn2 = network(seed);
+    sn2.restore_checkpoint(&store.checkpoint(version).expect("stored"))
+        .expect("restore");
+    match QueryService::recover(config(), catalog(), &mut sn2, &rec) {
+        Err(ServeError::Recovery { ticket, detail }) => {
+            assert_eq!(ticket, rec.active[0].ticket);
+            assert!(!detail.is_empty());
+        }
+        other => panic!("expected a typed recovery error, got {other:?}"),
+    }
+
+    // With the text intact, recovery succeeds — and the recovered
+    // service still enforces backpressure as a typed value.
+    rec.active[0].sql = good_sql;
+    let mut svc2 =
+        QueryService::recover(config(), catalog(), &mut sn2, &rec).expect("recovery replans");
+    let mut overloaded = false;
+    for _ in 0..=config().queue_capacity {
+        if let Err(e) = svc2.submit(&sn2, 7, "SELECT AVG(value) FROM sensors USE SNAPSHOT") {
+            assert!(matches!(e, ServeError::Overloaded { tenant: 7, .. }));
+            overloaded = true;
+            break;
+        }
+    }
+    assert!(overloaded, "the bounded queue must eventually reject");
+
+    // The resumed subscription drains to completion.
+    let mut done = Vec::new();
+    for _ in 0..100 {
+        if svc2.idle() {
+            break;
+        }
+        svc2.tick(&mut sn2);
+        done.extend(svc2.take_completions());
+        sn2.advance(1);
+    }
+    assert!(
+        done.iter().any(|c| c.error.is_none() && c.epochs > 1),
+        "the in-flight subscription must finish its remaining epochs"
+    );
+    let _ = std::fs::remove_file(&path);
+}
